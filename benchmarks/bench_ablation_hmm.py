@@ -1,0 +1,96 @@
+"""Ablation — HMM filtering for non-deterministic choices (paper Sec. V).
+
+Compares the HMM's filtered next-state choice against a degraded variant
+whose transition matrix is uniform (no learned statistics), measuring
+wrong predictions and accuracy on alias-heavy traces.
+
+Run: ``pytest benchmarks/bench_ablation_hmm.py --benchmark-only -s``
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.core.hmm import PsmHmm
+from repro.core.metrics import mre
+from repro.core.pipeline import PsmFlow
+from repro.core.simulation import MultiPsmSimulator
+from repro.power.estimator import run_power_simulation
+from repro.testbench import BENCHMARKS
+
+
+@pytest.fixture(scope="module")
+def fitted_ram():
+    spec = BENCHMARKS["RAM"]
+    reference = run_power_simulation(spec.module_class(), spec.short_ts())
+    flow = PsmFlow(spec.flow_config()).fit(
+        [reference.trace], [reference.power]
+    )
+    evaluation = run_power_simulation(
+        spec.module_class(), spec.long_ts(4000)
+    )
+    return spec, flow, evaluation
+
+
+def _uniform_hmm(flow):
+    """An HMM whose A rows are uniform over the structural transitions."""
+    hmm = PsmHmm(flow.psms)
+    mask = hmm.A > 0
+    with np.errstate(invalid="ignore"):
+        uniform = mask / mask.sum(axis=1, keepdims=True)
+    hmm.A = np.nan_to_num(uniform)
+    return hmm
+
+
+def test_hmm_vs_uniform(benchmark, fitted_ram, capsys):
+    spec, flow, evaluation = fitted_ram
+
+    def sweep():
+        rows = []
+        for label, hmm in [
+            ("learned HMM", None),
+            ("uniform transitions", _uniform_hmm(flow)),
+        ]:
+            simulator = MultiPsmSimulator(
+                flow.psms, flow.mining.labeler, hmm
+            )
+            result = simulator.run(evaluation.trace)
+            rows.append(
+                {
+                    "variant": label,
+                    "mre": round(
+                        mre(result.estimated, evaluation.power), 2
+                    ),
+                    "wrong_predictions": result.wrong_predictions,
+                    "wsp_instants": round(
+                        result.wrong_state_fraction, 2
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Ablation — HMM filtering (RAM, long-TS)"))
+    learned, uniform = rows
+    # Learned statistics never hurt; usually they reduce wrong choices.
+    assert learned["wrong_predictions"] <= uniform["wrong_predictions"] + 2
+    assert learned["mre"] <= uniform["mre"] + 2.0
+
+
+def test_filtering_speed(benchmark, fitted_ram):
+    """Time one HMM filtering step (the per-choice cost)."""
+    spec, flow, evaluation = fitted_ram
+    hmm = flow.hmm
+    belief = hmm.initial_belief()
+    symbol = hmm.observations[0]
+    benchmark(lambda: hmm.filter_step(belief, symbol))
+
+
+def test_simulation_speed_with_hmm(benchmark, fitted_ram):
+    """Time the full HMM-driven replay on the long trace."""
+    spec, flow, evaluation = fitted_ram
+    simulator = MultiPsmSimulator(flow.psms, flow.mining.labeler, flow.hmm)
+    result = benchmark(lambda: simulator.run(evaluation.trace))
+    assert len(result.estimated) == len(evaluation.trace)

@@ -1,0 +1,130 @@
+"""Ablation — the combination/optimisation stage (paper Sec. IV).
+
+Sweeps the merge policy (t-test alpha, Case-1 tolerance) and toggles the
+``simplify``/``join`` stages to expose the accuracy/size trade-off that
+motivates the paper's Section IV.
+
+Run: ``pytest benchmarks/bench_ablation_merge.py --benchmark-only -s``
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.core.mergeability import MergePolicy
+from repro.core.metrics import mre
+from repro.core.pipeline import FlowConfig, PsmFlow
+from repro.testbench import BENCHMARKS
+
+
+@pytest.fixture(scope="module")
+def ram_training():
+    from repro.power.estimator import run_power_simulation
+
+    spec = BENCHMARKS["RAM"]
+    reference = run_power_simulation(spec.module_class(), spec.short_ts())
+    return spec, reference
+
+
+def _fit(spec, reference, **config_overrides):
+    base = spec.flow_config()
+    config = FlowConfig(
+        miner=base.miner,
+        merge=config_overrides.pop("merge", base.merge),
+        refine=base.refine,
+        **config_overrides,
+    )
+    flow = PsmFlow(config).fit([reference.trace], [reference.power])
+    result = flow.estimate(reference.trace)
+    return flow, mre(result.estimated, reference.power)
+
+
+def test_stage_ablation(benchmark, ram_training, capsys):
+    """simplify/join both reduce states; accuracy stays in the same band."""
+    spec, reference = ram_training
+
+    def sweep():
+        rows = []
+        for label, overrides in [
+            ("full flow", {}),
+            ("no simplify", {"apply_simplify": False}),
+            ("no join", {"apply_join": False}),
+            ("raw chains", {"apply_simplify": False, "apply_join": False}),
+        ]:
+            flow, error = _fit(spec, reference, **overrides)
+            rows.append(
+                {
+                    "variant": label,
+                    "states": flow.report.n_states,
+                    "transitions": flow.report.n_transitions,
+                    "mre": round(error, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Ablation — optimisation stages (RAM)"))
+    by_variant = {r["variant"]: r for r in rows}
+    assert (
+        by_variant["full flow"]["states"]
+        < by_variant["raw chains"]["states"]
+    )
+    assert by_variant["no join"]["states"] >= by_variant["full flow"]["states"]
+
+
+def test_alpha_sweep(benchmark, ram_training, capsys):
+    """Sweeping the t-test significance level.
+
+    States merge when the test does *not* reject equality (p > alpha), so
+    a smaller alpha accepts more merges (fewer states) and a larger alpha
+    keeps more states apart.
+    """
+    spec, reference = ram_training
+
+    def sweep():
+        rows = []
+        for alpha in (0.001, 0.01, 0.05, 0.2):
+            merge = MergePolicy(
+                epsilon_rel=0.05,
+                alpha=alpha,
+                max_cv=None,
+                variance_alpha=0.01,
+            )
+            flow, error = _fit(spec, reference, merge=merge)
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "states": flow.report.n_states,
+                    "mre": round(error, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Ablation — t-test alpha sweep (RAM)"))
+    # smaller alpha -> more merging -> fewer (or equal) states
+    assert rows[0]["states"] <= rows[-1]["states"]
+
+
+def test_merge_speed(benchmark, ram_training):
+    """Time the full optimisation (simplify + join) stage."""
+    from repro.core.generator import generate_psms
+    from repro.core.join import join
+    from repro.core.mining import AssertionMiner
+    from repro.core.simplify import simplify_all
+
+    spec, reference = ram_training
+    config = spec.flow_config()
+    mining = AssertionMiner(config.miner).mine_many([reference.trace])
+    psms = generate_psms(mining.traces, [reference.power])
+    powers = {0: reference.power}
+
+    def optimise():
+        simplified = simplify_all(psms, powers, config.merge)
+        return join(simplified, powers, config.merge)
+
+    joined = benchmark(optimise)
+    assert joined

@@ -1,0 +1,96 @@
+"""Ablation — the data-dependent regression refinement (paper Sec. IV).
+
+The paper attributes the RAM's very low MRE to the linear-regression
+refinement of data-dependent states.  This bench measures the MRE with
+and without the refinement (and without the same-body pooling extension)
+on the data-dependent IPs.
+
+Run: ``pytest benchmarks/bench_ablation_regression.py --benchmark-only -s``
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.core.metrics import mre
+from repro.core.pipeline import FlowConfig, PsmFlow
+from repro.core.regression import RefinePolicy
+from repro.power.estimator import run_power_simulation
+from repro.testbench import BENCHMARKS
+
+
+@pytest.fixture(scope="module", params=["RAM", "MultSum"])
+def training(request):
+    spec = BENCHMARKS[request.param]
+    reference = run_power_simulation(spec.module_class(), spec.short_ts())
+    return request.param, spec, reference
+
+
+def _fit(spec, reference, *, refine=True, pool=True):
+    base = spec.flow_config()
+    config = FlowConfig(
+        miner=base.miner,
+        merge=base.merge,
+        refine=RefinePolicy(
+            cv_threshold=base.refine.cv_threshold,
+            corr_threshold=base.refine.corr_threshold,
+            min_samples=base.refine.min_samples,
+            pool_same_body=pool,
+        ),
+        apply_refine=refine,
+    )
+    flow = PsmFlow(config).fit([reference.trace], [reference.power])
+    result = flow.estimate(reference.trace)
+    return flow, mre(result.estimated, reference.power)
+
+
+def test_refinement_ablation(benchmark, training, capsys):
+    """Without the regression the data-dependent IPs lose accuracy."""
+    name, spec, reference = training
+
+    def sweep():
+        rows = []
+        for label, kwargs in [
+            ("full refinement", dict(refine=True, pool=True)),
+            ("no same-body pooling", dict(refine=True, pool=False)),
+            ("no refinement", dict(refine=False)),
+        ]:
+            flow, error = _fit(spec, reference, **kwargs)
+            rows.append(
+                {
+                    "variant": label,
+                    "refined_states": flow.report.n_refined_states,
+                    "mre": round(error, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, f"Ablation — regression refinement ({name})"))
+    by_variant = {r["variant"]: r for r in rows}
+    full = by_variant["full refinement"]["mre"]
+    none = by_variant["no refinement"]["mre"]
+    # The refinement is the load-bearing stage for these IPs.
+    assert full < none
+    if name == "RAM":
+        assert none > 3 * full
+
+
+def test_refinement_speed(benchmark, training):
+    """Time the refinement stage alone."""
+    from repro.core.regression import refine_data_dependent
+
+    name, spec, reference = training
+    base = spec.flow_config()
+    flow = PsmFlow(
+        FlowConfig(miner=base.miner, merge=base.merge, apply_refine=False)
+    ).fit([reference.trace], [reference.power])
+    psms = flow.psms
+
+    def refine():
+        return refine_data_dependent(
+            psms, {0: reference.trace}, {0: reference.power}, base.refine
+        )
+
+    benchmark(refine)

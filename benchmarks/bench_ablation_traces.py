@@ -1,0 +1,115 @@
+"""Ablation — training-trace quality (paper Sec. I discussion).
+
+The paper stresses that incomplete functional traces yield incomplete
+PSMs and wrong estimates on unseen behaviours.  This bench trains the AES
+model on progressively truncated verification suites and measures how
+accuracy and desynchronisation degrade on the full evaluation trace.
+
+Run: ``pytest benchmarks/bench_ablation_traces.py --benchmark-only -s``
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.core.metrics import mre
+from repro.core.pipeline import PsmFlow
+from repro.power.estimator import run_power_simulation
+from repro.testbench import BENCHMARKS
+
+
+@pytest.fixture(scope="module")
+def aes_material():
+    spec = BENCHMARKS["AES"]
+    full = spec.short_ts()
+    evaluation = run_power_simulation(
+        spec.module_class(), spec.long_ts(4000)
+    )
+    return spec, full, evaluation
+
+
+def test_coverage_sweep(benchmark, aes_material, capsys):
+    spec, full, evaluation = aes_material
+
+    def sweep():
+        rows = []
+        for fraction in (0.1, 0.25, 0.5, 1.0):
+            cut = max(int(len(full) * fraction), 40)
+            reference = run_power_simulation(
+                spec.module_class(), full[:cut]
+            )
+            flow = PsmFlow(spec.flow_config()).fit(
+                [reference.trace], [reference.power]
+            )
+            result = flow.estimate(evaluation.trace)
+            rows.append(
+                {
+                    "coverage": f"{int(fraction * 100)}%",
+                    "train_cycles": cut,
+                    "states": flow.report.n_states,
+                    "mre": round(
+                        mre(result.estimated, evaluation.power), 2
+                    ),
+                    "wsp_instants": round(
+                        result.wrong_state_fraction, 2
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                rows, "Ablation — training coverage sweep (AES, long-TS)"
+            )
+        )
+    # Full coverage must dominate the thinnest slice.
+    assert rows[-1]["mre"] <= rows[0]["mre"]
+    assert rows[-1]["wsp_instants"] <= rows[0]["wsp_instants"] + 1e-9
+
+
+def test_two_traces_beat_one_half(benchmark, aes_material, capsys):
+    """Combining PSMs from several traces (the Sec. III-C motivation)."""
+    spec, full, evaluation = aes_material
+    half = len(full) // 2
+    first = run_power_simulation(spec.module_class(), full[:half])
+    second = run_power_simulation(spec.module_class(), full[half:])
+
+    def build_and_compare():
+        single = PsmFlow(spec.flow_config()).fit(
+            [first.trace], [first.power]
+        )
+        combined = PsmFlow(spec.flow_config()).fit(
+            [first.trace, second.trace], [first.power, second.power]
+        )
+        return (
+            single.estimate(evaluation.trace),
+            combined.estimate(evaluation.trace),
+        )
+
+    single_result, combined_result = benchmark.pedantic(
+        build_and_compare, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(
+            "single-half desync "
+            f"{single_result.wrong_state_fraction:.2f}% vs combined "
+            f"{combined_result.wrong_state_fraction:.2f}%"
+        )
+    assert (
+        combined_result.wrong_state_fraction
+        <= single_result.wrong_state_fraction + 1e-9
+    )
+
+
+def test_mining_speed(benchmark, aes_material):
+    """Time the assertion-mining stage on the full AES suite."""
+    from repro.core.mining import AssertionMiner
+
+    spec, full, evaluation = aes_material
+    reference = run_power_simulation(spec.module_class(), full)
+    miner = AssertionMiner(spec.flow_config().miner)
+    result = benchmark(lambda: miner.mine(reference.trace))
+    assert result.propositions

@@ -1,0 +1,37 @@
+"""Table I — characteristics of the benchmarks.
+
+Regenerates the paper's Table I (code size, PI/PO widths, synthesis time,
+memory elements) and times the synthesis-report substitute.
+
+Run: ``pytest benchmarks/bench_table1.py --benchmark-only -s``
+"""
+
+import pytest
+
+from repro.bench import format_table, table1_rows
+from repro.ips import ALL_IPS
+from repro.power.synthesis import synthesize
+
+
+def test_print_table1(benchmark, capsys):
+    """Regenerate Table I (timed) and print it beside the paper's."""
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, "Table I — benchmark characteristics"))
+        print(
+            "paper reference: RAM 44/32 PIs/POs 8192 mem | MultSum 49/32 "
+            "225 | AES 260/129 670 | Camellia 262/129 397"
+        )
+    by_ip = {r["ip"]: r for r in rows}
+    assert by_ip["RAM"]["pis"] == 44 and by_ip["RAM"]["pos"] == 32
+    assert by_ip["MultSum"]["pis"] == 49
+    assert by_ip["AES"]["pis"] == 260 and by_ip["AES"]["pos"] == 129
+    assert by_ip["Camellia"]["pis"] == 262
+
+
+@pytest.mark.parametrize("ip_class", ALL_IPS, ids=[c.NAME for c in ALL_IPS])
+def test_synthesis_speed(benchmark, ip_class):
+    """Time the synthesis-report substitute per IP."""
+    report = benchmark(lambda: synthesize(ip_class()))
+    assert report.memory_elements > 0

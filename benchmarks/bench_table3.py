@@ -1,0 +1,98 @@
+"""Table III — simulation times and accuracy evaluation.
+
+For every IP: the IP-only vs IP+PSM co-simulation times and overhead, the
+MRE and WSP of the short-TS model replayed on the long-TS, and the
+speedup of PSM-based estimation over the reference power simulation (the
+paper's "up to two orders of magnitude" claim).
+
+Run: ``pytest benchmarks/bench_table3.py --benchmark-only -s``
+"""
+
+import pytest
+
+from repro.bench import format_table, table3_rows
+from repro.core.metrics import mre
+from repro.testbench import BENCHMARKS
+
+IP_NAMES = list(BENCHMARKS)
+
+#: Paper Table III: overhead% / MRE% / WSP%.
+PAPER = {
+    "RAM": (26.4, 0.29, 0),
+    "MultSum": (18.4, 3.97, 0),
+    "AES": (5.6, 3.11, 0),
+    "Camellia": (3.5, 32.64, 20),
+}
+
+
+def test_print_table3(benchmark, capsys):
+    """Regenerate Table III (timed) and print it beside the paper's."""
+    rows = benchmark.pedantic(
+        lambda: table3_rows(repeats=3), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                rows,
+                "Table III — simulation times and accuracy evaluation",
+            )
+        )
+        print("paper: " + " | ".join(
+            f"{ip} ovh {o}% mre {m}% wsp {w}%" for ip, (o, m, w) in PAPER.items()
+        ))
+    by_ip = {r["ip"]: r for r in rows}
+    # Accuracy shape: the short-TS models generalise, except Camellia.
+    assert by_ip["RAM"]["mre"] < 15.0
+    assert by_ip["AES"]["mre"] < 10.0
+    assert by_ip["Camellia"]["mre"] > 15.0
+    # WSP shape: ~0 everywhere but Camellia (the paper's 0/0/0/20).
+    for ip in ("RAM", "MultSum", "AES"):
+        assert by_ip[ip]["wsp"] < 3.0, ip
+    assert by_ip["Camellia"]["wsp"] > 5.0
+    # PSM estimation beats the reference power simulation comfortably.
+    for ip in IP_NAMES:
+        assert by_ip[ip]["speedup"] > 2.0, ip
+
+
+@pytest.mark.parametrize("name", IP_NAMES)
+def test_psm_estimation_speed(
+    benchmark, name, fitted_benchmarks, long_references
+):
+    """Time PSM-based power estimation over the long-TS trace.
+
+    Compare against ``test_power_simulation_speed`` to read the speedup.
+    """
+    flow = fitted_benchmarks[name].flow
+    trace = long_references[name].trace
+    result = benchmark(lambda: flow.estimate(trace))
+    assert len(result.estimated) == len(trace)
+
+
+@pytest.mark.parametrize("name", IP_NAMES)
+def test_power_simulation_speed(benchmark, name, long_references):
+    """Time the reference power simulation (the PX column's substitute)."""
+    from repro.power.estimator import run_power_simulation
+    from repro.testbench import BENCHMARKS
+
+    spec = BENCHMARKS[name]
+    stimulus = spec.long_ts(len(long_references[name].trace))
+    result = benchmark(
+        lambda: run_power_simulation(spec.module_class(), stimulus)
+    )
+    assert len(result.power) == len(stimulus)
+
+
+@pytest.mark.parametrize("name", IP_NAMES)
+def test_replay_accuracy(name, fitted_benchmarks, long_references):
+    """Short-TS model replayed on the long-TS: the Table III MRE/WSP."""
+    flow = fitted_benchmarks[name].flow
+    reference = long_references[name]
+    result = flow.estimate(reference.trace)
+    error = mre(result.estimated, reference.power)
+    if name == "Camellia":
+        assert error > 15.0
+        assert result.wrong_state_fraction > 5.0
+    else:
+        assert error < 15.0
+        assert result.wrong_state_fraction < 3.0

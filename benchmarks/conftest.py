@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suites.
+
+The fitted flows and reference traces are computed once per session —
+pytest-benchmark then times the operations of interest against them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import fit_benchmark, long_cycles
+from repro.power.estimator import run_power_simulation
+from repro.testbench import BENCHMARKS
+
+IP_NAMES = list(BENCHMARKS)
+
+
+@pytest.fixture(scope="session")
+def fitted_benchmarks():
+    """Short-TS fitted flow per IP."""
+    return {name: fit_benchmark(name) for name in IP_NAMES}
+
+
+@pytest.fixture(scope="session")
+def long_references():
+    """Long-TS functional + reference power traces per IP."""
+    cycles = long_cycles()
+    references = {}
+    for name, spec in BENCHMARKS.items():
+        references[name] = run_power_simulation(
+            spec.module_class(), spec.long_ts(cycles)
+        )
+    return references

@@ -1,0 +1,84 @@
+"""AES vs Camellia: when PSM power models work and when they break.
+
+The paper's central experimental finding (Tables II/III): the same flow
+that models AES within a few percent fails on Camellia, whose
+sub-components switch in ways that are invisible at the primary I/Os.
+This example builds both models, contrasts their accuracy, and shows the
+wrong-state-prediction effect of incomplete training traces.
+
+Run: ``python examples/cipher_power_models.py``
+"""
+
+import numpy as np
+
+from repro import PsmFlow, mre, run_power_simulation
+from repro.power.estimator import component_breakdown
+from repro.hdl.simulator import Simulator
+from repro.testbench import BENCHMARKS
+
+
+def characterise(name: str, eval_cycles: int = 5000) -> None:
+    spec = BENCHMARKS[name]
+    training = run_power_simulation(spec.module_class(), spec.short_ts())
+    flow = PsmFlow(spec.flow_config()).fit(
+        [training.trace], [training.power]
+    )
+    train_result = flow.estimate(training.trace)
+    evaluation = run_power_simulation(
+        spec.module_class(), spec.long_ts(eval_cycles)
+    )
+    eval_result = flow.estimate(evaluation.trace)
+
+    print(f"\n=== {name} ===")
+    print(
+        f"model: {flow.report.n_states} states, "
+        f"{flow.report.n_transitions} transitions"
+    )
+    print(
+        f"training MRE: {mre(train_result.estimated, training.power):.2f}%"
+    )
+    print(
+        f"long-TS MRE:  {mre(eval_result.estimated, evaluation.power):.2f}%  "
+        f"WSP: {eval_result.wrong_state_fraction:.2f}%"
+    )
+
+    # Where does the power actually go?  Per-component mean power shows
+    # why Camellia resists I/O-observed modelling: its hot components
+    # (S-box unit, FL layer) switch on internal values.
+    module = spec.module_class()
+    activity = Simulator(module).run(spec.short_ts()).activity
+    breakdown = component_breakdown(module, activity)
+    total = sum(breakdown.values()) or 1.0
+    print("component power shares:")
+    for component, value in sorted(
+        breakdown.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {component:<16} {100 * value / total:5.1f}%")
+
+    # Per-state view: constants vs their true within-state variation.
+    print("states (mu +- sigma):")
+    for psm in flow.psms:
+        for state in psm.states:
+            cv = state.sigma / state.mu if state.mu else 0.0
+            flag = "  <-- data-dependent spread" if cv > 0.2 else ""
+            print(
+                f"  s{state.sid}: mu={state.mu:.4f} sigma={state.sigma:.4f} "
+                f"(cv={cv:.2f}){flag}"
+            )
+
+
+def main() -> None:
+    characterise("AES")
+    characterise("Camellia")
+    print(
+        "\nAES's busy power is dominated by the round datapath, which "
+        "switches coherently cycle after cycle, so a constant per state "
+        "is accurate.  Camellia's FL layers and S-box glitching swing the "
+        "busy power by tens of percent on internal values no PI/PO "
+        "proposition can see -- the constant mis-estimates most cycles, "
+        "which is exactly the paper's explanation for its 32% MRE."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Dynamic power management exploration — the PSM use-case.
+
+The paper's introduction motivates PSMs as the formalism dynamic power
+managers consume during early virtual prototyping: once an IP has a PSM,
+candidate DPM policies can be compared in fast co-simulation instead of
+re-running a gate-level power analysis per policy.
+
+This example characterises the AES core once, then ranks four clock
+gating policies on the same workload using only PSM-estimated energy.
+
+Run: ``python examples/dpm_exploration.py``
+"""
+
+from repro import PsmFlow, run_power_simulation
+from repro.sysc import (
+    AlwaysOnPolicy,
+    OraclePolicy,
+    TimeoutGatePolicy,
+    explore_policies,
+)
+from repro.testbench import AES_LATENCY, BENCHMARKS
+from repro.testbench.stimuli import StimulusBuilder
+
+
+def build_workload(key: int, operations: int, tb: StimulusBuilder):
+    """AES transactions: one key load, then ``operations`` blocks."""
+
+    def transaction(data, first=False):
+        base = dict(
+            en=1, load_key=0, start=0, decrypt=0, key=key, data=data
+        )
+        rows = [dict(base, load_key=1)] if first else []
+        rows.append(dict(base, start=1))
+        rows += [dict(base)] * (AES_LATENCY + 1)
+        return rows
+
+    return [
+        transaction(tb.rand_bits(128), first=(i == 0))
+        for i in range(operations)
+    ]
+
+
+def main() -> None:
+    spec = BENCHMARKS["AES"]
+
+    # characterise once (the expensive step a DPM exploration amortises)
+    training = run_power_simulation(spec.module_class(), spec.short_ts())
+    flow = PsmFlow(spec.flow_config()).fit(
+        [training.trace], [training.power]
+    )
+    print(
+        f"AES PSM: {flow.report.n_states} states "
+        f"(fitted in {flow.report.generation_time:.2f}s)"
+    )
+
+    tb = StimulusBuilder({}, seed=11)
+    key = tb.rand_bits(128)
+    workload = build_workload(key, operations=30, tb=tb)
+    idle = dict(en=1, load_key=0, start=0, decrypt=0, key=key, data=0)
+
+    policies = [
+        AlwaysOnPolicy(),
+        TimeoutGatePolicy(2),
+        TimeoutGatePolicy(8),
+        OraclePolicy(),
+    ]
+    reports = explore_policies(
+        spec.module_class, workload, idle, flow, policies
+    )
+
+    baseline = reports[0].estimated_energy
+    print(f"\n{'policy':<12} {'ops':>4} {'gated':>7} {'energy':>9} {'saving':>8}")
+    for report in reports:
+        saving = 100 * (1 - report.estimated_energy / baseline)
+        print(
+            f"{report.policy:<12} {report.completed_operations:>4} "
+            f"{report.gated_fraction:>6.1%} "
+            f"{report.estimated_energy:>9.3f} {saving:>7.2f}%"
+        )
+    print(
+        "\nEvery policy processed the same blocks; the energy column is "
+        "PSM-estimated, so the whole exploration ran without a single "
+        "additional power simulation."
+    )
+
+
+if __name__ == "__main__":
+    main()

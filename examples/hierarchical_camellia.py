@@ -1,0 +1,87 @@
+"""Hierarchical PSMs: implementing the paper's future work.
+
+The paper's concluding remark proposes hierarchical PSMs that
+distinguish IP sub-components to mitigate the Camellia failure.  This
+example builds both models side by side:
+
+* **flat** — the paper's flow, black-box over the PIs/POs;
+* **hierarchical** — one PSM set per sub-component, with the
+  sub-component boundary probe (the round counter) visible and the
+  reference power split per component.
+
+Run: ``python examples/hierarchical_camellia.py``
+"""
+
+from repro.core.hierarchy import (
+    HierarchicalPsmFlow,
+    run_hierarchical_power_simulation,
+)
+from repro.core.metrics import mre
+from repro.core.pipeline import PsmFlow
+from repro.power.estimator import run_power_simulation
+from repro.testbench import BENCHMARKS
+
+
+def main() -> None:
+    spec = BENCHMARKS["Camellia"]
+
+    # --- the paper's flat flow -----------------------------------------
+    flat_training = run_power_simulation(spec.module_class(), spec.short_ts())
+    flat = PsmFlow(spec.flow_config()).fit(
+        [flat_training.trace], [flat_training.power]
+    )
+    flat_error = mre(
+        flat.estimate(flat_training.trace).estimated, flat_training.power
+    )
+    print(
+        f"flat model: {flat.report.n_states} states, training MRE "
+        f"{flat_error:.2f}%  (the paper's ~32% Camellia failure)"
+    )
+
+    # --- the hierarchical extension ------------------------------------
+    training = run_hierarchical_power_simulation(
+        spec.module_class(), spec.short_ts()
+    )
+    hier = HierarchicalPsmFlow().fit([training])
+    result = hier.estimate(training.trace)
+    print(
+        f"hierarchical model: {hier.total_states()} states over "
+        f"{len(hier.flows)} components, training MRE "
+        f"{mre(result.estimated, training.total):.2f}%"
+    )
+
+    print("\nper-component models:")
+    for component in hier.components:
+        flow = hier.flows[component]
+        component_result = result.per_component[component]
+        error = mre(
+            component_result.estimated, training.components[component]
+        )
+        print(
+            f"  {component:<14} {flow.report.n_states:>3} states  "
+            f"MRE {error:6.2f}%"
+        )
+
+    # --- generalisation -------------------------------------------------
+    # evaluated on covered behaviours: the gating windows the Camellia
+    # verification suite lacks are a coverage problem (the WSP story),
+    # orthogonal to the accuracy question the hierarchy addresses
+    evaluation = run_hierarchical_power_simulation(
+        spec.module_class(), spec.long_ts(5000, include_gating=False)
+    )
+    long_result = hier.estimate(evaluation.trace)
+    print(
+        f"\nlong-TS replay: hierarchical MRE "
+        f"{mre(long_result.estimated, evaluation.total):.2f}% "
+        "(vs ~23% flat)"
+    )
+    print(
+        "\nWith the round counter visible, each Feistel round and FL "
+        "layer becomes its own power state, so the FL spikes and the "
+        "per-round S-box activity no longer hide inside one "
+        "high-variance state."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: characterise the RAM's power with an auto-generated PSM.
+
+The complete flow in a few lines:
+
+1. simulate the IP on its verification testbench while recording power
+   (the training pair the paper assumes as input);
+2. fit the PSM flow: mine assertions, generate chain PSMs, simplify/join,
+   refine data-dependent states, build the HMM;
+3. estimate the power of a *new* workload and score it.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import PsmFlow, mre, run_power_simulation
+from repro.ips import Ram
+from repro.testbench import BENCHMARKS, ram_long_ts, ram_short_ts
+
+
+def main() -> None:
+    # 1. training pair: functional trace + reference power trace
+    training = run_power_simulation(Ram(), ram_short_ts())
+    print(
+        f"training: {len(training.trace)} cycles, "
+        f"mean power {training.power.mean():.4f} mW"
+    )
+
+    # 2. fit the flow (using the benchmark's tuned configuration)
+    flow = PsmFlow(BENCHMARKS["RAM"].flow_config()).fit(
+        [training.trace], [training.power]
+    )
+    report = flow.report
+    print(
+        f"PSMs: {report.n_states} states / {report.n_transitions} "
+        f"transitions (from {report.n_raw_states} raw states) "
+        f"in {report.generation_time:.2f}s; "
+        f"{report.n_refined_states} data-dependent states"
+    )
+    for psm in flow.psms:
+        for state in psm.states:
+            print(f"  {state.describe()[:100]}")
+
+    # 3. estimate a longer, different workload
+    evaluation = run_power_simulation(Ram(), ram_long_ts(6000))
+    result = flow.estimate(evaluation.trace)
+    print(
+        f"evaluation: MRE "
+        f"{mre(result.estimated, evaluation.power):.2f}%  "
+        f"WSP {result.wrong_state_fraction:.2f}%  "
+        f"desync {result.desync_instants} instants"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+``pip install -e .`` also works on offline machines where pip falls back
+to the legacy (non-PEP-517) code path.
+"""
+
+from setuptools import setup
+
+setup()

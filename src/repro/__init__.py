@@ -1,0 +1,119 @@
+"""repro — Automatic generation of power state machines (DATE 2016).
+
+Reproduction of Danese, Pravadelli & Zandonà, *"Automatic generation of
+power state machines through dynamic mining of temporal assertions"*,
+DATE 2016.
+
+The package is organised as:
+
+* :mod:`repro.core` — the paper's contribution: assertion mining, the XU
+  automaton, PSM generation, ``simplify``/``join`` optimisation, the
+  data-dependent regression refinement, and HMM-driven simulation;
+* :mod:`repro.traces` — functional/power trace data structures and I/O;
+* :mod:`repro.hdl` — a cycle-based HDL kernel (RTL-simulator substitute);
+* :mod:`repro.power` — a dynamic-power estimator (PrimeTime PX substitute)
+  and a synthesis-report substitute;
+* :mod:`repro.ips` — the four benchmark IPs (RAM, MultSum, AES, Camellia);
+* :mod:`repro.testbench` — per-IP training/evaluation stimuli;
+* :mod:`repro.sysc` — a discrete-event co-simulation kernel for the
+  IP+PSM overhead measurements.
+
+Quickstart::
+
+    from repro import PsmFlow, run_power_simulation
+    from repro.ips import Ram
+    from repro.testbench import ram_short_ts
+
+    ram = Ram()
+    ref = run_power_simulation(ram, ram_short_ts(seed=1))
+    flow = PsmFlow().fit([ref.trace], [ref.power])
+    result = flow.estimate(ref.trace)
+"""
+
+from .core import (
+    PSM,
+    AssertionMiner,
+    ChoiceAssertion,
+    EstimationResult,
+    FlowConfig,
+    MergePolicy,
+    MinerConfig,
+    MultiPsmSimulator,
+    NextAssertion,
+    PowerAttributes,
+    PowerState,
+    PropositionTrace,
+    PsmFlow,
+    PsmHmm,
+    RefinePolicy,
+    SequenceAssertion,
+    SinglePsmSimulator,
+    Transition,
+    UntilAssertion,
+    XUAutomaton,
+    fit_flow,
+    generate_psm,
+    generate_psms,
+    join,
+    load_psms,
+    mre,
+    save_psms,
+    simplify,
+    to_dot,
+    to_systemc,
+)
+from .hdl import Module, Simulator
+from .power import (
+    PowerEstimator,
+    TechLibrary,
+    run_power_simulation,
+    synthesize,
+)
+from .traces import FunctionalTrace, PowerTrace, VariableSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "PsmFlow",
+    "FlowConfig",
+    "MinerConfig",
+    "MergePolicy",
+    "RefinePolicy",
+    "AssertionMiner",
+    "XUAutomaton",
+    "generate_psm",
+    "generate_psms",
+    "simplify",
+    "join",
+    "PsmHmm",
+    "SinglePsmSimulator",
+    "MultiPsmSimulator",
+    "EstimationResult",
+    "PSM",
+    "PowerState",
+    "Transition",
+    "PowerAttributes",
+    "PropositionTrace",
+    "UntilAssertion",
+    "NextAssertion",
+    "SequenceAssertion",
+    "ChoiceAssertion",
+    "mre",
+    "fit_flow",
+    "to_dot",
+    "to_systemc",
+    "save_psms",
+    "load_psms",
+    # substrates
+    "FunctionalTrace",
+    "PowerTrace",
+    "VariableSpec",
+    "Module",
+    "Simulator",
+    "PowerEstimator",
+    "TechLibrary",
+    "run_power_simulation",
+    "synthesize",
+]

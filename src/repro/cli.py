@@ -1,0 +1,254 @@
+"""Command-line interface: the ``psmgen`` tool.
+
+Subcommands
+-----------
+``generate``
+    Mine PSMs from one or more (functional, power) CSV trace pairs and
+    write the model as JSON (plus optional DOT graph / SystemC module).
+``estimate``
+    Load a model and estimate the power of a functional trace; optionally
+    score it against a reference power trace.
+``bench``
+    Run the full paper flow for one built-in benchmark IP.
+``describe``
+    Inspect a saved model: states, transitions, output functions — and
+    optionally its coverage of a given functional trace.
+``tables``
+    Regenerate the paper's Tables I-III.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core.export import (
+    labeler_from_psms,
+    load_psms,
+    save_psms,
+    to_dot,
+    to_systemc,
+)
+from .core.metrics import mae, mre, rmse
+from .core.pipeline import PsmFlow
+from .core.simulation import MultiPsmSimulator
+from .traces.io import load_functional_csv, load_power_csv, save_power_csv
+from .traces.power import PowerTrace
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if len(args.func) != len(args.power):
+        print("error: need one --power per --func", file=sys.stderr)
+        return 2
+    functional = [load_functional_csv(p) for p in args.func]
+    power = [load_power_csv(p) for p in args.power]
+    flow = PsmFlow().fit(functional, power)
+    report = flow.report
+    print(
+        f"generated {report.n_psms} PSM(s): {report.n_states} states, "
+        f"{report.n_transitions} transitions "
+        f"({report.n_raw_states} before optimisation) "
+        f"in {report.generation_time:.2f}s"
+    )
+    save_psms(flow.psms, args.output)
+    print(f"model written to {args.output}")
+    if args.dot:
+        Path(args.dot).write_text(to_dot(flow.psms))
+        print(f"DOT graph written to {args.dot}")
+    if args.systemc:
+        Path(args.systemc).write_text(to_systemc(flow.psms))
+        print(f"SystemC module written to {args.systemc}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    psms = load_psms(args.model)
+    labeler = labeler_from_psms(psms)
+    simulator = MultiPsmSimulator(psms, labeler)
+    trace = load_functional_csv(args.func)
+    result = simulator.run(trace)
+    print(
+        f"estimated {len(trace)} instants: "
+        f"mean power {result.estimated.mean():.4g}, "
+        f"WSP {result.wrong_state_fraction:.2f}%, "
+        f"desync {result.desync_instants} instants"
+    )
+    if args.output:
+        save_power_csv(result.estimated, args.output)
+        print(f"estimated power trace written to {args.output}")
+    if args.reference:
+        reference = load_power_csv(args.reference)
+        print(
+            f"vs reference: MRE {mre(result.estimated, reference):.2f}%  "
+            f"MAE {mae(result.estimated, reference):.4g}  "
+            f"RMSE {rmse(result.estimated, reference):.4g}"
+        )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import fit_benchmark, long_cycles
+    from .power.estimator import run_power_simulation
+    from .testbench import BENCHMARKS
+
+    if args.ip not in BENCHMARKS:
+        print(
+            f"error: unknown IP {args.ip!r}; choose from "
+            f"{', '.join(BENCHMARKS)}",
+            file=sys.stderr,
+        )
+        return 2
+    fitted = fit_benchmark(args.ip)
+    report = fitted.flow.report
+    print(
+        f"{args.ip}: TS={fitted.ts} gen={report.generation_time:.2f}s "
+        f"states={report.n_states} transitions={report.n_transitions} "
+        f"train-MRE={fitted.train_mre:.2f}%"
+    )
+    cycles = args.cycles or long_cycles()
+    spec = BENCHMARKS[args.ip]
+    reference = run_power_simulation(
+        spec.module_class(), spec.long_ts(cycles)
+    )
+    scores = fitted.flow.evaluate(reference.trace, reference.power)
+    print(
+        f"long-TS ({cycles} cycles): MRE={scores['mre']:.2f}% "
+        f"WSP={scores['wrong_state_pct']:.2f}% "
+        f"estimation={scores['estimation_time']:.3f}s"
+    )
+    if args.output:
+        save_psms(fitted.flow.psms, args.output)
+        print(f"model written to {args.output}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    psms = load_psms(args.model)
+    total_states = sum(len(p) for p in psms)
+    total_transitions = sum(len(p.transitions) for p in psms)
+    print(
+        f"{len(psms)} PSM(s): {total_states} states, "
+        f"{total_transitions} transitions"
+    )
+    for psm in psms:
+        print(psm.describe())
+        deterministic = "yes" if psm.is_deterministic() else "no"
+        print(f"  deterministic: {deterministic}")
+    if args.func:
+        from .core.coverage import coverage_report
+        from .core.hmm import PsmHmm
+        from .core.mining import MiningResult
+        from .core.pipeline import PsmFlow
+        from .core.simulation import MultiPsmSimulator
+
+        labeler = labeler_from_psms(psms)
+        simulator = MultiPsmSimulator(psms, labeler)
+        trace = load_functional_csv(args.func)
+        result = simulator.run(trace)
+        # build a minimal flow-like shim for the coverage reporter
+        flow = PsmFlow()
+        flow.psms = list(psms)
+        flow.hmm = simulator.hmm
+        flow.mining = MiningResult(
+            atoms=labeler.atoms,
+            propositions=labeler.propositions,
+            traces=[],
+            matrices=[],
+            labeler=labeler,
+        )
+        report = coverage_report(flow, trace, result)
+        print()
+        print(report.summary())
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .bench import run_all_tables
+
+    print(run_all_tables(include_long=not args.short_only))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``psmgen`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="psmgen",
+        description=(
+            "Automatic generation of power state machines through dynamic "
+            "mining of temporal assertions (DATE 2016 reproduction)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="mine PSMs from training trace pairs"
+    )
+    generate.add_argument(
+        "--func", action="append", required=True, help="functional trace CSV"
+    )
+    generate.add_argument(
+        "--power", action="append", required=True, help="power trace CSV"
+    )
+    generate.add_argument(
+        "-o", "--output", default="psms.json", help="model output path"
+    )
+    generate.add_argument("--dot", help="also write a Graphviz DOT file")
+    generate.add_argument(
+        "--systemc", help="also write the generated SystemC module"
+    )
+    generate.set_defaults(func_cmd=_cmd_generate)
+
+    estimate = sub.add_parser(
+        "estimate", help="estimate the power of a functional trace"
+    )
+    estimate.add_argument("--model", required=True, help="PSM model JSON")
+    estimate.add_argument(
+        "--func", required=True, help="functional trace CSV to estimate"
+    )
+    estimate.add_argument(
+        "--reference", help="reference power CSV for accuracy scoring"
+    )
+    estimate.add_argument(
+        "-o", "--output", help="write the estimated power trace CSV"
+    )
+    estimate.set_defaults(func_cmd=_cmd_estimate)
+
+    bench = sub.add_parser(
+        "bench", help="run the paper flow on a built-in benchmark IP"
+    )
+    bench.add_argument("--ip", required=True, help="RAM|MultSum|AES|Camellia")
+    bench.add_argument("--cycles", type=int, help="long-TS length")
+    bench.add_argument("-o", "--output", help="also save the model JSON")
+    bench.set_defaults(func_cmd=_cmd_bench)
+
+    describe = sub.add_parser(
+        "describe", help="inspect a saved PSM model"
+    )
+    describe.add_argument("--model", required=True, help="PSM model JSON")
+    describe.add_argument(
+        "--func", help="functional trace CSV for a coverage report"
+    )
+    describe.set_defaults(func_cmd=_cmd_describe)
+
+    tables = sub.add_parser("tables", help="regenerate Tables I-III")
+    tables.add_argument(
+        "--short-only",
+        action="store_true",
+        help="skip the long-TS training rows of Table II",
+    )
+    tables.set_defaults(func_cmd=_cmd_tables)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``psmgen`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func_cmd(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

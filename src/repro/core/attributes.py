@@ -1,0 +1,99 @@
+"""Power attributes of PSM states (paper Sec. III-B).
+
+Each mined assertion is annotated with the triplet ``(mu, sigma, n)``:
+``n`` is the number of instants where the assertion holds, ``mu`` the mean
+of the reference power values over those instants and ``sigma`` their
+standard deviation.  After ``simplify``/``join`` merges, attributes are
+recomputed over all the intervals of the merged states — implemented here
+as exact pooling of population statistics, which is equivalent to
+re-reading the reference power traces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..traces.power import PowerTrace
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An inclusive instant interval inside one training trace."""
+
+    trace_id: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise ValueError(f"bad interval [{self.start}, {self.stop}]")
+
+    @property
+    def length(self) -> int:
+        """Number of instants covered (``stop - start + 1``)."""
+        return self.stop - self.start + 1
+
+    def __str__(self) -> str:
+        return f"T{self.trace_id}[{self.start},{self.stop}]"
+
+
+@dataclass(frozen=True)
+class PowerAttributes:
+    """The ``(mu, sigma, n)`` triplet of a power state."""
+
+    mu: float
+    sigma: float
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("power attributes need at least one sample")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    @property
+    def variance(self) -> float:
+        """Population variance."""
+        return self.sigma ** 2
+
+    @classmethod
+    def from_power_trace(
+        cls, power: PowerTrace, start: int, stop: int
+    ) -> "PowerAttributes":
+        """Attributes over the inclusive interval ``[start, stop]``."""
+        mu, sigma, n = power.attributes(start, stop)
+        return cls(mu=mu, sigma=sigma, n=n)
+
+    @classmethod
+    def from_intervals(
+        cls,
+        intervals: Sequence[Interval],
+        power_traces: Mapping[int, PowerTrace],
+    ) -> "PowerAttributes":
+        """Attributes over several intervals of several power traces."""
+        parts = [
+            cls.from_power_trace(power_traces[iv.trace_id], iv.start, iv.stop)
+            for iv in intervals
+        ]
+        return cls.pooled(parts)
+
+    @classmethod
+    def pooled(cls, parts: Sequence["PowerAttributes"]) -> "PowerAttributes":
+        """Exact pooled mean / population standard deviation.
+
+        Matches recomputing the statistics over the concatenation of the
+        merged states' power samples, as the paper's ``simplify``/``join``
+        prescribe.
+        """
+        if not parts:
+            raise ValueError("cannot pool zero attribute sets")
+        total_n = sum(p.n for p in parts)
+        mean = sum(p.n * p.mu for p in parts) / total_n
+        second_moment = sum(p.n * (p.variance + p.mu ** 2) for p in parts)
+        variance = max(second_moment / total_n - mean ** 2, 0.0)
+        return cls(mu=mean, sigma=math.sqrt(variance), n=total_n)
+
+    def __str__(self) -> str:
+        return f"(mu={self.mu:.4g}, sigma={self.sigma:.4g}, n={self.n})"

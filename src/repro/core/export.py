@@ -1,0 +1,427 @@
+"""Export of PSM sets: DOT graphs, JSON round-trip, SystemC code.
+
+The paper's tool emits a SystemC model of the extracted PSMs so they can
+be co-simulated with the IP's functional model; :func:`to_systemc`
+reproduces that artefact as generated C++ source text.  DOT export feeds
+graph viewers; JSON export/import gives a durable on-disk format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from .attributes import Interval, PowerAttributes
+from .propositions import (
+    AtomicProposition,
+    Proposition,
+    VarCompare,
+    VarEqualsConst,
+)
+from .psm import (
+    PSM,
+    ConstantPower,
+    PowerState,
+    RegressionPower,
+    Transition,
+)
+from .temporal import (
+    ChoiceAssertion,
+    NextAssertion,
+    SequenceAssertion,
+    TemporalAssertion,
+    UntilAssertion,
+)
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# DOT
+# ----------------------------------------------------------------------
+def to_dot(psms: Sequence[PSM], title: str = "psms") -> str:
+    """Graphviz DOT rendering of a PSM set (one cluster per PSM)."""
+    lines = [f"digraph {_dot_id(title)} {{", "  rankdir=LR;"]
+    for index, psm in enumerate(psms):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f'    label="{psm.name}";')
+        initials = {s.sid for s in psm.initial_states}
+        for state in psm.states:
+            shape = "doublecircle" if state.sid in initials else "circle"
+            label = (
+                f"s{state.sid}\\n{state.assertion}\\n"
+                f"mu={state.mu:.3g} sigma={state.sigma:.3g} n={state.n}"
+            )
+            lines.append(
+                f'    s{state.sid} [shape={shape}, label="{label}"];'
+            )
+        for transition in psm.transitions:
+            lines.append(
+                f"    s{transition.src} -> s{transition.dst} "
+                f'[label="{transition.enabling}"];'
+            )
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _dot_id(name: str) -> str:
+    return "".join(c if c.isalnum() else "_" for c in name)
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def _atom_to_json(atom: AtomicProposition) -> dict:
+    if isinstance(atom, VarEqualsConst):
+        return {
+            "type": "eq_const",
+            "var": atom.var,
+            "value": atom.value,
+            "is_bool": atom.is_bool,
+        }
+    if isinstance(atom, VarCompare):
+        return {
+            "type": "compare",
+            "left": atom.left,
+            "op": atom.op,
+            "right": atom.right,
+        }
+    raise TypeError(f"unknown atom type {type(atom).__name__}")
+
+
+def _atom_from_json(data: dict) -> AtomicProposition:
+    if data["type"] == "eq_const":
+        return VarEqualsConst(data["var"], data["value"], data["is_bool"])
+    if data["type"] == "compare":
+        return VarCompare(data["left"], data["op"], data["right"])
+    raise ValueError(f"unknown atom type {data['type']!r}")
+
+
+def _proposition_to_json(prop: Proposition) -> dict:
+    return {
+        "label": prop.label,
+        "positives": [_atom_to_json(a) for a in sorted(prop.positives, key=str)],
+        "negatives": [_atom_to_json(a) for a in sorted(prop.negatives, key=str)],
+    }
+
+
+def _proposition_from_json(data: dict) -> Proposition:
+    return Proposition(
+        data["label"],
+        [_atom_from_json(a) for a in data["positives"]],
+        [_atom_from_json(a) for a in data["negatives"]],
+    )
+
+
+def _assertion_to_json(
+    assertion: TemporalAssertion, prop_ids: Dict[Proposition, int]
+) -> dict:
+    if isinstance(assertion, UntilAssertion):
+        return {
+            "kind": "until",
+            "left": prop_ids[assertion.left],
+            "right": prop_ids[assertion.right],
+        }
+    if isinstance(assertion, NextAssertion):
+        return {
+            "kind": "next",
+            "left": prop_ids[assertion.left],
+            "right": prop_ids[assertion.right],
+        }
+    if isinstance(assertion, SequenceAssertion):
+        return {
+            "kind": "sequence",
+            "parts": [_assertion_to_json(p, prop_ids) for p in assertion.parts],
+        }
+    if isinstance(assertion, ChoiceAssertion):
+        return {
+            "kind": "choice",
+            "parts": [_assertion_to_json(p, prop_ids) for p in assertion.parts],
+        }
+    raise TypeError(f"unknown assertion type {type(assertion).__name__}")
+
+
+def _assertion_from_json(
+    data: dict, props: List[Proposition]
+) -> TemporalAssertion:
+    kind = data["kind"]
+    if kind == "until":
+        return UntilAssertion(props[data["left"]], props[data["right"]])
+    if kind == "next":
+        return NextAssertion(props[data["left"]], props[data["right"]])
+    if kind == "sequence":
+        return SequenceAssertion(
+            [_assertion_from_json(p, props) for p in data["parts"]]
+        )
+    if kind == "choice":
+        return ChoiceAssertion(
+            [_assertion_from_json(p, props) for p in data["parts"]]
+        )
+    raise ValueError(f"unknown assertion kind {kind!r}")
+
+
+def _power_model_to_json(state: PowerState) -> dict:
+    model = state.power_model
+    if isinstance(model, RegressionPower):
+        return {
+            "type": "regression",
+            "slope": model.slope,
+            "intercept": model.intercept,
+            "correlation": model.correlation,
+        }
+    if isinstance(model, ConstantPower):
+        return {"type": "constant", "value": model.value}
+    raise TypeError(f"unknown power model {type(model).__name__}")
+
+
+def _power_model_from_json(data: dict):
+    if data["type"] == "constant":
+        return ConstantPower(data["value"])
+    if data["type"] == "regression":
+        return RegressionPower(
+            data["slope"], data["intercept"], data["correlation"]
+        )
+    raise ValueError(f"unknown power model {data['type']!r}")
+
+
+def psms_to_json(psms: Sequence[PSM]) -> dict:
+    """Serialise a PSM set into a JSON-compatible dictionary."""
+    propositions: List[Proposition] = []
+    prop_ids: Dict[Proposition, int] = {}
+    for psm in psms:
+        for state in psm.states:
+            for prop in state.assertion.propositions():
+                if prop not in prop_ids:
+                    prop_ids[prop] = len(propositions)
+                    propositions.append(prop)
+        for transition in psm.transitions:
+            if transition.enabling not in prop_ids:
+                prop_ids[transition.enabling] = len(propositions)
+                propositions.append(transition.enabling)
+    payload = {
+        "propositions": [_proposition_to_json(p) for p in propositions],
+        "psms": [],
+    }
+    for psm in psms:
+        initials = [s.sid for s in psm.initial_states]
+        payload["psms"].append(
+            {
+                "name": psm.name,
+                "initial": initials,
+                "states": [
+                    {
+                        "sid": state.sid,
+                        "assertion": _assertion_to_json(
+                            state.assertion, prop_ids
+                        ),
+                        "mu": state.mu,
+                        "sigma": state.sigma,
+                        "n": state.n,
+                        "intervals": [
+                            [iv.trace_id, iv.start, iv.stop]
+                            for iv in state.intervals
+                        ],
+                        "power_model": _power_model_to_json(state),
+                    }
+                    for state in psm.states
+                ],
+                "transitions": [
+                    {
+                        "src": t.src,
+                        "dst": t.dst,
+                        "enabling": prop_ids[t.enabling],
+                    }
+                    for t in psm.transitions
+                ],
+            }
+        )
+    return payload
+
+
+def psms_from_json(payload: dict) -> List[PSM]:
+    """Rebuild a PSM set from :func:`psms_to_json` output."""
+    props = [_proposition_from_json(p) for p in payload["propositions"]]
+    psms: List[PSM] = []
+    for psm_data in payload["psms"]:
+        psm = PSM(name=psm_data["name"])
+        initials = set(psm_data["initial"])
+        for state_data in psm_data["states"]:
+            state = PowerState(
+                assertion=_assertion_from_json(
+                    state_data["assertion"], props
+                ),
+                attributes=PowerAttributes(
+                    mu=state_data["mu"],
+                    sigma=state_data["sigma"],
+                    n=state_data["n"],
+                ),
+                intervals=[
+                    Interval(tid, start, stop)
+                    for tid, start, stop in state_data["intervals"]
+                ],
+                sid=state_data["sid"],
+                power_model=_power_model_from_json(
+                    state_data["power_model"]
+                ),
+            )
+            psm.add_state(state, initial=state.sid in initials)
+        for t_data in psm_data["transitions"]:
+            psm.add_transition(
+                Transition(
+                    t_data["src"], t_data["dst"], props[t_data["enabling"]]
+                )
+            )
+        psms.append(psm)
+    return psms
+
+
+def save_psms(psms: Sequence[PSM], path: PathLike) -> None:
+    """Write a PSM set to a JSON file."""
+    Path(path).write_text(json.dumps(psms_to_json(psms), indent=2))
+
+
+def load_psms(path: PathLike) -> List[PSM]:
+    """Read a PSM set from a JSON file."""
+    return psms_from_json(json.loads(Path(path).read_text()))
+
+
+def labeler_from_psms(psms: Sequence[PSM]):
+    """Rebuild a :class:`~repro.core.mining.PropositionLabeler` from PSMs.
+
+    A PSM set serialised to JSON carries its propositions as full
+    minterms (positive and negative atoms), which is enough to
+    reconstruct the atom alphabet and the row-to-proposition universe the
+    simulators need — so a saved model can be reloaded and simulated
+    without the original training traces.
+    """
+    from .mining import PropositionLabeler
+
+    propositions: List[Proposition] = []
+    for psm in psms:
+        for state in psm.states:
+            for prop in state.assertion.propositions():
+                if prop not in propositions:
+                    propositions.append(prop)
+        for transition in psm.transitions:
+            if transition.enabling not in propositions:
+                propositions.append(transition.enabling)
+    atoms: List = []
+    for prop in propositions:
+        for atom in sorted(prop.positives | prop.negatives, key=str):
+            if atom not in atoms:
+                atoms.append(atom)
+    import numpy as np
+
+    universe = {}
+    for prop in propositions:
+        row = np.array(
+            [atom in prop.positives for atom in atoms], dtype=bool
+        )
+        universe[row.tobytes()] = prop
+    return PropositionLabeler(atoms, universe)
+
+
+# ----------------------------------------------------------------------
+# SystemC code generation
+# ----------------------------------------------------------------------
+def _atom_to_cpp(atom: AtomicProposition) -> str:
+    if isinstance(atom, VarEqualsConst):
+        return f"({atom.var}.read() == {atom.value})"
+    if isinstance(atom, VarCompare):
+        return f"({atom.left}.read() {atom.op} {atom.right}.read())"
+    raise TypeError(f"unknown atom type {type(atom).__name__}")
+
+
+def _proposition_to_cpp(prop: Proposition) -> str:
+    positives = [_atom_to_cpp(a) for a in sorted(prop.positives, key=str)]
+    negatives = [f"!{_atom_to_cpp(a)}" for a in sorted(prop.negatives, key=str)]
+    terms = positives + negatives
+    return " && ".join(terms) if terms else "true"
+
+
+def to_systemc(
+    psms: Sequence[PSM],
+    module_name: str = "psm_power_monitor",
+    variables: Sequence[str] = (),
+) -> str:
+    """Generate the SystemC monitor module for a PSM set.
+
+    The generated module mirrors the paper's implementation: one clocked
+    process evaluates the mined propositions on the IP's PIs/POs each
+    cycle, walks the PSM states and drives a ``power`` output with the
+    active state's consumption (constant or regression-based).
+    """
+    propositions: List[Proposition] = []
+    for psm in psms:
+        for state in psm.states:
+            for prop in state.assertion.propositions():
+                if prop not in propositions:
+                    propositions.append(prop)
+    if not variables:
+        names: List[str] = []
+        for prop in propositions:
+            for atom in sorted(prop.positives | prop.negatives, key=str):
+                for var in atom.variables():
+                    if var not in names:
+                        names.append(var)
+        variables = names
+
+    lines: List[str] = []
+    emit = lines.append
+    emit("// Auto-generated PSM power monitor (SystemC).")
+    emit("// Generated by the repro PSM flow; do not edit by hand.")
+    emit("#include <systemc.h>")
+    emit("")
+    emit(f"SC_MODULE({module_name}) {{")
+    emit("  sc_in<bool> clk;")
+    for var in variables:
+        emit(f"  sc_in<sc_uint<64> > {var};")
+    emit("  sc_out<double> power;")
+    emit("")
+    emit("  // Mined propositions (minterms over PIs and POs).")
+    for index, prop in enumerate(propositions):
+        emit(f"  bool prop_{index}() const {{  // {prop.label}: {prop.formula()}")
+        emit(f"    return {_proposition_to_cpp(prop)};")
+        emit("  }")
+    emit("")
+    emit("  int state;")
+    emit("  void step() {")
+    emit("    switch (state) {")
+    prop_index = {prop: i for i, prop in enumerate(propositions)}
+    for psm in psms:
+        for state in psm.states:
+            emit(f"      case {state.sid}: {{  // {state.assertion}")
+            if isinstance(state.power_model, RegressionPower):
+                model = state.power_model
+                emit(
+                    f"        power.write({model.intercept!r} + "
+                    f"{model.slope!r} * hamming_distance());"
+                )
+            else:
+                emit(f"        power.write({state.mu!r});")
+            for transition in psm.successors(state.sid):
+                cond = f"prop_{prop_index[transition.enabling]}()"
+                emit(f"        if ({cond}) {{ state = {transition.dst}; }}")
+            emit("        break;")
+            emit("      }")
+    emit("      default: break;")
+    emit("    }")
+    emit("  }")
+    emit("")
+    emit("  double hamming_distance();  // HD of consecutive input values")
+    emit("")
+    emit(f"  SC_CTOR({module_name}) : state({_first_initial(psms)}) {{")
+    emit("    SC_METHOD(step);")
+    emit("    sensitive << clk.pos();")
+    emit("  }")
+    emit("};")
+    return "\n".join(lines) + "\n"
+
+
+def _first_initial(psms: Sequence[PSM]) -> int:
+    for psm in psms:
+        if psm.initial_states:
+            return psm.initial_states[0].sid
+    return -1

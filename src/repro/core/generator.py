@@ -1,0 +1,89 @@
+"""The PSMGenerator procedure (paper Fig. 4).
+
+Turns one proposition trace and its reference power trace into a chain
+PSM: every pattern recognised by the XU automaton becomes a power state
+annotated with its power attributes; consecutive states are connected by a
+transition whose enabling function is the proposition that terminated the
+previous pattern (the exit proposition, i.e. the FIFO's ``f[1]`` at
+recognition time).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..traces.power import PowerTrace
+from .attributes import Interval, PowerAttributes
+from .propositions import PropositionTrace
+from .psm import PSM, PowerState, Transition
+from .xu import XUAutomaton
+
+
+def generate_psm(
+    proposition_trace: PropositionTrace,
+    power_trace: PowerTrace,
+    name: Optional[str] = None,
+) -> PSM:
+    """Run PSMGenerator over one (proposition, power) trace pair.
+
+    The first extracted state is marked initial (it is the state active at
+    instant 0 of the training trace).  The result is always a chain: each
+    state has a unique successor and a unique predecessor (paper
+    Sec. III-C).
+    """
+    if len(proposition_trace) > len(power_trace):
+        raise ValueError(
+            "power trace is shorter than the proposition trace "
+            f"({len(power_trace)} < {len(proposition_trace)})"
+        )
+    trace_id = proposition_trace.trace_id
+    psm = PSM(name or f"psm_t{trace_id}")
+    automaton = XUAutomaton(proposition_trace)
+    previous: Optional[PowerState] = None
+    while True:
+        mined = automaton.get_assertion()
+        if mined is None:
+            break
+        attributes = PowerAttributes.from_power_trace(
+            power_trace, mined.start, mined.stop
+        )
+        state = PowerState(
+            assertion=mined.assertion,
+            attributes=attributes,
+            intervals=[Interval(trace_id, mined.start, mined.stop)],
+        )
+        psm.add_state(state, initial=previous is None)
+        if previous is not None:
+            psm.add_transition(
+                Transition(
+                    previous.sid,
+                    state.sid,
+                    previous.assertion.exit_proposition(),
+                )
+            )
+        previous = state
+    return psm
+
+
+def generate_psms(
+    proposition_traces: Sequence[PropositionTrace],
+    power_traces: Sequence[PowerTrace],
+) -> List[PSM]:
+    """Generate one chain PSM per training trace pair.
+
+    ``proposition_traces[k]`` must carry ``trace_id == k`` so that merged
+    states can later recompute their attributes from ``power_traces[k]``.
+    """
+    if len(proposition_traces) != len(power_traces):
+        raise ValueError("need one power trace per proposition trace")
+    psms: List[PSM] = []
+    for k, (gamma, delta) in enumerate(
+        zip(proposition_traces, power_traces)
+    ):
+        if gamma.trace_id != k:
+            raise ValueError(
+                f"proposition trace at index {k} has trace_id "
+                f"{gamma.trace_id}; expected {k}"
+            )
+        psms.append(generate_psm(gamma, delta))
+    return psms

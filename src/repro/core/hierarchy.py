@@ -1,0 +1,165 @@
+"""Hierarchical PSMs (the paper's stated future work, Sec. VII).
+
+The paper closes by observing that Camellia's poor accuracy comes from
+sub-components "whose power behaviours are low correlated to each other"
+and proposes, as future work, "the automatic generation of a power model
+based on hierarchical PSMs that distinguishes among IP subcomponents".
+
+This module implements that extension on top of the flat flow:
+
+* the training traces are recorded with the module's declared *probes* —
+  sub-component boundary signals (e.g. the round counter) that a
+  white-box characterisation may observe;
+* the reference power is split per sub-component (the estimator's
+  per-component traces);
+* one :class:`~repro.core.pipeline.PsmFlow` is fitted **per component**
+  against the shared (probe-extended) functional trace;
+* estimation runs every component flow and sums the component estimates.
+
+With internal boundaries visible, behaviours that the flat model lumps
+into one high-variance state (Camellia's FL spikes, the per-round S-box
+activity) split into distinct states with accurate constants — the
+mitigation the paper anticipates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..hdl.module import Module
+from ..hdl.simulator import Simulator
+from ..power.estimator import PowerEstimator
+from ..traces.functional import FunctionalTrace
+from ..traces.power import PowerTrace
+from .mining import MinerConfig
+from .pipeline import FlowConfig, PsmFlow
+from .simulation import EstimationResult
+
+
+@dataclass
+class ComponentPowerResult:
+    """A hierarchical training pair: probe-extended trace + split power."""
+
+    trace: FunctionalTrace
+    total: PowerTrace
+    components: Dict[str, PowerTrace]
+    functional_time: float = 0.0
+    power_time: float = 0.0
+
+
+def run_hierarchical_power_simulation(
+    module: Module,
+    stimulus: Iterable[Mapping[str, int]],
+    estimator: Optional[PowerEstimator] = None,
+    name: Optional[str] = None,
+) -> ComponentPowerResult:
+    """Simulate with probes recorded and power split per sub-component."""
+    estimator = estimator or PowerEstimator()
+    result = Simulator(module, record_activity=True).run(
+        stimulus, name=name, include_probes=True
+    )
+    start = time.perf_counter()
+    total = estimator.estimate_module(module, result.activity, name=name)
+    components = estimator.estimate_components(module, result.activity)
+    power_time = time.perf_counter() - start
+    return ComponentPowerResult(
+        trace=result.trace,
+        total=total,
+        components=components,
+        functional_time=result.wall_time,
+        power_time=power_time,
+    )
+
+
+@dataclass
+class HierarchicalEstimate:
+    """Summed and per-component estimation output."""
+
+    estimated: PowerTrace
+    per_component: Dict[str, EstimationResult]
+
+    @property
+    def wrong_state_fraction(self) -> float:
+        """Worst per-component wrong-state percentage."""
+        if not self.per_component:
+            return 0.0
+        return max(
+            r.wrong_state_fraction for r in self.per_component.values()
+        )
+
+
+def default_hierarchical_config() -> FlowConfig:
+    """Flow configuration suited to probe-extended traces.
+
+    Probe variables (round counters) take a few dozen distinct values, so
+    the constant-equality mining limit is raised accordingly.
+    """
+    return FlowConfig(
+        miner=MinerConfig(
+            min_avg_run=1.0,
+            max_chatter_fraction=1.0,
+            max_distinct_for_const=40,
+        )
+    )
+
+
+class HierarchicalPsmFlow:
+    """One PSM flow per sub-component, summed at estimation time."""
+
+    def __init__(self, config: Optional[FlowConfig] = None) -> None:
+        self.config = config or default_hierarchical_config()
+        self.flows: Dict[str, PsmFlow] = {}
+        self.components: List[str] = []
+
+    @property
+    def fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return bool(self.flows)
+
+    def fit(
+        self, training: Sequence[ComponentPowerResult]
+    ) -> "HierarchicalPsmFlow":
+        """Fit a component flow per sub-component power trace."""
+        if not training:
+            raise ValueError("at least one training result is required")
+        names = set(training[0].components)
+        for result in training[1:]:
+            if set(result.components) != names:
+                raise ValueError(
+                    "training results expose different component sets"
+                )
+        self.components = sorted(names)
+        traces = [r.trace for r in training]
+        for component in self.components:
+            flow = PsmFlow(self.config)
+            flow.fit(traces, [r.components[component] for r in training])
+            self.flows[component] = flow
+        return self
+
+    def estimate(self, trace: FunctionalTrace) -> HierarchicalEstimate:
+        """Estimate each component on ``trace`` and sum the results.
+
+        ``trace`` must include the probe variables (record it with
+        ``include_probes=True`` or via
+        :func:`run_hierarchical_power_simulation`).
+        """
+        if not self.fitted:
+            raise RuntimeError("call fit() before estimate()")
+        per_component: Dict[str, EstimationResult] = {}
+        total = np.zeros(len(trace))
+        for component, flow in self.flows.items():
+            result = flow.estimate(trace)
+            per_component[component] = result
+            total += result.estimated.values
+        return HierarchicalEstimate(
+            estimated=PowerTrace(total, name=f"{trace.name}.hier"),
+            per_component=per_component,
+        )
+
+    def total_states(self) -> int:
+        """State count summed over all component flows."""
+        return sum(f.report.n_states for f in self.flows.values())

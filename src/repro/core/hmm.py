@@ -1,0 +1,214 @@
+"""Hidden Markov Model over a PSM set (paper Sec. V).
+
+The HMM is the 5-tuple ``<Q, E, A, B, pi>``:
+
+* ``Q`` — the states of all the generated PSMs;
+* ``E`` — their characterising assertions (for a joined state, each member
+  of its choice assertion);
+* ``A[i][j]`` — proportional to the number of transitions exiting state
+  ``i`` toward state ``j``;
+* ``B[j][k]`` — proportional to the number of times assertion ``k`` was
+  included (by ``join`` operations) in the assertion set of state ``j``;
+* ``pi[i]`` — proportional to the number of functional traces that
+  originated a PSM with ``i`` as initial state (measured here as the
+  number of training intervals of ``i`` starting at instant 0).
+
+During simulation the *filtering* approach predicts the most probable
+next state on non-deterministic choices and after desynchronisation; a
+wrong prediction zeroes the corresponding entry of ``A`` so the reverted
+simulation follows a different path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .psm import PSM, PowerState, state_universe
+from .temporal import TemporalAssertion, base_assertions
+
+
+class PsmHmm:
+    """The statistical model driving non-deterministic PSM simulation."""
+
+    def __init__(self, psms: Sequence[PSM]) -> None:
+        self.psms = list(psms)
+        universe: Mapping[int, PowerState] = state_universe(psms)
+        self.state_ids: List[int] = list(universe)
+        self._states: Dict[int, PowerState] = dict(universe)
+        self._index: Dict[int, int] = {
+            sid: k for k, sid in enumerate(self.state_ids)
+        }
+        self.observations: List[TemporalAssertion] = []
+        self._obs_index: Dict[TemporalAssertion, int] = {}
+        for sid in self.state_ids:
+            for symbol in base_assertions(self._states[sid].assertion):
+                if symbol not in self._obs_index:
+                    self._obs_index[symbol] = len(self.observations)
+                    self.observations.append(symbol)
+        m = len(self.state_ids)
+        k = len(self.observations)
+        self.A = np.zeros((m, m), dtype=np.float64)
+        self.B = np.zeros((m, k), dtype=np.float64)
+        self.pi = np.zeros(m, dtype=np.float64)
+        self._build_transition_matrix()
+        self._build_observation_matrix()
+        self._build_initial_vector()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_transition_matrix(self) -> None:
+        for psm in self.psms:
+            for transition in psm.transitions:
+                i = self._index[transition.src]
+                j = self._index[transition.dst]
+                self.A[i, j] += 1.0
+        self._normalise_rows(self.A)
+
+    def _build_observation_matrix(self) -> None:
+        for sid in self.state_ids:
+            i = self._index[sid]
+            for symbol in base_assertions(self._states[sid].assertion):
+                self.B[i, self._obs_index[symbol]] += 1.0
+        self._normalise_rows(self.B)
+
+    def _build_initial_vector(self) -> None:
+        for sid in self.state_ids:
+            count = sum(
+                1 for iv in self._states[sid].intervals if iv.start == 0
+            )
+            self.pi[self._index[sid]] = float(count)
+        total = self.pi.sum()
+        if total > 0:
+            self.pi /= total
+        else:  # no interval bookkeeping: fall back to marked initials
+            for psm in self.psms:
+                for state in psm.initial_states:
+                    self.pi[self._index[state.sid]] += 1.0
+            total = self.pi.sum()
+            if total > 0:
+                self.pi /= total
+
+    @staticmethod
+    def _normalise_rows(matrix: np.ndarray) -> None:
+        sums = matrix.sum(axis=1, keepdims=True)
+        np.divide(matrix, sums, out=matrix, where=sums > 0)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def state(self, sid: int) -> PowerState:
+        """Look a state up by id."""
+        return self._states[sid]
+
+    def index_of(self, sid: int) -> int:
+        """Matrix row index of a state id."""
+        return self._index[sid]
+
+    def observation_index(self, symbol: TemporalAssertion) -> Optional[int]:
+        """Column index of an observation symbol (None if unknown)."""
+        return self._obs_index.get(symbol)
+
+    # ------------------------------------------------------------------
+    # filtering
+    # ------------------------------------------------------------------
+    def initial_belief(self) -> np.ndarray:
+        """The prior distribution ``pi`` (uniform fallback when empty)."""
+        if self.pi.sum() > 0:
+            return self.pi.copy()
+        m = len(self.state_ids)
+        return np.full(m, 1.0 / m) if m else np.zeros(0)
+
+    def filter_step(
+        self, belief: np.ndarray, symbol: Optional[TemporalAssertion]
+    ) -> np.ndarray:
+        """One filtering update: propagate through ``A``, weight by ``B``.
+
+        ``symbol`` is the assertion just observed; when it is unknown to
+        the model the observation weighting is skipped (pure prediction).
+        """
+        predicted = belief @ self.A
+        if symbol is not None:
+            column = self._obs_index.get(symbol)
+            if column is not None:
+                predicted = predicted * self.B[:, column]
+        total = predicted.sum()
+        if total > 0:
+            return predicted / total
+        return self.initial_belief()
+
+    def belief_for_state(self, sid: int) -> np.ndarray:
+        """One-hot belief on a known current state."""
+        belief = np.zeros(len(self.state_ids))
+        belief[self._index[sid]] = 1.0
+        return belief
+
+    def score_candidates(
+        self,
+        belief: np.ndarray,
+        candidates: Sequence[int],
+        symbol: Optional[TemporalAssertion] = None,
+    ) -> List[Tuple[int, float]]:
+        """Filtered probability of each candidate next state.
+
+        Candidates are scored by ``(belief @ A)[j]``, weighted by the
+        observation likelihood ``B[j, symbol]`` when the entering
+        assertion is already known; ties keep candidate order.
+        """
+        predicted = belief @ self.A
+        scores: List[Tuple[int, float]] = []
+        for sid in candidates:
+            j = self._index[sid]
+            score = float(predicted[j])
+            if symbol is not None:
+                column = self._obs_index.get(symbol)
+                if column is not None:
+                    score *= float(self.B[j, column])
+            scores.append((sid, score))
+        return scores
+
+    def best_candidate(
+        self,
+        belief: np.ndarray,
+        candidates: Sequence[int],
+        symbol: Optional[TemporalAssertion] = None,
+    ) -> Optional[int]:
+        """Most probable candidate (None when the list is empty).
+
+        When every candidate has zero filtered probability the first
+        candidate is returned: the chain must move somewhere and the
+        banned-path bookkeeping already removed known-bad choices.
+        """
+        scored = self.score_candidates(belief, candidates, symbol)
+        if not scored:
+            return None
+        best_sid, best_score = scored[0]
+        for sid, score in scored[1:]:
+            if score > best_score:
+                best_sid, best_score = sid, score
+        return best_sid
+
+    # ------------------------------------------------------------------
+    # wrong-state feedback
+    # ------------------------------------------------------------------
+    def ban_transition(self, src_sid: int, dst_sid: int) -> None:
+        """Zero the probability of reaching ``dst`` from ``src``.
+
+        Called when the simulation discovers that a predicted state was
+        wrong; the row is re-normalised so the remaining alternatives
+        share the probability mass.
+        """
+        i = self._index[src_sid]
+        j = self._index[dst_sid]
+        self.A[i, j] = 0.0
+        total = self.A[i].sum()
+        if total > 0:
+            self.A[i] /= total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"PsmHmm(states={len(self.state_ids)}, "
+            f"observations={len(self.observations)})"
+        )

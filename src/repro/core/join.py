@@ -1,0 +1,214 @@
+"""The ``join`` procedure (paper Sec. IV, Fig. 6b).
+
+``join`` collapses mergeable states that are *not* required to be
+adjacent and that may belong to *different* PSMs of the set.  The merged
+state's assertion is the concurrent form ``{p_i || p_j || ...}``; its
+``start``/``stop`` become the collection of the merged states' intervals;
+its power attributes pool the samples of every merged state.  The merged
+state inherits the predecessors and the successors of all merged states
+(a pair of adjacent merged states yields a self-loop), which can make the
+result non-deterministic — the HMM of Section V handles the choice at
+simulation time.
+
+Implementation: states are clustered greedily into groups of pairwise
+power-mergeable states (each state joins the first group whose pooled
+attributes it is mergeable with), then groups are re-merged to fixpoint —
+the iterate-until-no-merge behaviour of the paper at O(S x G) cost
+instead of O(S^3), which matters for the long-TS traces.  Connected
+groups form the output PSMs: when a group spans several input PSMs those
+PSMs fuse into one, reducing the set's cardinality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..traces.power import PowerTrace
+from .attributes import PowerAttributes
+from .mergeability import MergePolicy
+from .psm import PSM, PowerState, Transition
+from .temporal import ChoiceAssertion, base_assertions
+
+
+def merge_states(
+    states: Sequence[PowerState],
+    power_traces: Mapping[int, PowerTrace],
+) -> PowerState:
+    """Build the replacement for a set of join-mergeable states.
+
+    Assertions are flattened into one choice; repeated member assertions
+    are kept with their multiplicity, which later feeds the HMM's
+    observation matrix ``B``.
+    """
+    if len(states) < 2:
+        raise ValueError("join merges at least two states")
+    parts = []
+    for state in states:
+        parts.extend(base_assertions(state.assertion))
+    assertion = ChoiceAssertion(parts)
+    intervals = [iv for state in states for iv in state.intervals]
+    attributes = PowerAttributes.pooled([s.attributes for s in states])
+    return PowerState(
+        assertion=assertion, attributes=attributes, intervals=intervals
+    )
+
+
+class _Group:
+    """A cluster of power-mergeable states.
+
+    Membership is decided against the group's *leader* (its first, most
+    sampled member) rather than against pooled statistics: pooling
+    heterogeneous members inflates the group's variance, which would make
+    the t-tests progressively blind and let one group absorb everything.
+    """
+
+    __slots__ = ("members", "leader")
+
+    def __init__(self, state: PowerState) -> None:
+        self.members: List[PowerState] = [state]
+        self.leader: PowerAttributes = state.attributes
+
+    def absorb_state(self, state: PowerState) -> None:
+        self.members.append(state)
+
+    def absorb_group(self, other: "_Group") -> None:
+        self.members.extend(other.members)
+
+    @property
+    def data_dependent(self) -> bool:
+        return any(s.is_data_dependent for s in self.members)
+
+
+def _cluster(
+    states: Sequence[PowerState], policy: MergePolicy
+) -> List[_Group]:
+    """Leader-based clustering followed by group merging to fixpoint.
+
+    States are visited by decreasing sample count so group leaders carry
+    the most reliable statistics.
+    """
+    groups: List[_Group] = []
+    for state in sorted(states, key=lambda s: -s.n):
+        placed = False
+        if not state.is_data_dependent:
+            for group in groups:
+                if group.data_dependent:
+                    continue
+                if policy.mergeable_attributes(
+                    group.leader, state.attributes
+                ):
+                    group.absorb_state(state)
+                    placed = True
+                    break
+        if not placed:
+            groups.append(_Group(state))
+    # Re-merge whole groups (leader vs leader) until fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(groups)):
+            if groups[i] is None or groups[i].data_dependent:
+                continue
+            for j in range(i + 1, len(groups)):
+                if groups[j] is None or groups[j].data_dependent:
+                    continue
+                if policy.mergeable_attributes(
+                    groups[i].leader, groups[j].leader
+                ):
+                    groups[i].absorb_group(groups[j])
+                    groups[j] = None
+                    changed = True
+        groups = [g for g in groups if g is not None]
+    return groups
+
+
+def join(
+    psms: Sequence[PSM],
+    power_traces: Mapping[int, PowerTrace],
+    policy: Optional[MergePolicy] = None,
+) -> List[PSM]:
+    """Merge mergeable state sets across a PSM set.
+
+    Returns the reduced set ``P'``.  The input PSMs are not modified.
+    """
+    policy = policy or MergePolicy()
+    all_states: List[PowerState] = []
+    initial_ids: Set[int] = set()
+    for psm in psms:
+        all_states.extend(psm.states)
+        initial_ids.update(s.sid for s in psm.initial_states)
+
+    groups = _cluster(all_states, policy)
+
+    # Build the replacement state of each group and the old->new id map.
+    replacement: Dict[int, PowerState] = {}
+    group_state: List[PowerState] = []
+    for group in groups:
+        if len(group.members) == 1:
+            new_state = group.members[0]
+        else:
+            new_state = merge_states(group.members, power_traces)
+        group_state.append(new_state)
+        for member in group.members:
+            replacement[member.sid] = new_state
+
+    # Union-find over groups to identify the fused output machines.
+    parent = list(range(len(groups)))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    group_index = {
+        state.sid: k
+        for k, group in enumerate(groups)
+        for state in group.members
+    }
+    edges: List[Tuple[int, int, object]] = []
+    for psm in psms:
+        sids = [s.sid for s in psm.states]
+        for a, b in zip(sids, sids[1:]):
+            union(group_index[a], group_index[b])
+        for transition in psm.transitions:
+            union(group_index[transition.src], group_index[transition.dst])
+            edges.append(
+                (
+                    replacement[transition.src].sid,
+                    replacement[transition.dst].sid,
+                    transition.enabling,
+                )
+            )
+
+    # One output PSM per connected component.
+    components: Dict[int, List[int]] = {}
+    for k in range(len(groups)):
+        components.setdefault(find(k), []).append(k)
+    output: List[PSM] = []
+    state_to_psm: Dict[int, PSM] = {}
+    for index, members in enumerate(sorted(components.values())):
+        psm = PSM(name=f"joined_{index}")
+        for k in members:
+            state = group_state[k]
+            is_initial = any(
+                m.sid in initial_ids for m in groups[k].members
+            )
+            psm.add_state(state, initial=is_initial)
+            state_to_psm[state.sid] = psm
+        output.append(psm)
+    seen_edges: Set[Tuple[int, int, object]] = set()
+    for src, dst, enabling in edges:
+        key = (src, dst, enabling)
+        if key in seen_edges:
+            continue
+        seen_edges.add(key)
+        state_to_psm[src].add_transition(Transition(src, dst, enabling))
+    for psm in output:
+        psm.validate()
+    return output

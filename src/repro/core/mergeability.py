@@ -1,0 +1,198 @@
+"""Quantifying the mergeability of power states (paper Sec. IV-A).
+
+Two power states are *mergeable* when their power attributes are
+statistically indistinguishable.  Three cases apply, keyed on the sample
+counts ``n`` of the two states:
+
+* **Case 1** — both states come from *next* patterns (``n_i = n_j = 1``):
+  mergeable when ``|mu_i - mu_j| < eps`` for a designer-fixed tolerance.
+* **Case 2** — both states come from *until* patterns (``n_i, n_j > 1``):
+  Welch's t-test on the two samples; mergeable when the difference of the
+  means is not significant at level ``alpha``.
+* **Case 3** — an *until* state against a *next* state (``n_i > 1``,
+  ``n_j = 1``): a single-observation t-test (prediction-interval form)
+  checking whether the lone sample is compatible with the larger sample.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from scipy import special
+
+from .attributes import PowerAttributes
+from .psm import PowerState
+
+
+def _sample_variance(attrs: PowerAttributes) -> float:
+    """Unbiased sample variance from the stored population sigma."""
+    if attrs.n < 2:
+        raise ValueError("sample variance needs n >= 2")
+    return attrs.variance * attrs.n / (attrs.n - 1)
+
+
+def _student_t_two_tailed(t: float, df: float) -> float:
+    """Two-tailed p-value of Student's t via the incomplete beta function.
+
+    ``P(|T| >= t) = I_{df/(df+t^2)}(df/2, 1/2)`` — much cheaper than
+    instantiating a scipy distribution, which matters because the merge
+    procedures run the test thousands of times on long training traces.
+    """
+    if df <= 0:
+        return 1.0
+    x = df / (df + t * t)
+    return float(special.betainc(df / 2.0, 0.5, x))
+
+
+def variance_f_test(a: PowerAttributes, b: PowerAttributes) -> float:
+    """Two-tailed p-value of the F-test for equal variances.
+
+    Used as an additional merge gate: Welch's test compares means only,
+    so a state with a huge standard deviation (a bimodal, data-dependent
+    behaviour) would otherwise "absorb" states with very different power
+    simply because the test loses power.  Requiring compatible variances
+    operationalises the paper's condition that mergeable states have
+    *low* (i.e. mutually consistent) standard deviations.
+    """
+    if a.n < 2 or b.n < 2:
+        raise ValueError("the F-test needs n >= 2 on both sides")
+    var_a = _sample_variance(a)
+    var_b = _sample_variance(b)
+    if var_a <= 0.0 and var_b <= 0.0:
+        return 1.0
+    if var_a <= 0.0 or var_b <= 0.0:
+        return 0.0
+    # Order so f >= 1; survival of F(d1, d2) via the incomplete beta.
+    if var_a >= var_b:
+        f, d1, d2 = var_a / var_b, a.n - 1, b.n - 1
+    else:
+        f, d1, d2 = var_b / var_a, b.n - 1, a.n - 1
+    sf = float(special.betainc(d2 / 2.0, d1 / 2.0, d2 / (d2 + d1 * f)))
+    return min(1.0, 2.0 * sf)
+
+
+def welch_t_test(a: PowerAttributes, b: PowerAttributes) -> float:
+    """Two-tailed p-value of Welch's t-test on two power-attribute sets.
+
+    Returns 1.0 when the samples cannot be told apart at all (equal means
+    with zero variance) and 0.0 for zero-variance samples with different
+    means.
+    """
+    if a.n < 2 or b.n < 2:
+        raise ValueError("Welch's test needs n >= 2 on both sides")
+    var_a = _sample_variance(a)
+    var_b = _sample_variance(b)
+    se2 = var_a / a.n + var_b / b.n
+    if se2 <= 0.0:
+        return 1.0 if math.isclose(a.mu, b.mu, rel_tol=1e-12) else 0.0
+    t = (a.mu - b.mu) / math.sqrt(se2)
+    df_num = se2 ** 2
+    df_den = (var_a / a.n) ** 2 / (a.n - 1) + (var_b / b.n) ** 2 / (b.n - 1)
+    df = df_num / df_den if df_den > 0 else float(a.n + b.n - 2)
+    return _student_t_two_tailed(abs(t), df)
+
+
+def single_observation_t_test(value: float, sample: PowerAttributes) -> float:
+    """Two-tailed p-value for one observation against a sample.
+
+    Uses the prediction-interval statistic
+    ``t = (x - mu) / (s * sqrt(1 + 1/n))`` with ``n - 1`` degrees of
+    freedom — the Case 3 formulation for merging a next-based state into
+    an until-based state.
+    """
+    if sample.n < 2:
+        raise ValueError("the reference sample needs n >= 2")
+    s = math.sqrt(_sample_variance(sample))
+    if s <= 0.0:
+        return 1.0 if math.isclose(value, sample.mu, rel_tol=1e-12) else 0.0
+    t = (value - sample.mu) / (s * math.sqrt(1.0 + 1.0 / sample.n))
+    return _student_t_two_tailed(abs(t), sample.n - 1)
+
+
+@dataclass(frozen=True)
+class MergePolicy:
+    """Designer-fixed knobs of the merge decision.
+
+    Attributes
+    ----------
+    epsilon:
+        Absolute tolerance for Case 1 (``|mu_i - mu_j| < eps``).
+    epsilon_rel:
+        Relative tolerance for Case 1, as a fraction of the larger mean;
+        the effective Case-1 threshold is the larger of the two.
+    alpha:
+        Significance level for the Case 2 / Case 3 t-tests; states merge
+        when the test does *not* reject equality (p > alpha).
+    max_cv:
+        "Low sigma" requirement: an until-based state takes part in a
+        merge only when its coefficient of variation ``sigma / mu`` is at
+        most this value.  Protects high-variance (data-dependent) states
+        from being merged merely because the t-test lacks power; set to
+        ``None`` to disable.
+    variance_alpha:
+        Significance level of the equal-variance F-test applied before a
+        Case 2 mean comparison; states whose variances are incompatible
+        at this level never merge (the quantitative form of the paper's
+        "low standard deviations" merge condition).  ``None`` disables
+        the gate.
+    """
+
+    epsilon: float = 0.0
+    epsilon_rel: float = 0.05
+    alpha: float = 0.05
+    max_cv: Optional[float] = 0.35
+    variance_alpha: Optional[float] = 0.01
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0 or self.epsilon_rel < 0:
+            raise ValueError("tolerances must be non-negative")
+        if not 0 < self.alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        if self.max_cv is not None and self.max_cv <= 0:
+            raise ValueError("max_cv must be positive when set")
+        if self.variance_alpha is not None and not 0 < self.variance_alpha < 1:
+            raise ValueError("variance_alpha must be in (0, 1) when set")
+
+    # ------------------------------------------------------------------
+    def case1_threshold(self, a: PowerAttributes, b: PowerAttributes) -> float:
+        """Effective absolute tolerance for a Case-1 comparison."""
+        return max(self.epsilon, self.epsilon_rel * max(abs(a.mu), abs(b.mu)))
+
+    def _low_sigma(self, attrs: PowerAttributes) -> bool:
+        if self.max_cv is None or attrs.n == 1:
+            return True
+        if attrs.mu == 0.0:
+            return attrs.sigma == 0.0
+        return attrs.sigma / abs(attrs.mu) <= self.max_cv
+
+    def mergeable_attributes(
+        self, a: PowerAttributes, b: PowerAttributes
+    ) -> bool:
+        """Apply the correct case to two power-attribute triplets."""
+        if not (self._low_sigma(a) and self._low_sigma(b)):
+            return False
+        if a.n == 1 and b.n == 1:
+            return abs(a.mu - b.mu) < self.case1_threshold(a, b)
+        if a.n > 1 and b.n > 1:
+            if (
+                self.variance_alpha is not None
+                and variance_f_test(a, b) <= self.variance_alpha
+            ):
+                return False
+            return welch_t_test(a, b) > self.alpha
+        if a.n > 1:
+            return single_observation_t_test(b.mu, a) > self.alpha
+        return single_observation_t_test(a.mu, b) > self.alpha
+
+    def mergeable(self, s1: PowerState, s2: PowerState) -> bool:
+        """Mergeability of two power states.
+
+        Data-dependent states (regression output functions) are never
+        merged: their power is a function, not a constant, so the
+        constant-based tests do not apply.
+        """
+        if s1.is_data_dependent or s2.is_data_dependent:
+            return False
+        return self.mergeable_attributes(s1.attributes, s2.attributes)

@@ -1,0 +1,77 @@
+"""Accuracy metrics for PSM power estimation (paper Sec. VI).
+
+The paper's headline accuracy figure is the **Mean Relative Error (MRE)**
+between the power values estimated by simulating the PSMs and the
+reference values of the power simulator.  The **WSP** (wrong-state
+prediction percentage) is computed by the simulator itself and exposed on
+:class:`~repro.core.simulation.EstimationResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..traces.power import PowerTrace
+
+ArrayLike = Union[PowerTrace, np.ndarray, list]
+
+
+def _as_array(values: ArrayLike) -> np.ndarray:
+    if isinstance(values, PowerTrace):
+        return values.values
+    return np.asarray(values, dtype=np.float64)
+
+
+def _paired(estimated: ArrayLike, reference: ArrayLike):
+    est = _as_array(estimated)
+    ref = _as_array(reference)
+    if est.shape != ref.shape:
+        raise ValueError(
+            f"length mismatch: estimated {est.shape} vs reference {ref.shape}"
+        )
+    if est.size == 0:
+        raise ValueError("cannot compute a metric over zero instants")
+    return est, ref
+
+
+def mre(estimated: ArrayLike, reference: ArrayLike) -> float:
+    """Mean relative error, as a percentage.
+
+    ``mean_t |est_t - ref_t| / ref_t * 100``.  Instants whose reference is
+    (near) zero would make the ratio blow up on measurement noise, so the
+    denominator is floored at 1% of the mean reference power; with the
+    idle floors of our power models this floor is almost never active.
+    """
+    est, ref = _paired(estimated, reference)
+    floor = 0.01 * float(np.mean(ref))
+    if floor <= 0.0:
+        floor = np.finfo(np.float64).tiny
+    denominator = np.maximum(ref, floor)
+    return float(np.mean(np.abs(est - ref) / denominator) * 100.0)
+
+
+def mae(estimated: ArrayLike, reference: ArrayLike) -> float:
+    """Mean absolute error in the power trace's units."""
+    est, ref = _paired(estimated, reference)
+    return float(np.mean(np.abs(est - ref)))
+
+
+def rmse(estimated: ArrayLike, reference: ArrayLike) -> float:
+    """Root-mean-square error in the power trace's units."""
+    est, ref = _paired(estimated, reference)
+    return float(np.sqrt(np.mean((est - ref) ** 2)))
+
+
+def mean_power_error(estimated: ArrayLike, reference: ArrayLike) -> float:
+    """Relative error of the *average* power, as a percentage.
+
+    Complements the per-instant MRE: energy-oriented flows care about the
+    mean consumption over a run.
+    """
+    est, ref = _paired(estimated, reference)
+    mean_ref = float(np.mean(ref))
+    if mean_ref == 0.0:
+        return 0.0 if float(np.mean(est)) == 0.0 else float("inf")
+    return float(abs(np.mean(est) - mean_ref) / mean_ref * 100.0)

@@ -1,0 +1,396 @@
+"""Dynamic mining of propositions from functional traces (paper Sec. III-A).
+
+Implements the two-phase miner the paper adopts from its reference [9]
+(Danese et al., DATE 2015):
+
+1. **Atomic-proposition extraction** — candidate atomic propositions over
+   the PIs and POs are generated (boolean value tests, variable/constant
+   equalities, comparisons between same-width variables) and filtered to
+   those that *hold frequently* on the trace, i.e. whose truth signal is
+   stable over sub-traces rather than chattering with the data.  The
+   output is the truth matrix ``m`` where ``m[i, j]`` is the truth of the
+   ``j``-th atomic proposition at instant ``i``.
+
+2. **Composition** — each row of ``m`` is AND-composed into one
+   proposition (a minterm of the alphabet), so that at every instant one
+   and only one proposition of the mined set ``Prop`` holds.  The
+   proposition trace lists, per instant, the proposition that holds.
+
+When several functional traces are mined together the alphabet and the
+proposition universe are shared, which is what later allows ``join`` and
+the HMM to recognise the *same* assertion across PSMs generated from
+different traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..traces.functional import FunctionalTrace
+from .propositions import (
+    AtomicProposition,
+    Proposition,
+    PropositionTrace,
+    VarCompare,
+    VarEqualsConst,
+)
+
+#: Alphabetic labels used for the first mined propositions (p_a, p_b, ...).
+_ALPHA = "abcdefghijklmnopqrstuvwxyz"
+
+
+def proposition_label(index: int) -> str:
+    """Label of the ``index``-th proposition: p_a..p_z then p_26, p_27..."""
+    if index < len(_ALPHA):
+        return f"p_{_ALPHA[index]}"
+    return f"p_{index}"
+
+
+@dataclass
+class MinerConfig:
+    """Tuning knobs of the assertion miner.
+
+    Attributes
+    ----------
+    include_bool_atoms:
+        Mine ``v=true`` atoms for 1-bit variables.
+    include_comparisons:
+        Mine ``v_i > v_j`` / ``v_i == v_j`` atoms for pairs of multi-bit
+        variables of equal width.
+    max_distinct_for_const:
+        Mine ``v == c`` equalities for a multi-bit variable only when it
+        takes at most this many distinct values over the training traces
+        (keeps wide data buses from exploding the alphabet).
+    max_const_width:
+        Never mine ``v == c`` equalities for variables wider than this:
+        a wide bus showing few distinct values in training (a cipher key,
+        say) is a coverage artifact, and constants latched from it would
+        make every unseen value an unknown behaviour.
+    max_compare_width:
+        Never mine ``v_i <op> v_j`` comparisons between variables wider
+        than this; relations between wide data buses reflect the data,
+        not the IP's functional mode.
+    min_avg_run:
+        Temporal-stability filter: an atom is kept only when the average
+        run length of its truth signal is at least this value.  This is
+        the operational reading of the paper's "propositions which hold
+        frequently on sub-traces": control conditions are stable for many
+        consecutive instants, while data-dependent comparisons chatter and
+        are discarded.
+    min_stable_run / max_chatter_fraction:
+        Local-stability filter complementing ``min_avg_run``: an atom is
+        dropped when more than ``max_chatter_fraction`` of the instants
+        fall inside truth runs shorter than ``min_stable_run``.  A global
+        average hides local chatter — a comparison that is stable during
+        directed test phases but flips every cycle on random data has a
+        decent average run length yet chatters over most of the trace.
+        Single-cycle control pulses (``start``, ``clear``) survive because
+        their short runs cover few instants.
+    min_support:
+        Minimum fraction of instants where an atom (or its negation) must
+        hold; 0 disables the filter.
+    """
+
+    include_bool_atoms: bool = True
+    include_comparisons: bool = True
+    max_distinct_for_const: int = 16
+    max_const_width: int = 16
+    max_compare_width: int = 64
+    min_avg_run: float = 2.0
+    min_stable_run: int = 3
+    max_chatter_fraction: float = 0.25
+    min_support: float = 0.0
+    extra_atoms: Sequence[AtomicProposition] = field(default_factory=tuple)
+
+
+class PropositionLabeler:
+    """Replays the mined proposition universe on unseen functional traces.
+
+    The simulator needs, per instant of a *new* trace, the proposition of
+    the mined universe that holds (exactly one can, since propositions are
+    minterms).  Instants whose atom valuation was never seen in training
+    map to ``None`` — an unknown behaviour that triggers the PSM
+    resynchronisation machinery.
+    """
+
+    def __init__(
+        self,
+        atoms: Sequence[AtomicProposition],
+        universe: Dict[bytes, Proposition],
+    ) -> None:
+        self.atoms = list(atoms)
+        self._universe = dict(universe)
+        # Per-assignment labelling is the streaming monitor's hot path;
+        # memoise on the values of the variables the atoms mention.
+        names: List[str] = []
+        for atom in self.atoms:
+            for name in atom.variables():
+                if name not in names:
+                    names.append(name)
+        self._atom_variables = tuple(names)
+        self._assignment_cache: Dict[tuple, Optional[Proposition]] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_enabled = True
+
+    @property
+    def propositions(self) -> List[Proposition]:
+        """All known propositions."""
+        return list(self._universe.values())
+
+    def label(self, trace: FunctionalTrace) -> List[Optional[Proposition]]:
+        """Proposition (or None) holding at each instant of ``trace``."""
+        if not self.atoms:
+            key = np.zeros(0, dtype=bool).tobytes()
+            prop = self._universe.get(key)
+            return [prop] * len(trace)
+        matrix = np.column_stack(
+            [atom.evaluate_trace(trace) for atom in self.atoms]
+        )
+        return [
+            self._universe.get(matrix[i].tobytes())
+            for i in range(len(trace))
+        ]
+
+    def label_assignment(self, assignment) -> Optional[Proposition]:
+        """Proposition holding under a single variable assignment.
+
+        This is the streaming monitor's hot path: one call per simulated
+        clock cycle, so results are memoised on the relevant variable
+        values (bounded: the cache is dropped if it grows past 64k rows,
+        which only happens when atoms predicate over wide data buses).
+        """
+        if self._cache_enabled:
+            cache_key = tuple(assignment[n] for n in self._atom_variables)
+            cache = self._assignment_cache
+            if cache_key in cache:
+                self._cache_hits += 1
+                return cache[cache_key]
+            self._cache_misses += 1
+        key = bytes(
+            1 if atom.evaluate(assignment) else 0 for atom in self.atoms
+        )
+        prop = self._universe.get(key)
+        if self._cache_enabled:
+            if len(cache) > 65536:
+                cache.clear()
+            cache[cache_key] = prop
+            # Data-bearing atom variables make the key unique per cycle;
+            # turn the memo off when it clearly is not paying for itself.
+            if (
+                self._cache_misses > 4096
+                and self._cache_hits < self._cache_misses
+            ):
+                self._cache_enabled = False
+                self._assignment_cache = {}
+        return prop
+
+
+@dataclass
+class MiningResult:
+    """Output of the miner over one or more functional traces."""
+
+    atoms: List[AtomicProposition]
+    propositions: List[Proposition]
+    traces: List[PropositionTrace]
+    matrices: List[np.ndarray]
+    labeler: Optional[PropositionLabeler] = None
+
+    @property
+    def proposition_trace(self) -> PropositionTrace:
+        """The single proposition trace (only when one trace was mined)."""
+        if len(self.traces) != 1:
+            raise ValueError("multiple traces were mined; use .traces")
+        return self.traces[0]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The single truth matrix (only when one trace was mined)."""
+        if len(self.matrices) != 1:
+            raise ValueError("multiple traces were mined; use .matrices")
+        return self.matrices[0]
+
+
+class AssertionMiner:
+    """Phase-1 + phase-2 miner producing proposition traces."""
+
+    def __init__(self, config: Optional[MinerConfig] = None) -> None:
+        self.config = config or MinerConfig()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def mine(self, trace: FunctionalTrace) -> MiningResult:
+        """Mine one functional trace."""
+        return self.mine_many([trace])
+
+    def mine_many(self, traces: Sequence[FunctionalTrace]) -> MiningResult:
+        """Mine several traces over a shared alphabet and universe."""
+        if not traces:
+            raise ValueError("at least one functional trace is required")
+        self._check_compatible(traces)
+        atoms = self._candidate_atoms(traces)
+        atoms, matrices = self._filter_atoms(atoms, traces)
+        propositions, prop_traces, universe = self._compose(
+            atoms, matrices, traces
+        )
+        return MiningResult(
+            atoms=atoms,
+            propositions=propositions,
+            traces=prop_traces,
+            matrices=matrices,
+            labeler=PropositionLabeler(atoms, universe),
+        )
+
+    # ------------------------------------------------------------------
+    # phase 1: atomic propositions
+    # ------------------------------------------------------------------
+    def _check_compatible(self, traces: Sequence[FunctionalTrace]) -> None:
+        names = traces[0].variable_names
+        for trace in traces[1:]:
+            if trace.variable_names != names:
+                raise ValueError(
+                    "all traces must observe the same variables"
+                )
+        if any(len(t) == 0 for t in traces):
+            raise ValueError("cannot mine an empty trace")
+
+    def _candidate_atoms(
+        self, traces: Sequence[FunctionalTrace]
+    ) -> List[AtomicProposition]:
+        config = self.config
+        first = traces[0]
+        atoms: List[AtomicProposition] = []
+        bool_vars = [v for v in first.variables if v.width == 1]
+        int_vars = [v for v in first.variables if v.width > 1]
+
+        if config.include_bool_atoms:
+            for var in bool_vars:
+                atoms.append(VarEqualsConst(var.name, 1, is_bool=True))
+
+        for var in int_vars:
+            if var.width > config.max_const_width:
+                continue
+            values: set = set()
+            for trace in traces:
+                values.update(int(v) for v in np.unique(trace.column(var.name)))
+                if len(values) > config.max_distinct_for_const:
+                    break
+            if len(values) <= config.max_distinct_for_const:
+                for value in sorted(values):
+                    atoms.append(VarEqualsConst(var.name, int(value)))
+
+        if config.include_comparisons:
+            for i, left in enumerate(int_vars):
+                for right in int_vars[i + 1 :]:
+                    if left.width != right.width:
+                        continue
+                    if left.width > config.max_compare_width:
+                        continue
+                    atoms.append(VarCompare(left.name, "==", right.name))
+                    atoms.append(VarCompare(left.name, ">", right.name))
+
+        for atom in config.extra_atoms:
+            if atom not in atoms:
+                atoms.append(atom)
+        return atoms
+
+    def _filter_atoms(
+        self,
+        atoms: List[AtomicProposition],
+        traces: Sequence[FunctionalTrace],
+    ) -> Tuple[List[AtomicProposition], List[np.ndarray]]:
+        """Keep temporally stable, sufficiently supported atoms.
+
+        Returns the surviving atoms and the per-trace truth matrices
+        restricted to them.
+        """
+        config = self.config
+        raw = [
+            np.column_stack(
+                [atom.evaluate_trace(trace) for atom in atoms]
+            )
+            if atoms
+            else np.zeros((len(trace), 0), dtype=bool)
+            for trace in traces
+        ]
+        total = sum(len(trace) for trace in traces)
+        keep: List[int] = []
+        for j in range(len(atoms)):
+            holds = sum(int(np.count_nonzero(m[:, j])) for m in raw)
+            if config.min_support > 0:
+                frac = holds / total
+                if min(frac, 1.0 - frac) + 1e-12 < config.min_support and (
+                    0 < holds < total
+                ):
+                    continue
+            avg_run, chatter = self._run_statistics(raw, j)
+            if avg_run + 1e-9 < config.min_avg_run:
+                continue
+            if chatter > config.max_chatter_fraction:
+                continue
+            keep.append(j)
+        kept_atoms = [atoms[j] for j in keep]
+        matrices = [m[:, keep] if keep else m[:, :0] for m in raw]
+        return kept_atoms, matrices
+
+    def _run_statistics(
+        self, matrices: Sequence[np.ndarray], column: int
+    ) -> Tuple[float, float]:
+        """(average run length, chatter fraction) of an atom's signal.
+
+        The chatter fraction is the share of instants lying inside truth
+        runs shorter than ``min_stable_run``.
+        """
+        min_stable = self.config.min_stable_run
+        total_len = 0
+        total_runs = 0
+        chatter_instants = 0
+        for matrix in matrices:
+            signal = matrix[:, column]
+            if len(signal) == 0:
+                continue
+            total_len += len(signal)
+            changes = np.nonzero(signal[1:] != signal[:-1])[0]
+            boundaries = np.concatenate(([0], changes + 1, [len(signal)]))
+            lengths = np.diff(boundaries)
+            total_runs += len(lengths)
+            chatter_instants += int(lengths[lengths < min_stable].sum())
+        if total_runs == 0:
+            return float("inf"), 0.0
+        return total_len / total_runs, chatter_instants / total_len
+
+    # ------------------------------------------------------------------
+    # phase 2: composition into minterm propositions
+    # ------------------------------------------------------------------
+    def _compose(
+        self,
+        atoms: List[AtomicProposition],
+        matrices: Sequence[np.ndarray],
+        traces: Sequence[FunctionalTrace],
+    ) -> Tuple[List[Proposition], List[PropositionTrace], Dict[bytes, Proposition]]:
+        universe: Dict[bytes, Proposition] = {}
+        propositions: List[Proposition] = []
+        prop_traces: List[PropositionTrace] = []
+        for trace_id, (matrix, trace) in enumerate(zip(matrices, traces)):
+            sequence: List[Proposition] = []
+            for i in range(len(trace)):
+                row = matrix[i]
+                key = row.tobytes()
+                prop = universe.get(key)
+                if prop is None:
+                    positives = [a for a, v in zip(atoms, row) if v]
+                    negatives = [a for a, v in zip(atoms, row) if not v]
+                    prop = Proposition(
+                        proposition_label(len(propositions)),
+                        positives,
+                        negatives,
+                    )
+                    universe[key] = prop
+                    propositions.append(prop)
+                sequence.append(prop)
+            prop_traces.append(PropositionTrace(sequence, trace_id=trace_id))
+        return propositions, prop_traces, universe

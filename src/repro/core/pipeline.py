@@ -1,0 +1,215 @@
+"""End-to-end PSM flow (paper Fig. 1).
+
+``PsmFlow`` chains every step of the methodology:
+
+1. mine proposition traces from the training functional traces;
+2. run PSMGenerator on each (proposition, power) pair — one chain PSM per
+   training trace;
+3. ``simplify`` each PSM, then ``join`` the set into the reduced set;
+4. refine data-dependent states with the Hamming-distance regression;
+5. build the HMM and expose the multi-PSM simulator.
+
+Each optimisation stage can be disabled individually, which is what the
+ablation benchmarks sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..traces.functional import FunctionalTrace
+from ..traces.power import PowerTrace
+from .generator import generate_psms
+from .hmm import PsmHmm
+from .mergeability import MergePolicy
+from .metrics import mae, mre, rmse
+from .mining import AssertionMiner, MinerConfig, MiningResult
+from .psm import PSM, PowerState, total_states, total_transitions
+from .regression import RefinePolicy, refine_data_dependent
+from .join import join as join_psms
+from .simplify import simplify_all
+from .simulation import EstimationResult, MultiPsmSimulator
+
+
+@dataclass
+class FlowConfig:
+    """Configuration of the whole flow, one knob set per stage."""
+
+    miner: MinerConfig = field(default_factory=MinerConfig)
+    merge: MergePolicy = field(default_factory=MergePolicy)
+    refine: RefinePolicy = field(default_factory=RefinePolicy)
+    apply_simplify: bool = True
+    apply_join: bool = True
+    apply_refine: bool = True
+
+
+@dataclass
+class FlowReport:
+    """Summary of one fitted flow (feeds the Table II columns)."""
+
+    generation_time: float = 0.0
+    n_atoms: int = 0
+    n_propositions: int = 0
+    n_raw_states: int = 0
+    n_states: int = 0
+    n_transitions: int = 0
+    n_psms: int = 0
+    n_refined_states: int = 0
+    training_instants: int = 0
+
+    def row(self) -> tuple:
+        """(TS, gen. time, states, transitions) — Table II fragment."""
+        return (
+            self.training_instants,
+            round(self.generation_time, 3),
+            self.n_states,
+            self.n_transitions,
+        )
+
+
+class PsmFlow:
+    """The automatic PSM-generation methodology, end to end."""
+
+    def __init__(self, config: Optional[FlowConfig] = None) -> None:
+        self.config = config or FlowConfig()
+        self.mining: Optional[MiningResult] = None
+        self.raw_psms: List[PSM] = []
+        self.psms: List[PSM] = []
+        self.hmm: Optional[PsmHmm] = None
+        self.report = FlowReport()
+        self._simulator: Optional[MultiPsmSimulator] = None
+        self._power_traces: Dict[int, PowerTrace] = {}
+        self._functional_traces: Dict[int, FunctionalTrace] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def fitted(self) -> bool:
+        """True once :meth:`fit` has produced a PSM set."""
+        return self.hmm is not None
+
+    def fit(
+        self,
+        functional_traces: Sequence[FunctionalTrace],
+        power_traces: Sequence[PowerTrace],
+    ) -> "PsmFlow":
+        """Generate, combine and optimise the PSM set from training data."""
+        if len(functional_traces) != len(power_traces):
+            raise ValueError("need one power trace per functional trace")
+        if not functional_traces:
+            raise ValueError("at least one training pair is required")
+        for functional, power in zip(functional_traces, power_traces):
+            if len(functional) != len(power):
+                raise ValueError(
+                    "functional and power traces must have equal lengths"
+                )
+        config = self.config
+        start = time.perf_counter()
+
+        miner = AssertionMiner(config.miner)
+        self.mining = miner.mine_many(functional_traces)
+        self._power_traces = dict(enumerate(power_traces))
+        self._functional_traces = dict(enumerate(functional_traces))
+
+        self.raw_psms = generate_psms(self.mining.traces, power_traces)
+        self.report.n_raw_states = total_states(self.raw_psms)
+
+        working = [self._copy_psm(p) for p in self.raw_psms]
+        if config.apply_simplify:
+            working = simplify_all(working, self._power_traces, config.merge)
+        if config.apply_join:
+            working = join_psms(working, self._power_traces, config.merge)
+        refined = 0
+        if config.apply_refine:
+            refined = refine_data_dependent(
+                working,
+                self._functional_traces,
+                self._power_traces,
+                config.refine,
+            )
+        self.psms = working
+        self.hmm = PsmHmm(self.psms)
+        self._simulator = MultiPsmSimulator(
+            self.psms, self.mining.labeler, self.hmm
+        )
+
+        self.report.generation_time = time.perf_counter() - start
+        self.report.n_atoms = len(self.mining.atoms)
+        self.report.n_propositions = len(self.mining.propositions)
+        self.report.n_states = total_states(self.psms)
+        self.report.n_transitions = total_transitions(self.psms)
+        self.report.n_psms = len(self.psms)
+        self.report.n_refined_states = refined
+        self.report.training_instants = sum(
+            len(t) for t in functional_traces
+        )
+        return self
+
+    @staticmethod
+    def _copy_psm(psm: PSM) -> PSM:
+        """Structural copy so the raw PSM set survives optimisation.
+
+        States are duplicated (keeping their global ids) because the
+        refinement stage mutates state output functions in place.
+        """
+        copy = PSM(name=psm.name)
+        initials = {s.sid for s in psm.initial_states}
+        for state in psm.states:
+            duplicate = PowerState(
+                assertion=state.assertion,
+                attributes=state.attributes,
+                intervals=list(state.intervals),
+                sid=state.sid,
+                power_model=state.power_model,
+            )
+            copy.add_state(duplicate, initial=state.sid in initials)
+        for transition in psm.transitions:
+            copy.add_transition(transition)
+        return copy
+
+    # ------------------------------------------------------------------
+    def simulator(self) -> MultiPsmSimulator:
+        """The HMM-driven simulator over the fitted PSM set."""
+        self._require_fitted()
+        return self._simulator
+
+    def estimate(self, trace: FunctionalTrace) -> EstimationResult:
+        """Estimate the power trace of an arbitrary functional trace."""
+        self._require_fitted()
+        return self._simulator.run(trace)
+
+    def evaluate(
+        self, trace: FunctionalTrace, reference: PowerTrace
+    ) -> Dict[str, float]:
+        """Estimate ``trace`` and score it against a reference power trace.
+
+        Returns a dict with ``mre`` / ``mae`` / ``rmse`` / ``wsp`` /
+        ``desync_fraction`` plus the estimation wall time.
+        """
+        self._require_fitted()
+        start = time.perf_counter()
+        result = self._simulator.run(trace)
+        elapsed = time.perf_counter() - start
+        return {
+            "mre": mre(result.estimated, reference),
+            "mae": mae(result.estimated, reference),
+            "rmse": rmse(result.estimated, reference),
+            "wsp": result.wsp,
+            "wrong_state_pct": result.wrong_state_fraction,
+            "desync_fraction": result.desync_fraction,
+            "estimation_time": elapsed,
+        }
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise RuntimeError("call fit() before using the flow")
+
+
+def fit_flow(
+    functional_traces: Sequence[FunctionalTrace],
+    power_traces: Sequence[PowerTrace],
+    config: Optional[FlowConfig] = None,
+) -> PsmFlow:
+    """Convenience one-liner: build and fit a :class:`PsmFlow`."""
+    return PsmFlow(config).fit(functional_traces, power_traces)

@@ -1,0 +1,245 @@
+"""Atomic propositions and propositions (paper Definition 1).
+
+An *atomic proposition* is a logic formula without connectives — here,
+either a comparison between a variable and a constant or a comparison
+between two variables.  A *proposition* is an AND-composition of atomic
+propositions.  The miner (``repro.core.mining``) builds, for each simulation
+instant, the minterm of the mined atomic-proposition alphabet, so that in
+every instant exactly one proposition holds — the property the paper's
+proposition traces rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..traces.functional import FunctionalTrace
+
+#: Comparison operators supported by atomic propositions.
+OPERATORS = ("==", "!=", "<", "<=", ">", ">=")
+
+_OP_FUNCS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class AtomicProposition:
+    """Base class for atomic propositions."""
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        """Truth value under one variable assignment."""
+        raise NotImplementedError
+
+    def evaluate_trace(self, trace: FunctionalTrace) -> np.ndarray:
+        """Vector of truth values over a whole functional trace."""
+        raise NotImplementedError
+
+    def variables(self) -> Tuple[str, ...]:
+        """Names of the variables the proposition predicates over."""
+        raise NotImplementedError
+
+
+class VarEqualsConst(AtomicProposition):
+    """``var == value`` (booleans display as ``var=true`` / ``var=false``)."""
+
+    __slots__ = ("var", "value", "is_bool")
+
+    def __init__(self, var: str, value: int, is_bool: bool = False) -> None:
+        self.var = var
+        self.value = int(value)
+        self.is_bool = is_bool
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        return int(assignment[self.var]) == self.value
+
+    def evaluate_trace(self, trace: FunctionalTrace) -> np.ndarray:
+        return np.asarray(trace.column(self.var) == self.value, dtype=bool)
+
+    def variables(self) -> Tuple[str, ...]:
+        return (self.var,)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, VarEqualsConst)
+            and self.var == other.var
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash(("VarEqualsConst", self.var, self.value))
+
+    def __str__(self) -> str:
+        if self.is_bool:
+            return f"{self.var}={'true' if self.value else 'false'}"
+        return f"{self.var}={self.value}"
+
+    def __repr__(self) -> str:
+        return f"VarEqualsConst({self.var!r}, {self.value})"
+
+
+class VarCompare(AtomicProposition):
+    """``left <op> right`` between two trace variables (e.g. ``v3 > v4``)."""
+
+    __slots__ = ("left", "op", "right")
+
+    def __init__(self, left: str, op: str, right: str) -> None:
+        if op not in OPERATORS:
+            raise ValueError(f"unknown operator {op!r}")
+        self.left = left
+        self.op = op
+        self.right = right
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        return bool(
+            _OP_FUNCS[self.op](
+                int(assignment[self.left]), int(assignment[self.right])
+            )
+        )
+
+    def evaluate_trace(self, trace: FunctionalTrace) -> np.ndarray:
+        return np.asarray(
+            _OP_FUNCS[self.op](
+                trace.column(self.left), trace.column(self.right)
+            ),
+            dtype=bool,
+        )
+
+    def variables(self) -> Tuple[str, ...]:
+        return (self.left, self.right)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, VarCompare)
+            and self.left == other.left
+            and self.op == other.op
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("VarCompare", self.left, self.op, self.right))
+
+    def __str__(self) -> str:
+        return f"{self.left}{self.op}{self.right}"
+
+    def __repr__(self) -> str:
+        return f"VarCompare({self.left!r}, {self.op!r}, {self.right!r})"
+
+
+class Proposition:
+    """A minterm over an atomic-proposition alphabet.
+
+    ``positives`` are the atoms that hold, ``negatives`` the atoms that do
+    not.  Two propositions built over the same alphabet are either equal or
+    mutually exclusive, which guarantees the paper's requirement that *one
+    and only one* proposition of ``Prop`` holds at every instant.
+
+    The display form lists only the positive atoms, matching the paper's
+    examples (``p_a: v1=true & v2=false & v3>v4``).
+    """
+
+    __slots__ = ("label", "positives", "negatives", "_hash")
+
+    def __init__(
+        self,
+        label: str,
+        positives: Sequence[AtomicProposition],
+        negatives: Sequence[AtomicProposition] = (),
+    ) -> None:
+        self.label = label
+        self.positives: FrozenSet[AtomicProposition] = frozenset(positives)
+        self.negatives: FrozenSet[AtomicProposition] = frozenset(negatives)
+        if self.positives & self.negatives:
+            raise ValueError("an atom cannot be both positive and negative")
+        self._hash = hash((self.positives, self.negatives))
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        """Truth value of the minterm under one variable assignment."""
+        return all(a.evaluate(assignment) for a in self.positives) and not any(
+            a.evaluate(assignment) for a in self.negatives
+        )
+
+    def evaluate_trace(self, trace: FunctionalTrace) -> np.ndarray:
+        """Vector of truth values over a whole functional trace."""
+        result = np.ones(len(trace), dtype=bool)
+        for atom in self.positives:
+            result &= atom.evaluate_trace(trace)
+        for atom in self.negatives:
+            result &= ~atom.evaluate_trace(trace)
+        return result
+
+    def signature(self) -> Tuple[FrozenSet[AtomicProposition], FrozenSet[AtomicProposition]]:
+        """Canonical identity: the (positives, negatives) pair."""
+        return (self.positives, self.negatives)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Proposition)
+            and self.positives == other.positives
+            and self.negatives == other.negatives
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def formula(self) -> str:
+        """Readable conjunction of the positive atoms."""
+        if not self.positives:
+            return "true"
+        return " & ".join(sorted(str(a) for a in self.positives))
+
+    def __str__(self) -> str:
+        return self.label
+
+    def __repr__(self) -> str:
+        return f"Proposition({self.label!r}: {self.formula()})"
+
+
+class PropositionTrace:
+    """A proposition trace (Def. 2): one proposition per instant.
+
+    ``trace_id`` identifies the originating functional trace; PSM states
+    remember it so power attributes can be recomputed from the right
+    reference power trace after merges.
+    """
+
+    def __init__(
+        self, propositions: Sequence[Proposition], trace_id: int = 0
+    ) -> None:
+        self._props = list(propositions)
+        self.trace_id = trace_id
+
+    def __len__(self) -> int:
+        return len(self._props)
+
+    def __getitem__(self, instant: int) -> Proposition:
+        return self._props[instant]
+
+    def __iter__(self):
+        return iter(self._props)
+
+    def at(self, instant: int) -> Proposition:
+        """Proposition holding at ``instant`` (nil beyond the end).
+
+        Returns ``None`` for instants past the end of the trace, matching
+        the paper's *nil* sentinel in Fig. 3.
+        """
+        if 0 <= instant < len(self._props):
+            return self._props[instant]
+        return None
+
+    def distinct(self) -> Dict[Proposition, int]:
+        """Occurrence count of each distinct proposition."""
+        counts: Dict[Proposition, int] = {}
+        for prop in self._props:
+            counts[prop] = counts.get(prop, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"PropositionTrace(id={self.trace_id}, len={len(self)})"

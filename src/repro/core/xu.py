@@ -1,0 +1,151 @@
+"""The XU automaton (paper Fig. 5, left).
+
+The automaton scans a proposition trace through a two-slot FIFO
+``f = [Gamma[i], Gamma[i+1]]`` and recognises the two temporal patterns the
+methodology is built on:
+
+* **until** — entered from ``X`` when ``f[1] == f[0]`` (at least two
+  consecutive instants of the same proposition); left when ``f[1] != f[0]``,
+  yielding ``f[0] U f[1]`` over the instants where ``f[0]`` held;
+* **next** — recognised directly in ``X`` when ``f[1] != f[0]``, yielding
+  ``f[0] X f[1]``.
+
+Every recognised assertion is returned together with the inclusive instant
+interval ``[start, stop]`` where its *body* proposition holds — the
+interval the power attributes are measured on.  A *next* assertion's body
+spans a single instant (``n = 1``), which is what makes the paper's merge
+Case 1 (``n_i = n_j = 1``) apply to pairs of next-based states.
+
+Incomplete trailing patterns (the trace ends before the exit proposition
+is observed, i.e. *nil* is encountered) terminate the scan without
+emitting a state, matching the paper's example where the final ``p_d``
+instant produces no further state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .propositions import PropositionTrace
+from .temporal import NextAssertion, TemporalAssertion, UntilAssertion
+
+#: Automaton state names (exported for introspection and tests).
+STATE_X = "X"
+STATE_U = "U"
+
+
+@dataclass(frozen=True)
+class MinedAssertion:
+    """One recognised pattern: the triplet ``<p, start, stop>`` of Fig. 4."""
+
+    assertion: TemporalAssertion
+    start: int
+    stop: int
+
+    @property
+    def n(self) -> int:
+        """Number of instants the body holds (``stop - start + 1``)."""
+        return self.stop - self.start + 1
+
+    @property
+    def is_next(self) -> bool:
+        """True for a next-pattern assertion."""
+        return isinstance(self.assertion, NextAssertion)
+
+    def __str__(self) -> str:
+        return f"<{self.assertion}, {self.start}, {self.stop}>"
+
+
+class XUAutomaton:
+    """Streaming recogniser of until / next patterns.
+
+    Usage mirrors the paper's ``XU_initialize`` / ``XU_getAssertion``: build
+    the automaton on a proposition trace, then call
+    :meth:`get_assertion` until it returns ``None`` (the *nil* of Fig. 4).
+    """
+
+    def __init__(self, trace: PropositionTrace) -> None:
+        self._trace = trace
+        self._position = 0
+        self._state = STATE_X
+        self._until_start: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current automaton state (``"X"`` or ``"U"``)."""
+        return self._state
+
+    @property
+    def position(self) -> int:
+        """Index of FIFO slot ``f[0]`` inside the proposition trace."""
+        return self._position
+
+    def _fifo(self):
+        """The FIFO contents ``(f[0], f[1])`` at the current position."""
+        return (
+            self._trace.at(self._position),
+            self._trace.at(self._position + 1),
+        )
+
+    def _scroll(self) -> None:
+        """Advance the FIFO one position forward on the trace."""
+        self._position += 1
+
+    # ------------------------------------------------------------------
+    def get_assertion(self) -> Optional[MinedAssertion]:
+        """Traverse the automaton until the next pattern is recognised.
+
+        Returns ``None`` when the trace is exhausted (including when an
+        incomplete pattern is pending at end of trace).
+        """
+        while True:
+            f0, f1 = self._fifo()
+            if f0 is None:
+                return None
+            if self._state == STATE_X:
+                if f1 is None:
+                    # A single trailing proposition cannot complete any
+                    # pattern: the scan terminates on nil.
+                    return None
+                if f1 == f0:
+                    self._state = STATE_U
+                    self._until_start = self._position
+                    self._scroll()
+                    continue
+                mined = MinedAssertion(
+                    NextAssertion(f0, f1),
+                    start=self._position,
+                    stop=self._position,
+                )
+                self._scroll()
+                return mined
+            # state U: extending an until run
+            if f1 is not None and f1 == f0:
+                self._scroll()
+                continue
+            if f1 is None:
+                # Trace ended inside an until run: incomplete, no state.
+                return None
+            mined = MinedAssertion(
+                UntilAssertion(f0, f1),
+                start=self._until_start,
+                stop=self._position,
+            )
+            self._state = STATE_X
+            self._until_start = None
+            self._scroll()
+            return mined
+
+    def __iter__(self) -> Iterator[MinedAssertion]:
+        while True:
+            mined = self.get_assertion()
+            if mined is None:
+                return
+            yield mined
+
+
+def mine_patterns(trace: PropositionTrace) -> list:
+    """All until/next patterns of a proposition trace, in order."""
+    return list(XUAutomaton(trace))

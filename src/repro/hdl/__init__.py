@@ -1,0 +1,20 @@
+"""Cycle-based HDL simulation kernel (RTL-simulator substitute)."""
+
+from .module import Module
+from .signal import Register, Wire, hamming, mask_for, popcount_int
+from .simulator import ActivityRecord, SimulationResult, Simulator
+from .vcd import read_vcd, write_vcd
+
+__all__ = [
+    "Module",
+    "Register",
+    "Wire",
+    "Simulator",
+    "SimulationResult",
+    "ActivityRecord",
+    "write_vcd",
+    "read_vcd",
+    "mask_for",
+    "popcount_int",
+    "hamming",
+]

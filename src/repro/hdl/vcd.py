@@ -1,0 +1,192 @@
+"""Minimal VCD (Value Change Dump) reader/writer for functional traces.
+
+Lets users inspect the traces produced by the HDL kernel in a standard
+waveform viewer, and import waveforms dumped by an external RTL
+simulator into the flow.  Only the subset of VCD needed for unsigned
+scalar/vector nets is implemented.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..traces.functional import FunctionalTrace
+from ..traces.variables import VariableSpec
+
+PathLike = Union[str, Path]
+
+# Printable identifier characters per the VCD grammar.
+_ID_CHARS = [chr(c) for c in range(33, 127)]
+
+
+def _identifier(index: int) -> str:
+    """Short VCD identifier for the ``index``-th variable."""
+    chars = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        chars.append(_ID_CHARS[rem])
+    return "".join(reversed(chars))
+
+
+def _format_value(value: int, width: int, ident: str) -> str:
+    if width == 1:
+        return f"{value}{ident}"
+    return f"b{value:b} {ident}"
+
+
+def write_vcd(
+    trace: FunctionalTrace,
+    path: PathLike,
+    timescale: str = "1ns",
+    scope: str = "dut",
+) -> None:
+    """Dump a functional trace to a VCD file.
+
+    Values are emitted only when they change, as VCD requires; instant
+    ``i`` of the trace maps to VCD time ``#i``.
+    """
+    path = Path(path)
+    idents = {
+        spec.name: _identifier(i) for i, spec in enumerate(trace.variables)
+    }
+    lines = [
+        "$date today $end",
+        "$version repro HDL kernel $end",
+        f"$timescale {timescale} $end",
+        f"$scope module {scope} $end",
+    ]
+    for spec in trace.variables:
+        kind = "wire"
+        lines.append(
+            f"$var {kind} {spec.width} {idents[spec.name]} {spec.name} $end"
+        )
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+
+    previous = {}
+    for instant in range(len(trace)):
+        row = trace.at(instant)
+        changes = [
+            spec
+            for spec in trace.variables
+            if previous.get(spec.name) != row[spec.name]
+        ]
+        if changes or instant == 0:
+            lines.append(f"#{instant}")
+            if instant == 0:
+                lines.append("$dumpvars")
+            for spec in changes if instant else trace.variables:
+                lines.append(
+                    _format_value(
+                        row[spec.name], spec.width, idents[spec.name]
+                    )
+                )
+            if instant == 0:
+                lines.append("$end")
+        for spec in trace.variables:
+            previous[spec.name] = row[spec.name]
+    lines.append(f"#{len(trace)}")
+    path.write_text("\n".join(lines) + "\n")
+
+def read_vcd(
+    path: PathLike,
+    inputs: Sequence[str] = (),
+    sample_period: int = 1,
+) -> FunctionalTrace:
+    """Read a VCD file back into a :class:`FunctionalTrace`.
+
+    The dump is sampled every ``sample_period`` time units (VCD is
+    event-based; a functional trace is cycle-based).  Variables listed in
+    ``inputs`` are marked as primary inputs, everything else as outputs.
+    ``x``/``z`` bits are read as 0, as a two-valued cycle simulator would
+    resolve them.
+
+    Supports the subset emitted by :func:`write_vcd` plus the common
+    constructs of RTL simulator dumps (nested scopes, ``$dumpvars``
+    blocks, ``b``-prefixed vectors and scalar changes).
+    """
+    path = Path(path)
+    specs: List[VariableSpec] = []
+    by_ident: Dict[str, str] = {}
+    widths: Dict[str, int] = {}
+    current: Dict[str, int] = {}
+    samples: Dict[str, List[int]] = {}
+    end_time = 0
+    input_set = set(inputs)
+
+    def _sample_until(target_time: int) -> None:
+        """Record the held values for every elapsed sample period."""
+        nonlocal end_time
+        while end_time + sample_period <= target_time:
+            end_time += sample_period
+            for name in samples:
+                samples[name].append(current[name])
+
+    in_definitions = True
+    with path.open() as handle:
+        tokens: List[str] = []
+        for line in handle:
+            tokens.extend(line.split())
+        position = 0
+        while position < len(tokens):
+            token = tokens[position]
+            if in_definitions:
+                if token == "$var":
+                    # $var <type> <width> <ident> <name...> $end
+                    width = int(tokens[position + 2])
+                    ident = tokens[position + 3]
+                    name_parts = []
+                    cursor = position + 4
+                    while tokens[cursor] != "$end":
+                        name_parts.append(tokens[cursor])
+                        cursor += 1
+                    name = "".join(name_parts)
+                    # strip a [msb:lsb] suffix if present
+                    if "[" in name:
+                        name = name.split("[", 1)[0]
+                    if name not in widths:
+                        direction = "in" if name in input_set else "out"
+                        kind = "bool" if width == 1 else "int"
+                        specs.append(
+                            VariableSpec(name, width, direction, kind)
+                        )
+                        widths[name] = width
+                        current[name] = 0
+                        samples[name] = []
+                    by_ident[ident] = name
+                    position = cursor + 1
+                    continue
+                if token == "$enddefinitions":
+                    in_definitions = False
+                position += 1
+                continue
+            if token.startswith("#"):
+                _sample_until(int(token[1:]))
+                position += 1
+                continue
+            if token.startswith("$"):
+                position += 1
+                continue
+            if token.startswith("b") or token.startswith("B"):
+                bits = token[1:].lower().replace("x", "0").replace("z", "0")
+                ident = tokens[position + 1]
+                name = by_ident.get(ident)
+                if name is not None:
+                    current[name] = int(bits, 2) if bits else 0
+                position += 2
+                continue
+            # scalar change: <value><ident>
+            value_char = token[0].lower()
+            ident = token[1:]
+            name = by_ident.get(ident)
+            if name is not None:
+                current[name] = 1 if value_char == "1" else 0
+            position += 1
+    if not specs:
+        raise ValueError(f"no variables declared in {path}")
+    # order columns: declared inputs first, then outputs
+    ordered = sorted(specs, key=lambda s: (0 if s.is_input else 1))
+    columns = {spec.name: samples[spec.name] for spec in ordered}
+    return FunctionalTrace(ordered, columns, name=path.stem)

@@ -1,0 +1,16 @@
+"""The paper's four benchmark IPs (Table I).
+
+Every IP is a cycle-accurate :class:`~repro.hdl.Module` whose internal
+register switching drives the power model, plus (for the ciphers) a pure
+reference implementation validated against published test vectors.
+"""
+
+from .aes import Aes
+from .camellia import Camellia
+from .multsum import MultSum
+from .ram import Ram
+
+#: All benchmark IP classes, in the paper's Table I order.
+ALL_IPS = (Ram, MultSum, Aes, Camellia)
+
+__all__ = ["Ram", "MultSum", "Aes", "Camellia", "ALL_IPS"]

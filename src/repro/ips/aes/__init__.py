@@ -1,0 +1,23 @@
+"""AES-128 benchmark IP: validated cipher + clocked HDL core."""
+
+from .cipher import (
+    NUM_ROUNDS,
+    decrypt_block,
+    encrypt_block,
+    expand_key,
+    round_states,
+)
+from .module import Aes
+from .tables import INV_SBOX, RCON, SBOX
+
+__all__ = [
+    "Aes",
+    "encrypt_block",
+    "decrypt_block",
+    "expand_key",
+    "round_states",
+    "NUM_ROUNDS",
+    "SBOX",
+    "INV_SBOX",
+    "RCON",
+]

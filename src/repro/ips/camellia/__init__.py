@@ -1,0 +1,37 @@
+"""Camellia-128 benchmark IP: validated cipher + clocked HDL core."""
+
+from .cipher import (
+    FL_ROUNDS,
+    NUM_ROUNDS,
+    KeySchedule,
+    decrypt_block,
+    derive_ka,
+    encrypt_block,
+    expand_key,
+    f_function,
+    fl,
+    fl_inv,
+    round_trace,
+)
+from .module import Camellia
+from .tables import SBOX1, SBOX2, SBOX3, SBOX4, SIGMA
+
+__all__ = [
+    "Camellia",
+    "encrypt_block",
+    "decrypt_block",
+    "expand_key",
+    "derive_ka",
+    "round_trace",
+    "f_function",
+    "fl",
+    "fl_inv",
+    "KeySchedule",
+    "NUM_ROUNDS",
+    "FL_ROUNDS",
+    "SBOX1",
+    "SBOX2",
+    "SBOX3",
+    "SBOX4",
+    "SIGMA",
+]

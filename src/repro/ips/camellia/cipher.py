@@ -1,0 +1,210 @@
+"""Pure-Python Camellia-128 (RFC 3713) with per-round state access.
+
+Implements the full 128-bit-key cipher: the F round function with the
+four S-boxes and the P byte-diffusion layer, the FL / FL^-1 layers, the
+KA key-schedule derivation and the 18-round Feistel network.  Validated
+against the RFC 3713 test vector and a reference implementation (see
+``tests/ips/test_camellia.py``).
+
+:func:`round_trace` exposes the per-cycle values of the Feistel halves
+and the active subkey, which is what the round-per-cycle HDL model clocks
+through its registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .tables import SBOX1, SBOX2, SBOX3, SBOX4, SIGMA
+
+MASK8 = 0xFF
+MASK32 = 0xFFFFFFFF
+MASK64 = 0xFFFFFFFFFFFFFFFF
+MASK128 = (1 << 128) - 1
+
+#: Feistel rounds of Camellia-128.
+NUM_ROUNDS = 18
+
+#: Rounds *before* which the FL / FL^-1 layers are applied.
+FL_ROUNDS = (6, 12)
+
+
+def _rotl128(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (128 - amount))) & MASK128
+
+
+def _rotl32(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & MASK32
+
+
+# ----------------------------------------------------------------------
+# round functions
+# ----------------------------------------------------------------------
+def f_function(x: int, k: int) -> int:
+    """The Camellia F function: key mix, S-layer, P diffusion layer."""
+    x ^= k
+    t = [(x >> (56 - 8 * i)) & MASK8 for i in range(8)]
+    t[0] = SBOX1[t[0]]
+    t[1] = SBOX2[t[1]]
+    t[2] = SBOX3[t[2]]
+    t[3] = SBOX4[t[3]]
+    t[4] = SBOX2[t[4]]
+    t[5] = SBOX3[t[5]]
+    t[6] = SBOX4[t[6]]
+    t[7] = SBOX1[t[7]]
+    y = (
+        t[0] ^ t[2] ^ t[3] ^ t[5] ^ t[6] ^ t[7],
+        t[0] ^ t[1] ^ t[3] ^ t[4] ^ t[6] ^ t[7],
+        t[0] ^ t[1] ^ t[2] ^ t[4] ^ t[5] ^ t[7],
+        t[1] ^ t[2] ^ t[3] ^ t[4] ^ t[5] ^ t[6],
+        t[0] ^ t[1] ^ t[5] ^ t[6] ^ t[7],
+        t[1] ^ t[2] ^ t[4] ^ t[6] ^ t[7],
+        t[2] ^ t[3] ^ t[4] ^ t[5] ^ t[7],
+        t[0] ^ t[3] ^ t[4] ^ t[5] ^ t[6],
+    )
+    result = 0
+    for byte in y:
+        result = (result << 8) | byte
+    return result
+
+
+def fl(x: int, k: int) -> int:
+    """The FL layer."""
+    xl, xr = x >> 32, x & MASK32
+    kl, kr = k >> 32, k & MASK32
+    xr ^= _rotl32(xl & kl, 1)
+    xl ^= xr | kr
+    return (xl << 32) | xr
+
+
+def fl_inv(y: int, k: int) -> int:
+    """The FL^-1 layer (inverse of :func:`fl`)."""
+    yl, yr = y >> 32, y & MASK32
+    kl, kr = k >> 32, k & MASK32
+    yl ^= yr | kr
+    yr ^= _rotl32(yl & kl, 1)
+    return (yl << 32) | yr
+
+
+# ----------------------------------------------------------------------
+# key schedule
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KeySchedule:
+    """The expanded Camellia-128 key material."""
+
+    kw: Tuple[int, int, int, int]
+    k: Tuple[int, ...]
+    ke: Tuple[int, int, int, int]
+    ka: int
+
+    def reversed(self) -> "KeySchedule":
+        """The schedule used for decryption (subkeys in reverse order)."""
+        return KeySchedule(
+            kw=(self.kw[2], self.kw[3], self.kw[0], self.kw[1]),
+            k=tuple(reversed(self.k)),
+            ke=(self.ke[3], self.ke[2], self.ke[1], self.ke[0]),
+            ka=self.ka,
+        )
+
+
+def derive_ka(kl: int) -> int:
+    """The KA intermediate key of the Camellia key schedule."""
+    d1 = kl >> 64
+    d2 = kl & MASK64
+    d2 ^= f_function(d1, SIGMA[0])
+    d1 ^= f_function(d2, SIGMA[1])
+    d1 ^= kl >> 64
+    d2 ^= kl & MASK64
+    d2 ^= f_function(d1, SIGMA[2])
+    d1 ^= f_function(d2, SIGMA[3])
+    return (d1 << 64) | d2
+
+
+def expand_key(key: int) -> KeySchedule:
+    """RFC 3713 key schedule for 128-bit keys."""
+    kl = key & MASK128
+    ka = derive_ka(kl)
+
+    def halves(value: int, amount: int) -> Tuple[int, int]:
+        rotated = _rotl128(value, amount)
+        return rotated >> 64, rotated & MASK64
+
+    kw1, kw2 = halves(kl, 0)
+    k1, k2 = halves(ka, 0)
+    k3, k4 = halves(kl, 15)
+    k5, k6 = halves(ka, 15)
+    ke1, ke2 = halves(ka, 30)
+    k7, k8 = halves(kl, 45)
+    k9, _unused = halves(ka, 45)
+    _unused, k10 = halves(kl, 60)
+    k11, k12 = halves(ka, 60)
+    ke3, ke4 = halves(kl, 77)
+    k13, k14 = halves(kl, 94)
+    k15, k16 = halves(ka, 94)
+    k17, k18 = halves(kl, 111)
+    kw3, kw4 = halves(ka, 111)
+    return KeySchedule(
+        kw=(kw1, kw2, kw3, kw4),
+        k=(
+            k1, k2, k3, k4, k5, k6, k7, k8, k9,
+            k10, k11, k12, k13, k14, k15, k16, k17, k18,
+        ),
+        ke=(ke1, ke2, ke3, ke4),
+        ka=ka,
+    )
+
+
+# ----------------------------------------------------------------------
+# block operations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RoundSnapshot:
+    """Register values of the Feistel datapath after one cycle."""
+
+    left: int
+    right: int
+    subkey: int
+    is_fl_cycle: bool
+
+
+def round_trace(
+    block: int, schedule: KeySchedule
+) -> Tuple[List[RoundSnapshot], int]:
+    """Per-cycle datapath values and the output block.
+
+    The first snapshot is the whitened input; every Feistel round (and
+    every FL layer, which takes its own cycle in the HDL model) adds one
+    snapshot.
+    """
+    d1 = (block >> 64) ^ schedule.kw[0]
+    d2 = (block & MASK64) ^ schedule.kw[1]
+    snapshots = [RoundSnapshot(d1, d2, schedule.kw[0], False)]
+    fl_used = 0
+    for i in range(NUM_ROUNDS):
+        if fl_used < 2 and i == FL_ROUNDS[fl_used]:
+            d1 = fl(d1, schedule.ke[2 * fl_used])
+            d2 = fl_inv(d2, schedule.ke[2 * fl_used + 1])
+            snapshots.append(
+                RoundSnapshot(d1, d2, schedule.ke[2 * fl_used], True)
+            )
+            fl_used += 1
+        d2 ^= f_function(d1, schedule.k[i])
+        d1, d2 = d2, d1
+        snapshots.append(RoundSnapshot(d1, d2, schedule.k[i], False))
+    d2 ^= schedule.kw[2]
+    d1 ^= schedule.kw[3]
+    return snapshots, ((d2 << 64) | d1) & MASK128
+
+
+def encrypt_block(block: int, key: int) -> int:
+    """Camellia-128 ECB encryption of one 128-bit block."""
+    _snapshots, out = round_trace(block, expand_key(key))
+    return out
+
+
+def decrypt_block(block: int, key: int) -> int:
+    """Camellia-128 ECB decryption of one 128-bit block."""
+    _snapshots, out = round_trace(block, expand_key(key).reversed())
+    return out

@@ -1,0 +1,30 @@
+"""Dynamic-power estimation substrate (PrimeTime PX / DesignCompiler stand-ins)."""
+
+from .estimator import (
+    PowerEstimator,
+    PowerSimulationResult,
+    component_breakdown,
+    run_power_simulation,
+)
+from .synthesis import (
+    SynthesisReport,
+    count_source_lines,
+    estimate_gates,
+    synthesis_time_model,
+    synthesize,
+)
+from .tech import DEFAULT_TECH, TechLibrary
+
+__all__ = [
+    "TechLibrary",
+    "DEFAULT_TECH",
+    "PowerEstimator",
+    "PowerSimulationResult",
+    "run_power_simulation",
+    "component_breakdown",
+    "SynthesisReport",
+    "synthesize",
+    "count_source_lines",
+    "estimate_gates",
+    "synthesis_time_model",
+]

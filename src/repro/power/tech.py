@@ -1,0 +1,67 @@
+"""Technology parameters for the dynamic-power model.
+
+The paper's Definition 2 gives the per-instant dynamic power as
+
+    delta_i = 1/2 * Vdd^2 * f * C * alpha(t_i)
+
+The :class:`TechLibrary` holds ``Vdd``, ``f`` and the per-toggle switched
+capacitance; the estimator multiplies them by the recorded activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechLibrary:
+    """Electrical parameters of the target technology.
+
+    Parameters
+    ----------
+    vdd:
+        Supply voltage in volts.
+    frequency:
+        Clock frequency in hertz.
+    cap_per_toggle:
+        Effective switched capacitance per recorded toggle, in farads.
+        One "toggle" is one bit flip of a register or an equivalent unit of
+        combinational switching reported by a module.
+    unit:
+        Display unit for reports ("mW" by default).
+    """
+
+    vdd: float = 1.0
+    frequency: float = 100e6
+    cap_per_toggle: float = 10e-15
+    unit: str = "mW"
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if self.frequency <= 0:
+            raise ValueError("frequency must be positive")
+        if self.cap_per_toggle <= 0:
+            raise ValueError("cap_per_toggle must be positive")
+
+    @property
+    def energy_per_toggle(self) -> float:
+        """Power contribution (watts) of one toggle per cycle.
+
+        ``1/2 * Vdd^2 * f * C`` — multiply by the cycle's toggle count to
+        obtain the dynamic power of that cycle.
+        """
+        return 0.5 * self.vdd ** 2 * self.frequency * self.cap_per_toggle
+
+    @property
+    def unit_scale(self) -> float:
+        """Multiplier converting watts to the display unit."""
+        scales = {"W": 1.0, "mW": 1e3, "uW": 1e6, "nW": 1e9}
+        if self.unit not in scales:
+            raise ValueError(f"unknown unit {self.unit!r}")
+        return scales[self.unit]
+
+
+#: Default technology used across benchmarks, yielding mW-scale figures
+#: comparable with the paper's example PSM (Fig. 2).
+DEFAULT_TECH = TechLibrary()

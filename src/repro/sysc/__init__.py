@@ -1,0 +1,42 @@
+"""Discrete-event co-simulation kernel (SystemC substitute) and PSM monitor."""
+
+from .dpm import (
+    AlwaysOnPolicy,
+    DpmPolicy,
+    DpmReport,
+    ManagedIpProcess,
+    OraclePolicy,
+    TimeoutGatePolicy,
+    explore_policies,
+)
+from .cosim import (
+    IpProcess,
+    OverheadReport,
+    PsmMonitorProcess,
+    measure_overhead,
+    simulate_ip_only,
+    simulate_with_psms,
+)
+from .kernel import Kernel, KernelStats, Process, SignalBoard
+from .monitor import StreamingPsmMonitor
+
+__all__ = [
+    "Kernel",
+    "KernelStats",
+    "Process",
+    "SignalBoard",
+    "StreamingPsmMonitor",
+    "IpProcess",
+    "PsmMonitorProcess",
+    "OverheadReport",
+    "measure_overhead",
+    "simulate_ip_only",
+    "simulate_with_psms",
+    "DpmPolicy",
+    "AlwaysOnPolicy",
+    "TimeoutGatePolicy",
+    "OraclePolicy",
+    "DpmReport",
+    "ManagedIpProcess",
+    "explore_policies",
+]

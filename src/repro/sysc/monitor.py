@@ -1,0 +1,189 @@
+"""Streaming PSM power monitor (the generated SystemC module's role).
+
+The batch :class:`~repro.core.simulation.MultiPsmSimulator` replays a
+complete trace; the co-simulated monitor instead consumes one PI/PO
+assignment per clock cycle, as the paper's generated SystemC module does.
+It runs the same state machine — enter / track / exit via HMM choice /
+resynchronise — but, being causal, it cannot re-attribute past instants
+after a wrong prediction; it simply switches to the corrected state and
+continues.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.hmm import PsmHmm
+from ..core.mining import PropositionLabeler
+from ..core.psm import PSM, PowerState
+from ..core.simulation import EXIT, STAY, VIOLATION, StateTracker
+from ..hdl.signal import popcount_int
+
+
+class StreamingPsmMonitor:
+    """Causal, cycle-by-cycle power estimation over a PSM set."""
+
+    def __init__(
+        self,
+        psms: Sequence[PSM],
+        labeler: PropositionLabeler,
+        hmm: Optional[PsmHmm] = None,
+    ) -> None:
+        self.psms = list(psms)
+        self.labeler = labeler
+        self.hmm = hmm or PsmHmm(psms)
+        self._states: List[PowerState] = [
+            self.hmm.state(sid) for sid in self.hmm.state_ids
+        ]
+        self._psm_by_sid = {
+            state.sid: psm
+            for psm in self.psms
+            for state in psm.states
+        }
+        self._entry_cache: Dict = {}
+        # The Hamming distance only feeds regression-based outputs; when
+        # every state is constant the per-cycle popcounts can be skipped.
+        self._needs_distance = any(
+            s.is_data_dependent for s in self._states
+        )
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return to the pre-simulation state."""
+        self._current: Optional[PowerState] = None
+        self._tracker: Optional[StateTracker] = None
+        self._last_valid: Optional[PowerState] = None
+        self._prev_row: Optional[Dict[str, int]] = None
+        self._last_prop = None
+        self._last_stayed = False
+        self.cycles = 0
+        self.desync_cycles = 0
+        self.estimates: List[float] = []
+
+    # ------------------------------------------------------------------
+    def _hamming(self, row: Dict[str, int]) -> int:
+        prev = self._prev_row
+        if prev is None:
+            return 0
+        total = 0
+        for name, value in row.items():
+            total += bin(value ^ prev[name]).count("1")
+        return total
+
+    def _entry_candidates(self, prop):
+        """``(candidates, anywhere)`` re-entry options for ``prop``."""
+        cached = self._entry_cache.get(prop)
+        if cached is None:
+            strict = [
+                s.sid for s in self._states if StateTracker(s).can_enter(prop)
+            ]
+            if strict:
+                cached = (strict, False)
+            else:
+                cached = (
+                    [
+                        s.sid
+                        for s in self._states
+                        if StateTracker(s).can_enter_anywhere(prop)
+                    ],
+                    True,
+                )
+            self._entry_cache[prop] = cached
+        return cached
+
+    def _enter_best(
+        self, prop, candidates: List[int], anywhere: bool = False
+    ) -> None:
+        hmm = self.hmm
+        if self._last_valid is not None:
+            belief = hmm.belief_for_state(self._last_valid.sid)
+            scored = hmm.score_candidates(belief, candidates)
+        else:
+            prior = hmm.initial_belief()
+            scored = [
+                (sid, float(prior[hmm.index_of(sid)])) for sid in candidates
+            ]
+        if all(score <= 0 for _, score in scored):
+            scored = [(sid, float(hmm.state(sid).n)) for sid in candidates]
+        best_sid, best = scored[0]
+        for sid, score in scored[1:]:
+            if score > best:
+                best_sid, best = sid, score
+        self._current = hmm.state(best_sid)
+        self._tracker = StateTracker(self._current)
+        if anywhere:
+            self._tracker.enter_anywhere(prop)
+        else:
+            self._tracker.enter(prop)
+        self._last_valid = self._current
+
+    def _transition(self, prop) -> bool:
+        """Follow an exit on ``prop``; returns False when stuck."""
+        hmm = self.hmm
+        psm = self._psm_by_sid[self._current.sid]
+        candidates: List[int] = []
+        for transition in psm.successors(self._current.sid):
+            if transition.enabling != prop:
+                continue
+            if transition.dst in candidates:
+                continue
+            if StateTracker(hmm.state(transition.dst)).can_enter(prop):
+                candidates.append(transition.dst)
+        if not candidates:
+            return False
+        self._enter_best(prop, candidates)
+        return True
+
+    # ------------------------------------------------------------------
+    def observe(self, row: Dict[str, int]) -> float:
+        """Consume one cycle's PI/PO assignment; return the power estimate."""
+        prop = self.labeler.label_assignment(row)
+        distance = self._hamming(row) if self._needs_distance else 0
+        # Fast path: the proposition repeated and the tracker stayed last
+        # cycle — an until body keeps staying on the same proposition, so
+        # the estimate can be emitted without re-walking the tracker.
+        if (
+            prop is not None
+            and prop is self._last_prop
+            and self._last_stayed
+        ):
+            if self._needs_distance:
+                self._prev_row = row
+            estimate = self._current.output(distance)
+            self.cycles += 1
+            self.estimates.append(estimate)
+            return estimate
+        self._last_prop = None
+        self._last_stayed = False
+        synced = self._current is not None
+        if synced:
+            verdict, _ = self._tracker.advance(prop)
+            if verdict == EXIT:
+                synced = self._transition(prop)
+            elif verdict == VIOLATION:
+                synced = False
+        if not synced:
+            self._current = None
+            if prop is not None:
+                candidates, anywhere = self._entry_candidates(prop)
+                if candidates:
+                    self._enter_best(prop, candidates, anywhere)
+                    synced = True
+        if synced:
+            estimate = self._current.output(distance)
+            if self._tracker.stable_on(prop):
+                self._last_prop = prop
+                self._last_stayed = True
+        else:
+            self.desync_cycles += 1
+            estimate = (
+                self._last_valid.output(distance) if self._last_valid else 0.0
+            )
+        if self._needs_distance:
+            # Caller contract: each observe() receives a fresh mapping,
+            # so keeping the reference (instead of copying) is safe.
+            self._prev_row = row
+        self.cycles += 1
+        self.estimates.append(estimate)
+        return estimate

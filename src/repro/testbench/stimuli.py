@@ -1,0 +1,71 @@
+"""Stimulus-building helpers.
+
+A *stimulus* is a list of primary-input assignments, one per clock
+cycle.  The builders here give the per-IP testbenches a compact way to
+express directed phases (the short-TS verification suites) and
+constrained-random phases (the long-TS extended suites), with seeded
+generators for full reproducibility.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+import numpy as np
+
+Stimulus = List[Dict[str, int]]
+
+
+class StimulusBuilder:
+    """Accumulates cycles of input assignments with default values."""
+
+    def __init__(self, defaults: Mapping[str, int], seed: int = 0) -> None:
+        self.defaults = dict(defaults)
+        self.rng = np.random.default_rng(seed)
+        self._cycles: Stimulus = []
+
+    def __len__(self) -> int:
+        return len(self._cycles)
+
+    def cycle(self, **overrides: int) -> "StimulusBuilder":
+        """Append one cycle: defaults overridden by ``overrides``."""
+        row = dict(self.defaults)
+        row.update(overrides)
+        self._cycles.append(row)
+        return self
+
+    def hold(self, count: int, **overrides: int) -> "StimulusBuilder":
+        """Append ``count`` identical cycles."""
+        for _ in range(max(count, 0)):
+            self.cycle(**overrides)
+        return self
+
+    def rand_bits(self, width: int) -> int:
+        """A uniformly random unsigned value of ``width`` bits."""
+        if width <= 62:
+            return int(self.rng.integers(0, 1 << width))
+        value = 0
+        remaining = width
+        while remaining > 0:
+            chunk = min(remaining, 62)
+            value = (value << chunk) | int(self.rng.integers(0, 1 << chunk))
+            remaining -= chunk
+        return value
+
+    def choice(self, options: Iterable[int]) -> int:
+        """A random element of ``options``."""
+        options = list(options)
+        return options[int(self.rng.integers(0, len(options)))]
+
+    def maybe(self, probability: float) -> bool:
+        """True with the given probability."""
+        return bool(self.rng.random() < probability)
+
+    def build(self) -> Stimulus:
+        """The accumulated stimulus."""
+        return list(self._cycles)
+
+
+def total_cycles(stimulus: Stimulus) -> int:
+    """Length of a stimulus in clock cycles."""
+    return len(stimulus)

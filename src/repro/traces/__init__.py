@@ -1,0 +1,36 @@
+"""Trace data structures (paper Definition 2) and their serialisation."""
+
+from .functional import FunctionalTrace, popcount
+from .io import (
+    load_functional_csv,
+    load_power_csv,
+    load_training_pair,
+    save_functional_csv,
+    save_power_csv,
+    save_training_pair,
+)
+from .power import PowerTrace
+from .variables import (
+    VariableSpec,
+    bool_in,
+    bool_out,
+    int_in,
+    int_out,
+)
+
+__all__ = [
+    "FunctionalTrace",
+    "PowerTrace",
+    "VariableSpec",
+    "bool_in",
+    "bool_out",
+    "int_in",
+    "int_out",
+    "popcount",
+    "save_functional_csv",
+    "load_functional_csv",
+    "save_power_csv",
+    "load_power_csv",
+    "save_training_pair",
+    "load_training_pair",
+]

@@ -1,0 +1,223 @@
+"""Functional traces (paper Definition 2).
+
+A functional trace of a model ``M`` is a finite sequence ``<phi_1 ... phi_n>``
+where ``phi_i = eval(V, t_i)`` is the evaluation of the observed variables
+``V`` (primary inputs and outputs of ``M``) at simulation instant ``t_i``.
+
+The trace is stored column-wise as one :class:`numpy.ndarray` per variable so
+the assertion miner can evaluate candidate atomic propositions with
+vectorised operations over the whole trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .variables import VariableSpec
+
+
+class FunctionalTrace:
+    """Column-oriented store of variable values over simulation instants.
+
+    Parameters
+    ----------
+    variables:
+        Ordered variable specifications.
+    columns:
+        Optional mapping ``name -> sequence of values``; all columns must
+        share the same length.  When omitted an empty trace is created and
+        rows can be appended with :meth:`append`.
+    name:
+        Optional label (used in reports and serialised files).
+    """
+
+    def __init__(
+        self,
+        variables: Sequence[VariableSpec],
+        columns: Optional[Mapping[str, Sequence[int]]] = None,
+        name: str = "trace",
+    ) -> None:
+        if not variables:
+            raise ValueError("a functional trace needs at least one variable")
+        names = [v.name for v in variables]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate variable names in trace")
+        self.name = name
+        self._variables: List[VariableSpec] = list(variables)
+        self._index: Dict[str, VariableSpec] = {v.name: v for v in variables}
+        self._columns: Dict[str, List[int]] = {v.name: [] for v in variables}
+        self._frozen: Dict[str, np.ndarray] = {}
+        if columns is not None:
+            missing = [v.name for v in variables if v.name not in columns]
+            if missing:
+                raise ValueError(f"missing columns for variables: {missing}")
+            lengths = {len(columns[v.name]) for v in variables}
+            if len(lengths) > 1:
+                raise ValueError("all columns must have the same length")
+            for var in variables:
+                self._columns[var.name] = [int(x) for x in columns[var.name]]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def append(self, row: Mapping[str, int]) -> None:
+        """Append one simulation instant; ``row`` maps name -> value."""
+        self._frozen.clear()
+        for var in self._variables:
+            if var.name not in row:
+                raise KeyError(f"row is missing variable {var.name!r}")
+            self._columns[var.name].append(var.validate_value(row[var.name]))
+
+    def extend(self, rows: Iterable[Mapping[str, int]]) -> None:
+        """Append several simulation instants."""
+        for row in rows:
+            self.append(row)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> List[VariableSpec]:
+        """The ordered variable specifications."""
+        return list(self._variables)
+
+    @property
+    def variable_names(self) -> List[str]:
+        """The ordered variable names."""
+        return [v.name for v in self._variables]
+
+    @property
+    def inputs(self) -> List[VariableSpec]:
+        """Specifications of the primary-input variables."""
+        return [v for v in self._variables if v.is_input]
+
+    @property
+    def outputs(self) -> List[VariableSpec]:
+        """Specifications of the primary-output variables."""
+        return [v for v in self._variables if v.is_output]
+
+    def spec(self, name: str) -> VariableSpec:
+        """The :class:`VariableSpec` for ``name``."""
+        return self._index[name]
+
+    def __len__(self) -> int:
+        return len(self._columns[self._variables[0].name])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def column(self, name: str) -> np.ndarray:
+        """All values of variable ``name`` as an immutable array.
+
+        Variables up to 62 bits use an int64 array; wider variables (the
+        ciphers' 128-bit buses) fall back to an object array of Python
+        ints, which numpy comparison/xor ufuncs still handle.
+        """
+        if name not in self._frozen:
+            if self._index[name].width <= 62:
+                arr = np.asarray(self._columns[name], dtype=np.int64)
+            else:
+                arr = np.empty(len(self._columns[name]), dtype=object)
+                arr[:] = self._columns[name]
+            arr.setflags(write=False)
+            self._frozen[name] = arr
+        return self._frozen[name]
+
+    def at(self, instant: int) -> Dict[str, int]:
+        """The variable assignment at a given simulation instant."""
+        n = len(self)
+        if instant < 0 or instant >= n:
+            raise IndexError(f"instant {instant} out of range [0, {n})")
+        return {
+            v.name: self._columns[v.name][instant] for v in self._variables
+        }
+
+    def rows(self) -> Iterator[Dict[str, int]]:
+        """Iterate over instants as variable assignments."""
+        for i in range(len(self)):
+            yield self.at(i)
+
+    def input_vector(self, instant: int) -> Dict[str, int]:
+        """Values of only the input variables at ``instant``."""
+        row = self.at(instant)
+        return {v.name: row[v.name] for v in self.inputs}
+
+    def slice(self, start: int, stop: int) -> "FunctionalTrace":
+        """A copy of the trace restricted to instants ``[start, stop]``.
+
+        Both bounds are inclusive, matching the interval convention used by
+        the paper's power attributes.
+        """
+        if start < 0 or stop >= len(self) or start > stop:
+            raise IndexError(f"bad interval [{start}, {stop}] for len {len(self)}")
+        cols = {
+            v.name: self._columns[v.name][start : stop + 1]
+            for v in self._variables
+        }
+        return FunctionalTrace(
+            self._variables, cols, name=f"{self.name}[{start}:{stop}]"
+        )
+
+    def concat(self, other: "FunctionalTrace") -> "FunctionalTrace":
+        """A new trace that plays ``self`` followed by ``other``."""
+        if self.variable_names != other.variable_names:
+            raise ValueError("traces have different variable sets")
+        cols = {
+            name: self._columns[name] + other._columns[name]
+            for name in self.variable_names
+        }
+        return FunctionalTrace(
+            self._variables, cols, name=f"{self.name}+{other.name}"
+        )
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def hamming_distances(
+        self, names: Optional[Sequence[str]] = None
+    ) -> np.ndarray:
+        """Hamming distance between consecutive instants.
+
+        ``result[i]`` is the number of bits that changed between instants
+        ``i-1`` and ``i`` over the selected variables; ``result[0]`` is 0.
+        This is the predictor used by the data-dependent linear-regression
+        refinement (paper Sec. IV).  The default observes all variables —
+        PIs and POs — matching the paper's RAM discussion, where the
+        regression "relates the RAM's internal switching activity with the
+        power consumption by observing the behaviours of PIs and POs".
+        """
+        if names is None:
+            names = [v.name for v in self._variables]
+        n = len(self)
+        total = np.zeros(n, dtype=np.int64)
+        for name in names:
+            col = self.column(name)
+            if col.dtype == object:
+                values = self._columns[name]
+                pops = [0] * n
+                for i in range(1, n):
+                    pops[i] = bin(values[i] ^ values[i - 1]).count("1")
+                total += np.asarray(pops, dtype=np.int64)
+            else:
+                diff = np.zeros(n, dtype=np.int64)
+                diff[1:] = col[1:] ^ col[:-1]
+                total += popcount(diff)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"FunctionalTrace({self.name!r}, vars={len(self._variables)}, "
+            f"len={len(self)})"
+        )
+
+
+def popcount(values: np.ndarray) -> np.ndarray:
+    """Vectorised population count of non-negative int64 values."""
+    out = np.zeros_like(values)
+    work = values.copy()
+    while np.any(work):
+        out += work & 1
+        work >>= 1
+    return out

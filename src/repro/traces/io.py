@@ -1,0 +1,112 @@
+"""Serialisation of functional and power traces.
+
+Traces are exchanged as plain CSV (one column per variable, one row per
+instant) with a JSON sidecar describing the variables, or as a single JSON
+document.  The CSV form is what the command-line tool consumes so traces
+produced by external simulators can be fed to the flow.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Tuple, Union
+
+from .functional import FunctionalTrace
+from .power import PowerTrace
+from .variables import VariableSpec
+
+PathLike = Union[str, Path]
+
+
+def save_functional_csv(trace: FunctionalTrace, path: PathLike) -> None:
+    """Write a functional trace as CSV plus a ``.vars.json`` sidecar."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(trace.variable_names)
+        for row in trace.rows():
+            writer.writerow([row[name] for name in trace.variable_names])
+    sidecar = path.with_suffix(path.suffix + ".vars.json")
+    spec = [
+        {
+            "name": v.name,
+            "width": v.width,
+            "direction": v.direction,
+            "kind": v.kind,
+        }
+        for v in trace.variables
+    ]
+    sidecar.write_text(json.dumps({"name": trace.name, "variables": spec}))
+
+
+def load_functional_csv(path: PathLike) -> FunctionalTrace:
+    """Read a functional trace written by :func:`save_functional_csv`."""
+    path = Path(path)
+    sidecar = path.with_suffix(path.suffix + ".vars.json")
+    meta = json.loads(sidecar.read_text())
+    variables = [VariableSpec(**v) for v in meta["variables"]]
+    columns = {v.name: [] for v in variables}
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        if header != [v.name for v in variables]:
+            raise ValueError("CSV header does not match variable sidecar")
+        for row in reader:
+            for name, value in zip(header, row):
+                columns[name].append(int(value))
+    return FunctionalTrace(variables, columns, name=meta.get("name", "trace"))
+
+
+def save_power_csv(trace: PowerTrace, path: PathLike) -> None:
+    """Write a power trace as a one-column CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["power"])
+        for value in trace.values:
+            writer.writerow([repr(float(value))])
+
+
+def load_power_csv(path: PathLike) -> PowerTrace:
+    """Read a power trace written by :func:`save_power_csv`."""
+    path = Path(path)
+    values = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        if header != ["power"]:
+            raise ValueError("expected single 'power' column")
+        for row in reader:
+            values.append(float(row[0]))
+    return PowerTrace(values, name=path.stem)
+
+
+def save_training_pair(
+    functional: FunctionalTrace,
+    power: PowerTrace,
+    prefix: PathLike,
+) -> Tuple[Path, Path]:
+    """Persist a matching (functional, power) training pair.
+
+    Returns the two file paths ``<prefix>.func.csv`` / ``<prefix>.power.csv``.
+    """
+    if len(functional) != len(power):
+        raise ValueError("functional and power traces must have equal length")
+    prefix = Path(prefix)
+    func_path = prefix.with_suffix(".func.csv")
+    power_path = prefix.with_suffix(".power.csv")
+    save_functional_csv(functional, func_path)
+    save_power_csv(power, power_path)
+    return func_path, power_path
+
+
+def load_training_pair(prefix: PathLike) -> Tuple[FunctionalTrace, PowerTrace]:
+    """Load a pair written by :func:`save_training_pair`."""
+    prefix = Path(prefix)
+    functional = load_functional_csv(prefix.with_suffix(".func.csv"))
+    power = load_power_csv(prefix.with_suffix(".power.csv"))
+    if len(functional) != len(power):
+        raise ValueError("functional and power traces must have equal length")
+    return functional, power

@@ -1,0 +1,105 @@
+"""Variable metadata for functional traces.
+
+A functional trace (paper Def. 2) records, per simulation instant, the value
+of every observed variable: the primary inputs (PIs) and primary outputs
+(POs) of the model under analysis.  ``VariableSpec`` carries the static
+metadata of one such variable: its name, direction, kind and bit width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Allowed variable directions.
+DIRECTIONS = ("in", "out")
+
+#: Allowed variable kinds.  ``bool`` variables take values {0, 1}; ``int``
+#: variables take unsigned values representable on ``width`` bits.
+KINDS = ("bool", "int")
+
+
+@dataclass(frozen=True)
+class VariableSpec:
+    """Static description of one trace variable (a PI or a PO).
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the variable inside a trace.
+    width:
+        Bit width.  Must be 1 for ``bool`` variables.
+    direction:
+        ``"in"`` for primary inputs, ``"out"`` for primary outputs.
+    kind:
+        ``"bool"`` or ``"int"``.
+    """
+
+    name: str
+    width: int = 1
+    direction: str = "in"
+    kind: str = "bool"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+        if self.direction not in DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {DIRECTIONS}, got {self.direction!r}"
+            )
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+        if self.kind == "bool" and self.width != 1:
+            raise ValueError("bool variables must have width 1")
+
+    @property
+    def is_input(self) -> bool:
+        """True when the variable is a primary input."""
+        return self.direction == "in"
+
+    @property
+    def is_output(self) -> bool:
+        """True when the variable is a primary output."""
+        return self.direction == "out"
+
+    @property
+    def max_value(self) -> int:
+        """Largest unsigned value representable on this variable."""
+        return (1 << self.width) - 1
+
+    def validate_value(self, value: int) -> int:
+        """Check that ``value`` fits the declared width and return it.
+
+        Raises
+        ------
+        ValueError
+            If the value is negative or does not fit ``width`` bits.
+        """
+        value = int(value)
+        if value < 0 or value > self.max_value:
+            raise ValueError(
+                f"value {value} out of range for {self.name} "
+                f"(width {self.width})"
+            )
+        return value
+
+
+def bool_in(name: str) -> VariableSpec:
+    """Shorthand for a 1-bit input variable."""
+    return VariableSpec(name, 1, "in", "bool")
+
+
+def bool_out(name: str) -> VariableSpec:
+    """Shorthand for a 1-bit output variable."""
+    return VariableSpec(name, 1, "out", "bool")
+
+
+def int_in(name: str, width: int) -> VariableSpec:
+    """Shorthand for a multi-bit input variable."""
+    return VariableSpec(name, width, "in", "int")
+
+
+def int_out(name: str, width: int) -> VariableSpec:
+    """Shorthand for a multi-bit output variable."""
+    return VariableSpec(name, width, "out", "int")

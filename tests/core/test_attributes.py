@@ -1,0 +1,84 @@
+"""Tests for power attributes and interval bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.core.attributes import Interval, PowerAttributes
+from repro.traces.power import PowerTrace
+
+
+class TestInterval:
+    def test_length_inclusive(self):
+        assert Interval(0, 3, 5).length == 3
+        assert Interval(0, 2, 2).length == 1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0, 5, 3)
+        with pytest.raises(ValueError):
+            Interval(0, -1, 2)
+
+    def test_display(self):
+        assert str(Interval(2, 0, 4)) == "T2[0,4]"
+
+
+class TestPowerAttributes:
+    def test_from_power_trace(self):
+        power = PowerTrace([1.0, 2.0, 3.0, 10.0])
+        attrs = PowerAttributes.from_power_trace(power, 0, 2)
+        assert attrs.mu == pytest.approx(2.0)
+        assert attrs.sigma == pytest.approx(np.std([1.0, 2.0, 3.0]))
+        assert attrs.n == 3
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            PowerAttributes(1.0, 0.1, 0)
+        with pytest.raises(ValueError):
+            PowerAttributes(1.0, -0.1, 3)
+
+    def test_variance(self):
+        assert PowerAttributes(0.0, 2.0, 5).variance == pytest.approx(4.0)
+
+    def test_pooled_matches_direct_computation(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+        parts = [
+            PowerAttributes(
+                float(np.mean(values[:3])), float(np.std(values[:3])), 3
+            ),
+            PowerAttributes(
+                float(np.mean(values[3:])), float(np.std(values[3:])), 4
+            ),
+        ]
+        pooled = PowerAttributes.pooled(parts)
+        assert pooled.mu == pytest.approx(float(np.mean(values)))
+        assert pooled.sigma == pytest.approx(float(np.std(values)))
+        assert pooled.n == 7
+
+    def test_pooled_single_part_identity(self):
+        attrs = PowerAttributes(2.5, 0.3, 10)
+        pooled = PowerAttributes.pooled([attrs])
+        assert pooled.mu == pytest.approx(attrs.mu)
+        assert pooled.sigma == pytest.approx(attrs.sigma)
+        assert pooled.n == attrs.n
+
+    def test_pooled_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PowerAttributes.pooled([])
+
+    def test_from_intervals_equals_concatenated_samples(self):
+        power = PowerTrace([1.0, 5.0, 2.0, 8.0, 3.0, 1.0])
+        intervals = [Interval(0, 0, 1), Interval(0, 3, 5)]
+        attrs = PowerAttributes.from_intervals(intervals, {0: power})
+        samples = np.array([1.0, 5.0, 8.0, 3.0, 1.0])
+        assert attrs.mu == pytest.approx(float(np.mean(samples)))
+        assert attrs.sigma == pytest.approx(float(np.std(samples)))
+        assert attrs.n == 5
+
+    def test_from_intervals_multiple_traces(self):
+        p0 = PowerTrace([1.0, 1.0])
+        p1 = PowerTrace([3.0, 3.0])
+        attrs = PowerAttributes.from_intervals(
+            [Interval(0, 0, 1), Interval(1, 0, 1)], {0: p0, 1: p1}
+        )
+        assert attrs.mu == pytest.approx(2.0)
+        assert attrs.sigma == pytest.approx(1.0)

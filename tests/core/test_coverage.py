@@ -1,0 +1,86 @@
+"""Tests for the model-coverage diagnostics."""
+
+import pytest
+
+from repro.core.coverage import coverage_report
+from repro.core.mergeability import MergePolicy
+from repro.core.mining import MinerConfig
+from repro.core.pipeline import FlowConfig, PsmFlow
+from repro.traces.functional import FunctionalTrace
+from repro.traces.power import PowerTrace
+from repro.traces.variables import int_in
+
+
+def fit_world():
+    """Three modes: idle(0)/busy(1)/turbo(2) with distinct power."""
+    values = (
+        [0] * 5 + [1] * 5 + [0] * 5 + [2] * 5 + [0] * 5 + [1] * 5 + [0] * 2
+    )
+    trace = FunctionalTrace([int_in("x", 2)], {"x": values})
+    levels = {0: 1.0, 1: 5.0, 2: 9.0}
+    power = PowerTrace([levels[v] for v in values])
+    config = FlowConfig(
+        miner=MinerConfig(min_avg_run=1.0, max_chatter_fraction=1.0),
+        merge=MergePolicy(max_cv=None),
+    )
+    return PsmFlow(config).fit([trace], [power]), trace
+
+
+class TestCoverageReport:
+    def test_training_trace_covers_everything(self):
+        flow, trace = fit_world()
+        report = coverage_report(flow, trace)
+        assert report.state_coverage == 1.0
+        assert report.trace_coverage == 1.0
+        assert report.unseen_propositions == []
+        assert report.total_instants == len(trace)
+
+    def test_partial_trace_misses_states(self):
+        flow, _ = fit_world()
+        partial = FunctionalTrace(
+            [int_in("x", 2)], {"x": [0] * 5 + [1] * 5 + [0] * 3}
+        )
+        report = coverage_report(flow, partial)
+        assert report.state_coverage < 1.0
+        assert report.unvisited_states
+        # the turbo proposition was never observed
+        assert report.unseen_propositions
+
+    def test_unknown_behaviour_counted(self):
+        flow, _ = fit_world()
+        alien = FunctionalTrace(
+            [int_in("x", 2)], {"x": [0] * 5 + [3] * 5 + [0] * 3}
+        )
+        report = coverage_report(flow, alien)
+        assert report.unknown_instants >= 5
+        assert report.trace_coverage < 1.0
+
+    def test_occupancy_counts_sum_to_explained_instants(self):
+        flow, trace = fit_world()
+        report = coverage_report(flow, trace)
+        assert (
+            sum(report.state_occupancy.values())
+            == report.total_instants - report.desync_instants
+        )
+
+    def test_transition_coverage_bounds(self):
+        flow, trace = fit_world()
+        report = coverage_report(flow, trace)
+        assert 0.0 < report.transition_coverage <= 1.0
+
+    def test_summary_mentions_key_figures(self):
+        flow, trace = fit_world()
+        text = coverage_report(flow, trace).summary()
+        assert "state coverage" in text
+        assert "100.0%" in text
+
+    def test_requires_fitted_flow(self):
+        flow, trace = fit_world()
+        with pytest.raises(RuntimeError):
+            coverage_report(PsmFlow(), trace)
+
+    def test_accepts_precomputed_result(self):
+        flow, trace = fit_world()
+        result = flow.estimate(trace)
+        report = coverage_report(flow, trace, result)
+        assert report.total_instants == len(trace)

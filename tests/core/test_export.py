@@ -1,0 +1,180 @@
+"""Tests for PSM export: DOT, JSON round trip, SystemC, labeler rebuild."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.attributes import Interval, PowerAttributes
+from repro.core.export import (
+    labeler_from_psms,
+    load_psms,
+    psms_from_json,
+    psms_to_json,
+    save_psms,
+    to_dot,
+    to_systemc,
+)
+from repro.core.propositions import Proposition, VarCompare, VarEqualsConst
+from repro.core.psm import PSM, PowerState, RegressionPower, Transition
+from repro.core.temporal import (
+    ChoiceAssertion,
+    NextAssertion,
+    SequenceAssertion,
+    UntilAssertion,
+)
+
+
+def fig2_psm():
+    """A hand-built PSM in the spirit of the paper's Fig. 2.
+
+    Three power states (off 0mW, idle 15mW, active 100mW) controlled by
+    ``on``, ``ready`` and ``start`` input conditions.
+    """
+    on = Proposition("p_on", [VarEqualsConst("on", 1, is_bool=True)])
+    off = Proposition("p_off", [], [VarEqualsConst("on", 1, is_bool=True)])
+    run = Proposition(
+        "p_run",
+        [
+            VarEqualsConst("on", 1, is_bool=True),
+            VarEqualsConst("start", 1, is_bool=True),
+        ],
+    )
+    s_off = PowerState(
+        assertion=UntilAssertion(off, on),
+        attributes=PowerAttributes(0.001, 0.0, 10),
+        intervals=[Interval(0, 0, 9)],
+    )
+    s_idle = PowerState(
+        assertion=UntilAssertion(on, run),
+        attributes=PowerAttributes(15.0, 0.1, 10),
+        intervals=[Interval(0, 10, 19)],
+    )
+    s_active = PowerState(
+        assertion=UntilAssertion(run, off),
+        attributes=PowerAttributes(100.0, 1.0, 10),
+        intervals=[Interval(0, 20, 29)],
+    )
+    psm = PSM("fig2")
+    psm.add_state(s_off, initial=True)
+    psm.add_state(s_idle)
+    psm.add_state(s_active)
+    psm.add_transition(Transition(s_off.sid, s_idle.sid, on))
+    psm.add_transition(Transition(s_idle.sid, s_active.sid, run))
+    psm.add_transition(Transition(s_active.sid, s_off.sid, off))
+    return psm
+
+
+class TestDot:
+    def test_dot_structure(self):
+        text = to_dot([fig2_psm()], title="fig2")
+        assert text.startswith("digraph fig2")
+        assert text.count("->") == 3
+        assert "doublecircle" in text  # the initial state
+        assert "mu=100" in text
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        psm = fig2_psm()
+        restored = psms_from_json(psms_to_json([psm]))
+        assert len(restored) == 1
+        machine = restored[0]
+        assert len(machine) == 3
+        assert len(machine.transitions) == 3
+        assert len(machine.initial_states) == 1
+        mus = sorted(s.mu for s in machine.states)
+        assert mus == pytest.approx([0.001, 15.0, 100.0])
+
+    def test_round_trip_preserves_assertions(self):
+        psm = fig2_psm()
+        restored = psms_from_json(psms_to_json([psm]))[0]
+        original = {str(s.assertion) for s in psm.states}
+        assert {str(s.assertion) for s in restored.states} == original
+
+    def test_round_trip_preserves_regression_model(self):
+        psm = fig2_psm()
+        psm.states[1].power_model = RegressionPower(0.5, 1.0, 0.88)
+        restored = psms_from_json(psms_to_json([psm]))[0]
+        model = restored.states[1].power_model
+        assert isinstance(model, RegressionPower)
+        assert model.slope == 0.5
+
+    def test_round_trip_composite_assertions(self):
+        p = [
+            Proposition(f"p_{i}", [VarEqualsConst("x", i)]) for i in range(4)
+        ]
+        seq = SequenceAssertion(
+            [UntilAssertion(p[0], p[1]), NextAssertion(p[1], p[2])]
+        )
+        choice = ChoiceAssertion([seq, UntilAssertion(p[3], p[1])])
+        state = PowerState(
+            assertion=choice,
+            attributes=PowerAttributes(1.0, 0.0, 3),
+            intervals=[Interval(0, 0, 2)],
+        )
+        psm = PSM("composite")
+        psm.add_state(state, initial=True)
+        restored = psms_from_json(psms_to_json([psm]))[0]
+        assert str(restored.states[0].assertion) == str(choice)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "model.json"
+        save_psms([fig2_psm()], path)
+        assert json.loads(path.read_text())["psms"]
+        restored = load_psms(path)
+        assert len(restored[0]) == 3
+
+    def test_comparison_atoms_serialised(self):
+        p = Proposition(
+            "p", [VarCompare("a", ">", "b")], [VarEqualsConst("a", 0)]
+        )
+        q = Proposition("q", [], [VarCompare("a", ">", "b")])
+        state = PowerState(
+            assertion=UntilAssertion(p, q),
+            attributes=PowerAttributes(1.0, 0.0, 2),
+            intervals=[Interval(0, 0, 1)],
+        )
+        psm = PSM()
+        psm.add_state(state, initial=True)
+        restored = psms_from_json(psms_to_json([psm]))[0]
+        assertion = restored.states[0].assertion
+        assert VarCompare("a", ">", "b") in assertion.left.positives
+
+
+class TestSystemC:
+    def test_module_skeleton(self):
+        text = to_systemc([fig2_psm()], module_name="fig2_monitor")
+        assert "SC_MODULE(fig2_monitor)" in text
+        assert "sc_out<double> power;" in text
+        assert "SC_CTOR(fig2_monitor)" in text
+        assert "sensitive << clk.pos();" in text
+
+    def test_states_and_guards_emitted(self):
+        psm = fig2_psm()
+        text = to_systemc([psm])
+        for state in psm.states:
+            assert f"case {state.sid}:" in text
+        assert "(on.read() == 1)" in text
+
+    def test_regression_state_emits_hamming_call(self):
+        psm = fig2_psm()
+        psm.states[1].power_model = RegressionPower(0.5, 1.0, 0.9)
+        text = to_systemc([psm])
+        assert "hamming_distance()" in text
+
+
+class TestLabelerRebuild:
+    def test_rebuilt_labeler_matches_states(self):
+        psm = fig2_psm()
+        labeler = labeler_from_psms([psm])
+        # the off state's proposition: on == 0
+        prop = labeler.label_assignment({"on": 0, "start": 0})
+        assert prop is not None
+        assert prop == psm.states[0].assertion.left
+
+    def test_rebuilt_labeler_from_json(self):
+        restored = psms_from_json(psms_to_json([fig2_psm()]))
+        labeler = labeler_from_psms(restored)
+        prop = labeler.label_assignment({"on": 1, "start": 1})
+        assert prop == restored[0].states[2].assertion.left

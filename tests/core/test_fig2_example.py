@@ -1,0 +1,109 @@
+"""The paper's Fig. 2 PSM, built and simulated end to end.
+
+Fig. 2 shows a three-state PSM (off 0mW / idle 15mW / active 100mW)
+whose transitions are guarded by the ``on``, ``ready`` and ``start``
+input conditions.  This test builds that machine by hand, drives it with
+a functional trace of the device it describes, and checks that the
+simulated power matches the state outputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.attributes import Interval, PowerAttributes
+from repro.core.mining import PropositionLabeler
+from repro.core.propositions import Proposition, VarEqualsConst
+from repro.core.psm import PSM, PowerState, Transition
+from repro.core.simulation import MultiPsmSimulator
+from repro.core.temporal import UntilAssertion
+from repro.traces.functional import FunctionalTrace
+from repro.traces.variables import bool_in
+
+
+ON = VarEqualsConst("on", 1, is_bool=True)
+START = VarEqualsConst("start", 1, is_bool=True)
+
+
+def propositions():
+    """Minterms over {on, start}: off / idle / active."""
+    p_off = Proposition("p_off", [], [ON, START])
+    p_idle = Proposition("p_idle", [ON], [START])
+    p_active = Proposition("p_active", [ON, START], [])
+    return p_off, p_idle, p_active
+
+
+def fig2_machine():
+    p_off, p_idle, p_active = propositions()
+    s_off = PowerState(
+        assertion=UntilAssertion(p_off, p_idle),
+        attributes=PowerAttributes(0.0001, 0.0, 10),
+        intervals=[Interval(0, 0, 9)],
+    )
+    s_idle = PowerState(
+        assertion=UntilAssertion(p_idle, p_active),
+        attributes=PowerAttributes(15.0, 0.0, 10),
+        intervals=[Interval(0, 10, 19)],
+    )
+    s_active = PowerState(
+        assertion=UntilAssertion(p_active, p_off),
+        attributes=PowerAttributes(100.0, 0.0, 10),
+        intervals=[Interval(0, 20, 29)],
+    )
+    psm = PSM("fig2")
+    psm.add_state(s_off, initial=True)
+    psm.add_state(s_idle)
+    psm.add_state(s_active)
+    psm.add_transition(Transition(s_off.sid, s_idle.sid, p_idle))
+    psm.add_transition(Transition(s_idle.sid, s_active.sid, p_active))
+    psm.add_transition(Transition(s_active.sid, s_off.sid, p_off))
+    return psm, (s_off, s_idle, s_active)
+
+
+def labeler():
+    p_off, p_idle, p_active = propositions()
+    atoms = [ON, START]
+    universe = {}
+    for prop in (p_off, p_idle, p_active):
+        row = np.array(
+            [atom in prop.positives for atom in atoms], dtype=bool
+        )
+        universe[row.tobytes()] = prop
+    return PropositionLabeler(atoms, universe)
+
+
+class TestFig2:
+    def test_power_follows_the_state_machine(self):
+        psm, states = fig2_machine()
+        simulator = MultiPsmSimulator([psm], labeler())
+        # off x4, idle x4, active x4, off x3
+        trace = FunctionalTrace(
+            [bool_in("on"), bool_in("start")],
+            {
+                "on": [0] * 4 + [1] * 8 + [0] * 3,
+                "start": [0] * 8 + [1] * 4 + [0] * 3,
+            },
+        )
+        result = simulator.run(trace)
+        expected = (
+            [0.0001] * 4 + [15.0] * 4 + [100.0] * 4 + [0.0001] * 3
+        )
+        assert np.allclose(result.estimated.values, expected)
+        assert result.desync_instants == 0
+
+    def test_unknown_combination_desyncs(self):
+        psm, states = fig2_machine()
+        simulator = MultiPsmSimulator([psm], labeler())
+        # start without on: a minterm (!on & start) absent from training
+        trace = FunctionalTrace(
+            [bool_in("on"), bool_in("start")],
+            {"on": [0, 0, 0], "start": [0, 1, 1]},
+        )
+        result = simulator.run(trace)
+        assert result.unknown_instants == 2
+
+    def test_structure_matches_the_figure(self):
+        psm, (s_off, s_idle, s_active) = fig2_machine()
+        assert psm.is_deterministic()
+        assert len(psm.transitions) == 3
+        assert [t.dst for t in psm.successors(s_active.sid)] == [s_off.sid]
+        assert [t.dst for t in psm.successors(s_off.sid)] == [s_idle.sid]

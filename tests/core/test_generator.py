@@ -1,0 +1,132 @@
+"""Tests for the PSMGenerator procedure (paper Fig. 4)."""
+
+import pytest
+
+from repro.core.generator import generate_psm, generate_psms
+from repro.core.mining import AssertionMiner
+from repro.core.propositions import (
+    Proposition,
+    PropositionTrace,
+    VarEqualsConst,
+)
+from repro.core.temporal import NextAssertion, UntilAssertion
+from repro.traces.power import PowerTrace
+
+
+def props(n):
+    return [
+        Proposition(f"p_{i}", [VarEqualsConst("x", i)]) for i in range(n)
+    ]
+
+
+@pytest.fixture
+def example():
+    p = props(4)
+    gamma = PropositionTrace(
+        [p[0], p[0], p[0], p[1], p[1], p[1], p[2], p[3]]
+    )
+    delta = PowerTrace(
+        [3.349, 3.339, 3.353, 1.902, 1.906, 1.944, 3.350, 3.343]
+    )
+    return p, gamma, delta
+
+
+class TestFig5Example:
+    def test_three_states_chain(self, example):
+        p, gamma, delta = example
+        psm = generate_psm(gamma, delta)
+        assert len(psm) == 3
+        assert len(psm.transitions) == 2
+        assert psm.is_chain()
+
+    def test_state_assertions(self, example):
+        p, gamma, delta = example
+        states = generate_psm(gamma, delta).states
+        assert states[0].assertion == UntilAssertion(p[0], p[1])
+        assert states[1].assertion == UntilAssertion(p[1], p[2])
+        assert states[2].assertion == NextAssertion(p[2], p[3])
+
+    def test_power_attributes(self, example):
+        p, gamma, delta = example
+        states = generate_psm(gamma, delta).states
+        assert states[0].mu == pytest.approx(
+            (3.349 + 3.339 + 3.353) / 3
+        )
+        assert states[0].n == 3
+        assert states[1].mu == pytest.approx((1.902 + 1.906 + 1.944) / 3)
+        assert states[2].mu == pytest.approx(3.350)
+        assert states[2].n == 1
+
+    def test_enabling_functions_are_exit_propositions(self, example):
+        """The transition guard is the FIFO's f[1] at recognition time."""
+        p, gamma, delta = example
+        psm = generate_psm(gamma, delta)
+        transitions = psm.transitions
+        assert transitions[0].enabling is p[1]
+        assert transitions[1].enabling is p[2]
+
+    def test_first_state_is_initial(self, example):
+        p, gamma, delta = example
+        psm = generate_psm(gamma, delta)
+        assert psm.initial_states == [psm.states[0]]
+
+    def test_intervals_record_trace_position(self, example):
+        p, gamma, delta = example
+        states = generate_psm(gamma, delta).states
+        interval = states[1].intervals[0]
+        assert (interval.trace_id, interval.start, interval.stop) == (0, 3, 5)
+
+
+class TestValidation:
+    def test_short_power_trace_rejected(self, example):
+        p, gamma, _ = example
+        with pytest.raises(ValueError):
+            generate_psm(gamma, PowerTrace([1.0]))
+
+    def test_empty_proposition_trace_yields_empty_psm(self):
+        psm = generate_psm(PropositionTrace([]), PowerTrace([]))
+        assert len(psm) == 0
+
+    def test_generated_psm_validates(self, example):
+        p, gamma, delta = example
+        generate_psm(gamma, delta).validate()
+
+
+class TestGeneratePsms:
+    def test_one_psm_per_trace(self, example):
+        p, gamma, delta = example
+        gamma2 = PropositionTrace(list(gamma), trace_id=1)
+        psms = generate_psms([gamma, gamma2], [delta, delta])
+        assert len(psms) == 2
+        assert psms[0].name == "psm_t0"
+        assert psms[1].name == "psm_t1"
+
+    def test_mismatched_counts_rejected(self, example):
+        p, gamma, delta = example
+        with pytest.raises(ValueError):
+            generate_psms([gamma], [delta, delta])
+
+    def test_wrong_trace_ids_rejected(self, example):
+        p, gamma, delta = example
+        bad = PropositionTrace(list(gamma), trace_id=5)
+        with pytest.raises(ValueError):
+            generate_psms([bad], [delta])
+
+    def test_state_ids_globally_unique(self, example):
+        p, gamma, delta = example
+        gamma2 = PropositionTrace(list(gamma), trace_id=1)
+        psms = generate_psms([gamma, gamma2], [delta, delta])
+        ids = [s.sid for psm in psms for s in psm.states]
+        assert len(set(ids)) == len(ids)
+
+
+class TestEndToEndFromMining:
+    def test_fig3_to_fig5(self, fig3_trace, fig3_power, fig3_miner):
+        """Full path: Fig. 3 functional trace -> Fig. 5 PSM."""
+        result = fig3_miner.mine(fig3_trace)
+        psm = generate_psm(result.proposition_trace, fig3_power)
+        assert [str(s.assertion) for s in psm.states] == [
+            "p_a U p_b",
+            "p_b U p_c",
+            "p_c X p_d",
+        ]

@@ -1,0 +1,120 @@
+"""Tests for the hierarchical-PSM extension (paper Sec. VII future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import (
+    HierarchicalPsmFlow,
+    run_hierarchical_power_simulation,
+)
+from repro.core.metrics import mre
+from repro.core.pipeline import PsmFlow
+from repro.power.estimator import run_power_simulation
+from repro.testbench import BENCHMARKS
+
+
+@pytest.fixture(scope="module")
+def camellia_material():
+    spec = BENCHMARKS["Camellia"]
+    training = run_hierarchical_power_simulation(
+        spec.module_class(), spec.short_ts()
+    )
+    return spec, training
+
+
+class TestTrainingPair:
+    def test_probe_variables_recorded(self, camellia_material):
+        spec, training = camellia_material
+        assert "cycle_counter" in training.trace
+
+    def test_components_cover_the_module(self, camellia_material):
+        spec, training = camellia_material
+        assert {"feistel_left", "fl_layer", "sbox_unit"} <= set(
+            training.components
+        )
+
+    def test_component_traces_sum_to_total(self, camellia_material):
+        spec, training = camellia_material
+        summed = np.sum(
+            [t.values for t in training.components.values()], axis=0
+        )
+        # per-component noise streams differ from the total's, so allow
+        # the noise scale (0.2% relative) in the comparison
+        assert np.allclose(summed, training.total.values, rtol=0.05, atol=1e-4)
+
+    def test_lengths_consistent(self, camellia_material):
+        spec, training = camellia_material
+        for trace in training.components.values():
+            assert len(trace) == len(training.trace)
+
+
+class TestHierarchicalFlow:
+    def test_fit_creates_one_flow_per_component(self, camellia_material):
+        spec, training = camellia_material
+        flow = HierarchicalPsmFlow().fit([training])
+        assert set(flow.flows) == set(training.components)
+        assert flow.total_states() > len(flow.flows)
+
+    def test_estimate_sums_components(self, camellia_material):
+        spec, training = camellia_material
+        flow = HierarchicalPsmFlow().fit([training])
+        result = flow.estimate(training.trace)
+        summed = np.sum(
+            [
+                r.estimated.values
+                for r in result.per_component.values()
+            ],
+            axis=0,
+        )
+        assert np.allclose(result.estimated.values, summed)
+
+    def test_beats_flat_model_on_camellia(self, camellia_material):
+        """The headline of the extension: the paper's Sec. VII claim."""
+        spec, training = camellia_material
+        flat_training = run_power_simulation(
+            spec.module_class(), spec.short_ts()
+        )
+        flat = PsmFlow(spec.flow_config()).fit(
+            [flat_training.trace], [flat_training.power]
+        )
+        flat_error = mre(
+            flat.estimate(flat_training.trace).estimated,
+            flat_training.power,
+        )
+        hier = HierarchicalPsmFlow().fit([training])
+        hier_error = mre(
+            hier.estimate(training.trace).estimated, training.total
+        )
+        assert hier_error < flat_error / 2
+
+    def test_estimate_requires_fit(self, camellia_material):
+        spec, training = camellia_material
+        with pytest.raises(RuntimeError):
+            HierarchicalPsmFlow().estimate(training.trace)
+
+    def test_fit_requires_training(self):
+        with pytest.raises(ValueError):
+            HierarchicalPsmFlow().fit([])
+
+    def test_mismatched_component_sets_rejected(self, camellia_material):
+        spec, training = camellia_material
+        other = run_hierarchical_power_simulation(
+            BENCHMARKS["RAM"].module_class(), BENCHMARKS["RAM"].short_ts()
+        )
+        with pytest.raises(ValueError):
+            HierarchicalPsmFlow().fit([training, other])
+
+    def test_generalises_to_long_trace(self, camellia_material):
+        """Evaluated on covered behaviours (no clock gating, which the
+        Camellia verification suite deliberately lacks — that coverage
+        gap is the WSP story, tested separately)."""
+        from repro.testbench import camellia_long_ts
+
+        spec, training = camellia_material
+        flow = HierarchicalPsmFlow().fit([training])
+        evaluation = run_hierarchical_power_simulation(
+            spec.module_class(),
+            camellia_long_ts(2000, include_gating=False),
+        )
+        result = flow.estimate(evaluation.trace)
+        assert mre(result.estimated, evaluation.total) < 15.0

@@ -1,0 +1,167 @@
+"""Tests for the HMM over a PSM set (paper Sec. V)."""
+
+import numpy as np
+import pytest
+
+from repro.core.attributes import Interval, PowerAttributes
+from repro.core.hmm import PsmHmm
+from repro.core.propositions import Proposition, VarEqualsConst
+from repro.core.psm import PSM, PowerState, Transition
+from repro.core.temporal import ChoiceAssertion, UntilAssertion
+
+
+def props(n):
+    return [
+        Proposition(f"p_{i}", [VarEqualsConst("x", i)]) for i in range(n)
+    ]
+
+
+def build_set():
+    """A small PSM with a non-deterministic choice.
+
+    idle --p1--> busy_a (p1 U p0)
+    idle --p1--> busy_b (p1 U p0)   [same guard: non-deterministic]
+    plus a second machine with one state to populate pi.
+    """
+    p = props(3)
+    idle_assert = UntilAssertion(p[0], p[1])
+    busy_assert = UntilAssertion(p[1], p[0])
+    idle = PowerState(
+        assertion=idle_assert,
+        attributes=PowerAttributes(1.0, 0.1, 10),
+        intervals=[Interval(0, 0, 9)],
+    )
+    busy_a = PowerState(
+        assertion=busy_assert,
+        attributes=PowerAttributes(5.0, 0.1, 6),
+        intervals=[Interval(0, 10, 15)],
+    )
+    busy_b = PowerState(
+        assertion=busy_assert,
+        attributes=PowerAttributes(9.0, 0.1, 3),
+        intervals=[Interval(0, 20, 22)],
+    )
+    psm = PSM("m0")
+    psm.add_state(idle, initial=True)
+    psm.add_state(busy_a)
+    psm.add_state(busy_b)
+    psm.add_transition(Transition(idle.sid, busy_a.sid, p[1]))
+    psm.add_transition(Transition(idle.sid, busy_b.sid, p[1]))
+    psm.add_transition(Transition(busy_a.sid, idle.sid, p[0]))
+
+    other = PSM("m1")
+    lone = PowerState(
+        assertion=idle_assert,
+        attributes=PowerAttributes(1.1, 0.1, 4),
+        intervals=[Interval(1, 0, 3)],
+    )
+    other.add_state(lone, initial=True)
+    return p, psm, other, (idle, busy_a, busy_b, lone)
+
+
+class TestConstruction:
+    def test_state_universe(self):
+        p, psm, other, states = build_set()
+        hmm = PsmHmm([psm, other])
+        assert len(hmm.state_ids) == 4
+
+    def test_transition_matrix_rows_normalised(self):
+        p, psm, other, states = build_set()
+        hmm = PsmHmm([psm, other])
+        sums = hmm.A.sum(axis=1)
+        for value in sums:
+            assert value == pytest.approx(1.0) or value == 0.0
+
+    def test_transition_counts(self):
+        p, psm, other, (idle, busy_a, busy_b, lone) = build_set()
+        hmm = PsmHmm([psm, other])
+        i = hmm.index_of(idle.sid)
+        assert hmm.A[i, hmm.index_of(busy_a.sid)] == pytest.approx(0.5)
+        assert hmm.A[i, hmm.index_of(busy_b.sid)] == pytest.approx(0.5)
+
+    def test_observation_matrix(self):
+        p, psm, other, (idle, busy_a, busy_b, lone) = build_set()
+        hmm = PsmHmm([psm, other])
+        row = hmm.B[hmm.index_of(idle.sid)]
+        column = hmm.observation_index(idle.assertion)
+        assert row[column] == pytest.approx(1.0)
+
+    def test_observation_multiplicity_from_join(self):
+        p, psm, other, (idle, busy_a, busy_b, lone) = build_set()
+        choice = ChoiceAssertion(
+            [idle.assertion, idle.assertion, busy_a.assertion]
+        )
+        merged = PowerState(
+            assertion=choice,
+            attributes=PowerAttributes(1.0, 0.1, 4),
+            intervals=[Interval(0, 0, 3)],
+        )
+        solo = PSM("m2")
+        solo.add_state(merged, initial=True)
+        hmm = PsmHmm([solo])
+        row = hmm.B[hmm.index_of(merged.sid)]
+        idle_col = hmm.observation_index(idle.assertion)
+        busy_col = hmm.observation_index(busy_a.assertion)
+        assert row[idle_col] == pytest.approx(2 / 3)
+        assert row[busy_col] == pytest.approx(1 / 3)
+
+    def test_pi_from_interval_starts(self):
+        p, psm, other, (idle, busy_a, busy_b, lone) = build_set()
+        hmm = PsmHmm([psm, other])
+        # idle (trace 0) and lone (trace 1) both start at instant 0
+        assert hmm.pi[hmm.index_of(idle.sid)] == pytest.approx(0.5)
+        assert hmm.pi[hmm.index_of(lone.sid)] == pytest.approx(0.5)
+        assert hmm.pi[hmm.index_of(busy_a.sid)] == 0.0
+
+
+class TestFiltering:
+    def test_initial_belief_is_pi(self):
+        p, psm, other, _ = build_set()
+        hmm = PsmHmm([psm, other])
+        assert np.allclose(hmm.initial_belief(), hmm.pi)
+
+    def test_filter_step_propagates_and_weights(self):
+        p, psm, other, (idle, busy_a, busy_b, lone) = build_set()
+        hmm = PsmHmm([psm, other])
+        belief = hmm.belief_for_state(idle.sid)
+        after = hmm.filter_step(belief, busy_a.assertion)
+        assert after[hmm.index_of(busy_a.sid)] > 0
+        assert after.sum() == pytest.approx(1.0)
+
+    def test_filter_step_unknown_symbol_predicts_only(self):
+        p, psm, other, (idle, busy_a, busy_b, lone) = build_set()
+        hmm = PsmHmm([psm, other])
+        belief = hmm.belief_for_state(idle.sid)
+        after = hmm.filter_step(belief, None)
+        assert after.sum() == pytest.approx(1.0)
+
+    def test_best_candidate_prefers_probable(self):
+        p, psm, other, (idle, busy_a, busy_b, lone) = build_set()
+        hmm = PsmHmm([psm, other])
+        hmm.A[hmm.index_of(idle.sid), hmm.index_of(busy_a.sid)] = 0.8
+        hmm.A[hmm.index_of(idle.sid), hmm.index_of(busy_b.sid)] = 0.2
+        belief = hmm.belief_for_state(idle.sid)
+        best = hmm.best_candidate(belief, [busy_a.sid, busy_b.sid])
+        assert best == busy_a.sid
+
+    def test_best_candidate_empty(self):
+        p, psm, other, _ = build_set()
+        hmm = PsmHmm([psm, other])
+        assert hmm.best_candidate(hmm.initial_belief(), []) is None
+
+
+class TestBanTransition:
+    def test_ban_zeroes_and_renormalises(self):
+        p, psm, other, (idle, busy_a, busy_b, lone) = build_set()
+        hmm = PsmHmm([psm, other])
+        hmm.ban_transition(idle.sid, busy_a.sid)
+        i = hmm.index_of(idle.sid)
+        assert hmm.A[i, hmm.index_of(busy_a.sid)] == 0.0
+        assert hmm.A[i, hmm.index_of(busy_b.sid)] == pytest.approx(1.0)
+
+    def test_ban_last_transition_leaves_zero_row(self):
+        p, psm, other, (idle, busy_a, busy_b, lone) = build_set()
+        hmm = PsmHmm([psm, other])
+        hmm.ban_transition(idle.sid, busy_a.sid)
+        hmm.ban_transition(idle.sid, busy_b.sid)
+        assert hmm.A[hmm.index_of(idle.sid)].sum() == 0.0

@@ -1,0 +1,170 @@
+"""Tests for the merge decision (paper Sec. IV-A)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.attributes import PowerAttributes
+from repro.core.mergeability import (
+    MergePolicy,
+    single_observation_t_test,
+    variance_f_test,
+    welch_t_test,
+)
+from repro.core.propositions import Proposition, VarEqualsConst
+from repro.core.psm import PowerState, RegressionPower
+from repro.core.temporal import UntilAssertion
+
+
+def attrs(mu, sigma, n):
+    return PowerAttributes(mu=mu, sigma=sigma, n=n)
+
+
+class TestWelch:
+    def test_matches_scipy_on_samples(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(5.0, 1.0, 40)
+        b = rng.normal(5.2, 1.5, 25)
+        ours = welch_t_test(
+            attrs(float(a.mean()), float(a.std()), len(a)),
+            attrs(float(b.mean()), float(b.std()), len(b)),
+        )
+        _, scipy_p = stats.ttest_ind(a, b, equal_var=False)
+        assert ours == pytest.approx(scipy_p, rel=1e-9)
+
+    def test_identical_samples_merge(self):
+        a = attrs(3.0, 0.5, 20)
+        assert welch_t_test(a, a) == pytest.approx(1.0)
+
+    def test_zero_variance_equal_means(self):
+        assert welch_t_test(attrs(3.0, 0.0, 5), attrs(3.0, 0.0, 5)) == 1.0
+
+    def test_zero_variance_distinct_means(self):
+        assert welch_t_test(attrs(3.0, 0.0, 5), attrs(4.0, 0.0, 5)) == 0.0
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            welch_t_test(attrs(1.0, 0.0, 1), attrs(1.0, 0.1, 5))
+
+    def test_clearly_different_means_rejected(self):
+        p = welch_t_test(attrs(1.0, 0.1, 30), attrs(2.0, 0.1, 30))
+        assert p < 1e-6
+
+
+class TestSingleObservation:
+    def test_observation_at_mean_merges(self):
+        p = single_observation_t_test(5.0, attrs(5.0, 1.0, 20))
+        assert p == pytest.approx(1.0)
+
+    def test_far_observation_rejected(self):
+        p = single_observation_t_test(15.0, attrs(5.0, 1.0, 20))
+        assert p < 0.001
+
+    def test_zero_variance_sample(self):
+        assert single_observation_t_test(5.0, attrs(5.0, 0.0, 5)) == 1.0
+        assert single_observation_t_test(6.0, attrs(5.0, 0.0, 5)) == 0.0
+
+    def test_needs_real_sample(self):
+        with pytest.raises(ValueError):
+            single_observation_t_test(1.0, attrs(1.0, 0.0, 1))
+
+
+class TestVarianceFTest:
+    def test_matches_scipy(self):
+        a = attrs(1.0, 0.2, 12)
+        b = attrs(1.0, 0.35, 8)
+        var_a = 0.2 ** 2 * 12 / 11
+        var_b = 0.35 ** 2 * 8 / 7
+        expected = min(1.0, 2 * stats.f.sf(var_b / var_a, 7, 11))
+        assert variance_f_test(a, b) == pytest.approx(expected, rel=1e-9)
+
+    def test_symmetric(self):
+        a = attrs(1.0, 0.2, 12)
+        b = attrs(1.0, 0.6, 9)
+        assert variance_f_test(a, b) == pytest.approx(variance_f_test(b, a))
+
+    def test_equal_variances(self):
+        a = attrs(1.0, 0.3, 10)
+        assert variance_f_test(a, a) == pytest.approx(1.0)
+
+    def test_zero_vs_nonzero(self):
+        assert variance_f_test(attrs(1, 0.0, 5), attrs(1, 0.5, 5)) == 0.0
+        assert variance_f_test(attrs(1, 0.0, 5), attrs(1, 0.0, 5)) == 1.0
+
+
+class TestMergePolicy:
+    def test_case1_next_next_within_epsilon(self):
+        policy = MergePolicy(epsilon=0.5, epsilon_rel=0.0)
+        assert policy.mergeable_attributes(
+            attrs(1.0, 0.0, 1), attrs(1.3, 0.0, 1)
+        )
+        assert not policy.mergeable_attributes(
+            attrs(1.0, 0.0, 1), attrs(1.6, 0.0, 1)
+        )
+
+    def test_case1_relative_epsilon(self):
+        policy = MergePolicy(epsilon=0.0, epsilon_rel=0.1)
+        assert policy.mergeable_attributes(
+            attrs(10.0, 0.0, 1), attrs(10.9, 0.0, 1)
+        )
+        assert not policy.mergeable_attributes(
+            attrs(10.0, 0.0, 1), attrs(11.5, 0.0, 1)
+        )
+
+    def test_case2_until_until_uses_welch(self):
+        policy = MergePolicy(alpha=0.05, max_cv=None, variance_alpha=None)
+        same = attrs(5.0, 1.0, 30)
+        near = attrs(5.05, 1.0, 30)
+        far = attrs(8.0, 1.0, 30)
+        assert policy.mergeable_attributes(same, near)
+        assert not policy.mergeable_attributes(same, far)
+
+    def test_case3_until_next(self):
+        policy = MergePolicy(alpha=0.05, max_cv=None)
+        until = attrs(5.0, 1.0, 30)
+        assert policy.mergeable_attributes(until, attrs(5.3, 0.0, 1))
+        assert not policy.mergeable_attributes(until, attrs(15.0, 0.0, 1))
+        # symmetric dispatch
+        assert policy.mergeable_attributes(attrs(5.3, 0.0, 1), until)
+
+    def test_variance_gate_blocks_incompatible_sigmas(self):
+        policy = MergePolicy(alpha=0.05, max_cv=None, variance_alpha=0.01)
+        tight = attrs(5.0, 0.01, 30)
+        wide = attrs(5.1, 3.0, 30)
+        # Welch alone would accept (the wide sigma hides the difference)
+        assert welch_t_test(tight, wide) > 0.05
+        assert not policy.mergeable_attributes(tight, wide)
+
+    def test_max_cv_guard(self):
+        policy = MergePolicy(max_cv=0.2, variance_alpha=None)
+        high_cv = attrs(1.0, 0.5, 10)
+        assert not policy.mergeable_attributes(high_cv, high_cv)
+
+    def test_data_dependent_states_never_merge(self):
+        prop = Proposition("p", [VarEqualsConst("x", 1)])
+        assertion = UntilAssertion(
+            prop, Proposition("q", [], [VarEqualsConst("x", 1)])
+        )
+        regular = PowerState(assertion=assertion, attributes=attrs(1, 0.1, 9))
+        refined = PowerState(
+            assertion=assertion,
+            attributes=attrs(1, 0.1, 9),
+            power_model=RegressionPower(0.1, 0.5, 0.9),
+        )
+        policy = MergePolicy(max_cv=None)
+        assert policy.mergeable(regular, regular)
+        assert not policy.mergeable(regular, refined)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epsilon": -1.0},
+            {"alpha": 0.0},
+            {"alpha": 1.0},
+            {"max_cv": 0.0},
+            {"variance_alpha": 1.5},
+        ],
+    )
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MergePolicy(**kwargs)

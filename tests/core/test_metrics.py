@@ -1,0 +1,56 @@
+"""Tests for the accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import mae, mean_power_error, mre, rmse
+from repro.traces.power import PowerTrace
+
+
+class TestMre:
+    def test_perfect_estimate_is_zero(self):
+        ref = PowerTrace([1.0, 2.0, 3.0])
+        assert mre(ref, ref) == 0.0
+
+    def test_constant_relative_error(self):
+        ref = np.array([1.0, 2.0, 4.0])
+        est = ref * 1.1
+        assert mre(est, ref) == pytest.approx(10.0)
+
+    def test_accepts_power_traces_and_arrays(self):
+        ref = PowerTrace([1.0, 2.0])
+        est = [1.1, 2.2]
+        assert mre(est, ref) == pytest.approx(10.0)
+
+    def test_zero_reference_floored(self):
+        ref = np.array([0.0, 1.0])
+        est = np.array([0.1, 1.0])
+        value = mre(est, ref)
+        assert np.isfinite(value)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mre([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mre([], [])
+
+
+class TestOtherMetrics:
+    def test_mae(self):
+        assert mae([1.0, 3.0], [2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_rmse(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_mean_power_error(self):
+        assert mean_power_error([2.0, 2.0], [1.0, 1.0]) == pytest.approx(
+            100.0
+        )
+
+    def test_mean_power_error_zero_reference(self):
+        assert mean_power_error([0.0], [0.0]) == 0.0
+        assert mean_power_error([1.0], [0.0]) == float("inf")

@@ -1,0 +1,287 @@
+"""Tests for the dynamic assertion miner (paper Sec. III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mining import (
+    AssertionMiner,
+    MinerConfig,
+    proposition_label,
+)
+from repro.core.propositions import VarCompare, VarEqualsConst
+from repro.traces.functional import FunctionalTrace
+from repro.traces.variables import bool_in, int_in, int_out
+
+
+def make_trace(columns, specs=None, name="t"):
+    if specs is None:
+        specs = [bool_in("en"), int_in("a", 4), int_in("b", 4)]
+    return FunctionalTrace(specs, columns, name=name)
+
+
+class TestLabels:
+    def test_alphabetic_then_numeric(self):
+        assert proposition_label(0) == "p_a"
+        assert proposition_label(25) == "p_z"
+        assert proposition_label(26) == "p_26"
+
+
+class TestFig3WorkedExample:
+    """The paper's Fig. 3: proposition extraction on the example trace."""
+
+    def test_proposition_trace_matches_paper(self, fig3_trace, fig3_miner):
+        result = fig3_miner.mine(fig3_trace)
+        labels = [p.label for p in result.proposition_trace]
+        # p_a holds on [0,2], p_b on [3,5], p_c at 6 and p_d at 7.
+        assert labels == ["p_a"] * 3 + ["p_b"] * 3 + ["p_c", "p_d"]
+
+    def test_p_a_formula_matches_paper(self, fig3_trace, fig3_miner):
+        result = fig3_miner.mine(fig3_trace)
+        p_a = result.propositions[0]
+        # paper: p_a = v1=true & v2=false & v3>v4
+        assert VarEqualsConst("v1", 1) in p_a.positives
+        assert VarCompare("v3", ">", "v4") in p_a.positives
+        assert VarEqualsConst("v2", 1) in p_a.negatives
+
+    def test_exactly_one_proposition_per_instant(self, fig3_trace, fig3_miner):
+        result = fig3_miner.mine(fig3_trace)
+        for i in range(len(fig3_trace)):
+            holding = [
+                p
+                for p in result.propositions
+                if p.evaluate(fig3_trace.at(i))
+            ]
+            assert holding == [result.proposition_trace[i]]
+
+    def test_matrix_shape(self, fig3_trace, fig3_miner):
+        result = fig3_miner.mine(fig3_trace)
+        assert result.matrix.shape == (8, len(result.atoms))
+
+
+class TestAtomCandidates:
+    def test_bool_atoms_mined(self):
+        trace = make_trace(
+            {"en": [0] * 6 + [1] * 6, "a": [0] * 12, "b": [0] * 12}
+        )
+        result = AssertionMiner(MinerConfig(min_avg_run=1.0)).mine(trace)
+        assert VarEqualsConst("en", 1) in result.atoms
+
+    def test_const_atoms_for_small_domains(self):
+        trace = make_trace(
+            {"en": [0] * 6, "a": [2, 2, 2, 7, 7, 7], "b": [0] * 6}
+        )
+        result = AssertionMiner(MinerConfig(min_avg_run=1.0)).mine(trace)
+        assert VarEqualsConst("a", 2) in result.atoms
+        assert VarEqualsConst("a", 7) in result.atoms
+
+    def test_const_atoms_skipped_for_large_domains(self):
+        trace = make_trace(
+            {
+                "en": [0] * 8,
+                "a": [0, 1, 2, 3, 4, 5, 6, 7],
+                "b": [0] * 8,
+            }
+        )
+        config = MinerConfig(min_avg_run=1.0, max_distinct_for_const=4)
+        result = AssertionMiner(config).mine(trace)
+        assert not any(
+            isinstance(x, VarEqualsConst) and x.var == "a"
+            for x in result.atoms
+        )
+
+    def test_const_atoms_skipped_for_wide_variables(self):
+        specs = [int_in("key", 128)]
+        trace = FunctionalTrace(specs, {"key": [5, 5, 9, 9]})
+        config = MinerConfig(min_avg_run=1.0, max_const_width=16)
+        result = AssertionMiner(config).mine(trace)
+        assert result.atoms == []
+
+    def test_comparisons_between_same_width(self):
+        trace = make_trace(
+            {"en": [0] * 20, "a": [1] * 10 + [5] * 10, "b": [3] * 20},
+        )
+        config = MinerConfig(min_avg_run=1.0, max_distinct_for_const=0)
+        result = AssertionMiner(config).mine(trace)
+        assert VarCompare("a", ">", "b") in result.atoms
+        assert VarCompare("a", "==", "b") in result.atoms
+
+    def test_comparisons_skipped_above_width_limit(self):
+        specs = [int_in("x", 128), int_in("y", 128)]
+        trace = FunctionalTrace(specs, {"x": [1, 2], "y": [3, 4]})
+        config = MinerConfig(min_avg_run=1.0, max_compare_width=64)
+        result = AssertionMiner(config).mine(trace)
+        assert result.atoms == []
+
+    def test_extra_atoms_injected(self):
+        atom = VarCompare("a", ">=", "b")
+        trace = make_trace({"en": [0] * 4, "a": [1] * 4, "b": [0] * 4})
+        config = MinerConfig(min_avg_run=1.0, extra_atoms=(atom,))
+        result = AssertionMiner(config).mine(trace)
+        assert atom in result.atoms
+
+
+class TestStabilityFilters:
+    def test_chattering_atom_dropped(self):
+        # en flips every cycle -> average run length 1
+        trace = make_trace(
+            {"en": [0, 1] * 10, "a": [0] * 20, "b": [0] * 20}
+        )
+        config = MinerConfig(min_avg_run=3.0)
+        result = AssertionMiner(config).mine(trace)
+        assert VarEqualsConst("en", 1) not in result.atoms
+
+    def test_stable_atom_kept(self):
+        trace = make_trace(
+            {"en": [0] * 10 + [1] * 10, "a": [0] * 20, "b": [0] * 20}
+        )
+        config = MinerConfig(min_avg_run=3.0)
+        result = AssertionMiner(config).mine(trace)
+        assert VarEqualsConst("en", 1) in result.atoms
+
+    def test_chatter_fraction_filter(self):
+        # long stable prefix inflates the average run length, but half
+        # the trace chatters: the local-stability filter must drop it.
+        signal = [0] * 60 + [0, 1] * 30
+        trace = make_trace(
+            {"en": signal, "a": [0] * 120, "b": [0] * 120}
+        )
+        config = MinerConfig(
+            min_avg_run=2.0, min_stable_run=3, max_chatter_fraction=0.25
+        )
+        result = AssertionMiner(config).mine(trace)
+        assert VarEqualsConst("en", 1) not in result.atoms
+
+    def test_single_cycle_pulses_survive_chatter_filter(self):
+        # a control pulse once every 16 cycles covers few instants
+        signal = ([1] + [0] * 15) * 8
+        trace = make_trace(
+            {"en": signal, "a": [0] * 128, "b": [0] * 128}
+        )
+        config = MinerConfig(
+            min_avg_run=2.0, min_stable_run=3, max_chatter_fraction=0.25
+        )
+        result = AssertionMiner(config).mine(trace)
+        assert VarEqualsConst("en", 1) in result.atoms
+
+    def test_constant_atom_kept(self):
+        trace = make_trace({"en": [1] * 10, "a": [0] * 10, "b": [0] * 10})
+        result = AssertionMiner(MinerConfig(min_avg_run=3.0)).mine(trace)
+        assert VarEqualsConst("en", 1) in result.atoms
+
+    def test_min_support_filter(self):
+        signal = [1] * 1 + [0] * 99
+        trace = make_trace(
+            {"en": signal, "a": [0] * 100, "b": [0] * 100}
+        )
+        config = MinerConfig(min_avg_run=1.0, min_support=0.05)
+        result = AssertionMiner(config).mine(trace)
+        assert VarEqualsConst("en", 1) not in result.atoms
+
+
+class TestComposition:
+    def test_one_and_only_one_proposition_holds(self):
+        rng = np.random.default_rng(0)
+        trace = make_trace(
+            {
+                "en": rng.integers(0, 2, 64).tolist(),
+                "a": rng.integers(0, 4, 64).tolist(),
+                "b": rng.integers(0, 4, 64).tolist(),
+            }
+        )
+        result = AssertionMiner(
+            MinerConfig(min_avg_run=1.0, max_chatter_fraction=1.0)
+        ).mine(trace)
+        for i in range(len(trace)):
+            holding = [
+                p for p in result.propositions if p.evaluate(trace.at(i))
+            ]
+            assert len(holding) == 1
+
+    def test_labels_in_first_seen_order(self, fig3_trace, fig3_miner):
+        result = fig3_miner.mine(fig3_trace)
+        assert [p.label for p in result.propositions] == [
+            "p_a",
+            "p_b",
+            "p_c",
+            "p_d",
+        ]
+
+
+class TestMineMany:
+    def test_shared_universe_across_traces(self):
+        t1 = make_trace({"en": [0] * 4, "a": [0] * 4, "b": [0] * 4})
+        t2 = make_trace({"en": [0] * 4, "a": [0] * 4, "b": [0] * 4})
+        result = AssertionMiner(MinerConfig(min_avg_run=1.0)).mine_many(
+            [t1, t2]
+        )
+        assert result.traces[0][0] is result.traces[1][0]
+        assert result.traces[0].trace_id == 0
+        assert result.traces[1].trace_id == 1
+
+    def test_incompatible_traces_rejected(self):
+        t1 = make_trace({"en": [0], "a": [0], "b": [0]})
+        t2 = FunctionalTrace([bool_in("x")], {"x": [0]})
+        with pytest.raises(ValueError):
+            AssertionMiner().mine_many([t1, t2])
+
+    def test_empty_trace_rejected(self):
+        t1 = make_trace({"en": [], "a": [], "b": []})
+        with pytest.raises(ValueError):
+            AssertionMiner().mine(t1)
+
+    def test_no_traces_rejected(self):
+        with pytest.raises(ValueError):
+            AssertionMiner().mine_many([])
+
+    def test_single_trace_accessors_guarded(self):
+        t1 = make_trace({"en": [0], "a": [0], "b": [0]})
+        t2 = make_trace({"en": [1], "a": [0], "b": [0]})
+        result = AssertionMiner(MinerConfig(min_avg_run=1.0)).mine_many(
+            [t1, t2]
+        )
+        with pytest.raises(ValueError):
+            result.proposition_trace
+        with pytest.raises(ValueError):
+            result.matrix
+
+
+class TestLabeler:
+    def test_label_matches_mining(self, fig3_trace, fig3_miner):
+        result = fig3_miner.mine(fig3_trace)
+        labels = result.labeler.label(fig3_trace)
+        assert labels == list(result.proposition_trace)
+
+    def test_unknown_row_labels_none(self, fig3_trace, fig3_miner):
+        result = fig3_miner.mine(fig3_trace)
+        unseen = FunctionalTrace(
+            fig3_trace.variables,
+            {"v1": [0], "v2": [0], "v3": [0], "v4": [1]},
+        )
+        # v1=false & v2=false & v3<v4 was never seen in training
+        assert result.labeler.label(unseen) == [None]
+
+    def test_label_assignment_matches_batch(self, fig3_trace, fig3_miner):
+        result = fig3_miner.mine(fig3_trace)
+        for i in range(len(fig3_trace)):
+            assert result.labeler.label_assignment(
+                fig3_trace.at(i)
+            ) is result.labeler.label(fig3_trace)[i]
+
+    def test_label_assignment_cache_consistent(self, fig3_trace, fig3_miner):
+        result = fig3_miner.mine(fig3_trace)
+        row = fig3_trace.at(0)
+        first = result.labeler.label_assignment(row)
+        second = result.labeler.label_assignment(row)  # cached path
+        assert first is second
+
+    def test_empty_alphabet_labels_single_proposition(self):
+        trace = make_trace({"en": [0, 1], "a": [0, 0], "b": [0, 0]})
+        config = MinerConfig(
+            include_bool_atoms=False,
+            include_comparisons=False,
+            max_distinct_for_const=0,
+        )
+        result = AssertionMiner(config).mine(trace)
+        assert len(result.propositions) == 1
+        labels = result.labeler.label(trace)
+        assert labels[0] is labels[1] is result.propositions[0]

@@ -1,0 +1,122 @@
+"""Tests for the end-to-end flow (paper Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mergeability import MergePolicy
+from repro.core.mining import MinerConfig
+from repro.core.pipeline import FlowConfig, PsmFlow, fit_flow
+from repro.core.psm import total_states
+from repro.traces.functional import FunctionalTrace
+from repro.traces.power import PowerTrace
+from repro.traces.variables import int_in
+
+
+def world(pattern, seed=0):
+    values = []
+    for mode, count in pattern:
+        values.extend([mode] * count)
+    trace = FunctionalTrace([int_in("x", 2)], {"x": values})
+    levels = {0: 1.0, 1: 5.0, 2: 2.0}
+    rng = np.random.default_rng(seed)
+    power = PowerTrace(
+        [levels[v] * (1 + rng.normal(0, 0.002)) for v in values]
+    )
+    return trace, power
+
+
+def config(**overrides):
+    base = dict(
+        miner=MinerConfig(min_avg_run=1.0, max_chatter_fraction=1.0),
+        merge=MergePolicy(max_cv=None),
+    )
+    base.update(overrides)
+    return FlowConfig(**base)
+
+
+class TestFit:
+    def test_basic_fit(self):
+        trace, power = world([(0, 5), (1, 5), (0, 5), (1, 5), (0, 2)])
+        flow = PsmFlow(config()).fit([trace], [power])
+        assert flow.fitted
+        assert flow.report.n_states < flow.report.n_raw_states
+        assert flow.report.training_instants == len(trace)
+
+    def test_multiple_training_traces(self):
+        t1, p1 = world([(0, 5), (1, 5), (0, 3)])
+        t2, p2 = world([(0, 5), (2, 5), (0, 3)], seed=1)
+        flow = PsmFlow(config()).fit([t1, t2], [p1, p2])
+        # idle states of both traces join into one machine
+        assert flow.report.n_psms == 1
+
+    def test_estimate_before_fit_rejected(self):
+        flow = PsmFlow()
+        with pytest.raises(RuntimeError):
+            flow.estimate(world([(0, 3)])[0])
+        with pytest.raises(RuntimeError):
+            flow.simulator()
+
+    def test_length_mismatch_rejected(self):
+        trace, power = world([(0, 5)])
+        with pytest.raises(ValueError):
+            PsmFlow().fit([trace], [PowerTrace([1.0])])
+
+    def test_counts_mismatch_rejected(self):
+        trace, power = world([(0, 5)])
+        with pytest.raises(ValueError):
+            PsmFlow().fit([trace], [power, power])
+
+    def test_no_traces_rejected(self):
+        with pytest.raises(ValueError):
+            PsmFlow().fit([], [])
+
+    def test_fit_flow_convenience(self):
+        trace, power = world([(0, 5), (1, 5), (0, 2)])
+        flow = fit_flow([trace], [power], config())
+        assert flow.fitted
+
+
+class TestAblationFlags:
+    def test_no_simplify_keeps_chains_longer(self):
+        trace, power = world([(0, 5), (1, 5)] * 6 + [(0, 2)])
+        full = PsmFlow(config()).fit([trace], [power])
+        no_join = PsmFlow(config(apply_join=False)).fit([trace], [power])
+        assert no_join.report.n_states >= full.report.n_states
+
+    def test_no_optimisation_equals_raw(self):
+        trace, power = world([(0, 5), (1, 5)] * 4 + [(0, 2)])
+        flow = PsmFlow(
+            config(apply_simplify=False, apply_join=False, apply_refine=False)
+        ).fit([trace], [power])
+        assert flow.report.n_states == flow.report.n_raw_states
+
+    def test_raw_psms_survive_optimisation(self):
+        trace, power = world([(0, 5), (1, 5)] * 4 + [(0, 2)])
+        flow = PsmFlow(config()).fit([trace], [power])
+        assert total_states(flow.raw_psms) == flow.report.n_raw_states
+        # raw chain states keep constant outputs even if refine ran
+        for psm in flow.raw_psms:
+            psm.validate()
+
+
+class TestEvaluate:
+    def test_evaluate_returns_metrics(self):
+        trace, power = world([(0, 5), (1, 5), (0, 5), (1, 5), (0, 2)])
+        flow = PsmFlow(config()).fit([trace], [power])
+        scores = flow.evaluate(trace, power)
+        assert set(scores) == {
+            "mre",
+            "mae",
+            "rmse",
+            "wsp",
+            "wrong_state_pct",
+            "desync_fraction",
+            "estimation_time",
+        }
+        assert scores["mre"] < 1.0  # essentially exact on the trainset
+
+    def test_report_row(self):
+        trace, power = world([(0, 5), (1, 5), (0, 2)])
+        flow = PsmFlow(config()).fit([trace], [power])
+        row = flow.report.row()
+        assert row[0] == len(trace)

@@ -1,0 +1,142 @@
+"""Tests for atomic propositions and minterm propositions."""
+
+import numpy as np
+import pytest
+
+from repro.core.propositions import (
+    Proposition,
+    PropositionTrace,
+    VarCompare,
+    VarEqualsConst,
+)
+from repro.traces.functional import FunctionalTrace
+from repro.traces.variables import bool_in, int_in
+
+
+@pytest.fixture
+def trace():
+    return FunctionalTrace(
+        [bool_in("en"), int_in("a", 4), int_in("b", 4)],
+        {"en": [1, 0, 1], "a": [3, 5, 5], "b": [3, 2, 7]},
+    )
+
+
+class TestVarEqualsConst:
+    def test_evaluate(self):
+        atom = VarEqualsConst("a", 5)
+        assert atom.evaluate({"a": 5})
+        assert not atom.evaluate({"a": 4})
+
+    def test_evaluate_trace(self, trace):
+        atom = VarEqualsConst("a", 5)
+        assert atom.evaluate_trace(trace).tolist() == [False, True, True]
+
+    def test_bool_display(self):
+        assert str(VarEqualsConst("en", 1, is_bool=True)) == "en=true"
+        assert str(VarEqualsConst("en", 0, is_bool=True)) == "en=false"
+
+    def test_int_display(self):
+        assert str(VarEqualsConst("a", 5)) == "a=5"
+
+    def test_equality_ignores_display_flag(self):
+        assert VarEqualsConst("a", 1, is_bool=True) == VarEqualsConst("a", 1)
+        assert hash(VarEqualsConst("a", 1, is_bool=True)) == hash(
+            VarEqualsConst("a", 1)
+        )
+
+    def test_variables(self):
+        assert VarEqualsConst("a", 1).variables() == ("a",)
+
+
+class TestVarCompare:
+    def test_all_operators(self):
+        row = {"a": 3, "b": 5}
+        assert VarCompare("a", "<", "b").evaluate(row)
+        assert VarCompare("a", "<=", "b").evaluate(row)
+        assert VarCompare("a", "!=", "b").evaluate(row)
+        assert not VarCompare("a", ">", "b").evaluate(row)
+        assert not VarCompare("a", ">=", "b").evaluate(row)
+        assert not VarCompare("a", "==", "b").evaluate(row)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            VarCompare("a", "<>", "b")
+
+    def test_evaluate_trace(self, trace):
+        atom = VarCompare("a", ">", "b")
+        assert atom.evaluate_trace(trace).tolist() == [False, True, False]
+
+    def test_display(self):
+        assert str(VarCompare("a", ">", "b")) == "a>b"
+
+    def test_equality(self):
+        assert VarCompare("a", ">", "b") == VarCompare("a", ">", "b")
+        assert VarCompare("a", ">", "b") != VarCompare("b", ">", "a")
+
+    def test_variables(self):
+        assert VarCompare("a", ">", "b").variables() == ("a", "b")
+
+
+class TestProposition:
+    def test_minterm_evaluation(self):
+        prop = Proposition(
+            "p",
+            positives=[VarEqualsConst("en", 1)],
+            negatives=[VarCompare("a", ">", "b")],
+        )
+        assert prop.evaluate({"en": 1, "a": 1, "b": 2})
+        assert not prop.evaluate({"en": 1, "a": 3, "b": 2})
+        assert not prop.evaluate({"en": 0, "a": 1, "b": 2})
+
+    def test_conflicting_atoms_rejected(self):
+        atom = VarEqualsConst("en", 1)
+        with pytest.raises(ValueError):
+            Proposition("p", [atom], [atom])
+
+    def test_evaluate_trace(self, trace):
+        prop = Proposition(
+            "p",
+            positives=[VarEqualsConst("en", 1)],
+            negatives=[VarCompare("a", "==", "b")],
+        )
+        assert prop.evaluate_trace(trace).tolist() == [False, False, True]
+
+    def test_equality_by_minterm_not_label(self):
+        a = Proposition("p_a", [VarEqualsConst("en", 1)])
+        b = Proposition("p_zz", [VarEqualsConst("en", 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_mutual_exclusivity_over_same_alphabet(self, trace):
+        atom = VarEqualsConst("en", 1)
+        positive = Proposition("p", [atom], [])
+        negative = Proposition("q", [], [atom])
+        both = positive.evaluate_trace(trace) & negative.evaluate_trace(trace)
+        assert not both.any()
+
+    def test_formula_lists_positives(self):
+        prop = Proposition(
+            "p",
+            [VarEqualsConst("en", 1, is_bool=True), VarCompare("a", ">", "b")],
+            [VarEqualsConst("a", 0)],
+        )
+        assert prop.formula() == "a>b & en=true"
+
+    def test_empty_formula(self):
+        assert Proposition("p", []).formula() == "true"
+
+
+class TestPropositionTrace:
+    def test_indexing_and_nil(self):
+        p = Proposition("p", [])
+        trace = PropositionTrace([p, p], trace_id=3)
+        assert trace.at(0) is p
+        assert trace.at(2) is None
+        assert trace.at(-1) is None
+        assert trace.trace_id == 3
+
+    def test_distinct_counts(self):
+        p = Proposition("p", [VarEqualsConst("x", 1)])
+        q = Proposition("q", [VarEqualsConst("x", 2)])
+        trace = PropositionTrace([p, q, p])
+        assert trace.distinct() == {p: 2, q: 1}

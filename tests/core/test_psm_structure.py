@@ -1,0 +1,210 @@
+"""Tests for the PSM data structure (paper Definition 3)."""
+
+import pytest
+
+from repro.core.attributes import PowerAttributes
+from repro.core.propositions import Proposition, VarEqualsConst
+from repro.core.psm import (
+    PSM,
+    ConstantPower,
+    PowerState,
+    RegressionPower,
+    Transition,
+    find_state,
+    state_universe,
+    total_states,
+    total_transitions,
+)
+from repro.core.temporal import UntilAssertion
+
+
+def props(n):
+    return [
+        Proposition(f"p_{i}", [VarEqualsConst("x", i)]) for i in range(n)
+    ]
+
+
+def state(p, mu=1.0):
+    return PowerState(
+        assertion=UntilAssertion(p[0], p[1]),
+        attributes=PowerAttributes(mu, 0.1, 5),
+    )
+
+
+class TestPowerState:
+    def test_default_constant_output(self):
+        p = props(2)
+        s = state(p, mu=2.5)
+        assert isinstance(s.power_model, ConstantPower)
+        assert s.output() == 2.5
+        assert s.output(100) == 2.5
+
+    def test_regression_output_uses_distance(self):
+        p = props(2)
+        s = state(p)
+        s.power_model = RegressionPower(0.5, 1.0, 0.9)
+        assert s.output(4) == pytest.approx(3.0)
+        assert s.is_data_dependent
+
+    def test_attribute_shortcuts(self):
+        p = props(2)
+        s = state(p, mu=3.0)
+        assert (s.mu, s.sigma, s.n) == (3.0, 0.1, 5)
+
+    def test_identity_by_sid(self):
+        p = props(2)
+        a, b = state(p), state(p)
+        assert a != b
+        assert a.sid != b.sid
+
+
+class TestPsmStructure:
+    def test_add_duplicate_state_rejected(self):
+        p = props(2)
+        s = state(p)
+        psm = PSM()
+        psm.add_state(s)
+        with pytest.raises(ValueError):
+            psm.add_state(s)
+
+    def test_transition_endpoints_checked(self):
+        p = props(2)
+        s = state(p)
+        psm = PSM()
+        psm.add_state(s)
+        with pytest.raises(ValueError):
+            psm.add_transition(Transition(s.sid, s.sid + 99, p[1]))
+
+    def test_duplicate_transition_ignored(self):
+        p = props(2)
+        a, b = state(p), state(p)
+        psm = PSM()
+        psm.add_state(a)
+        psm.add_state(b)
+        t = Transition(a.sid, b.sid, p[1])
+        psm.add_transition(t)
+        psm.add_transition(t)
+        assert len(psm.transitions) == 1
+
+    def test_successors_predecessors(self):
+        p = props(2)
+        a, b = state(p), state(p)
+        psm = PSM()
+        psm.add_state(a)
+        psm.add_state(b)
+        psm.add_transition(Transition(a.sid, b.sid, p[1]))
+        assert [t.dst for t in psm.successors(a.sid)] == [b.sid]
+        assert [t.src for t in psm.predecessors(b.sid)] == [a.sid]
+        assert psm.successors(b.sid) == []
+
+    def test_mark_initial(self):
+        p = props(2)
+        a = state(p)
+        psm = PSM()
+        psm.add_state(a)
+        psm.mark_initial(a.sid)
+        psm.mark_initial(a.sid)  # idempotent
+        assert psm.initial_states == [a]
+
+    def test_is_chain(self):
+        p = props(2)
+        a, b = state(p), state(p)
+        psm = PSM()
+        psm.add_state(a, initial=True)
+        psm.add_state(b)
+        psm.add_transition(Transition(a.sid, b.sid, p[1]))
+        assert psm.is_chain()
+        psm.add_transition(Transition(a.sid, a.sid, p[0]))
+        assert not psm.is_chain()
+
+    def test_is_deterministic(self):
+        p = props(2)
+        a, b, c = state(p), state(p), state(p)
+        psm = PSM()
+        for s in (a, b, c):
+            psm.add_state(s)
+        psm.add_transition(Transition(a.sid, b.sid, p[1]))
+        assert psm.is_deterministic()
+        psm.add_transition(Transition(a.sid, c.sid, p[1]))
+        assert not psm.is_deterministic()
+
+    def test_validate_catches_dangling(self):
+        p = props(2)
+        a, b = state(p), state(p)
+        psm = PSM()
+        psm.add_state(a)
+        psm.add_state(b)
+        psm.add_transition(Transition(a.sid, b.sid, p[1]))
+        psm._states.pop(b.sid)  # corrupt deliberately
+        with pytest.raises(ValueError):
+            psm.validate()
+
+
+class TestReplaceStates:
+    def _chain(self):
+        p = props(3)
+        a, b, c = state(p, 1.0), state(p, 1.0), state(p, 5.0)
+        psm = PSM()
+        psm.add_state(a, initial=True)
+        psm.add_state(b)
+        psm.add_state(c)
+        psm.add_transition(Transition(a.sid, b.sid, p[1]))
+        psm.add_transition(Transition(b.sid, c.sid, p[1]))
+        return p, psm, (a, b, c)
+
+    def test_drop_mode_removes_internal_transition(self):
+        p, psm, (a, b, c) = self._chain()
+        merged = state(p, 1.0)
+        psm.replace_states([a.sid, b.sid], merged, internal="drop")
+        assert len(psm) == 2
+        assert all(t.src != t.dst for t in psm.transitions)
+        assert psm.initial_states == [merged]
+
+    def test_selfloop_mode_keeps_internal_transition(self):
+        p, psm, (a, b, c) = self._chain()
+        merged = state(p, 1.0)
+        psm.replace_states([a.sid, b.sid], merged, internal="selfloop")
+        loops = [t for t in psm.transitions if t.src == t.dst]
+        assert len(loops) == 1
+
+    def test_unknown_mode_rejected(self):
+        p, psm, (a, b, c) = self._chain()
+        with pytest.raises(ValueError):
+            psm.replace_states([a.sid], state(p), internal="nope")
+
+    def test_removing_foreign_state_rejected(self):
+        p, psm, _ = self._chain()
+        foreign = state(p)
+        with pytest.raises(ValueError):
+            psm.replace_states([foreign.sid], state(p))
+
+
+class TestSetHelpers:
+    def test_totals(self):
+        p = props(2)
+        a, b = state(p), state(p)
+        psm = PSM()
+        psm.add_state(a)
+        psm.add_state(b)
+        psm.add_transition(Transition(a.sid, b.sid, p[1]))
+        assert total_states([psm, psm]) == 4
+        assert total_transitions([psm]) == 1
+
+    def test_find_state(self):
+        p = props(2)
+        a = state(p)
+        psm = PSM()
+        psm.add_state(a)
+        found_psm, found = find_state([psm], a.sid)
+        assert found is a and found_psm is psm
+        with pytest.raises(KeyError):
+            find_state([psm], a.sid + 1)
+
+    def test_state_universe(self):
+        p = props(2)
+        a, b = state(p), state(p)
+        m1, m2 = PSM(), PSM()
+        m1.add_state(a)
+        m2.add_state(b)
+        universe = state_universe([m1, m2])
+        assert set(universe) == {a.sid, b.sid}

@@ -1,0 +1,139 @@
+"""Tests for the simplify procedure (paper Sec. IV, Fig. 6a)."""
+
+import pytest
+
+from repro.core.attributes import Interval
+from repro.core.generator import generate_psm
+from repro.core.mergeability import MergePolicy
+from repro.core.propositions import Proposition, PropositionTrace, VarEqualsConst
+from repro.core.simplify import coalesce_intervals, simplify, simplify_all
+from repro.core.temporal import SequenceAssertion, UntilAssertion
+from repro.traces.power import PowerTrace
+
+
+def props(n):
+    return [
+        Proposition(f"p_{i}", [VarEqualsConst("x", i)]) for i in range(n)
+    ]
+
+
+def chain(power_values, prop_sequence):
+    """Generate a chain PSM from explicit proposition/power sequences."""
+    gamma = PropositionTrace(prop_sequence)
+    delta = PowerTrace(power_values)
+    return generate_psm(gamma, delta), delta
+
+
+class TestCoalesce:
+    def test_contiguous_fused(self):
+        fused = coalesce_intervals([Interval(0, 0, 2), Interval(0, 3, 5)])
+        assert fused == [Interval(0, 0, 5)]
+
+    def test_gap_not_fused(self):
+        kept = coalesce_intervals([Interval(0, 0, 2), Interval(0, 4, 5)])
+        assert len(kept) == 2
+
+    def test_different_traces_not_fused(self):
+        kept = coalesce_intervals([Interval(0, 0, 2), Interval(1, 3, 5)])
+        assert len(kept) == 2
+
+
+class TestSimplify:
+    def test_adjacent_similar_states_merge(self):
+        p = props(3)
+        # two until runs with identical power, then a different one
+        sequence = [p[0]] * 4 + [p[1]] * 4 + [p[2]] * 4 + [p[0]]
+        power = [1.0, 1.01, 0.99, 1.0] * 2 + [5.0, 5.1, 4.9, 5.0] + [1.0]
+        psm, delta = chain(power, sequence)
+        assert len(psm) == 3
+        merged = simplify(psm, {0: delta}, MergePolicy(max_cv=None))
+        assert len(merged) == 2
+        first = merged.states[0]
+        assert isinstance(first.assertion, SequenceAssertion)
+        assert first.n == 8
+        # attributes recomputed over [start_new, stop_new]
+        assert first.mu == pytest.approx(sum(power[:8]) / 8)
+
+    def test_dissimilar_states_not_merged(self):
+        p = props(3)
+        sequence = [p[0]] * 4 + [p[1]] * 4 + [p[2]]
+        power = [1.0] * 4 + [9.0] * 4 + [1.0]
+        psm, delta = chain(power, sequence)
+        merged = simplify(psm, {0: delta}, MergePolicy(max_cv=None))
+        assert len(merged) == 2
+
+    def test_run_of_three_merges_to_one(self):
+        p = props(4)
+        sequence = [p[0]] * 3 + [p[1]] * 3 + [p[2]] * 3 + [p[3]]
+        power = [2.0, 2.02, 1.98] * 3 + [2.0]
+        psm, delta = chain(power, sequence)
+        merged = simplify(psm, {0: delta}, MergePolicy(max_cv=None))
+        assert len(merged) == 1
+        assert merged.states[0].n == 9
+
+    def test_merged_intervals_coalesce(self):
+        p = props(3)
+        sequence = [p[0]] * 4 + [p[1]] * 4 + [p[2]]
+        power = [1.0, 1.01, 0.99, 1.0] * 2 + [1.0]
+        psm, delta = chain(power, sequence)
+        merged = simplify(psm, {0: delta}, MergePolicy(max_cv=None))
+        state = merged.states[0]
+        assert state.intervals == [Interval(0, 0, 7)]
+
+    def test_chain_shape_preserved(self):
+        p = props(4)
+        sequence = (
+            [p[0]] * 3 + [p[1]] * 3 + [p[2]] * 3 + [p[3]] * 3 + [p[0]]
+        )
+        power = (
+            [1.0, 1.02, 0.98]
+            + [1.01, 0.99, 1.0]
+            + [7.0, 7.1, 6.9]
+            + [7.02, 6.95, 7.05]
+            + [1.0]
+        )
+        psm, delta = chain(power, sequence)
+        merged = simplify(psm, {0: delta}, MergePolicy(max_cv=None))
+        assert merged.is_chain()
+        assert len(merged) == 2
+
+    def test_initial_state_preserved(self):
+        p = props(3)
+        sequence = [p[0]] * 3 + [p[1]] * 3 + [p[2]]
+        power = [1.0] * 6 + [1.0]
+        psm, delta = chain(power, sequence)
+        merged = simplify(psm, {0: delta}, MergePolicy(max_cv=None))
+        assert len(merged.initial_states) == 1
+        assert merged.initial_states[0] is merged.states[0]
+
+    def test_input_psm_untouched(self):
+        p = props(3)
+        sequence = [p[0]] * 3 + [p[1]] * 3 + [p[2]]
+        power = [1.0] * 6 + [1.0]
+        psm, delta = chain(power, sequence)
+        before = len(psm)
+        simplify(psm, {0: delta}, MergePolicy(max_cv=None))
+        assert len(psm) == before
+
+    def test_non_chain_rejected(self):
+        p = props(3)
+        sequence = [p[0]] * 3 + [p[1]] * 3 + [p[2]]
+        psm, delta = chain([1.0] * 7, sequence)
+        from repro.core.psm import Transition
+
+        # a second outgoing transition breaks the chain shape
+        psm.add_transition(
+            Transition(psm.states[0].sid, psm.states[0].sid, p[0])
+        )
+        with pytest.raises(ValueError):
+            simplify(psm, {0: delta})
+
+    def test_simplify_all(self):
+        p = props(3)
+        sequence = [p[0]] * 3 + [p[1]] * 3 + [p[2]]
+        psm1, delta = chain([1.0] * 7, sequence)
+        gamma2 = PropositionTrace(sequence, trace_id=0)
+        psm2 = generate_psm(gamma2, delta)
+        merged = simplify_all([psm1, psm2], {0: delta}, MergePolicy(max_cv=None))
+        assert len(merged) == 2
+        assert all(len(m) == 1 for m in merged)

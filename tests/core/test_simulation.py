@@ -1,0 +1,326 @@
+"""Tests for PSM simulation (paper Sec. III-C and Sec. V)."""
+
+import numpy as np
+import pytest
+
+from repro.core.generator import generate_psm, generate_psms
+from repro.core.mergeability import MergePolicy
+from repro.core.mining import AssertionMiner, MinerConfig
+from repro.core.pipeline import FlowConfig, PsmFlow
+from repro.core.propositions import Proposition, PropositionTrace, VarEqualsConst
+from repro.core.simulation import (
+    EXIT,
+    STAY,
+    VIOLATION,
+    MultiPsmSimulator,
+    SinglePsmSimulator,
+    StateTracker,
+)
+from repro.core.attributes import PowerAttributes
+from repro.core.psm import PowerState
+from repro.core.temporal import (
+    ChoiceAssertion,
+    NextAssertion,
+    SequenceAssertion,
+    UntilAssertion,
+)
+from repro.traces.functional import FunctionalTrace
+from repro.traces.power import PowerTrace
+from repro.traces.variables import int_in
+
+
+def props(n):
+    return [
+        Proposition(f"p_{i}", [VarEqualsConst("x", i)]) for i in range(n)
+    ]
+
+
+def state_for(assertion, mu=1.0, n=4):
+    return PowerState(
+        assertion=assertion, attributes=PowerAttributes(mu, 0.0, n)
+    )
+
+
+class TestStateTracker:
+    def test_until_stay_and_exit(self):
+        p = props(3)
+        tracker = StateTracker(state_for(UntilAssertion(p[0], p[1])))
+        assert tracker.enter(p[0])
+        assert tracker.advance(p[0])[0] == STAY
+        assert tracker.advance(p[1])[0] == EXIT
+
+    def test_until_violation(self):
+        p = props(3)
+        tracker = StateTracker(state_for(UntilAssertion(p[0], p[1])))
+        tracker.enter(p[0])
+        assert tracker.advance(p[2])[0] == VIOLATION
+
+    def test_next_exit_immediately(self):
+        p = props(3)
+        tracker = StateTracker(state_for(NextAssertion(p[0], p[1])))
+        tracker.enter(p[0])
+        assert tracker.advance(p[1])[0] == EXIT
+
+    def test_next_violation_on_repeat(self):
+        p = props(3)
+        tracker = StateTracker(state_for(NextAssertion(p[0], p[1])))
+        tracker.enter(p[0])
+        assert tracker.advance(p[0])[0] == VIOLATION
+
+    def test_sequence_cascade(self):
+        p = props(3)
+        seq = SequenceAssertion(
+            [UntilAssertion(p[0], p[1]), UntilAssertion(p[1], p[2])]
+        )
+        tracker = StateTracker(state_for(seq))
+        tracker.enter(p[0])
+        assert tracker.advance(p[0])[0] == STAY
+        assert tracker.advance(p[1])[0] == STAY  # cascades into part 2
+        assert tracker.advance(p[1])[0] == STAY
+        assert tracker.advance(p[2])[0] == EXIT
+
+    def test_choice_tracks_alternatives(self):
+        p = props(4)
+        choice = ChoiceAssertion(
+            [UntilAssertion(p[0], p[1]), UntilAssertion(p[0], p[2])]
+        )
+        tracker = StateTracker(state_for(choice))
+        assert tracker.enter(p[0])
+        verdict, satisfied = tracker.advance(p[2])
+        assert verdict == EXIT
+        assert satisfied == UntilAssertion(p[0], p[2])
+
+    def test_choice_drops_violated_alternatives(self):
+        p = props(4)
+        choice = ChoiceAssertion(
+            [NextAssertion(p[0], p[1]), UntilAssertion(p[0], p[2])]
+        )
+        tracker = StateTracker(state_for(choice))
+        tracker.enter(p[0])
+        # p0 repeats: the Next alternative dies, the Until one stays
+        assert tracker.advance(p[0])[0] == STAY
+        assert tracker.advance(p[2])[0] == EXIT
+
+    def test_cannot_enter_wrong_prop(self):
+        p = props(3)
+        tracker = StateTracker(state_for(UntilAssertion(p[0], p[1])))
+        assert not tracker.enter(p[2])
+        assert not tracker.can_enter(None)
+
+    def test_enter_anywhere_mid_sequence(self):
+        p = props(3)
+        seq = SequenceAssertion(
+            [UntilAssertion(p[0], p[1]), UntilAssertion(p[1], p[2])]
+        )
+        tracker = StateTracker(state_for(seq))
+        assert tracker.can_enter_anywhere(p[1])
+        assert tracker.enter_anywhere(p[1])
+        assert tracker.advance(p[1])[0] == STAY
+        assert tracker.advance(p[2])[0] == EXIT
+
+    def test_stable_on_until_body(self):
+        p = props(3)
+        tracker = StateTracker(state_for(UntilAssertion(p[0], p[1])))
+        tracker.enter(p[0])
+        assert tracker.stable_on(p[0])
+        assert not tracker.stable_on(p[1])
+
+    def test_stable_on_false_for_next(self):
+        p = props(3)
+        tracker = StateTracker(state_for(NextAssertion(p[0], p[1])))
+        tracker.enter(p[0])
+        assert not tracker.stable_on(p[0])
+
+
+def tiny_world():
+    """A two-mode device: power follows x (0 = idle, 1 = busy)."""
+    values = [0] * 5 + [1] * 5 + [0] * 5 + [1] * 5 + [0] * 3
+    trace = FunctionalTrace([int_in("x", 2)], {"x": values})
+    power = PowerTrace([1.0 if v == 0 else 5.0 for v in values])
+    return trace, power
+
+
+def fit_tiny():
+    trace, power = tiny_world()
+    config = FlowConfig(
+        miner=MinerConfig(min_avg_run=1.0, max_chatter_fraction=1.0),
+        merge=MergePolicy(max_cv=None),
+    )
+    flow = PsmFlow(config).fit([trace], [power])
+    return flow, trace, power
+
+
+class TestSinglePsmSimulator:
+    def test_reproduces_training_power(self):
+        flow, trace, power = fit_tiny()
+        simulator = SinglePsmSimulator(
+            flow.raw_psms[0], flow.mining.labeler
+        )
+        result = simulator.run(trace)
+        # the trailing idle run is not a state of the chain (its until
+        # pattern never completed in training), so the chain desyncs
+        # there; everything before is reproduced exactly.
+        assert np.allclose(result.estimated.values[:20], power.values[:20])
+        assert result.desync_instants == 3
+
+    def test_desyncs_on_unknown_behaviour(self):
+        flow, trace, power = fit_tiny()
+        simulator = SinglePsmSimulator(
+            flow.raw_psms[0], flow.mining.labeler
+        )
+        unknown = FunctionalTrace([int_in("x", 2)], {"x": [0, 0, 2, 2, 0]})
+        result = simulator.run(unknown)
+        assert result.desync_instants > 0
+        assert result.unknown_instants > 0
+
+    def test_requires_initial_state(self):
+        from repro.core.psm import PSM
+
+        flow, _, _ = fit_tiny()
+        with pytest.raises(ValueError):
+            SinglePsmSimulator(PSM(), flow.mining.labeler)
+
+
+class TestMultiPsmSimulator:
+    def test_reproduces_training_power(self):
+        flow, trace, power = fit_tiny()
+        result = flow.estimate(trace)
+        assert np.allclose(result.estimated.values, power.values, rtol=1e-6)
+        assert result.desync_instants == 0
+        assert result.state_sequence[0] is not None
+
+    def test_generalises_to_longer_trace(self):
+        flow, _, _ = fit_tiny()
+        values = ([0] * 7 + [1] * 4) * 6
+        trace = FunctionalTrace([int_in("x", 2)], {"x": values})
+        expected = np.array([1.0 if v == 0 else 5.0 for v in values])
+        result = flow.estimate(trace)
+        assert np.allclose(result.estimated.values, expected, rtol=1e-6)
+
+    def test_unknown_behaviour_desyncs_and_recovers(self):
+        flow, _, _ = fit_tiny()
+        values = [0] * 5 + [2] * 4 + [0] * 5 + [1] * 5 + [0] * 2
+        trace = FunctionalTrace([int_in("x", 2)], {"x": values})
+        result = flow.estimate(trace)
+        assert result.desync_instants >= 4
+        # resynchronises: the trailing behaviour is tracked again
+        assert result.state_sequence[-1] is not None
+        assert result.wrong_state_fraction > 0
+
+    def test_desync_fallback_uses_last_valid_power(self):
+        flow, _, _ = fit_tiny()
+        values = [0] * 5 + [2] * 3 + [0] * 5
+        trace = FunctionalTrace([int_in("x", 2)], {"x": values})
+        result = flow.estimate(trace)
+        assert result.estimated[5] == pytest.approx(1.0)
+
+    def test_reliable_mask_marks_desync(self):
+        flow, _, _ = fit_tiny()
+        values = [0] * 5 + [2] * 3 + [0] * 5
+        trace = FunctionalTrace([int_in("x", 2)], {"x": values})
+        result = flow.estimate(trace)
+        assert not result.reliable[6]
+        assert result.reliable[2]
+
+    def test_empty_trace(self):
+        flow, _, _ = fit_tiny()
+        trace = FunctionalTrace([int_in("x", 2)], {"x": []})
+        result = flow.estimate(trace)
+        assert len(result.estimated) == 0
+
+
+def _labeler_for(p):
+    """A labeler over the explicit one-hot propositions ``p``."""
+    from repro.core.mining import PropositionLabeler
+
+    atoms = [VarEqualsConst("x", i) for i in range(len(p))]
+    universe = {}
+    for i, prop in enumerate(p):
+        row = np.array([j == i for j in range(len(p))], dtype=bool)
+        universe[row.tobytes()] = prop
+    return PropositionLabeler(atoms, universe)
+
+
+class TestRevertMachinery:
+    def _alias_machine(self):
+        """prev --p0--> aliasA(1.0) and prev --p0--> aliasB(3.0).
+
+        The aliases share the entry proposition p0 but exit differently
+        (p1 vs p2): a genuine non-deterministic choice.
+        """
+        from repro.core.attributes import Interval
+        from repro.core.psm import PSM, Transition
+
+        p = props(3)
+        prev = PowerState(
+            assertion=UntilAssertion(p[1], p[0]),
+            attributes=PowerAttributes(5.0, 0.0, 4),
+            intervals=[Interval(0, 0, 3)],
+        )
+        alias_a = PowerState(
+            assertion=UntilAssertion(p[0], p[1]),
+            attributes=PowerAttributes(1.0, 0.0, 4),
+            intervals=[Interval(0, 4, 7)],
+        )
+        alias_b = PowerState(
+            assertion=UntilAssertion(p[0], p[2]),
+            attributes=PowerAttributes(3.0, 0.0, 4),
+            intervals=[Interval(0, 8, 11)],
+        )
+        psm = PSM("alias")
+        psm.add_state(prev, initial=True)
+        psm.add_state(alias_a)
+        psm.add_state(alias_b)
+        psm.add_transition(Transition(prev.sid, alias_a.sid, p[0]))
+        psm.add_transition(Transition(prev.sid, alias_b.sid, p[0]))
+        return p, psm, (prev, alias_a, alias_b)
+
+    def test_wrong_alias_choice_corrected(self):
+        p, psm, (prev, alias_a, alias_b) = self._alias_machine()
+        simulator = MultiPsmSimulator([psm], _labeler_for(p))
+        # p1 p1 | p0 p0 p0 | p2 : the p0 run actually belongs to aliasB
+        trace = FunctionalTrace(
+            [int_in("x", 2)], {"x": [1, 1, 0, 0, 0, 2]}
+        )
+        result = simulator.run(trace)
+        # whatever the HMM picked first, the violation at p2 reverts the
+        # choice and re-attributes the p0 run to the 3.0 alias
+        assert np.allclose(result.estimated.values[2:5], 3.0)
+        assert result.predictions == 1
+        assert result.wrong_predictions in (0, 1)
+        if result.wrong_predictions:
+            assert result.reverted_instants == 3
+
+    def test_banning_is_run_local(self):
+        """A wrong prediction bans the path for the rest of the run but
+        never mutates the shared HMM: repeated runs are identical."""
+        p, psm, (prev, alias_a, alias_b) = self._alias_machine()
+        simulator = MultiPsmSimulator([psm], _labeler_for(p))
+        trace = FunctionalTrace(
+            [int_in("x", 2)], {"x": [1, 1, 0, 0, 0, 2]}
+        )
+        hmm = simulator.hmm
+        a_before = hmm.A.copy()
+        first = simulator.run(trace)
+        assert np.array_equal(hmm.A, a_before)
+        second = simulator.run(trace)
+        assert np.allclose(
+            first.estimated.values, second.estimated.values
+        )
+        assert first.wrong_predictions == second.wrong_predictions
+
+
+class TestMetricsExposure:
+    def test_wsp_zero_without_predictions(self):
+        flow, trace, _ = fit_tiny()
+        result = flow.estimate(trace)
+        assert 0.0 <= result.wsp <= 100.0
+
+    def test_desync_fraction(self):
+        flow, _, _ = fit_tiny()
+        values = [0] * 5 + [2] * 5
+        trace = FunctionalTrace([int_in("x", 2)], {"x": values})
+        result = flow.estimate(trace)
+        assert result.desync_fraction == pytest.approx(
+            result.desync_instants / 10
+        )

@@ -1,0 +1,123 @@
+"""Tests for the XU automaton (paper Fig. 5)."""
+
+import pytest
+
+from repro.core.propositions import Proposition, PropositionTrace, VarEqualsConst
+from repro.core.temporal import NextAssertion, UntilAssertion
+from repro.core.xu import STATE_U, STATE_X, XUAutomaton, mine_patterns
+
+
+def props(n):
+    return [
+        Proposition(f"p_{i}", [VarEqualsConst("x", i)]) for i in range(n)
+    ]
+
+
+class TestFig5WorkedExample:
+    """The paper's worked example: p_a U p_b, p_b U p_c, p_c X p_d."""
+
+    def trace(self):
+        p = props(4)
+        # p_a p_a p_a p_b p_b p_b p_c p_d  (Fig. 3's proposition trace)
+        return p, PropositionTrace(
+            [p[0], p[0], p[0], p[1], p[1], p[1], p[2], p[3]]
+        )
+
+    def test_patterns_and_intervals(self):
+        p, trace = self.trace()
+        mined = mine_patterns(trace)
+        assert len(mined) == 3
+        assert mined[0].assertion == UntilAssertion(p[0], p[1])
+        assert (mined[0].start, mined[0].stop) == (0, 2)
+        assert mined[1].assertion == UntilAssertion(p[1], p[2])
+        assert (mined[1].start, mined[1].stop) == (3, 5)
+        assert mined[2].assertion == NextAssertion(p[2], p[3])
+        assert (mined[2].start, mined[2].stop) == (6, 6)
+
+    def test_next_pattern_has_n_one(self):
+        # merge Case 1 relies on next-based states having n = 1
+        _, trace = self.trace()
+        assert mine_patterns(trace)[2].n == 1
+
+    def test_until_pattern_counts_body_instants(self):
+        _, trace = self.trace()
+        assert mine_patterns(trace)[0].n == 3
+
+    def test_initial_state_is_x(self):
+        _, trace = self.trace()
+        automaton = XUAutomaton(trace)
+        assert automaton.state == STATE_X
+
+    def test_automaton_enters_u_on_equal_fifo(self):
+        _, trace = self.trace()
+        automaton = XUAutomaton(trace)
+        automaton.get_assertion()
+        # after recognising the first until pattern the automaton is back
+        # in X (it immediately re-enters U when asked again)
+        assert automaton.state == STATE_X
+
+
+class TestEdgeCases:
+    def test_empty_trace(self):
+        assert mine_patterns(PropositionTrace([])) == []
+
+    def test_single_instant(self):
+        p = props(1)
+        assert mine_patterns(PropositionTrace([p[0]])) == []
+
+    def test_two_equal_instants_incomplete_until(self):
+        p = props(1)
+        # the until run never sees its exit proposition: no state
+        assert mine_patterns(PropositionTrace([p[0], p[0]])) == []
+
+    def test_two_distinct_instants_next(self):
+        p = props(2)
+        mined = mine_patterns(PropositionTrace([p[0], p[1]]))
+        assert len(mined) == 1
+        assert mined[0].assertion == NextAssertion(p[0], p[1])
+        assert mined[0].is_next
+
+    def test_all_distinct_jump_sequence(self):
+        p = props(4)
+        mined = mine_patterns(PropositionTrace(p))
+        assert [m.assertion for m in mined] == [
+            NextAssertion(p[0], p[1]),
+            NextAssertion(p[1], p[2]),
+            NextAssertion(p[2], p[3]),
+        ]
+        assert all(m.n == 1 for m in mined)
+
+    def test_trailing_until_discarded(self):
+        p = props(2)
+        trace = PropositionTrace([p[0], p[1], p[1], p[1]])
+        mined = mine_patterns(trace)
+        # p_0 X p_1 is recognised; the trailing p_1 run has no exit
+        assert len(mined) == 1
+        assert mined[0].assertion == NextAssertion(p[0], p[1])
+
+    def test_alternating_until_next(self):
+        p = props(3)
+        # p0 p0 p1 p2 p2 p0 : until, next, until(incomplete exit=p0? no)
+        trace = PropositionTrace([p[0], p[0], p[1], p[2], p[2], p[0]])
+        mined = mine_patterns(trace)
+        assert mined[0].assertion == UntilAssertion(p[0], p[1])
+        assert mined[1].assertion == NextAssertion(p[1], p[2])
+        assert mined[2].assertion == UntilAssertion(p[2], p[0])
+        assert (mined[2].start, mined[2].stop) == (3, 4)
+
+    def test_intervals_are_disjoint_and_ordered(self):
+        p = props(3)
+        trace = PropositionTrace(
+            [p[0], p[0], p[1], p[1], p[2], p[0], p[0], p[1]]
+        )
+        mined = mine_patterns(trace)
+        previous_stop = -1
+        for pattern in mined:
+            assert pattern.start > previous_stop
+            assert pattern.stop >= pattern.start
+            previous_stop = pattern.stop
+
+    def test_str_representation(self):
+        p = props(2)
+        mined = mine_patterns(PropositionTrace([p[0], p[1]]))
+        assert str(mined[0]) == "<p_0 X p_1, 0, 0>"

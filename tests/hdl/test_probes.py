@@ -1,0 +1,70 @@
+"""Tests for internal probe support (hierarchical characterisation)."""
+
+import pytest
+
+from repro.hdl.module import Module
+from repro.hdl.simulator import Simulator
+from repro.ips import Aes, Camellia
+from repro.traces.variables import bool_in, int_out
+
+
+class Probed(Module):
+    NAME = "probed"
+    INPUTS = (bool_in("en"),)
+    OUTPUTS = (int_out("q", 4),)
+    PROBES = (int_out("counter", 4),)
+
+    def __init__(self):
+        super().__init__()
+        self._counter = self.reg("counter", 4)
+        self._q = self.reg("q_reg", 4)
+
+    def step(self, inputs):
+        if inputs["en"]:
+            self._counter.load(self._counter.value + 1)
+            self._q.load(self._counter.value)
+        return {"q": self._q.value}
+
+
+class TestProbes:
+    def test_probe_values_read_registers(self):
+        module = Probed()
+        module.step({"en": 1})
+        assert module.probe_values() == {"counter": 1}
+
+    def test_probes_excluded_by_default(self):
+        result = Simulator(Probed()).run([{"en": 1}] * 3)
+        assert "counter" not in result.trace
+
+    def test_probes_included_on_request(self):
+        result = Simulator(Probed()).run(
+            [{"en": 1}] * 3, include_probes=True
+        )
+        assert result.trace.column("counter").tolist() == [1, 2, 3]
+
+    def test_probes_not_in_interface_widths(self):
+        assert Probed.input_bits() == 1
+        assert Probed.output_bits() == 4
+
+    def test_cipher_probe_declarations(self):
+        assert [p.name for p in Aes.probe_specs()] == ["round_counter"]
+        assert [p.name for p in Camellia.probe_specs()] == ["cycle_counter"]
+
+    def test_camellia_probe_counts_busy_cycles(self):
+        key = 0x0123456789ABCDEFFEDCBA9876543210
+        stim = [
+            dict(
+                en=1, load_key=0, start=1, decrypt=0, mode=0,
+                key=key, data=key,
+            )
+        ]
+        stim += [
+            dict(
+                en=1, load_key=0, start=0, decrypt=0, mode=0,
+                key=key, data=key,
+            )
+        ] * 21
+        result = Simulator(Camellia()).run(stim, include_probes=True)
+        values = result.trace.column("cycle_counter").tolist()
+        assert values[:4] == [0, 1, 2, 3]
+        assert max(values) == 20

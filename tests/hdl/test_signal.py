@@ -1,0 +1,76 @@
+"""Tests for registers and bit helpers."""
+
+import pytest
+
+from repro.hdl.signal import Register, Wire, hamming, mask_for, popcount_int
+
+
+class TestHelpers:
+    def test_mask_for(self):
+        assert mask_for(1) == 1
+        assert mask_for(8) == 255
+        assert mask_for(128) == (1 << 128) - 1
+
+    def test_mask_for_invalid(self):
+        with pytest.raises(ValueError):
+            mask_for(0)
+
+    def test_popcount(self):
+        assert popcount_int(0) == 0
+        assert popcount_int(0b1011) == 3
+        assert popcount_int((1 << 128) - 1) == 128
+
+    def test_popcount_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount_int(-1)
+
+    def test_hamming(self):
+        assert hamming(0b1010, 0b0110) == 2
+        assert hamming(5, 5) == 0
+
+
+class TestRegister:
+    def test_load_and_value(self):
+        reg = Register("r", 8)
+        reg.load(0xAB)
+        assert reg.value == 0xAB
+
+    def test_load_masks_to_width(self):
+        reg = Register("r", 4)
+        reg.load(0x1F)
+        assert reg.value == 0xF
+
+    def test_toggle_accounting(self):
+        reg = Register("r", 8)
+        reg.load(0b1111)  # 4 toggles from 0
+        reg.load(0b1100)  # 2 toggles
+        assert reg.collect_toggles() == 6
+
+    def test_collect_clears(self):
+        reg = Register("r", 8)
+        reg.load(1)
+        assert reg.collect_toggles() == 1
+        assert reg.collect_toggles() == 0
+
+    def test_same_value_no_toggles(self):
+        reg = Register("r", 8, init=7)
+        reg.load(7)
+        assert reg.collect_toggles() == 0
+
+    def test_reset_restores_init_without_activity(self):
+        reg = Register("r", 8, init=3)
+        reg.load(255)
+        reg.reset()
+        assert reg.value == 3
+        assert reg.collect_toggles() == 0
+
+    def test_component_label(self):
+        reg = Register("r", 8, component="array")
+        assert reg.component == "array"
+
+
+class TestWire:
+    def test_drive_masks(self):
+        wire = Wire("w", 4)
+        assert wire.drive(0x13) == 0x3
+        assert wire.value == 0x3

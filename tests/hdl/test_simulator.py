@@ -1,0 +1,88 @@
+"""Tests for the cycle-based simulator."""
+
+import pytest
+
+from repro.hdl.module import Module
+from repro.hdl.simulator import ActivityRecord, Simulator
+from repro.traces.variables import bool_in, int_out
+
+
+class Toggler(Module):
+    NAME = "toggler"
+    INPUTS = (bool_in("en"),)
+    OUTPUTS = (int_out("q", 4),)
+
+    def __init__(self):
+        super().__init__()
+        self._q = self.reg("q_reg", 4)
+
+    def step(self, inputs):
+        if inputs["en"]:
+            self._q.load(self._q.value ^ 0xF)
+            self.add_activity("late_domain", 1.0)
+        return {"q": self._q.value}
+
+
+class TestSimulator:
+    def test_trace_records_pis_and_pos(self):
+        result = Simulator(Toggler()).run([{"en": 1}, {"en": 0}, {"en": 1}])
+        assert result.cycles == 3
+        assert result.trace.at(0) == {"en": 1, "q": 15}
+        assert result.trace.at(1) == {"en": 0, "q": 15}
+        assert result.trace.at(2) == {"en": 1, "q": 0}
+
+    def test_reset_applied_before_run(self):
+        module = Toggler()
+        simulator = Simulator(module)
+        simulator.run([{"en": 1}])
+        result = simulator.run([{"en": 0}])
+        assert result.trace.at(0)["q"] == 0
+
+    def test_no_reset_keeps_state(self):
+        module = Toggler()
+        simulator = Simulator(module)
+        simulator.run([{"en": 1}])
+        result = simulator.run([{"en": 0}], reset=False)
+        assert result.trace.at(0)["q"] == 15
+
+    def test_activity_recorded_per_cycle(self):
+        result = Simulator(Toggler()).run([{"en": 1}, {"en": 0}])
+        assert result.activity.column("core").tolist() == [4.0, 0.0]
+
+    def test_activity_skipped_when_disabled(self):
+        result = Simulator(Toggler(), record_activity=False).run([{"en": 1}])
+        assert len(result.activity) == 0
+
+    def test_observer_called_with_rows(self):
+        seen = []
+        Simulator(Toggler()).run(
+            [{"en": 1}, {"en": 1}],
+            observer=lambda cycle, row: seen.append((cycle, row["q"])),
+        )
+        assert seen == [(0, 15), (1, 0)]
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(KeyError):
+            Simulator(Toggler()).run([{}])
+
+    def test_trace_name(self):
+        result = Simulator(Toggler()).run([{"en": 0}], name="custom")
+        assert result.trace.name == "custom"
+
+
+class TestActivityRecord:
+    def test_backfills_late_components(self):
+        record = ActivityRecord(["core"])
+        record.append({"core": 1.0})
+        record.append({"core": 2.0, "late": 5.0})
+        assert record.column("late").tolist() == [0.0, 5.0]
+
+    def test_total_sums_components(self):
+        record = ActivityRecord(["a", "b"])
+        record.append({"a": 1.0, "b": 2.0})
+        record.append({"a": 0.5})
+        assert record.total().tolist() == [3.0, 0.5]
+
+    def test_late_domain_through_simulator(self):
+        result = Simulator(Toggler()).run([{"en": 0}, {"en": 1}])
+        assert result.activity.column("late_domain").tolist() == [0.0, 1.0]

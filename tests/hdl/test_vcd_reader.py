@@ -1,0 +1,104 @@
+"""Tests for the VCD reader (external-waveform import)."""
+
+import pytest
+
+from repro.hdl.vcd import read_vcd, write_vcd
+from repro.traces.functional import FunctionalTrace
+from repro.traces.variables import bool_in, int_in, int_out
+
+
+def sample_trace():
+    return FunctionalTrace(
+        [bool_in("en"), int_in("addr", 4), int_out("q", 8)],
+        {
+            "en": [0, 1, 1, 1, 0],
+            "addr": [0, 3, 3, 9, 9],
+            "q": [0, 0, 7, 7, 255],
+        },
+    )
+
+
+class TestRoundTrip:
+    def test_values_survive(self, tmp_path):
+        path = tmp_path / "t.vcd"
+        original = sample_trace()
+        write_vcd(original, path)
+        loaded = read_vcd(path, inputs=["en", "addr"])
+        assert len(loaded) == len(original)
+        for i in range(len(original)):
+            assert loaded.at(i) == original.at(i)
+
+    def test_directions_follow_inputs_argument(self, tmp_path):
+        path = tmp_path / "t.vcd"
+        write_vcd(sample_trace(), path)
+        loaded = read_vcd(path, inputs=["en", "addr"])
+        assert {v.name for v in loaded.inputs} == {"en", "addr"}
+        assert {v.name for v in loaded.outputs} == {"q"}
+
+    def test_widths_preserved(self, tmp_path):
+        path = tmp_path / "t.vcd"
+        write_vcd(sample_trace(), path)
+        loaded = read_vcd(path)
+        assert loaded.spec("addr").width == 4
+        assert loaded.spec("en").kind == "bool"
+
+
+class TestExternalDumps:
+    def test_foreign_simulator_style(self, tmp_path):
+        """Nested scopes, x bits, range suffixes and held values."""
+        text = """\
+$date today $end
+$timescale 1ns $end
+$scope module top $end
+$scope module dut $end
+$var wire 1 ! clk $end
+$var reg 4 " count [3:0] $end
+$upscope $end
+$upscope $end
+$enddefinitions $end
+#0
+$dumpvars
+0!
+bxxxx "
+$end
+#1
+1!
+b0011 "
+#3
+0!
+b1010 "
+#4
+"""
+        path = tmp_path / "foreign.vcd"
+        path.write_text(text)
+        trace = read_vcd(path, inputs=["clk"])
+        assert len(trace) == 4
+        assert trace.at(0) == {"clk": 0, "count": 0}  # x -> 0
+        assert trace.at(1) == {"clk": 1, "count": 3}
+        assert trace.at(2) == {"clk": 1, "count": 3}  # held
+        assert trace.at(3) == {"clk": 0, "count": 10}
+
+    def test_sample_period(self, tmp_path):
+        text = """\
+$timescale 1ns $end
+$scope module top $end
+$var wire 1 ! a $end
+$upscope $end
+$enddefinitions $end
+#0
+0!
+#10
+1!
+#20
+"""
+        path = tmp_path / "p.vcd"
+        path.write_text(text)
+        trace = read_vcd(path, sample_period=10)
+        assert len(trace) == 2
+        assert trace.column("a").tolist() == [0, 1]
+
+    def test_empty_vcd_rejected(self, tmp_path):
+        path = tmp_path / "empty.vcd"
+        path.write_text("$enddefinitions $end\n#0\n")
+        with pytest.raises(ValueError):
+            read_vcd(path)

@@ -1,0 +1,148 @@
+"""End-to-end tests of the psmgen command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.power.estimator import run_power_simulation
+from repro.testbench import BENCHMARKS
+from repro.traces.io import save_training_pair
+
+
+@pytest.fixture(scope="module")
+def trace_files(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli")
+    spec = BENCHMARKS["RAM"]
+    train = run_power_simulation(spec.module_class(), spec.short_ts())
+    save_training_pair(train.trace, train.power, root / "train")
+    evaluation = run_power_simulation(
+        spec.module_class(), spec.long_ts(800)
+    )
+    save_training_pair(evaluation.trace, evaluation.power, root / "eval")
+    return root
+
+
+class TestGenerate:
+    def test_generate_writes_model(self, trace_files, capsys):
+        model = trace_files / "model.json"
+        code = main(
+            [
+                "generate",
+                "--func",
+                str(trace_files / "train.func.csv"),
+                "--power",
+                str(trace_files / "train.power.csv"),
+                "-o",
+                str(model),
+            ]
+        )
+        assert code == 0
+        assert model.exists()
+        payload = json.loads(model.read_text())
+        assert payload["psms"]
+        out = capsys.readouterr().out
+        assert "generated" in out
+
+    def test_generate_optional_artifacts(self, trace_files):
+        code = main(
+            [
+                "generate",
+                "--func",
+                str(trace_files / "train.func.csv"),
+                "--power",
+                str(trace_files / "train.power.csv"),
+                "-o",
+                str(trace_files / "model2.json"),
+                "--dot",
+                str(trace_files / "model.dot"),
+                "--systemc",
+                str(trace_files / "monitor.cpp"),
+            ]
+        )
+        assert code == 0
+        assert (trace_files / "model.dot").read_text().startswith("digraph")
+        assert "SC_MODULE" in (trace_files / "monitor.cpp").read_text()
+
+    def test_mismatched_pairs_rejected(self, trace_files):
+        code = main(
+            [
+                "generate",
+                "--func",
+                str(trace_files / "train.func.csv"),
+                "--power",
+                str(trace_files / "train.power.csv"),
+                "--power",
+                str(trace_files / "train.power.csv"),
+            ]
+        )
+        assert code == 2
+
+
+class TestEstimate:
+    def test_estimate_scores_against_reference(self, trace_files, capsys):
+        model = trace_files / "model.json"
+        if not model.exists():
+            TestGenerate().test_generate_writes_model(trace_files, capsys)
+            capsys.readouterr()
+        code = main(
+            [
+                "estimate",
+                "--model",
+                str(model),
+                "--func",
+                str(trace_files / "eval.func.csv"),
+                "--reference",
+                str(trace_files / "eval.power.csv"),
+                "-o",
+                str(trace_files / "est.csv"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MRE" in out
+        assert (trace_files / "est.csv").exists()
+
+
+class TestBench:
+    def test_unknown_ip_rejected(self, capsys):
+        assert main(["bench", "--ip", "nope"]) == 2
+
+    def test_bench_runs_small(self, capsys):
+        code = main(["bench", "--ip", "MultSum", "--cycles", "1200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MultSum" in out
+        assert "MRE" in out
+
+
+class TestDescribe:
+    def test_describe_prints_model(self, trace_files, capsys):
+        model = trace_files / "model.json"
+        if not model.exists():
+            TestGenerate().test_generate_writes_model(trace_files, capsys)
+            capsys.readouterr()
+        code = main(["describe", "--model", str(model)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PSM(s)" in out
+        assert "deterministic" in out
+
+    def test_describe_with_coverage(self, trace_files, capsys):
+        model = trace_files / "model.json"
+        if not model.exists():
+            TestGenerate().test_generate_writes_model(trace_files, capsys)
+            capsys.readouterr()
+        code = main(
+            [
+                "describe",
+                "--model",
+                str(model),
+                "--func",
+                str(trace_files / "eval.func.csv"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "state coverage" in out
+        assert "transition coverage" in out

@@ -1,0 +1,145 @@
+"""Edge-case and failure-injection tests across the whole flow."""
+
+import numpy as np
+import pytest
+
+from repro.core.mergeability import MergePolicy
+from repro.core.mining import AssertionMiner, MinerConfig
+from repro.core.pipeline import FlowConfig, PsmFlow
+from repro.traces.functional import FunctionalTrace
+from repro.traces.power import PowerTrace
+from repro.traces.variables import bool_in, int_in
+
+
+def config():
+    return FlowConfig(
+        miner=MinerConfig(min_avg_run=1.0, max_chatter_fraction=1.0),
+        merge=MergePolicy(max_cv=None),
+    )
+
+
+class TestDegenerateInputs:
+    def test_nan_power_rejected(self):
+        with pytest.raises(ValueError):
+            PowerTrace([1.0, float("nan")])
+
+    def test_infinite_power_rejected(self):
+        with pytest.raises(ValueError):
+            PowerTrace([1.0, float("inf")])
+
+    def test_single_instant_trace(self):
+        """One instant: no pattern can complete; the model is empty but
+        nothing crashes."""
+        trace = FunctionalTrace([int_in("x", 2)], {"x": [1]})
+        power = PowerTrace([1.0])
+        flow = PsmFlow(config()).fit([trace], [power])
+        assert flow.report.n_states == 0
+        result = flow.estimate(trace)
+        assert result.desync_instants == 1
+
+    def test_two_instant_trace(self):
+        trace = FunctionalTrace([int_in("x", 2)], {"x": [1, 2]})
+        power = PowerTrace([1.0, 2.0])
+        flow = PsmFlow(config()).fit([trace], [power])
+        assert flow.report.n_states == 1  # one next-pattern state
+        result = flow.estimate(trace)
+        assert np.isfinite(result.estimated.values).all()
+
+    def test_constant_trace_never_completes_a_pattern(self):
+        trace = FunctionalTrace([int_in("x", 2)], {"x": [1] * 50})
+        power = PowerTrace([1.0] * 50)
+        flow = PsmFlow(config()).fit([trace], [power])
+        assert flow.report.n_states == 0
+
+    def test_constant_power_world(self):
+        """Behavioural variety with flat power: everything merges."""
+        values = ([0] * 4 + [1] * 4 + [2] * 4) * 4 + [0]
+        trace = FunctionalTrace([int_in("x", 2)], {"x": values})
+        power = PowerTrace([2.5] * len(values))
+        flow = PsmFlow(config()).fit([trace], [power])
+        assert flow.report.n_states == 1
+        result = flow.estimate(trace)
+        explained = result.estimated.values[
+            np.array(result.state_sequence[: len(values)]) != None  # noqa: E711
+        ]
+        assert np.allclose(explained, 2.5)
+
+    def test_alternating_modes_every_cycle(self):
+        """Pure next-pattern world: chain of n=1 states, Case-1 merges."""
+        values = [0, 1] * 30 + [0]
+        trace = FunctionalTrace([int_in("x", 2)], {"x": values})
+        power = PowerTrace([1.0 if v == 0 else 3.0 for v in values])
+        flow = PsmFlow(config()).fit([trace], [power])
+        assert flow.report.n_states <= 4
+        result = flow.estimate(trace)
+        expected = np.array([1.0 if v == 0 else 3.0 for v in values])
+        matches = np.isclose(result.estimated.values, expected)
+        assert matches.mean() > 0.9
+
+    def test_estimate_on_different_variable_set_fails_loudly(self):
+        trace = FunctionalTrace([int_in("x", 2)], {"x": [0] * 8 + [1] * 8})
+        power = PowerTrace([1.0] * 16)
+        flow = PsmFlow(config()).fit([trace], [power])
+        alien = FunctionalTrace([bool_in("y")], {"y": [0, 1]})
+        with pytest.raises(KeyError):
+            flow.estimate(alien)
+
+
+class TestNoiseRobustness:
+    def test_flow_survives_noisy_references(self):
+        values = ([0] * 6 + [1] * 6) * 8 + [0]
+        trace = FunctionalTrace([int_in("x", 2)], {"x": values})
+        clean = PowerTrace([1.0 if v == 0 else 5.0 for v in values])
+        noisy = clean.with_noise(0.2, seed=3)
+        flow = PsmFlow(config()).fit([trace], [noisy])
+        result = flow.estimate(trace)
+        # the model's constants approach the clean levels despite noise
+        from repro.core.metrics import mre
+
+        assert mre(result.estimated, clean) < 15.0
+
+    def test_heavy_noise_still_produces_valid_model(self):
+        values = ([0] * 6 + [1] * 6) * 8 + [0]
+        trace = FunctionalTrace([int_in("x", 2)], {"x": values})
+        clean = PowerTrace([1.0 if v == 0 else 5.0 for v in values])
+        noisy = clean.with_noise(2.0, seed=3)
+        flow = PsmFlow(config()).fit([trace], [noisy])
+        for psm in flow.psms:
+            psm.validate()
+
+
+class TestMultiTraceTraining:
+    def test_disjoint_behaviours_union(self):
+        """Each trace covers one mode; the union model explains both."""
+        t1_values = ([0] * 5 + [1] * 5) * 4 + [0]
+        t2_values = ([0] * 5 + [2] * 5) * 4 + [0]
+        t1 = FunctionalTrace([int_in("x", 2)], {"x": t1_values})
+        t2 = FunctionalTrace([int_in("x", 2)], {"x": t2_values})
+        levels = {0: 1.0, 1: 5.0, 2: 9.0}
+        p1 = PowerTrace([levels[v] for v in t1_values])
+        p2 = PowerTrace([levels[v] for v in t2_values])
+        flow = PsmFlow(config()).fit([t1, t2], [p1, p2])
+        mixed_values = [0] * 5 + [1] * 5 + [0] * 5 + [2] * 5 + [0] * 2
+        mixed = FunctionalTrace([int_in("x", 2)], {"x": mixed_values})
+        result = flow.estimate(mixed)
+        expected = np.array([levels[v] for v in mixed_values])
+        matches = np.isclose(result.estimated.values, expected, rtol=1e-6)
+        assert matches.mean() > 0.8
+
+    def test_ten_training_traces(self):
+        rng = np.random.default_rng(0)
+        traces, powers = [], []
+        for _ in range(10):
+            values = []
+            for _ in range(6):
+                values.extend([int(rng.integers(0, 3))] * int(rng.integers(3, 7)))
+            traces.append(
+                FunctionalTrace([int_in("x", 2)], {"x": values})
+            )
+            levels = {0: 1.0, 1: 5.0, 2: 9.0}
+            powers.append(PowerTrace([levels[v] for v in values]))
+        flow = PsmFlow(config()).fit(traces, powers)
+        assert flow.report.n_psms >= 1
+        assert flow.report.n_states <= 12
+        for psm in flow.psms:
+            psm.validate()

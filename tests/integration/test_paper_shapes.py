@@ -1,0 +1,140 @@
+"""Integration tests: the paper's headline result shapes.
+
+These exercise the complete flow on the four benchmark IPs and assert the
+qualitative claims of the evaluation section (Tables II/III), not the
+absolute numbers: who is accurate, who is not, and why.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import mre
+from repro.core.pipeline import PsmFlow
+from repro.core.psm import RegressionPower
+from repro.power.estimator import run_power_simulation
+from repro.testbench import BENCHMARKS
+
+EVAL_CYCLES = 3000
+
+
+@pytest.fixture(scope="module")
+def all_fitted():
+    """Fit every benchmark once; reused by all shape tests."""
+    fitted = {}
+    for name, spec in BENCHMARKS.items():
+        reference = run_power_simulation(
+            spec.module_class(), spec.short_ts()
+        )
+        flow = PsmFlow(spec.flow_config()).fit(
+            [reference.trace], [reference.power]
+        )
+        evaluation = run_power_simulation(
+            spec.module_class(), spec.long_ts(EVAL_CYCLES)
+        )
+        train = flow.estimate(reference.trace)
+        long = flow.estimate(evaluation.trace)
+        fitted[name] = {
+            "flow": flow,
+            "train_mre": mre(train.estimated, reference.power),
+            "long_mre": mre(long.estimated, evaluation.power),
+            "long_result": long,
+            "reference": reference,
+        }
+    return fitted
+
+
+class TestTable2Shapes:
+    def test_ram_mre_is_very_low(self, all_fitted):
+        assert all_fitted["RAM"]["train_mre"] < 3.0
+
+    def test_aes_mre_is_moderate(self, all_fitted):
+        assert all_fitted["AES"]["train_mre"] < 10.0
+
+    def test_multsum_mre_above_ram(self, all_fitted):
+        assert (
+            all_fitted["MultSum"]["train_mre"]
+            > all_fitted["RAM"]["train_mre"]
+        )
+        assert all_fitted["MultSum"]["train_mre"] < 15.0
+
+    def test_camellia_mre_is_high(self, all_fitted):
+        """The paper's headline failure case (~33% MRE)."""
+        assert all_fitted["Camellia"]["train_mre"] > 20.0
+
+    def test_camellia_much_worse_than_others(self, all_fitted):
+        camellia = all_fitted["Camellia"]["train_mre"]
+        for other in ("RAM", "MultSum", "AES"):
+            assert camellia > 2.5 * all_fitted[other]["train_mre"]
+
+    def test_psm_sets_are_compact(self, all_fitted):
+        for name, data in all_fitted.items():
+            report = data["flow"].report
+            assert report.n_states <= 20, name
+            assert report.n_states < report.n_raw_states, name
+
+    def test_ram_uses_regression_states(self, all_fitted):
+        """The RAM result depends on the Sec. IV refinement."""
+        flow = all_fitted["RAM"]["flow"]
+        assert any(
+            isinstance(s.power_model, RegressionPower)
+            for psm in flow.psms
+            for s in psm.states
+        )
+
+    def test_camellia_busy_state_stays_constant(self, all_fitted):
+        """Camellia's inputs are stable while busy, so the regression
+        gate cannot fire — its states stay constants (and inaccurate)."""
+        flow = all_fitted["Camellia"]["flow"]
+        busiest = max(
+            (s for psm in flow.psms for s in psm.states),
+            key=lambda s: s.mu,
+        )
+        assert not isinstance(busiest.power_model, RegressionPower)
+
+
+class TestTable3Shapes:
+    def test_short_models_generalise(self, all_fitted):
+        for name in ("RAM", "MultSum", "AES"):
+            assert all_fitted[name]["long_mre"] < 15.0, name
+
+    def test_camellia_wsp_dominates(self, all_fitted):
+        camellia_wsp = all_fitted["Camellia"][
+            "long_result"
+        ].wrong_state_fraction
+        assert camellia_wsp > 5.0
+        for other in ("RAM", "MultSum", "AES"):
+            other_wsp = all_fitted[other]["long_result"].wrong_state_fraction
+            assert camellia_wsp > other_wsp + 4.0
+
+    def test_psm_estimation_faster_than_power_simulation(self, all_fitted):
+        import time
+
+        for name, data in all_fitted.items():
+            spec = BENCHMARKS[name]
+            stimulus = spec.long_ts(EVAL_CYCLES)
+            start = time.perf_counter()
+            evaluation = run_power_simulation(spec.module_class(), stimulus)
+            px_time = time.perf_counter() - start
+            best = None
+            for _ in range(3):
+                start = time.perf_counter()
+                data["flow"].estimate(evaluation.trace)
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None or elapsed < best else best
+            assert px_time / best > 2.0, name
+
+
+class TestDeterminism:
+    def test_flow_is_reproducible(self):
+        spec = BENCHMARKS["MultSum"]
+        results = []
+        for _ in range(2):
+            reference = run_power_simulation(
+                spec.module_class(), spec.short_ts()
+            )
+            flow = PsmFlow(spec.flow_config()).fit(
+                [reference.trace], [reference.power]
+            )
+            result = flow.estimate(reference.trace)
+            results.append(result.estimated.values)
+        assert np.allclose(results[0], results[1])

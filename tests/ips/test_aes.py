@@ -1,0 +1,192 @@
+"""Tests for the AES-128 benchmark IP (cipher + HDL core)."""
+
+import pytest
+
+from repro.hdl.simulator import Simulator
+from repro.ips.aes import (
+    NUM_ROUNDS,
+    Aes,
+    decrypt_block,
+    encrypt_block,
+    expand_key,
+    round_states,
+)
+from repro.ips.aes.cipher import (
+    block_to_state,
+    inv_mix_columns,
+    inv_shift_rows,
+    inv_sub_bytes,
+    mix_columns,
+    shift_rows,
+    state_to_block,
+    sub_bytes,
+)
+from repro.ips.aes.tables import INV_SBOX, SBOX, gf_inverse, gf_mul
+
+FIPS_KEY = 0x000102030405060708090A0B0C0D0E0F
+FIPS_PT = 0x00112233445566778899AABBCCDDEEFF
+FIPS_CT = 0x69C4E0D86A7B0430D8CDB78070B4C55A
+
+
+class TestTables:
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_sbox(self):
+        assert all(INV_SBOX[SBOX[v]] == v for v in range(256))
+
+    def test_known_sbox_entries(self):
+        # FIPS-197 examples
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_gf_inverse(self):
+        for value in range(1, 256):
+            assert gf_mul(value, gf_inverse(value)) == 1
+        assert gf_inverse(0) == 0
+
+
+class TestRoundOperations:
+    def test_shift_rows_inverse(self):
+        state = list(range(16))
+        assert inv_shift_rows(shift_rows(state)) == state
+
+    def test_mix_columns_inverse(self):
+        state = list(range(16))
+        assert inv_mix_columns(mix_columns(state)) == state
+
+    def test_sub_bytes_inverse(self):
+        state = list(range(16))
+        assert inv_sub_bytes(sub_bytes(state)) == state
+
+    def test_block_state_round_trip(self):
+        assert state_to_block(block_to_state(FIPS_PT)) == FIPS_PT
+
+
+class TestCipher:
+    def test_fips_197_vector(self):
+        assert encrypt_block(FIPS_PT, FIPS_KEY) == FIPS_CT
+
+    def test_decrypt_inverts_encrypt(self):
+        assert decrypt_block(FIPS_CT, FIPS_KEY) == FIPS_PT
+
+    def test_random_round_trips(self):
+        import random
+
+        random.seed(11)
+        for _ in range(10):
+            key = random.getrandbits(128)
+            block = random.getrandbits(128)
+            assert decrypt_block(encrypt_block(block, key), key) == block
+
+    def test_against_reference_library(self):
+        try:
+            from cryptography.hazmat.primitives.ciphers import (
+                Cipher,
+                algorithms,
+                modes,
+            )
+        except ImportError:  # pragma: no cover
+            pytest.skip("cryptography not available")
+        import random
+
+        random.seed(5)
+        for _ in range(10):
+            key = random.randbytes(16)
+            block = random.randbytes(16)
+            encryptor = Cipher(
+                algorithms.AES(key), modes.ECB()
+            ).encryptor()
+            expected = int.from_bytes(
+                encryptor.update(block) + encryptor.finalize(), "big"
+            )
+            got = encrypt_block(
+                int.from_bytes(block, "big"), int.from_bytes(key, "big")
+            )
+            assert got == expected
+
+    def test_round_states_structure(self):
+        states = round_states(FIPS_PT, FIPS_KEY)
+        assert len(states) == NUM_ROUNDS + 1
+        assert states[-1] == FIPS_CT
+
+    def test_key_expansion_shape(self):
+        round_keys = expand_key(FIPS_KEY)
+        assert len(round_keys) == NUM_ROUNDS + 1
+        assert all(len(rk) == 16 for rk in round_keys)
+        assert state_to_block(round_keys[0]) == FIPS_KEY
+
+
+def transaction(key, data, decrypt=0, load_key=0, start=0):
+    return {
+        "en": 1,
+        "load_key": load_key,
+        "start": start,
+        "decrypt": decrypt,
+        "key": key,
+        "data": data,
+    }
+
+
+class TestModule:
+    def _run_block(self, key, data, decrypt=0):
+        stimulus = [transaction(key, data, decrypt, load_key=1)]
+        stimulus += [transaction(key, data, decrypt, start=1)]
+        stimulus += [transaction(key, data, decrypt)] * (NUM_ROUNDS + 2)
+        result = Simulator(Aes()).run(stimulus)
+        done_cycles = [
+            i for i in range(len(result.trace)) if result.trace.at(i)["done"]
+        ]
+        return result, done_cycles
+
+    def test_encrypt_matches_cipher(self):
+        result, done = self._run_block(FIPS_KEY, FIPS_PT)
+        assert result.trace.at(done[0])["out"] == FIPS_CT
+
+    def test_decrypt_matches_cipher(self):
+        result, done = self._run_block(FIPS_KEY, FIPS_CT, decrypt=1)
+        assert result.trace.at(done[0])["out"] == FIPS_PT
+
+    def test_latency_is_ten_busy_cycles(self):
+        _, done = self._run_block(FIPS_KEY, FIPS_PT)
+        # start at cycle 1, 10 rounds, registered done -> cycle 12
+        assert done[0] == NUM_ROUNDS + 2
+
+    def test_done_holds_until_next_start(self):
+        result, done = self._run_block(FIPS_KEY, FIPS_PT)
+        assert done == list(range(done[0], len(result.trace)))
+
+    def test_disabled_core_does_nothing(self):
+        stimulus = [
+            {
+                "en": 0,
+                "load_key": 1,
+                "start": 1,
+                "decrypt": 0,
+                "key": FIPS_KEY,
+                "data": FIPS_PT,
+            }
+        ] * 5
+        result = Simulator(Aes()).run(stimulus)
+        assert all(not result.trace.at(i)["done"] for i in range(5))
+
+    def test_start_latches_key_if_never_loaded(self):
+        stimulus = [transaction(FIPS_KEY, FIPS_PT, start=1)]
+        stimulus += [transaction(FIPS_KEY, FIPS_PT)] * (NUM_ROUNDS + 2)
+        result = Simulator(Aes()).run(stimulus)
+        done = [
+            i for i in range(len(result.trace)) if result.trace.at(i)["done"]
+        ]
+        assert result.trace.at(done[0])["out"] == FIPS_CT
+
+    def test_busy_rounds_dominate_power(self):
+        result, done = self._run_block(FIPS_KEY, FIPS_PT)
+        activity = result.activity.total()
+        busy = activity[2 : 2 + NUM_ROUNDS].mean()
+        idle = activity[done[0] + 1 :].mean()
+        assert busy > 5 * idle
+
+    def test_interface_widths(self):
+        assert Aes.input_bits() == 260
+        assert Aes.output_bits() == 129

@@ -1,0 +1,186 @@
+"""Tests for the Camellia-128 benchmark IP (cipher + HDL core)."""
+
+import pytest
+
+from repro.hdl.simulator import Simulator
+from repro.ips.camellia import (
+    FL_ROUNDS,
+    NUM_ROUNDS,
+    Camellia,
+    decrypt_block,
+    derive_ka,
+    encrypt_block,
+    expand_key,
+    fl,
+    fl_inv,
+    round_trace,
+)
+from repro.ips.camellia.tables import SBOX1, SBOX2, SBOX3, SBOX4
+
+# RFC 3713 test vector (key == plaintext).
+RFC_KEY = 0x0123456789ABCDEFFEDCBA9876543210
+RFC_CT = 0x67673138549669730857065648EABE43
+
+
+class TestTables:
+    def test_sbox1_is_permutation(self):
+        assert sorted(SBOX1) == list(range(256))
+
+    def test_sbox1_known_entries(self):
+        # first and last rows of the RFC 3713 table
+        assert SBOX1[0] == 112
+        assert SBOX1[1] == 130
+        assert SBOX1[255] == 158
+
+    def test_derived_sboxes_per_spec(self):
+        for x in range(256):
+            assert SBOX2[x] == ((SBOX1[x] << 1) | (SBOX1[x] >> 7)) & 0xFF
+            assert SBOX3[x] == ((SBOX1[x] >> 1) | (SBOX1[x] << 7)) & 0xFF
+            assert SBOX4[x] == SBOX1[((x << 1) | (x >> 7)) & 0xFF]
+
+
+class TestHelpers:
+    def test_fl_inverse(self):
+        import random
+
+        random.seed(9)
+        for _ in range(20):
+            x = random.getrandbits(64)
+            k = random.getrandbits(64)
+            assert fl_inv(fl(x, k), k) == x
+
+    def test_ka_deterministic(self):
+        assert derive_ka(RFC_KEY) == derive_ka(RFC_KEY)
+
+
+class TestKeySchedule:
+    def test_subkey_counts(self):
+        schedule = expand_key(RFC_KEY)
+        assert len(schedule.k) == NUM_ROUNDS
+        assert len(schedule.kw) == 4
+        assert len(schedule.ke) == 4
+
+    def test_reversed_schedule(self):
+        schedule = expand_key(RFC_KEY)
+        rev = schedule.reversed()
+        assert rev.k == tuple(reversed(schedule.k))
+        assert rev.kw == (
+            schedule.kw[2],
+            schedule.kw[3],
+            schedule.kw[0],
+            schedule.kw[1],
+        )
+        assert rev.ke == tuple(reversed(schedule.ke))
+
+
+class TestCipher:
+    def test_rfc_3713_vector(self):
+        assert encrypt_block(RFC_KEY, RFC_KEY) == RFC_CT
+
+    def test_decrypt_inverts_encrypt(self):
+        assert decrypt_block(RFC_CT, RFC_KEY) == RFC_KEY
+
+    def test_random_round_trips(self):
+        import random
+
+        random.seed(13)
+        for _ in range(10):
+            key = random.getrandbits(128)
+            block = random.getrandbits(128)
+            assert decrypt_block(encrypt_block(block, key), key) == block
+
+    def test_against_reference_library(self):
+        try:
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                from cryptography.hazmat.decrepit.ciphers.algorithms import (
+                    Camellia as RefCamellia,
+                )
+            from cryptography.hazmat.primitives.ciphers import Cipher, modes
+        except ImportError:  # pragma: no cover
+            pytest.skip("cryptography Camellia not available")
+        import random
+
+        random.seed(17)
+        for _ in range(10):
+            key = random.randbytes(16)
+            block = random.randbytes(16)
+            encryptor = Cipher(RefCamellia(key), modes.ECB()).encryptor()
+            expected = int.from_bytes(
+                encryptor.update(block) + encryptor.finalize(), "big"
+            )
+            got = encrypt_block(
+                int.from_bytes(block, "big"), int.from_bytes(key, "big")
+            )
+            assert got == expected
+
+    def test_round_trace_has_fl_cycles(self):
+        snapshots, out = round_trace(RFC_KEY, expand_key(RFC_KEY))
+        assert out == RFC_CT
+        fl_cycles = [s for s in snapshots if s.is_fl_cycle]
+        assert len(fl_cycles) == len(FL_ROUNDS)
+        # 1 whitening + 18 rounds + 2 FL layers
+        assert len(snapshots) == 1 + NUM_ROUNDS + 2
+
+
+def stim(key, data, decrypt=0, load_key=0, start=0, en=1):
+    return {
+        "en": en,
+        "load_key": load_key,
+        "start": start,
+        "decrypt": decrypt,
+        "mode": 0,
+        "key": key,
+        "data": data,
+    }
+
+
+class TestModule:
+    LATENCY = NUM_ROUNDS + 2  # rounds + two FL cycles
+
+    def _run_block(self, key, data, decrypt=0):
+        stimulus = [stim(key, data, decrypt, load_key=1)]
+        stimulus += [stim(key, data, decrypt, start=1)]
+        stimulus += [stim(key, data, decrypt)] * (self.LATENCY + 3)
+        result = Simulator(Camellia()).run(stimulus)
+        done = [
+            i for i in range(len(result.trace)) if result.trace.at(i)["done"]
+        ]
+        return result, done
+
+    def test_encrypt_matches_cipher(self):
+        result, done = self._run_block(RFC_KEY, RFC_KEY)
+        assert result.trace.at(done[0])["out"] == RFC_CT
+
+    def test_decrypt_matches_cipher(self):
+        result, done = self._run_block(RFC_KEY, RFC_CT, decrypt=1)
+        assert result.trace.at(done[0])["out"] == RFC_KEY
+
+    def test_latency(self):
+        _, done = self._run_block(RFC_KEY, RFC_KEY)
+        # start at cycle 1, 20 busy cycles, registered done
+        assert done[0] == self.LATENCY + 2
+
+    def test_disabled_core_does_nothing(self):
+        stimulus = [stim(RFC_KEY, RFC_KEY, load_key=1, start=1, en=0)] * 4
+        result = Simulator(Camellia()).run(stimulus)
+        assert all(not result.trace.at(i)["done"] for i in range(4))
+
+    def test_fl_cycles_spike_power(self):
+        result, done = self._run_block(RFC_KEY, RFC_KEY)
+        fl_activity = result.activity.column("fl_layer")
+        assert (fl_activity > 0).sum() == 2
+
+    def test_busy_power_has_high_variance(self):
+        """The design property behind the paper's Camellia result."""
+        import numpy as np
+
+        result, done = self._run_block(RFC_KEY, RFC_KEY)
+        busy = result.activity.total()[2 : 2 + self.LATENCY]
+        assert np.std(busy) / np.mean(busy) > 0.25
+
+    def test_interface_widths(self):
+        assert Camellia.input_bits() == 262
+        assert Camellia.output_bits() == 129

@@ -1,0 +1,66 @@
+"""Tests for the MultSum (MAC) benchmark IP."""
+
+import pytest
+
+from repro.hdl.simulator import Simulator
+from repro.ips.multsum import MultSum
+
+
+def cyc(a=0, b=0, c=0, clear=0):
+    return {"a": a, "b": b, "c": c, "clear": clear}
+
+
+def run(cycles):
+    return Simulator(MultSum()).run(cycles)
+
+
+class TestBehaviour:
+    def test_multiply_accumulate(self):
+        result = run([cyc(3, 5, 7, clear=1), cyc(2, 10, 1)])
+        assert result.trace.at(0)["result"] == 22
+        assert result.trace.at(1)["result"] == 43
+
+    def test_clear_restarts_accumulation(self):
+        result = run([cyc(3, 3, 0, clear=1), cyc(1, 1, 0, clear=1)])
+        assert result.trace.at(1)["result"] == 1
+
+    def test_zero_operands_hold(self):
+        result = run([cyc(4, 4, 0, clear=1), cyc(), cyc()])
+        assert result.trace.at(2)["result"] == 16
+
+    def test_overflow_wraps_32_bits(self):
+        result = run(
+            [cyc(0xFFFF, 0xFFFF, 0xFFFF, clear=1)]
+            + [cyc(0xFFFF, 0xFFFF, 0xFFFF)] * 3
+        )
+        expected = 0
+        for _ in range(4):
+            expected = (expected + 0xFFFF * 0xFFFF + 0xFFFF) & 0xFFFFFFFF
+        assert result.trace.at(3)["result"] == expected
+
+    def test_max_single_product(self):
+        result = run([cyc(0xFFFF, 0xFFFF, 0, clear=1)])
+        assert result.trace.at(0)["result"] == 0xFFFF * 0xFFFF
+
+
+class TestPowerBehaviour:
+    def test_zero_stream_is_cheap(self):
+        result = run([cyc(), cyc(), cyc(0xABCD, 0x1234, 0x9999)])
+        activity = result.activity.total()
+        assert activity[1] < activity[2]
+
+    def test_multiplier_activity_tracks_operand_weight(self):
+        light = run([cyc(1, 1, 0, clear=1), cyc(1, 1, 0)])
+        heavy = run(
+            [cyc(0xFFFF, 0xFFFF, 0, clear=1), cyc(0xFFFF, 0x7FFF, 0)]
+        )
+        assert (
+            heavy.activity.column("multiplier")[1]
+            > light.activity.column("multiplier")[1]
+        )
+
+
+class TestStructure:
+    def test_interface_widths(self):
+        assert MultSum.input_bits() == 49
+        assert MultSum.output_bits() == 32

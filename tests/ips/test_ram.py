@@ -1,0 +1,89 @@
+"""Tests for the RAM benchmark IP."""
+
+import pytest
+
+from repro.hdl.simulator import Simulator
+from repro.ips.ram import WORDS, Ram
+
+
+def idle(**overrides):
+    row = {"rst": 0, "cs": 1, "en": 0, "we": 0, "addr": 0, "wdata": 0}
+    row.update(overrides)
+    return row
+
+
+def write(addr, data):
+    return idle(en=1, we=1, addr=addr, wdata=data)
+
+
+def read(addr):
+    return idle(en=1, we=0, addr=addr)
+
+
+class TestBehaviour:
+    def test_write_then_read(self):
+        result = Simulator(Ram()).run(
+            [write(5, 0xDEADBEEF), read(5)]
+        )
+        assert result.trace.at(1)["rdata"] == 0xDEADBEEF
+
+    def test_write_through_on_rdata(self):
+        result = Simulator(Ram()).run([write(1, 0x1234)])
+        assert result.trace.at(0)["rdata"] == 0x1234
+
+    def test_independent_addresses(self):
+        result = Simulator(Ram()).run(
+            [write(0, 111), write(1, 222), read(0), read(1)]
+        )
+        assert result.trace.at(2)["rdata"] == 111
+        assert result.trace.at(3)["rdata"] == 222
+
+    def test_rdata_holds_when_idle(self):
+        result = Simulator(Ram()).run([write(2, 77), idle(), idle()])
+        assert result.trace.at(2)["rdata"] == 77
+
+    def test_chip_select_gates_access(self):
+        result = Simulator(Ram()).run(
+            [write(3, 99), idle(cs=0, en=1, we=0, addr=3)]
+        )
+        # with cs low the read does not happen; rdata holds the write
+        assert result.trace.at(1)["rdata"] == 99
+
+    def test_reset_clears_rdata(self):
+        result = Simulator(Ram()).run([write(3, 99), idle(rst=1)])
+        assert result.trace.at(1)["rdata"] == 0
+
+    def test_full_address_space(self):
+        stimulus = [write(a, a + 1) for a in range(WORDS)]
+        stimulus += [read(a) for a in range(WORDS)]
+        result = Simulator(Ram()).run(stimulus)
+        for a in range(WORDS):
+            assert result.trace.at(WORDS + a)["rdata"] == a + 1
+
+
+class TestPowerBehaviour:
+    def test_idle_cheaper_than_active(self):
+        result = Simulator(Ram()).run(
+            [idle(), idle(), write(0, 0xFFFFFFFF), read(0)]
+        )
+        activity = result.activity.total()
+        assert activity[1] < activity[2]
+        assert activity[1] < activity[3]
+
+    def test_write_power_tracks_data_weight(self):
+        heavy = Simulator(Ram()).run(
+            [write(0, 0), write(0, 0xFFFFFFFF)]
+        ).activity.total()[1]
+        light = Simulator(Ram()).run(
+            [write(0, 0), write(0, 1)]
+        ).activity.total()[1]
+        assert heavy > light
+
+
+class TestStructure:
+    def test_interface_widths(self):
+        assert Ram.input_bits() == 44
+        assert Ram.output_bits() == 32
+
+    def test_memory_elements(self):
+        assert Ram().state_bits() >= WORDS * 32

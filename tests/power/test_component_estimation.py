@@ -1,0 +1,68 @@
+"""Tests for per-component power estimation (hierarchical substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.hdl.simulator import Simulator
+from repro.ips import Camellia, Ram
+from repro.power.estimator import PowerEstimator
+from repro.testbench import camellia_short_ts, ram_short_ts
+
+
+@pytest.fixture(scope="module")
+def camellia_activity():
+    module = Camellia()
+    result = Simulator(module).run(camellia_short_ts()[:400])
+    return module, result.activity
+
+
+class TestEstimateComponents:
+    def test_one_trace_per_component(self, camellia_activity):
+        module, activity = camellia_activity
+        traces = PowerEstimator().estimate_components(module, activity)
+        assert set(traces) == set(activity.components)
+        for trace in traces.values():
+            assert len(trace) == len(activity)
+
+    def test_components_sum_to_total_without_noise(self, camellia_activity):
+        module, activity = camellia_activity
+        estimator = PowerEstimator(noise_sigma=0.0)
+        total = estimator.estimate_module(module, activity)
+        components = estimator.estimate_components(module, activity)
+        summed = np.sum([t.values for t in components.values()], axis=0)
+        assert np.allclose(summed, total.values)
+
+    def test_component_caps_applied(self, camellia_activity):
+        module, activity = camellia_activity
+        estimator = PowerEstimator(noise_sigma=0.0)
+        components = estimator.estimate_components(module, activity)
+        # fl_layer carries a 3.0x capacitance weight in the module
+        raw = activity.column("fl_layer")
+        scale = (
+            estimator.tech.energy_per_toggle * estimator.tech.unit_scale
+        )
+        expected = raw * module.COMPONENT_CAPS["fl_layer"] * scale
+        assert np.allclose(components["fl_layer"].values, expected)
+
+    def test_noise_streams_are_deterministic(self, camellia_activity):
+        module, activity = camellia_activity
+        a = PowerEstimator(noise_sigma=0.01, seed=5).estimate_components(
+            module, activity
+        )
+        b = PowerEstimator(noise_sigma=0.01, seed=5).estimate_components(
+            module, activity
+        )
+        for name in a:
+            assert np.allclose(a[name].values, b[name].values)
+
+    def test_noise_streams_differ_across_components(self, camellia_activity):
+        module, activity = camellia_activity
+        traces = PowerEstimator(
+            noise_sigma=0.05, seed=5
+        ).estimate_components(module, activity)
+        left = traces["feistel_left"].values
+        right = traces["feistel_right"].values
+        active = (left > 0) & (right > 0)
+        # same register widths, different noise: the ratio must wobble
+        ratios = left[active] / right[active]
+        assert np.std(ratios) > 0

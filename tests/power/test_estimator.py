@@ -1,0 +1,86 @@
+"""Tests for the power estimator (PrimeTime PX substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.hdl.simulator import ActivityRecord
+from repro.power.estimator import (
+    PowerEstimator,
+    component_breakdown,
+    run_power_simulation,
+)
+from repro.power.tech import TechLibrary
+from repro.ips.ram import Ram
+from repro.testbench import ram_short_ts
+
+
+def _record():
+    record = ActivityRecord(["a", "b"])
+    record.append({"a": 10.0, "b": 2.0})
+    record.append({"a": 0.0, "b": 4.0})
+    return record
+
+
+class TestEstimate:
+    def test_unit_capacitance_math(self):
+        tech = TechLibrary(vdd=1.0, frequency=1e8, cap_per_toggle=10e-15)
+        estimator = PowerEstimator(tech, noise_sigma=0.0)
+        power = estimator.estimate(_record())
+        per_toggle_mw = tech.energy_per_toggle * 1e3
+        assert power[0] == pytest.approx(12 * per_toggle_mw)
+        assert power[1] == pytest.approx(4 * per_toggle_mw)
+
+    def test_component_caps_weighting(self):
+        estimator = PowerEstimator(noise_sigma=0.0)
+        weighted = estimator.estimate(_record(), {"a": 2.0, "b": 0.5})
+        unweighted = estimator.estimate(_record())
+        assert weighted[0] == pytest.approx(
+            unweighted[0] * (2.0 * 10 + 0.5 * 2) / 12
+        )
+
+    def test_noise_deterministic_per_seed(self):
+        estimator = PowerEstimator(noise_sigma=0.01, seed=7)
+        a = estimator.estimate(_record())
+        b = estimator.estimate(_record())
+        assert np.allclose(a.values, b.values)
+
+    def test_noise_relative_scale(self):
+        quiet = PowerEstimator(noise_sigma=0.0).estimate(_record())
+        noisy = PowerEstimator(noise_sigma=0.01, seed=1).estimate(_record())
+        rel = np.abs(noisy.values - quiet.values) / quiet.values
+        assert np.all(rel < 0.1)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            PowerEstimator(noise_sigma=-0.1)
+
+
+class TestRunPowerSimulation:
+    def test_produces_matching_lengths(self):
+        stimulus = ram_short_ts()[:200]
+        result = run_power_simulation(Ram(), stimulus)
+        assert len(result.trace) == len(result.power) == 200
+        assert result.total_time >= result.functional_time
+
+    def test_power_is_positive_when_active(self):
+        stimulus = ram_short_ts()[:200]
+        result = run_power_simulation(Ram(), stimulus)
+        assert result.power.mean() > 0
+
+    def test_deterministic_for_same_stimulus(self):
+        stimulus = ram_short_ts()[:100]
+        a = run_power_simulation(Ram(), stimulus)
+        b = run_power_simulation(Ram(), stimulus)
+        assert np.allclose(a.power.values, b.power.values)
+
+
+class TestComponentBreakdown:
+    def test_breakdown_per_component(self):
+        module = Ram()
+        stimulus = ram_short_ts()[:200]
+        from repro.hdl.simulator import Simulator
+
+        result = Simulator(module).run(stimulus)
+        breakdown = component_breakdown(module, result.activity)
+        assert set(breakdown) >= {"array", "io", "clock_tree"}
+        assert all(v >= 0 for v in breakdown.values())

@@ -1,0 +1,68 @@
+"""Tests for the synthesis-report substitute."""
+
+from repro.ips import Aes, Camellia, MultSum, Ram
+from repro.power.synthesis import (
+    count_source_lines,
+    estimate_gates,
+    synthesis_time_model,
+    synthesize,
+)
+
+
+class TestSynthesize:
+    def test_ram_interface_matches_paper(self):
+        report = synthesize(Ram())
+        assert report.pi_bits == 44
+        assert report.po_bits == 32
+        assert report.memory_elements >= 8192  # 1KB array
+
+    def test_multsum_interface_matches_paper(self):
+        report = synthesize(MultSum())
+        assert report.pi_bits == 49
+        assert report.po_bits == 32
+
+    def test_aes_interface_matches_paper(self):
+        report = synthesize(Aes())
+        assert report.pi_bits == 260
+        assert report.po_bits == 129
+
+    def test_camellia_interface_matches_paper(self):
+        report = synthesize(Camellia())
+        assert report.pi_bits == 262
+        assert report.po_bits == 129
+
+    def test_row_shape(self):
+        row = synthesize(Ram()).row()
+        assert len(row) == 6
+        assert row[0] == "RAM"
+
+    def test_source_lines_positive(self):
+        assert count_source_lines(Ram) > 40
+        assert count_source_lines(Aes) > 40
+
+    def test_ram_has_most_memory_elements(self):
+        reports = {
+            cls.NAME: synthesize(cls()) for cls in (Ram, MultSum, Aes, Camellia)
+        }
+        ram_mem = reports["RAM"].memory_elements
+        assert all(
+            ram_mem > r.memory_elements
+            for name, r in reports.items()
+            if name != "RAM"
+        )
+
+
+class TestModels:
+    def test_gate_estimate_grows_with_state(self):
+        assert estimate_gates(Aes()) > estimate_gates(MultSum())
+
+    def test_synthesis_time_monotone_in_gates(self):
+        assert synthesis_time_model(10000, 0) > synthesis_time_model(1000, 0)
+
+    def test_synthesis_time_zero_design(self):
+        assert synthesis_time_model(0, 0) == 0.0
+
+    def test_synthesis_time_deterministic(self):
+        assert synthesis_time_model(5000, 100) == synthesis_time_model(
+            5000, 100
+        )

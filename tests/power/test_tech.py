@@ -1,0 +1,41 @@
+"""Tests for the technology library."""
+
+import pytest
+
+from repro.power.tech import DEFAULT_TECH, TechLibrary
+
+
+class TestTechLibrary:
+    def test_energy_per_toggle_formula(self):
+        tech = TechLibrary(vdd=2.0, frequency=1e6, cap_per_toggle=1e-12)
+        # 1/2 * 4 * 1e6 * 1e-12 = 2e-6 W
+        assert tech.energy_per_toggle == pytest.approx(2e-6)
+
+    def test_default_is_mw_scale(self):
+        assert DEFAULT_TECH.unit == "mW"
+        assert DEFAULT_TECH.unit_scale == 1e3
+
+    def test_unit_scales(self):
+        for unit, scale in [("W", 1.0), ("mW", 1e3), ("uW", 1e6), ("nW", 1e9)]:
+            assert TechLibrary(unit=unit).unit_scale == scale
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ValueError):
+            TechLibrary(unit="kW").unit_scale
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"vdd": 0.0},
+            {"vdd": -1.0},
+            {"frequency": 0.0},
+            {"cap_per_toggle": 0.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TechLibrary(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_TECH.vdd = 2.0

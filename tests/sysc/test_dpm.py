@@ -1,0 +1,128 @@
+"""Tests for the DPM exploration layer."""
+
+import pytest
+
+from repro.core.pipeline import PsmFlow
+from repro.power.estimator import run_power_simulation
+from repro.sysc.dpm import (
+    AlwaysOnPolicy,
+    DpmPolicy,
+    OraclePolicy,
+    TimeoutGatePolicy,
+    explore_policies,
+)
+from repro.testbench import AES_LATENCY, BENCHMARKS
+from repro.testbench.stimuli import StimulusBuilder
+
+
+@pytest.fixture(scope="module")
+def aes_dpm_setup():
+    spec = BENCHMARKS["AES"]
+    reference = run_power_simulation(spec.module_class(), spec.short_ts())
+    flow = PsmFlow(spec.flow_config()).fit(
+        [reference.trace], [reference.power]
+    )
+    tb = StimulusBuilder({}, seed=3)
+    key = tb.rand_bits(128)
+
+    def transaction(data, first=False):
+        base = dict(en=1, load_key=0, start=0, decrypt=0, key=key, data=data)
+        rows = [dict(base, load_key=1)] if first else []
+        rows.append(dict(base, start=1))
+        rows += [dict(base)] * (AES_LATENCY + 1)
+        return rows
+
+    workload = [
+        transaction(tb.rand_bits(128), first=(i == 0)) for i in range(12)
+    ]
+    idle = dict(en=1, load_key=0, start=0, decrypt=0, key=key, data=0)
+    return spec, flow, workload, idle
+
+
+class TestPolicies:
+    def test_always_on_never_gates(self):
+        policy = AlwaysOnPolicy()
+        assert policy.decide({"done": 1}, wants_work=False)
+
+    def test_oracle_gates_when_idle(self):
+        policy = OraclePolicy()
+        assert policy.decide({}, wants_work=True)
+        assert not policy.decide({}, wants_work=False)
+
+    def test_timeout_counts_idle_done_cycles(self):
+        policy = TimeoutGatePolicy(timeout=2)
+        policy.reset()
+        assert policy.decide({"done": 1}, False)  # idle 1
+        assert not policy.decide({"done": 1}, False)  # idle 2 -> gate
+        assert policy.decide({"done": 1}, True)  # work arrives -> wake
+
+    def test_timeout_resets_on_activity(self):
+        policy = TimeoutGatePolicy(timeout=2)
+        policy.reset()
+        policy.decide({"done": 1}, False)
+        policy.decide({"done": 0}, False)  # busy again
+        assert policy.decide({"done": 1}, False)  # only idle 1
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            TimeoutGatePolicy(0)
+
+    def test_abstract_policy(self):
+        with pytest.raises(NotImplementedError):
+            DpmPolicy().decide({}, True)
+
+
+class TestExploration:
+    def test_all_policies_complete_the_workload(self, aes_dpm_setup):
+        spec, flow, workload, idle = aes_dpm_setup
+        reports = explore_policies(
+            spec.module_class,
+            workload,
+            idle,
+            flow,
+            [AlwaysOnPolicy(), TimeoutGatePolicy(3), OraclePolicy()],
+        )
+        assert all(
+            r.completed_operations == len(workload) for r in reports
+        )
+
+    def test_gating_saves_psm_estimated_energy(self, aes_dpm_setup):
+        spec, flow, workload, idle = aes_dpm_setup
+        reports = explore_policies(
+            spec.module_class,
+            workload,
+            idle,
+            flow,
+            [AlwaysOnPolicy(), OraclePolicy()],
+        )
+        by_name = {r.policy: r for r in reports}
+        assert (
+            by_name["oracle"].estimated_energy
+            < by_name["always-on"].estimated_energy
+        )
+        assert by_name["always-on"].gated_fraction == 0.0
+        assert by_name["oracle"].gated_fraction > 0.2
+
+    def test_oracle_is_at_least_as_good_as_timeout(self, aes_dpm_setup):
+        spec, flow, workload, idle = aes_dpm_setup
+        reports = explore_policies(
+            spec.module_class,
+            workload,
+            idle,
+            flow,
+            [TimeoutGatePolicy(6), OraclePolicy()],
+        )
+        by_name = {r.policy: r for r in reports}
+        assert (
+            by_name["oracle"].estimated_energy
+            <= by_name["timeout-6"].estimated_energy * 1.02
+        )
+
+    def test_report_fields(self, aes_dpm_setup):
+        spec, flow, workload, idle = aes_dpm_setup
+        (report,) = explore_policies(
+            spec.module_class, workload, idle, flow, [AlwaysOnPolicy()]
+        )
+        assert report.cycles > 0
+        assert 0 <= report.gated_fraction <= 1
+        assert report.estimated_energy > 0

@@ -1,0 +1,82 @@
+"""Tests for the co-simulation kernel."""
+
+import pytest
+
+from repro.sysc.kernel import Kernel, Process, SignalBoard
+
+
+class Producer(Process):
+    name = "producer"
+
+    def on_cycle(self, cycle):
+        self.board.write("value", cycle * 2)
+
+
+class Consumer(Process):
+    name = "consumer"
+
+    def __init__(self):
+        self.seen = []
+        self.finished = False
+
+    def on_cycle(self, cycle):
+        self.seen.append(self.board.read("value", default=-1))
+
+    def on_finish(self):
+        self.finished = True
+
+
+class TestSignalBoard:
+    def test_write_read(self):
+        board = SignalBoard()
+        board.write("x", 3)
+        assert board.read("x") == 3
+
+    def test_default(self):
+        assert SignalBoard().read("missing", default=7) == 7
+
+    def test_write_many_and_snapshot(self):
+        board = SignalBoard()
+        board.write_many({"a": 1, "b": 2})
+        assert board.snapshot() == {"a": 1, "b": 2}
+
+
+class TestKernel:
+    def test_processes_run_in_registration_order(self):
+        kernel = Kernel()
+        kernel.register(Producer())
+        consumer = kernel.register(Consumer())
+        stats = kernel.run(3)
+        # the consumer sees the producer's same-cycle value
+        assert consumer.seen == [0, 2, 4]
+        assert stats.cycles == 3
+
+    def test_reverse_order_sees_previous_cycle(self):
+        kernel = Kernel()
+        consumer = kernel.register(Consumer())
+        kernel.register(Producer())
+        kernel.run(3)
+        assert consumer.seen == [-1, 0, 2]
+
+    def test_on_finish_called(self):
+        kernel = Kernel()
+        consumer = kernel.register(Consumer())
+        kernel.run(1)
+        assert consumer.finished
+
+    def test_stop_condition(self):
+        kernel = Kernel()
+        consumer = kernel.register(Consumer())
+        stats = kernel.run(100, stop_condition=lambda cycle: cycle >= 4)
+        assert stats.cycles == 5
+
+    def test_per_process_times_recorded(self):
+        kernel = Kernel()
+        kernel.register(Producer())
+        stats = kernel.run(10)
+        assert "producer" in stats.process_times
+        assert stats.process_times["producer"] >= 0.0
+
+    def test_abstract_process(self):
+        with pytest.raises(NotImplementedError):
+            Process().on_cycle(0)

@@ -1,0 +1,97 @@
+"""Tests for the streaming PSM monitor and co-simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import mre
+from repro.power.estimator import run_power_simulation
+from repro.sysc.cosim import measure_overhead, simulate_with_psms
+from repro.sysc.monitor import StreamingPsmMonitor
+
+
+@pytest.fixture(scope="module")
+def fitted_ram():
+    from repro.core.pipeline import PsmFlow
+    from repro.testbench import BENCHMARKS
+
+    spec = BENCHMARKS["RAM"]
+    reference = run_power_simulation(spec.module_class(), spec.short_ts())
+    flow = PsmFlow(spec.flow_config()).fit(
+        [reference.trace], [reference.power]
+    )
+    return spec, flow, reference
+
+
+class TestStreamingMonitor:
+    def test_tracks_training_trace_accurately(self, fitted_ram):
+        spec, flow, reference = fitted_ram
+        monitor = StreamingPsmMonitor(
+            flow.psms, flow.mining.labeler, flow.hmm
+        )
+        for row in reference.trace.rows():
+            monitor.observe(row)
+        assert monitor.cycles == len(reference.trace)
+        error = mre(np.array(monitor.estimates), reference.power)
+        assert error < 10.0
+
+    def test_close_to_batch_simulator(self, fitted_ram):
+        spec, flow, reference = fitted_ram
+        stimulus = spec.long_ts(1200)
+        evaluation = run_power_simulation(spec.module_class(), stimulus)
+        batch = flow.estimate(evaluation.trace)
+        monitor = StreamingPsmMonitor(
+            flow.psms, flow.mining.labeler, flow.hmm
+        )
+        for row in evaluation.trace.rows():
+            monitor.observe(row)
+        batch_mre = mre(batch.estimated, evaluation.power)
+        stream_mre = mre(np.array(monitor.estimates), evaluation.power)
+        # the causal monitor cannot re-attribute, so allow some slack
+        assert stream_mre < batch_mre + 10.0
+
+    def test_reset_clears_state(self, fitted_ram):
+        spec, flow, reference = fitted_ram
+        monitor = StreamingPsmMonitor(
+            flow.psms, flow.mining.labeler, flow.hmm
+        )
+        for row in list(reference.trace.rows())[:50]:
+            monitor.observe(row)
+        monitor.reset()
+        assert monitor.cycles == 0
+        assert monitor.estimates == []
+
+    def test_estimates_are_nonnegative(self, fitted_ram):
+        spec, flow, reference = fitted_ram
+        monitor = StreamingPsmMonitor(
+            flow.psms, flow.mining.labeler, flow.hmm
+        )
+        for row in list(reference.trace.rows())[:200]:
+            assert monitor.observe(row) >= 0.0
+
+
+class TestCosim:
+    def test_overhead_report_fields(self, fitted_ram):
+        spec, flow, reference = fitted_ram
+        stimulus = spec.long_ts(600)
+        report = measure_overhead(
+            spec.module_class, stimulus, flow, repeats=1
+        )
+        assert report.ip == "RAM"
+        assert report.cycles == 600
+        assert report.ip_time > 0
+        assert report.cosim_time > 0
+
+    def test_simulate_with_psms_returns_monitor(self, fitted_ram):
+        spec, flow, reference = fitted_ram
+        stimulus = spec.long_ts(400)
+        stats, monitor = simulate_with_psms(
+            spec.module_class(), stimulus, 400, flow
+        )
+        assert stats.cycles == 400
+        assert monitor.cycles == 400
+
+    def test_zero_ip_time_overhead(self):
+        from repro.sysc.cosim import OverheadReport
+
+        report = OverheadReport(ip="x", cycles=1, ip_time=0.0, cosim_time=1.0)
+        assert report.overhead == 0.0

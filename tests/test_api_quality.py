@@ -1,0 +1,89 @@
+"""API-quality gates: documentation coverage and import hygiene."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+]
+
+
+class TestDocumentation:
+    def test_every_module_has_a_docstring(self):
+        undocumented = []
+        for name in MODULES:
+            module = importlib.import_module(name)
+            if not (module.__doc__ or "").strip():
+                undocumented.append(name)
+        assert undocumented == []
+
+    def test_every_public_class_and_function_documented(self):
+        undocumented = []
+        for name in MODULES:
+            module = importlib.import_module(name)
+            for attr_name, attr in vars(module).items():
+                if attr_name.startswith("_"):
+                    continue
+                if getattr(attr, "__module__", None) != name:
+                    continue
+                if inspect.isclass(attr) or inspect.isfunction(attr):
+                    if not (attr.__doc__ or "").strip():
+                        undocumented.append(f"{name}.{attr_name}")
+        assert undocumented == []
+
+    def test_public_methods_documented(self):
+        """Every public method carries a docstring, directly or inherited
+        from the base method it overrides."""
+
+        def inherited_doc(cls, method_name):
+            for base in cls.__mro__[1:]:
+                base_method = base.__dict__.get(method_name)
+                if base_method is not None and (
+                    getattr(base_method, "__doc__", "") or ""
+                ).strip():
+                    return True
+            return False
+
+        undocumented = []
+        for name in MODULES:
+            module = importlib.import_module(name)
+            for attr in vars(module).values():
+                if not inspect.isclass(attr):
+                    continue
+                if getattr(attr, "__module__", None) != name:
+                    continue
+                if attr.__name__.startswith("_"):
+                    continue
+                for method_name, method in vars(attr).items():
+                    if method_name.startswith("_"):
+                        continue
+                    if not inspect.isfunction(method):
+                        continue
+                    if (method.__doc__ or "").strip():
+                        continue
+                    if inherited_doc(attr, method_name):
+                        continue
+                    undocumented.append(
+                        f"{name}.{attr.__name__}.{method_name}"
+                    )
+        assert undocumented == []
+
+
+class TestExports:
+    def test_all_exports_resolve(self):
+        for name in MODULES:
+            module = importlib.import_module(name)
+            for symbol in getattr(module, "__all__", []):
+                assert hasattr(module, symbol), f"{name}.{symbol}"
+
+    def test_top_level_api_imports(self):
+        for symbol in repro.__all__:
+            assert hasattr(repro, symbol), symbol

@@ -1,0 +1,108 @@
+"""Tests for the Tables I-III regeneration harness."""
+
+import pytest
+
+from repro.bench import (
+    fit_benchmark,
+    format_table,
+    long_cycles,
+    scale_factor,
+    table1_rows,
+)
+
+
+class TestScaling:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_factor() == 1.0
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert scale_factor() == 2.5
+        assert long_cycles() == 30000
+
+    def test_bad_scale_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "lots")
+        assert scale_factor() == 1.0
+
+    def test_minimum_cycles(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.0001")
+        assert long_cycles() == 1000
+
+
+class TestFormatTable:
+    def test_renders_columns(self):
+        text = format_table(
+            [{"a": 1, "bb": "x"}, {"a": 22, "bb": "yy"}], "T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], "T")
+
+
+class TestTable1:
+    def test_rows_cover_all_ips(self):
+        rows = table1_rows()
+        assert [r["ip"] for r in rows] == [
+            "RAM",
+            "MultSum",
+            "AES",
+            "Camellia",
+        ]
+        for row in rows:
+            assert row["memory_elements"] > 0
+            assert row["syn_time"] > 0
+
+    def test_synthesis_time_ordering_matches_paper(self):
+        """Paper Table I: MultSum < RAM < AES < Camellia."""
+        times = {r["ip"]: r["syn_time"] for r in table1_rows()}
+        assert (
+            times["MultSum"]
+            < times["RAM"]
+            < times["AES"]
+            < times["Camellia"]
+        )
+
+
+class TestFitBenchmark:
+    def test_fit_returns_complete_record(self):
+        fitted = fit_benchmark("MultSum")
+        assert fitted.ts == len(fitted.short_ref.trace)
+        assert fitted.px_time > 0
+        assert fitted.train_mre >= 0
+        assert fitted.flow.fitted
+
+    def test_custom_stimulus(self):
+        from repro.testbench import BENCHMARKS
+
+        stimulus = BENCHMARKS["MultSum"].long_ts(1200)
+        fitted = fit_benchmark("MultSum", stimulus)
+        assert fitted.ts == 1200
+
+
+class TestTable2ShortOnly:
+    def test_short_rows_structure(self):
+        from repro.bench import table2_rows
+
+        rows = table2_rows(include_long=False)
+        assert [r["ip"] for r in rows] == [
+            "RAM",
+            "MultSum",
+            "AES",
+            "Camellia",
+        ]
+        for row in rows:
+            assert row["testset"] == "short-TS"
+            assert row["states"] > 0
+            assert row["gen_time"] >= 0
+            assert row["mre"] >= 0
+
+    def test_camellia_is_the_accuracy_outlier(self):
+        from repro.bench import table2_rows
+
+        rows = {r["ip"]: r for r in table2_rows(include_long=False)}
+        assert rows["Camellia"]["mre"] > 3 * rows["AES"]["mre"]

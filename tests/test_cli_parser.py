@@ -1,0 +1,75 @@
+"""Tests for the psmgen argument parser (fast, no flows)."""
+
+import pytest
+
+from repro.cli import build_parser
+
+
+class TestParser:
+    def test_generate_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "generate",
+                "--func",
+                "a.csv",
+                "--power",
+                "p.csv",
+                "-o",
+                "out.json",
+                "--dot",
+                "g.dot",
+            ]
+        )
+        assert args.command == "generate"
+        assert args.func == ["a.csv"]
+        assert args.power == ["p.csv"]
+        assert args.output == "out.json"
+        assert args.dot == "g.dot"
+        assert args.systemc is None
+
+    def test_generate_accepts_multiple_pairs(self):
+        args = build_parser().parse_args(
+            [
+                "generate",
+                "--func",
+                "a.csv",
+                "--func",
+                "b.csv",
+                "--power",
+                "pa.csv",
+                "--power",
+                "pb.csv",
+            ]
+        )
+        assert len(args.func) == 2
+        assert args.output == "psms.json"
+
+    def test_estimate_arguments(self):
+        args = build_parser().parse_args(
+            ["estimate", "--model", "m.json", "--func", "t.csv"]
+        )
+        assert args.command == "estimate"
+        assert args.reference is None
+
+    def test_bench_arguments(self):
+        args = build_parser().parse_args(
+            ["bench", "--ip", "AES", "--cycles", "500"]
+        )
+        assert args.ip == "AES"
+        assert args.cycles == 500
+
+    def test_tables_arguments(self):
+        args = build_parser().parse_args(["tables", "--short-only"])
+        assert args.short_only
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_missing_required_option_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "--func", "t.csv"])

@@ -1,0 +1,236 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import PowerAttributes
+from repro.core.mergeability import (
+    MergePolicy,
+    single_observation_t_test,
+    variance_f_test,
+    welch_t_test,
+)
+from repro.core.mining import AssertionMiner, MinerConfig
+from repro.core.psm import reset_state_ids
+from repro.core.xu import mine_patterns
+from repro.core.propositions import Proposition, PropositionTrace, VarEqualsConst
+from repro.core.generator import generate_psm
+from repro.traces.functional import FunctionalTrace
+from repro.traces.power import PowerTrace
+from repro.traces.variables import bool_in, int_in
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+small_trace = st.lists(
+    st.tuples(st.integers(0, 1), st.integers(0, 3), st.integers(0, 3)),
+    min_size=1,
+    max_size=48,
+)
+
+prop_ids = st.lists(st.integers(0, 3), min_size=0, max_size=40)
+
+samples = st.lists(
+    st.floats(0.0, 100.0, allow_nan=False), min_size=2, max_size=30
+)
+
+
+def build_trace(rows):
+    return FunctionalTrace(
+        [bool_in("en"), int_in("a", 2), int_in("b", 2)],
+        {
+            "en": [r[0] for r in rows],
+            "a": [r[1] for r in rows],
+            "b": [r[2] for r in rows],
+        },
+    )
+
+
+def prop_trace(ids):
+    universe = [
+        Proposition(f"p_{i}", [VarEqualsConst("x", i)]) for i in range(4)
+    ]
+    return universe, PropositionTrace([universe[i] for i in ids])
+
+
+# ----------------------------------------------------------------------
+# miner invariants
+# ----------------------------------------------------------------------
+class TestMinerProperties:
+    @SETTINGS
+    @given(small_trace)
+    def test_exactly_one_proposition_holds_everywhere(self, rows):
+        trace = build_trace(rows)
+        miner = AssertionMiner(
+            MinerConfig(min_avg_run=1.0, max_chatter_fraction=1.0)
+        )
+        result = miner.mine(trace)
+        for i in range(len(trace)):
+            holding = [
+                p for p in result.propositions if p.evaluate(trace.at(i))
+            ]
+            assert len(holding) == 1
+            assert holding[0] is result.proposition_trace[i]
+
+    @SETTINGS
+    @given(small_trace)
+    def test_labeler_replays_training_exactly(self, rows):
+        trace = build_trace(rows)
+        miner = AssertionMiner(
+            MinerConfig(min_avg_run=1.0, max_chatter_fraction=1.0)
+        )
+        result = miner.mine(trace)
+        assert result.labeler.label(trace) == list(result.proposition_trace)
+
+    @SETTINGS
+    @given(small_trace)
+    def test_batch_and_single_labelling_agree(self, rows):
+        trace = build_trace(rows)
+        miner = AssertionMiner(
+            MinerConfig(min_avg_run=1.0, max_chatter_fraction=1.0)
+        )
+        result = miner.mine(trace)
+        batch = result.labeler.label(trace)
+        for i in range(len(trace)):
+            assert result.labeler.label_assignment(trace.at(i)) is batch[i]
+
+
+# ----------------------------------------------------------------------
+# XU automaton invariants
+# ----------------------------------------------------------------------
+class TestXuProperties:
+    @SETTINGS
+    @given(prop_ids)
+    def test_patterns_are_ordered_and_disjoint(self, ids):
+        _, gamma = prop_trace(ids)
+        mined = mine_patterns(gamma)
+        cursor = -1
+        for pattern in mined:
+            assert pattern.start > cursor
+            assert pattern.stop >= pattern.start
+            assert pattern.stop < len(gamma)
+            cursor = pattern.stop
+
+    @SETTINGS
+    @given(prop_ids)
+    def test_pattern_bodies_hold_the_left_proposition(self, ids):
+        _, gamma = prop_trace(ids)
+        for pattern in mine_patterns(gamma):
+            left = pattern.assertion.first_proposition()
+            for t in range(pattern.start, pattern.stop + 1):
+                assert gamma[t] is left
+            exit_prop = pattern.assertion.exit_proposition()
+            assert gamma.at(pattern.stop + 1) is exit_prop
+
+    @SETTINGS
+    @given(prop_ids)
+    def test_generator_builds_valid_chain(self, ids):
+        reset_state_ids()
+        _, gamma = prop_trace(ids)
+        power = PowerTrace(np.ones(len(gamma)))
+        psm = generate_psm(gamma, power)
+        psm.validate()
+        assert psm.is_chain()
+        assert len(psm.transitions) == max(len(psm) - 1, 0)
+
+
+# ----------------------------------------------------------------------
+# statistics invariants
+# ----------------------------------------------------------------------
+class TestStatisticsProperties:
+    @SETTINGS
+    @given(samples, samples)
+    def test_pooling_matches_direct_computation(self, xs, ys):
+        both = np.array(xs + ys)
+        parts = [
+            PowerAttributes(
+                float(np.mean(xs)), float(np.std(xs)), len(xs)
+            ),
+            PowerAttributes(
+                float(np.mean(ys)), float(np.std(ys)), len(ys)
+            ),
+        ]
+        pooled = PowerAttributes.pooled(parts)
+        assert pooled.mu == pytest.approx(float(np.mean(both)), abs=1e-9)
+        assert pooled.sigma == pytest.approx(
+            float(np.std(both)), abs=1e-6
+        )
+
+    @SETTINGS
+    @given(samples, samples)
+    def test_welch_p_value_in_unit_interval(self, xs, ys):
+        a = PowerAttributes(float(np.mean(xs)), float(np.std(xs)), len(xs))
+        b = PowerAttributes(float(np.mean(ys)), float(np.std(ys)), len(ys))
+        assert 0.0 <= welch_t_test(a, b) <= 1.0
+        assert 0.0 <= variance_f_test(a, b) <= 1.0
+
+    @SETTINGS
+    @given(
+        st.floats(0.0, 100.0, allow_nan=False),
+        samples,
+    )
+    def test_single_observation_p_value_in_unit_interval(self, x, ys):
+        sample = PowerAttributes(
+            float(np.mean(ys)), float(np.std(ys)), len(ys)
+        )
+        assert 0.0 <= single_observation_t_test(x, sample) <= 1.0
+
+    @SETTINGS
+    @given(samples)
+    def test_merge_is_reflexive_for_low_variance(self, xs):
+        attrs = PowerAttributes(
+            float(np.mean(xs)), float(np.std(xs)), len(xs)
+        )
+        policy = MergePolicy(max_cv=None)
+        assert policy.mergeable_attributes(attrs, attrs)
+
+    @SETTINGS
+    @given(samples, samples)
+    def test_merge_is_symmetric(self, xs, ys):
+        a = PowerAttributes(float(np.mean(xs)), float(np.std(xs)), len(xs))
+        b = PowerAttributes(float(np.mean(ys)), float(np.std(ys)), len(ys))
+        policy = MergePolicy(max_cv=None)
+        assert policy.mergeable_attributes(a, b) == policy.mergeable_attributes(
+            b, a
+        )
+
+
+# ----------------------------------------------------------------------
+# end-to-end invariant: training replay
+# ----------------------------------------------------------------------
+class TestFlowProperties:
+    @SETTINGS
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(2, 6)),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    def test_estimates_are_finite_and_nonnegative(self, pattern):
+        from repro.core.pipeline import FlowConfig, PsmFlow
+
+        reset_state_ids()
+        values = []
+        for mode, count in pattern:
+            values.extend([mode] * count)
+        trace = FunctionalTrace([int_in("x", 2)], {"x": values})
+        levels = {0: 1.0, 1: 5.0, 2: 2.0}
+        power = PowerTrace([levels[v] for v in values])
+        config = FlowConfig(
+            miner=MinerConfig(min_avg_run=1.0, max_chatter_fraction=1.0),
+            merge=MergePolicy(max_cv=None),
+        )
+        flow = PsmFlow(config).fit([trace], [power])
+        result = flow.estimate(trace)
+        assert np.all(np.isfinite(result.estimated.values))
+        assert np.all(result.estimated.values >= 0.0)
+        assert len(result.state_sequence) == len(trace)

@@ -1,0 +1,68 @@
+"""Tests for the stimulus builder."""
+
+import pytest
+
+from repro.testbench.stimuli import StimulusBuilder, total_cycles
+
+
+class TestBuilder:
+    def test_cycle_applies_defaults_and_overrides(self):
+        tb = StimulusBuilder({"a": 0, "b": 1})
+        tb.cycle(a=5)
+        stimulus = tb.build()
+        assert stimulus == [{"a": 5, "b": 1}]
+
+    def test_hold_repeats(self):
+        tb = StimulusBuilder({"a": 0})
+        tb.hold(3, a=2)
+        assert tb.build() == [{"a": 2}] * 3
+
+    def test_hold_zero_is_noop(self):
+        tb = StimulusBuilder({"a": 0})
+        tb.hold(0)
+        assert tb.build() == []
+
+    def test_len_tracks_cycles(self):
+        tb = StimulusBuilder({"a": 0})
+        tb.cycle().cycle()
+        assert len(tb) == 2
+
+    def test_build_returns_copy(self):
+        tb = StimulusBuilder({"a": 0})
+        tb.cycle()
+        first = tb.build()
+        tb.cycle()
+        assert len(first) == 1
+
+    def test_deterministic_per_seed(self):
+        a = StimulusBuilder({"x": 0}, seed=42)
+        b = StimulusBuilder({"x": 0}, seed=42)
+        assert [a.rand_bits(32) for _ in range(5)] == [
+            b.rand_bits(32) for _ in range(5)
+        ]
+
+    def test_rand_bits_narrow(self):
+        tb = StimulusBuilder({}, seed=1)
+        for _ in range(50):
+            assert 0 <= tb.rand_bits(4) < 16
+
+    def test_rand_bits_wide(self):
+        tb = StimulusBuilder({}, seed=1)
+        values = [tb.rand_bits(128) for _ in range(20)]
+        assert all(0 <= v < (1 << 128) for v in values)
+        assert any(v >= (1 << 64) for v in values)
+
+    def test_choice(self):
+        tb = StimulusBuilder({}, seed=0)
+        for _ in range(20):
+            assert tb.choice([1, 2, 3]) in (1, 2, 3)
+
+    def test_maybe_bounds(self):
+        tb = StimulusBuilder({}, seed=0)
+        assert not any(tb.maybe(0.0) for _ in range(20))
+        assert all(tb.maybe(1.0) for _ in range(20))
+
+    def test_total_cycles(self):
+        tb = StimulusBuilder({"a": 0})
+        tb.hold(4)
+        assert total_cycles(tb.build()) == 4

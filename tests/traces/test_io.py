@@ -1,0 +1,83 @@
+"""Tests for trace serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.traces.functional import FunctionalTrace
+from repro.traces.io import (
+    load_functional_csv,
+    load_power_csv,
+    load_training_pair,
+    save_functional_csv,
+    save_power_csv,
+    save_training_pair,
+)
+from repro.traces.power import PowerTrace
+from repro.traces.variables import bool_in, int_in, int_out
+
+
+@pytest.fixture
+def trace():
+    specs = [bool_in("en"), int_in("key", 128), int_out("q", 8)]
+    big = (1 << 127) | 3
+    return FunctionalTrace(
+        specs,
+        {"en": [0, 1], "key": [big, 0], "q": [7, 255]},
+        name="io-test",
+    )
+
+
+class TestFunctionalCsv:
+    def test_round_trip(self, trace, tmp_path):
+        path = tmp_path / "t.csv"
+        save_functional_csv(trace, path)
+        loaded = load_functional_csv(path)
+        assert loaded.variable_names == trace.variable_names
+        assert loaded.at(0) == trace.at(0)
+        assert loaded.at(1) == trace.at(1)
+        assert loaded.name == "io-test"
+
+    def test_sidecar_preserves_specs(self, trace, tmp_path):
+        path = tmp_path / "t.csv"
+        save_functional_csv(trace, path)
+        loaded = load_functional_csv(path)
+        assert loaded.spec("key").width == 128
+        assert loaded.spec("q").direction == "out"
+
+    def test_header_mismatch_detected(self, trace, tmp_path):
+        path = tmp_path / "t.csv"
+        save_functional_csv(trace, path)
+        text = path.read_text().replace("en,", "zz,")
+        path.write_text(text)
+        with pytest.raises(ValueError):
+            load_functional_csv(path)
+
+
+class TestPowerCsv:
+    def test_round_trip(self, tmp_path):
+        power = PowerTrace([0.125, 3.0, 1e-9])
+        path = tmp_path / "p.csv"
+        save_power_csv(power, path)
+        loaded = load_power_csv(path)
+        assert np.allclose(loaded.values, power.values)
+
+    def test_bad_header_detected(self, tmp_path):
+        path = tmp_path / "p.csv"
+        path.write_text("watt\n1.0\n")
+        with pytest.raises(ValueError):
+            load_power_csv(path)
+
+
+class TestTrainingPair:
+    def test_round_trip(self, trace, tmp_path):
+        power = PowerTrace([1.0, 2.0])
+        func_path, power_path = save_training_pair(
+            trace, power, tmp_path / "pair"
+        )
+        assert func_path.exists() and power_path.exists()
+        loaded_trace, loaded_power = load_training_pair(tmp_path / "pair")
+        assert len(loaded_trace) == len(loaded_power) == 2
+
+    def test_length_mismatch_rejected(self, trace, tmp_path):
+        with pytest.raises(ValueError):
+            save_training_pair(trace, PowerTrace([1.0]), tmp_path / "pair")

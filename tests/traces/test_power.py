@@ -1,0 +1,86 @@
+"""Tests for power traces."""
+
+import numpy as np
+import pytest
+
+from repro.traces.power import PowerTrace
+
+
+@pytest.fixture
+def trace():
+    return PowerTrace([1.0, 2.0, 3.0, 4.0, 5.0], name="p")
+
+
+class TestConstruction:
+    def test_values_immutable(self, trace):
+        with pytest.raises(ValueError):
+            trace.values[0] = 9.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            PowerTrace([1.0, -0.1])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            PowerTrace(np.zeros((2, 2)))
+
+    def test_length_and_indexing(self, trace):
+        assert len(trace) == 5
+        assert trace[2] == 3.0
+
+    def test_iteration(self, trace):
+        assert list(trace) == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+class TestAttributes:
+    def test_attributes_full_interval(self, trace):
+        mu, sigma, n = trace.attributes(0, 4)
+        assert mu == pytest.approx(3.0)
+        assert sigma == pytest.approx(np.std([1, 2, 3, 4, 5]))
+        assert n == 5
+
+    def test_attributes_single_instant(self, trace):
+        mu, sigma, n = trace.attributes(2, 2)
+        assert (mu, sigma, n) == (3.0, 0.0, 1)
+
+    def test_segment_inclusive(self, trace):
+        assert trace.segment(1, 3).tolist() == [2.0, 3.0, 4.0]
+
+    def test_bad_interval(self, trace):
+        with pytest.raises(IndexError):
+            trace.attributes(3, 2)
+        with pytest.raises(IndexError):
+            trace.attributes(0, 5)
+        with pytest.raises(IndexError):
+            trace.attributes(-1, 2)
+
+    def test_mean(self, trace):
+        assert trace.mean() == pytest.approx(3.0)
+
+    def test_mean_empty(self):
+        assert PowerTrace([]).mean() == 0.0
+
+
+class TestDerived:
+    def test_slice(self, trace):
+        part = trace.slice(2, 4)
+        assert list(part) == [3.0, 4.0, 5.0]
+
+    def test_concat(self, trace):
+        joined = trace.concat(trace)
+        assert len(joined) == 10
+        assert joined[5] == 1.0
+
+    def test_noise_deterministic(self, trace):
+        a = trace.with_noise(0.1, seed=42)
+        b = trace.with_noise(0.1, seed=42)
+        assert np.allclose(a.values, b.values)
+
+    def test_noise_clipped_at_zero(self):
+        trace = PowerTrace([0.001] * 100)
+        noisy = trace.with_noise(1.0, seed=0)
+        assert np.all(noisy.values >= 0.0)
+
+    def test_noise_changes_values(self, trace):
+        noisy = trace.with_noise(0.5, seed=1)
+        assert not np.allclose(noisy.values, trace.values)

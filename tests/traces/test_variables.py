@@ -1,0 +1,95 @@
+"""Tests for variable specifications."""
+
+import pytest
+
+from repro.traces.variables import (
+    VariableSpec,
+    bool_in,
+    bool_out,
+    int_in,
+    int_out,
+)
+
+
+class TestVariableSpec:
+    def test_basic_construction(self):
+        spec = VariableSpec("addr", 8, "in", "int")
+        assert spec.name == "addr"
+        assert spec.width == 8
+        assert spec.is_input and not spec.is_output
+
+    def test_default_is_bool_input(self):
+        spec = VariableSpec("en")
+        assert spec.kind == "bool"
+        assert spec.width == 1
+        assert spec.direction == "in"
+
+    def test_output_direction(self):
+        spec = VariableSpec("rdata", 32, "out", "int")
+        assert spec.is_output and not spec.is_input
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            VariableSpec("")
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            VariableSpec("x", 1, "inout")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            VariableSpec("x", 1, "in", "float")
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            VariableSpec("x", 0, "in", "int")
+
+    def test_wide_bool_rejected(self):
+        with pytest.raises(ValueError):
+            VariableSpec("x", 2, "in", "bool")
+
+    def test_max_value(self):
+        assert VariableSpec("x", 8, "in", "int").max_value == 255
+        assert VariableSpec("b").max_value == 1
+
+    def test_max_value_wide(self):
+        assert VariableSpec("x", 128, "in", "int").max_value == (1 << 128) - 1
+
+    def test_validate_value_in_range(self):
+        spec = VariableSpec("x", 4, "in", "int")
+        assert spec.validate_value(15) == 15
+        assert spec.validate_value(0) == 0
+
+    def test_validate_value_out_of_range(self):
+        spec = VariableSpec("x", 4, "in", "int")
+        with pytest.raises(ValueError):
+            spec.validate_value(16)
+        with pytest.raises(ValueError):
+            spec.validate_value(-1)
+
+    def test_validate_value_coerces_to_int(self):
+        spec = VariableSpec("x", 4, "in", "int")
+        assert spec.validate_value(True) == 1
+
+    def test_frozen(self):
+        spec = VariableSpec("x")
+        with pytest.raises(AttributeError):
+            spec.width = 2
+
+
+class TestShorthands:
+    def test_bool_in(self):
+        spec = bool_in("en")
+        assert (spec.width, spec.direction, spec.kind) == (1, "in", "bool")
+
+    def test_bool_out(self):
+        spec = bool_out("done")
+        assert (spec.width, spec.direction, spec.kind) == (1, "out", "bool")
+
+    def test_int_in(self):
+        spec = int_in("data", 128)
+        assert (spec.width, spec.direction, spec.kind) == (128, "in", "int")
+
+    def test_int_out(self):
+        spec = int_out("out", 32)
+        assert (spec.width, spec.direction, spec.kind) == (32, "out", "int")
