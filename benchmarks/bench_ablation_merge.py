@@ -44,11 +44,13 @@ def test_stage_ablation(benchmark, ram_training, capsys):
 
     def sweep():
         rows = []
+        # Ablation by omitting pipeline stages (the old apply_* booleans
+        # remain as deprecated aliases of these stage lists).
         for label, overrides in [
             ("full flow", {}),
-            ("no simplify", {"apply_simplify": False}),
-            ("no join", {"apply_join": False}),
-            ("raw chains", {"apply_simplify": False, "apply_join": False}),
+            ("no simplify", {"stages": ("join", "refine")}),
+            ("no join", {"stages": ("simplify", "refine")}),
+            ("raw chains", {"stages": ("refine",)}),
         ]:
             flow, error = _fit(spec, reference, **overrides)
             rows.append(

@@ -27,6 +27,9 @@ def training(request):
 
 def _fit(spec, reference, *, refine=True, pool=True):
     base = spec.flow_config()
+    # The refinement ablation omits the "refine" stage from the pipeline
+    # instead of toggling the deprecated apply_refine boolean.
+    stages = ("simplify", "join", "refine") if refine else ("simplify", "join")
     config = FlowConfig(
         miner=base.miner,
         merge=base.merge,
@@ -36,7 +39,7 @@ def _fit(spec, reference, *, refine=True, pool=True):
             min_samples=base.refine.min_samples,
             pool_same_body=pool,
         ),
-        apply_refine=refine,
+        stages=stages,
     )
     flow = PsmFlow(config).fit([reference.trace], [reference.power])
     result = flow.estimate(reference.trace)
@@ -84,7 +87,9 @@ def test_refinement_speed(benchmark, training):
     name, spec, reference = training
     base = spec.flow_config()
     flow = PsmFlow(
-        FlowConfig(miner=base.miner, merge=base.merge, apply_refine=False)
+        FlowConfig(
+            miner=base.miner, merge=base.merge, stages=("simplify", "join")
+        )
     ).fit([reference.trace], [reference.power])
     psms = flow.psms
 

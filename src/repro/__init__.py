@@ -40,6 +40,7 @@ from .core import (
     MinerConfig,
     MultiPsmSimulator,
     NextAssertion,
+    PipelineRunner,
     PowerAttributes,
     PowerState,
     PropositionTrace,
@@ -48,6 +49,7 @@ from .core import (
     RefinePolicy,
     SequenceAssertion,
     SinglePsmSimulator,
+    StageReport,
     Transition,
     UntilAssertion,
     XUAutomaton,
@@ -78,6 +80,8 @@ __all__ = [
     # core
     "PsmFlow",
     "FlowConfig",
+    "StageReport",
+    "PipelineRunner",
     "MinerConfig",
     "MergePolicy",
     "RefinePolicy",

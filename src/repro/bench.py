@@ -115,16 +115,36 @@ def table2_rows(include_long: bool = True) -> List[dict]:
 
 def _table2_row(name: str, testset: str, fitted: FittedBenchmark) -> dict:
     report = fitted.flow.report
+    times = report.stage_times()
+    optimise = sum(times.get(s, 0.0) for s in ("simplify", "join", "refine"))
     return {
         "ip": name,
         "testset": testset,
         "ts": fitted.ts,
         "px_time": round(fitted.px_time, 3),
         "gen_time": round(report.generation_time, 3),
+        "mine_time": round(times.get("mine", 0.0), 3),
+        "opt_time": round(optimise, 3),
         "states": report.n_states,
         "transitions": report.n_transitions,
         "mre": round(fitted.train_mre, 2),
     }
+
+
+def stage_time_rows(fitted_by_ip: Dict[str, FittedBenchmark]) -> List[dict]:
+    """Per-stage wall times of fitted benchmarks (pipeline diagnostics).
+
+    One row per IP with one column per executed stage — the structured
+    replacement for eyeballing ``generation_time`` when deciding what to
+    optimise next (mining dominates on the long-TS sweeps).
+    """
+    rows = []
+    for name, fitted in fitted_by_ip.items():
+        row: Dict[str, object] = {"ip": name}
+        for report in fitted.flow.report.stages:
+            row[report.name] = round(report.wall_time, 4)
+        rows.append(row)
+    return rows
 
 
 # ----------------------------------------------------------------------

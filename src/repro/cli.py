@@ -33,8 +33,9 @@ from .core.export import (
     to_systemc,
 )
 from .core.metrics import mae, mre, rmse
-from .core.pipeline import PsmFlow
+from .core.pipeline import FlowConfig, PsmFlow
 from .core.simulation import MultiPsmSimulator
+from .core.stages import STAGE_ORDER, PipelineError
 from .traces.io import load_functional_csv, load_power_csv, save_power_csv
 from .traces.power import PowerTrace
 
@@ -43,9 +44,21 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     if len(args.func) != len(args.power):
         print("error: need one --power per --func", file=sys.stderr)
         return 2
+    if args.skip_to and not args.checkpoint_dir:
+        print(
+            "error: --skip-to requires --checkpoint-dir", file=sys.stderr
+        )
+        return 2
     functional = [load_functional_csv(p) for p in args.func]
     power = [load_power_csv(p) for p in args.power]
-    flow = PsmFlow().fit(functional, power)
+    config = FlowConfig(
+        checkpoint_dir=args.checkpoint_dir, skip_to=args.skip_to
+    )
+    try:
+        flow = PsmFlow(config).fit(functional, power)
+    except PipelineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     report = flow.report
     print(
         f"generated {report.n_psms} PSM(s): {report.n_states} states, "
@@ -53,7 +66,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         f"({report.n_raw_states} before optimisation) "
         f"in {report.generation_time:.2f}s"
     )
-    save_psms(flow.psms, args.output)
+    print(f"stage timings: {report.describe_stages()}")
+    if any(r.resumed for r in report.stages):
+        print("(* = stage resumed from checkpoint)")
+    save_psms(flow.psms, args.output, stage_reports=report.stages)
     print(f"model written to {args.output}")
     if args.dot:
         Path(args.dot).write_text(to_dot(flow.psms))
@@ -108,6 +124,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"states={report.n_states} transitions={report.n_transitions} "
         f"train-MRE={fitted.train_mre:.2f}%"
     )
+    print(f"stage timings: {report.describe_stages()}")
     cycles = args.cycles or long_cycles()
     spec = BENCHMARKS[args.ip]
     reference = run_power_simulation(
@@ -198,6 +215,19 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--dot", help="also write a Graphviz DOT file")
     generate.add_argument(
         "--systemc", help="also write the generated SystemC module"
+    )
+    generate.add_argument(
+        "--checkpoint-dir",
+        help="persist per-stage JSON checkpoints into this directory",
+    )
+    generate.add_argument(
+        "--skip-to",
+        choices=list(STAGE_ORDER[1:]),
+        help=(
+            "resume from the checkpoints in --checkpoint-dir, executing "
+            "from this stage onward (e.g. 'generate' reuses the mined "
+            "propositions instead of re-mining)"
+        ),
     )
     generate.set_defaults(func_cmd=_cmd_generate)
 

@@ -4,6 +4,7 @@ from .attributes import Interval, PowerAttributes
 from .coverage import CoverageReport, coverage_report
 from .export import (
     load_psms,
+    load_stage_reports,
     psms_from_json,
     psms_to_json,
     save_psms,
@@ -34,6 +35,20 @@ from .mining import (
     proposition_label,
 )
 from .pipeline import FlowConfig, FlowReport, PsmFlow, fit_flow
+from .stages import (
+    MANDATORY_STAGES,
+    OPTIONAL_STAGES,
+    STAGE_ORDER,
+    ArtifactStore,
+    CheckpointError,
+    MissingArtifactError,
+    PipelineContext,
+    PipelineError,
+    PipelineRunner,
+    Stage,
+    StageReport,
+    build_stages,
+)
 from .propositions import (
     AtomicProposition,
     Proposition,
@@ -48,6 +63,7 @@ from .psm import (
     PowerState,
     RegressionPower,
     Transition,
+    clone_psm,
     find_state,
     next_state_id,
     reset_state_ids,
@@ -148,6 +164,20 @@ __all__ = [
     "FlowConfig",
     "FlowReport",
     "fit_flow",
+    # staged pipeline
+    "Stage",
+    "StageReport",
+    "ArtifactStore",
+    "PipelineContext",
+    "PipelineRunner",
+    "PipelineError",
+    "CheckpointError",
+    "MissingArtifactError",
+    "STAGE_ORDER",
+    "MANDATORY_STAGES",
+    "OPTIONAL_STAGES",
+    "build_stages",
+    "clone_psm",
     # export
     "to_dot",
     "to_systemc",
@@ -155,4 +185,5 @@ __all__ = [
     "psms_from_json",
     "save_psms",
     "load_psms",
+    "load_stage_reports",
 ]

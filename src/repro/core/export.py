@@ -186,8 +186,15 @@ def _power_model_from_json(data: dict):
     raise ValueError(f"unknown power model {data['type']!r}")
 
 
-def psms_to_json(psms: Sequence[PSM]) -> dict:
-    """Serialise a PSM set into a JSON-compatible dictionary."""
+def psms_to_json(psms: Sequence[PSM], stage_reports: Sequence = ()) -> dict:
+    """Serialise a PSM set into a JSON-compatible dictionary.
+
+    When ``stage_reports`` is given (the
+    :class:`~repro.core.stages.StageReport` list of the generating flow)
+    the per-stage wall times and counters are embedded alongside the
+    model under ``"stage_reports"``, so an exported model records how
+    long each phase of its generation took.
+    """
     propositions: List[Proposition] = []
     prop_ids: Dict[Proposition, int] = {}
     for psm in psms:
@@ -237,6 +244,8 @@ def psms_to_json(psms: Sequence[PSM]) -> dict:
                 ],
             }
         )
+    if stage_reports:
+        payload["stage_reports"] = [r.to_json() for r in stage_reports]
     return payload
 
 
@@ -277,14 +286,35 @@ def psms_from_json(payload: dict) -> List[PSM]:
     return psms
 
 
-def save_psms(psms: Sequence[PSM], path: PathLike) -> None:
-    """Write a PSM set to a JSON file."""
-    Path(path).write_text(json.dumps(psms_to_json(psms), indent=2))
+def save_psms(
+    psms: Sequence[PSM], path: PathLike, stage_reports: Sequence = ()
+) -> None:
+    """Write a PSM set to a JSON file.
+
+    ``stage_reports`` (optional) embeds the generating flow's per-stage
+    timings in the file; :func:`load_psms` ignores them, and
+    :func:`load_stage_reports` reads them back.
+    """
+    Path(path).write_text(
+        json.dumps(psms_to_json(psms, stage_reports), indent=2)
+    )
 
 
 def load_psms(path: PathLike) -> List[PSM]:
     """Read a PSM set from a JSON file."""
     return psms_from_json(json.loads(Path(path).read_text()))
+
+
+def load_stage_reports(path: PathLike) -> list:
+    """Read the per-stage timing reports embedded in a saved model.
+
+    Returns an empty list when the model predates the staged pipeline or
+    was saved without reports.
+    """
+    from .stages.base import stage_reports_from_json
+
+    payload = json.loads(Path(path).read_text())
+    return stage_reports_from_json(payload.get("stage_reports", ()))
 
 
 def labeler_from_psms(psms: Sequence[PSM]):

@@ -1,4 +1,4 @@
-"""End-to-end PSM flow (paper Fig. 1).
+"""End-to-end PSM flow (paper Fig. 1), as a staged pipeline facade.
 
 ``PsmFlow`` chains every step of the methodology:
 
@@ -9,45 +9,110 @@
 4. refine data-dependent states with the Hamming-distance regression;
 5. build the HMM and expose the multi-PSM simulator.
 
-Each optimisation stage can be disabled individually, which is what the
-ablation benchmarks sweep.
+Since the staged-pipeline refactor the phases are first-class
+:class:`~repro.core.stages.Stage` objects executed by a
+:class:`~repro.core.stages.PipelineRunner` over an
+:class:`~repro.core.stages.ArtifactStore`; ``PsmFlow`` is a thin facade
+that keeps the original public API.  Each optimisation stage can be
+omitted individually (``FlowConfig.stages``), which is what the ablation
+benchmarks sweep, and every stage is timed into a
+:class:`~repro.core.stages.StageReport`.  With a checkpoint directory a
+run persists per-stage JSON artifacts and can later resume downstream of
+mining (``skip_to``) instead of re-mining.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..traces.functional import FunctionalTrace
 from ..traces.power import PowerTrace
-from .generator import generate_psms
 from .hmm import PsmHmm
 from .mergeability import MergePolicy
 from .metrics import mae, mre, rmse
-from .mining import AssertionMiner, MinerConfig, MiningResult
-from .psm import PSM, PowerState, total_states, total_transitions
-from .regression import RefinePolicy, refine_data_dependent
-from .join import join as join_psms
-from .simplify import simplify_all
+from .mining import MinerConfig, MiningResult
+from .psm import PSM, clone_psm, total_states, total_transitions
+from .regression import RefinePolicy
 from .simulation import EstimationResult, MultiPsmSimulator
+from .stages import (
+    FUNCTIONAL_TRACES,
+    HMM,
+    MANDATORY_STAGES,
+    MINING,
+    N_REFINED,
+    POWER_TRACES,
+    RAW_PSMS,
+    SIMULATOR,
+    STAGE_ORDER,
+    WORKING_PSMS,
+    ArtifactStore,
+    PipelineContext,
+    PipelineRunner,
+    StageReport,
+    build_stages,
+)
 
 
 @dataclass
 class FlowConfig:
-    """Configuration of the whole flow, one knob set per stage."""
+    """Configuration of the whole flow, one knob set per stage.
+
+    ``stages`` selects the optimisation stages to execute by name
+    (any subset of ``("simplify", "join", "refine")``; the mandatory
+    ``mine``/``generate``/``hmm`` stages always run).  ``None`` falls
+    back to the deprecated boolean aliases ``apply_simplify`` /
+    ``apply_join`` / ``apply_refine``, kept so pre-refactor callers and
+    configs keep working; when both are given, ``stages`` wins.
+
+    ``checkpoint_dir`` enables JSON checkpointing of every stage's
+    artifacts; ``skip_to`` resumes a run from those checkpoints at the
+    named stage (requires ``checkpoint_dir``).
+    """
 
     miner: MinerConfig = field(default_factory=MinerConfig)
     merge: MergePolicy = field(default_factory=MergePolicy)
     refine: RefinePolicy = field(default_factory=RefinePolicy)
+    stages: Optional[Sequence[str]] = None
+    checkpoint_dir: Optional[Union[str, Path]] = None
+    skip_to: Optional[str] = None
     apply_simplify: bool = True
     apply_join: bool = True
     apply_refine: bool = True
 
+    def stage_names(self) -> Tuple[str, ...]:
+        """The ordered stage list this configuration selects."""
+        if self.stages is not None:
+            requested = list(self.stages)
+            unknown = [n for n in requested if n not in STAGE_ORDER]
+            if unknown:
+                raise ValueError(
+                    f"unknown stage name(s) {unknown}; "
+                    f"choose from {list(STAGE_ORDER)}"
+                )
+            selected = set(requested) | set(MANDATORY_STAGES)
+        else:
+            selected = set(MANDATORY_STAGES)
+            if self.apply_simplify:
+                selected.add("simplify")
+            if self.apply_join:
+                selected.add("join")
+            if self.apply_refine:
+                selected.add("refine")
+        return tuple(name for name in STAGE_ORDER if name in selected)
+
 
 @dataclass
 class FlowReport:
-    """Summary of one fitted flow (feeds the Table II columns)."""
+    """Summary of one fitted flow (feeds the Table II columns).
+
+    ``generation_time`` is the end-to-end wall time of the pipeline;
+    ``stages`` carries the structured per-stage instrumentation
+    (one :class:`~repro.core.stages.StageReport` per executed or resumed
+    stage, in execution order).
+    """
 
     generation_time: float = 0.0
     n_atoms: int = 0
@@ -58,6 +123,7 @@ class FlowReport:
     n_psms: int = 0
     n_refined_states: int = 0
     training_instants: int = 0
+    stages: List[StageReport] = field(default_factory=list)
 
     def row(self) -> tuple:
         """(TS, gen. time, states, transitions) — Table II fragment."""
@@ -67,6 +133,23 @@ class FlowReport:
             self.n_states,
             self.n_transitions,
         )
+
+    def stage(self, name: str) -> Optional[StageReport]:
+        """The report of one stage by name (None when it did not run)."""
+        for report in self.stages:
+            if report.name == name:
+                return report
+        return None
+
+    def stage_times(self) -> Dict[str, float]:
+        """Per-stage wall times by stage name, in execution order."""
+        return {report.name: report.wall_time for report in self.stages}
+
+    def describe_stages(self) -> str:
+        """One-line rendering of the stage timings (CLI/bench output)."""
+        if not self.stages:
+            return "no stage reports"
+        return " | ".join(str(report) for report in self.stages)
 
 
 class PsmFlow:
@@ -93,8 +176,18 @@ class PsmFlow:
         self,
         functional_traces: Sequence[FunctionalTrace],
         power_traces: Sequence[PowerTrace],
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        skip_to: Optional[str] = None,
     ) -> "PsmFlow":
-        """Generate, combine and optimise the PSM set from training data."""
+        """Generate, combine and optimise the PSM set from training data.
+
+        ``checkpoint_dir`` / ``skip_to`` override the equally named
+        :class:`FlowConfig` fields for this call: with a checkpoint
+        directory every stage persists its artifacts as JSON, and
+        ``skip_to`` resumes from those checkpoints at the named stage
+        (e.g. ``skip_to="generate"`` reuses the mined propositions
+        instead of re-mining, producing an identical PSM set).
+        """
         if len(functional_traces) != len(power_traces):
             raise ValueError("need one power trace per functional trace")
         if not functional_traces:
@@ -105,44 +198,42 @@ class PsmFlow:
                     "functional and power traces must have equal lengths"
                 )
         config = self.config
+        if checkpoint_dir is None:
+            checkpoint_dir = config.checkpoint_dir
+        if skip_to is None:
+            skip_to = config.skip_to
         start = time.perf_counter()
 
-        miner = AssertionMiner(config.miner)
-        self.mining = miner.mine_many(functional_traces)
-        self._power_traces = dict(enumerate(power_traces))
-        self._functional_traces = dict(enumerate(functional_traces))
-
-        self.raw_psms = generate_psms(self.mining.traces, power_traces)
-        self.report.n_raw_states = total_states(self.raw_psms)
-
-        working = [self._copy_psm(p) for p in self.raw_psms]
-        if config.apply_simplify:
-            working = simplify_all(working, self._power_traces, config.merge)
-        if config.apply_join:
-            working = join_psms(working, self._power_traces, config.merge)
-        refined = 0
-        if config.apply_refine:
-            refined = refine_data_dependent(
-                working,
-                self._functional_traces,
-                self._power_traces,
-                config.refine,
-            )
-        self.psms = working
-        self.hmm = PsmHmm(self.psms)
-        self._simulator = MultiPsmSimulator(
-            self.psms, self.mining.labeler, self.hmm
+        store = ArtifactStore()
+        store.put(FUNCTIONAL_TRACES, dict(enumerate(functional_traces)))
+        store.put(POWER_TRACES, dict(enumerate(power_traces)))
+        runner = PipelineRunner(build_stages(config.stage_names()))
+        ctx = PipelineContext(
+            config=config,
+            store=store,
+            checkpoint_dir=Path(checkpoint_dir) if checkpoint_dir else None,
         )
+        stage_reports = runner.run(ctx, skip_to=skip_to)
 
-        self.report.generation_time = time.perf_counter() - start
-        self.report.n_atoms = len(self.mining.atoms)
-        self.report.n_propositions = len(self.mining.propositions)
-        self.report.n_states = total_states(self.psms)
-        self.report.n_transitions = total_transitions(self.psms)
-        self.report.n_psms = len(self.psms)
-        self.report.n_refined_states = refined
-        self.report.training_instants = sum(
-            len(t) for t in functional_traces
+        self._functional_traces = store.get(FUNCTIONAL_TRACES)
+        self._power_traces = store.get(POWER_TRACES)
+        self.mining = store.get(MINING)
+        self.raw_psms = store.get(RAW_PSMS)
+        self.psms = store.get(WORKING_PSMS)
+        self.hmm = store.get(HMM)
+        self._simulator = store.get(SIMULATOR)
+
+        self.report = FlowReport(
+            generation_time=time.perf_counter() - start,
+            n_atoms=len(self.mining.atoms),
+            n_propositions=len(self.mining.propositions),
+            n_raw_states=total_states(self.raw_psms),
+            n_states=total_states(self.psms),
+            n_transitions=total_transitions(self.psms),
+            n_psms=len(self.psms),
+            n_refined_states=store.get_or(N_REFINED, 0),
+            training_instants=sum(len(t) for t in functional_traces),
+            stages=stage_reports,
         )
         return self
 
@@ -150,23 +241,11 @@ class PsmFlow:
     def _copy_psm(psm: PSM) -> PSM:
         """Structural copy so the raw PSM set survives optimisation.
 
-        States are duplicated (keeping their global ids) because the
-        refinement stage mutates state output functions in place.
+        Kept as a backward-compatible alias of
+        :func:`repro.core.psm.clone_psm`, which the generation stage now
+        uses to build the working set.
         """
-        copy = PSM(name=psm.name)
-        initials = {s.sid for s in psm.initial_states}
-        for state in psm.states:
-            duplicate = PowerState(
-                assertion=state.assertion,
-                attributes=state.attributes,
-                intervals=list(state.intervals),
-                sid=state.sid,
-                power_model=state.power_model,
-            )
-            copy.add_state(duplicate, initial=state.sid in initials)
-        for transition in psm.transitions:
-            copy.add_transition(transition)
-        return copy
+        return clone_psm(psm)
 
     # ------------------------------------------------------------------
     def simulator(self) -> MultiPsmSimulator:

@@ -10,6 +10,8 @@ producing the power consumption of each state.
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
@@ -34,6 +36,20 @@ def reset_state_ids() -> None:
     """Restart the id sequence (test isolation only)."""
     global _state_ids
     _state_ids = itertools.count()
+
+
+def ensure_state_ids_above(psms: Sequence["PSM"]) -> None:
+    """Advance the id sequence past every sid present in ``psms``.
+
+    Called after deserialising a PSM set (checkpoint resume): states
+    created afterwards — e.g. states merged by ``simplify``/``join`` —
+    must not collide with the restored ids, and a resumed run must hand
+    out the same ids a live run would.
+    """
+    global _state_ids
+    top = max((s.sid for p in psms for s in p.states), default=-1)
+    current = next(_state_ids)
+    _state_ids = itertools.count(max(current, top + 1))
 
 
 class PowerModel:
@@ -346,6 +362,36 @@ class PSM:
             f"PSM({self.name!r}, states={len(self)}, "
             f"transitions={len(self._transitions)})"
         )
+
+
+def clone_psm(psm: PSM) -> PSM:
+    """Structural deep copy of a PSM (keeping the global state ids).
+
+    The optimisation stages rewrite the working PSM set — ``simplify`` /
+    ``join`` replace states, and the regression refinement swaps state
+    output functions — while the raw set must stay inspectable.  Each
+    state is therefore duplicated together with everything a later stage
+    could touch: a fresh ``PowerAttributes`` instance, a fresh interval
+    list and a fresh ``power_model`` object, so no mutable slot is
+    aliased between the copy and the source.  Assertions are shared:
+    they are immutable (the stages always build new ones).
+    """
+    duplicate = PSM(name=psm.name)
+    initials = {s.sid for s in psm.initial_states}
+    for state in psm.states:
+        duplicate.add_state(
+            PowerState(
+                assertion=state.assertion,
+                attributes=dataclasses.replace(state.attributes),
+                intervals=list(state.intervals),
+                sid=state.sid,
+                power_model=copy.copy(state.power_model),
+            ),
+            initial=state.sid in initials,
+        )
+    for transition in psm.transitions:
+        duplicate.add_transition(transition)
+    return duplicate
 
 
 def total_states(psms: Sequence[PSM]) -> int:

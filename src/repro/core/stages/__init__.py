@@ -1,0 +1,86 @@
+"""Staged pipeline subsystem of the PSM flow (paper Fig. 1).
+
+The flow's five conceptual phases — assertion mining, PSM generation,
+``simplify``/``join`` optimisation, data-dependent regression refinement
+and HMM construction — are first-class :class:`Stage` objects here
+instead of one imperative block.  A :class:`PipelineRunner` executes an
+ordered stage list over an :class:`ArtifactStore` of typed intermediate
+results, timing every stage into a :class:`StageReport` and optionally
+writing JSON checkpoints so a run can resume from the mining output
+(mining dominates generation time on the long-TS sweeps) instead of
+re-mining.
+
+:class:`~repro.core.pipeline.PsmFlow` is a thin facade over this package;
+ablation studies drive it directly by omitting stages from the list.
+"""
+
+from .adapters import (
+    GenerationStage,
+    HmmStage,
+    JoinStage,
+    MiningStage,
+    RefineStage,
+    SimplifyStage,
+    build_stages,
+)
+from .base import (
+    MANDATORY_STAGES,
+    OPTIONAL_STAGES,
+    STAGE_ORDER,
+    CheckpointError,
+    MissingArtifactError,
+    PipelineContext,
+    PipelineError,
+    Stage,
+    StageReport,
+    stage_reports_from_json,
+)
+from .checkpoint import mining_from_json, mining_to_json
+from .runner import PipelineRunner
+from .store import (
+    FUNCTIONAL_TRACES,
+    HMM,
+    MINING,
+    N_REFINED,
+    POWER_TRACES,
+    RAW_PSMS,
+    SIMULATOR,
+    WORKING_PSMS,
+    ArtifactStore,
+)
+
+__all__ = [
+    # contracts
+    "Stage",
+    "StageReport",
+    "PipelineContext",
+    "PipelineError",
+    "CheckpointError",
+    "MissingArtifactError",
+    "STAGE_ORDER",
+    "MANDATORY_STAGES",
+    "OPTIONAL_STAGES",
+    "stage_reports_from_json",
+    # artifact store
+    "ArtifactStore",
+    "FUNCTIONAL_TRACES",
+    "POWER_TRACES",
+    "MINING",
+    "RAW_PSMS",
+    "WORKING_PSMS",
+    "N_REFINED",
+    "HMM",
+    "SIMULATOR",
+    # stages
+    "MiningStage",
+    "GenerationStage",
+    "SimplifyStage",
+    "JoinStage",
+    "RefineStage",
+    "HmmStage",
+    "build_stages",
+    # runner & checkpoints
+    "PipelineRunner",
+    "mining_to_json",
+    "mining_from_json",
+]

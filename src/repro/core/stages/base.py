@@ -1,0 +1,182 @@
+"""Stage contract of the staged PSM pipeline.
+
+A :class:`Stage` wraps one phase of the paper's flow behind a uniform
+interface: a ``name``, the artifact keys it ``requires`` and ``provides``
+(validated by the runner before execution), a ``run`` method doing the
+work against a :class:`PipelineContext`, and optional JSON checkpointing
+hooks so the runner can persist the stage's output and later resume from
+it without re-executing the upstream stages.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Canonical execution order of the flow's stages (paper Fig. 1).
+STAGE_ORDER: Tuple[str, ...] = (
+    "mine",
+    "generate",
+    "simplify",
+    "join",
+    "refine",
+    "hmm",
+)
+
+#: Stages every run must execute (the flow is meaningless without them).
+MANDATORY_STAGES: Tuple[str, ...] = ("mine", "generate", "hmm")
+
+#: Stages an ablation may omit (the paper's optimisation knobs).
+OPTIONAL_STAGES: Tuple[str, ...] = ("simplify", "join", "refine")
+
+
+class PipelineError(RuntimeError):
+    """Base error of the staged pipeline (sequencing, artifacts, resume)."""
+
+
+class CheckpointError(PipelineError):
+    """A checkpoint needed to resume a run is missing or unreadable."""
+
+
+class MissingArtifactError(PipelineError):
+    """A stage's declared input artifact is absent from the store."""
+
+
+@dataclass
+class StageReport:
+    """Instrumentation record of one executed (or resumed) stage.
+
+    Replaces the flow's old single ``generation_time`` scalar: every
+    stage reports its own wall time plus a dictionary of counters
+    (states, transitions, atoms, ... — whatever the stage finds worth
+    counting).  ``status`` is ``"executed"`` for a live run and
+    ``"resumed"`` when the stage's artifacts were restored from a
+    checkpoint instead of recomputed.
+    """
+
+    name: str
+    wall_time: float = 0.0
+    status: str = "executed"
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def resumed(self) -> bool:
+        """True when the stage was restored from a checkpoint."""
+        return self.status == "resumed"
+
+    def to_json(self) -> dict:
+        """JSON-compatible rendering (used by model export)."""
+        return {
+            "name": self.name,
+            "wall_time": self.wall_time,
+            "status": self.status,
+            "counters": dict(self.counters),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "StageReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        return cls(
+            name=data["name"],
+            wall_time=float(data["wall_time"]),
+            status=data.get("status", "executed"),
+            counters=dict(data.get("counters", {})),
+        )
+
+    def __str__(self) -> str:
+        marker = "*" if self.resumed else ""
+        return f"{self.name}{marker} {self.wall_time:.3f}s"
+
+
+def stage_reports_from_json(payload: Sequence[dict]) -> List[StageReport]:
+    """Rebuild a stage-report list from serialised form (model JSON)."""
+    return [StageReport.from_json(item) for item in payload]
+
+
+@dataclass
+class PipelineContext:
+    """Everything a stage may touch while running.
+
+    ``config`` is the flow configuration (duck-typed to avoid a circular
+    import with :mod:`repro.core.pipeline`); ``store`` holds the typed
+    intermediate artifacts; ``checkpoint_dir``, when set, is where stages
+    persist/load their JSON checkpoints.
+    """
+
+    config: Any
+    store: Any
+    checkpoint_dir: Optional[Path] = None
+
+    def checkpoint_path(self, stage_name: str) -> Optional[Path]:
+        """The checkpoint file of ``stage_name`` (None when disabled)."""
+        if self.checkpoint_dir is None:
+            return None
+        return Path(self.checkpoint_dir) / f"{stage_name}.json"
+
+
+class Stage:
+    """One phase of the PSM flow.
+
+    Subclasses set :attr:`name`, :attr:`requires` and :attr:`provides`
+    and implement :meth:`run`; stages whose output is worth persisting
+    additionally implement :meth:`save_checkpoint` /
+    :meth:`load_checkpoint`.
+    """
+
+    #: Unique stage name (one of :data:`STAGE_ORDER`).
+    name: str = ""
+    #: Artifact keys that must be in the store before :meth:`run`.
+    requires: Tuple[str, ...] = ()
+    #: Artifact keys :meth:`run` puts into the store.
+    provides: Tuple[str, ...] = ()
+
+    def run(self, ctx: PipelineContext) -> Dict[str, int]:
+        """Execute the stage; returns the counters for its report."""
+        raise NotImplementedError
+
+    def save_checkpoint(self, ctx: PipelineContext) -> None:
+        """Persist the stage's artifacts (no-op by default)."""
+
+    def load_checkpoint(self, ctx: PipelineContext) -> Optional[Dict[str, int]]:
+        """Restore the stage's artifacts from its checkpoint.
+
+        Returns the counter dictionary for the resumed report, or
+        ``None`` when the stage does not support checkpointing.  Raises
+        :class:`CheckpointError` when the checkpoint should exist but is
+        missing or unreadable.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # shared JSON helpers for checkpointing stages
+    # ------------------------------------------------------------------
+    def _write_json(self, ctx: PipelineContext, payload: dict) -> None:
+        """Write this stage's checkpoint file."""
+        path = ctx.checkpoint_path(self.name)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload))
+
+    def _read_json(self, ctx: PipelineContext) -> dict:
+        """Read this stage's checkpoint file or raise CheckpointError."""
+        path = ctx.checkpoint_path(self.name)
+        if path is None:
+            raise CheckpointError(
+                f"stage {self.name!r}: no checkpoint directory configured"
+            )
+        if not path.exists():
+            raise CheckpointError(
+                f"stage {self.name!r}: checkpoint {path} not found"
+            )
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"stage {self.name!r}: unreadable checkpoint {path}: {exc}"
+            ) from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,94 @@
+"""JSON round-trip of the mining artifacts.
+
+Mining dominates the flow's generation time on the Table II long-TS
+sweeps, so it is the artifact most worth checkpointing: this module
+serialises a :class:`~repro.core.mining.MiningResult` — the atom
+alphabet, the minterm propositions and the per-trace proposition
+sequences — compactly enough to rebuild the truth matrices, the
+proposition universe and the :class:`~repro.core.mining.PropositionLabeler`
+bit-for-bit, without storing the functional traces themselves.
+
+A proposition is stored as its truth row over the atom alphabet (the
+minterm), so positives/negatives need not be listed separately; a
+proposition trace is stored as a sequence of proposition indices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..export import _atom_from_json, _atom_to_json
+from ..mining import MiningResult, PropositionLabeler
+from ..propositions import Proposition, PropositionTrace
+
+#: Schema tag guarding against stale checkpoints after format changes.
+MINING_CHECKPOINT_VERSION = 1
+
+
+def mining_to_json(result: MiningResult) -> dict:
+    """Serialise a mining result into a JSON-compatible dictionary."""
+    prop_index: Dict[Proposition, int] = {
+        prop: k for k, prop in enumerate(result.propositions)
+    }
+    rows = []
+    for prop in result.propositions:
+        rows.append([1 if atom in prop.positives else 0 for atom in result.atoms])
+    return {
+        "version": MINING_CHECKPOINT_VERSION,
+        "atoms": [_atom_to_json(a) for a in result.atoms],
+        "propositions": [
+            {"label": prop.label, "row": row}
+            for prop, row in zip(result.propositions, rows)
+        ],
+        "traces": [
+            [prop_index[prop] for prop in trace] for trace in result.traces
+        ],
+    }
+
+
+def mining_from_json(payload: dict) -> MiningResult:
+    """Rebuild a :class:`MiningResult` from :func:`mining_to_json` output.
+
+    The reconstructed atoms, propositions and labeler are value-equal to
+    the originals (atoms and propositions compare structurally), so the
+    downstream generation/optimisation stages produce an identical PSM
+    set when resumed from the checkpoint.
+    """
+    version = payload.get("version")
+    if version != MINING_CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported mining checkpoint version {version!r} "
+            f"(expected {MINING_CHECKPOINT_VERSION})"
+        )
+    atoms = [_atom_from_json(a) for a in payload["atoms"]]
+    propositions: List[Proposition] = []
+    rows: List[np.ndarray] = []
+    universe: Dict[bytes, Proposition] = {}
+    for data in payload["propositions"]:
+        row = np.asarray(data["row"], dtype=bool)
+        if len(row) != len(atoms):
+            raise ValueError("proposition row width does not match alphabet")
+        positives = [a for a, v in zip(atoms, row) if v]
+        negatives = [a for a, v in zip(atoms, row) if not v]
+        prop = Proposition(data["label"], positives, negatives)
+        propositions.append(prop)
+        rows.append(row)
+        universe[row.tobytes()] = prop
+    traces: List[PropositionTrace] = []
+    matrices: List[np.ndarray] = []
+    for trace_id, indices in enumerate(payload["traces"]):
+        sequence = [propositions[i] for i in indices]
+        matrix = np.zeros((len(indices), len(atoms)), dtype=bool)
+        for i, prop_idx in enumerate(indices):
+            matrix[i] = rows[prop_idx]
+        traces.append(PropositionTrace(sequence, trace_id=trace_id))
+        matrices.append(matrix)
+    return MiningResult(
+        atoms=atoms,
+        propositions=propositions,
+        traces=traces,
+        matrices=matrices,
+        labeler=PropositionLabeler(atoms, universe),
+    )

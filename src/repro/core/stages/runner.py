@@ -1,0 +1,116 @@
+"""Ordered execution of a stage list with per-stage instrumentation.
+
+The runner is deliberately dumb: it validates the stage sequence's
+artifact dependencies, times each stage into a
+:class:`~repro.core.stages.base.StageReport`, persists checkpoints when a
+checkpoint directory is configured, and — when asked to ``skip_to`` a
+stage — restores every earlier stage from its checkpoint instead of
+re-running it.  All flow semantics live in the stages themselves.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from .base import (
+    CheckpointError,
+    MissingArtifactError,
+    PipelineContext,
+    PipelineError,
+    Stage,
+    StageReport,
+)
+
+
+class PipelineRunner:
+    """Executes an ordered list of stages over a shared artifact store."""
+
+    def __init__(self, stages: Sequence[Stage]) -> None:
+        names = [stage.name for stage in stages]
+        if len(set(names)) != len(names):
+            raise PipelineError(f"duplicate stage names in {names}")
+        if not stages:
+            raise PipelineError("a pipeline needs at least one stage")
+        self.stages: List[Stage] = list(stages)
+
+    @property
+    def stage_names(self) -> List[str]:
+        """The names of the configured stages, in execution order."""
+        return [stage.name for stage in self.stages]
+
+    def run(
+        self,
+        ctx: PipelineContext,
+        skip_to: Optional[str] = None,
+    ) -> List[StageReport]:
+        """Execute (or resume) the pipeline; returns one report per stage.
+
+        When ``skip_to`` names a stage, every stage *before* it is
+        restored from its checkpoint in ``ctx.checkpoint_dir`` (raising
+        :class:`CheckpointError` when a checkpoint is missing) and only
+        the stages from ``skip_to`` onward execute.  When
+        ``ctx.checkpoint_dir`` is set, each executed stage persists its
+        checkpoint right after running.
+        """
+        first_live = 0
+        if skip_to is not None:
+            names = self.stage_names
+            if skip_to not in names:
+                raise PipelineError(
+                    f"cannot skip to unknown stage {skip_to!r}; "
+                    f"pipeline stages: {names}"
+                )
+            if ctx.checkpoint_dir is None:
+                raise CheckpointError(
+                    "skip_to requires a checkpoint directory"
+                )
+            first_live = names.index(skip_to)
+
+        reports: List[StageReport] = []
+        for index, stage in enumerate(self.stages):
+            self._check_requirements(ctx, stage)
+            start = time.perf_counter()
+            if index < first_live:
+                counters = stage.load_checkpoint(ctx)
+                if counters is None:
+                    raise CheckpointError(
+                        f"stage {stage.name!r} does not support "
+                        f"checkpoint resume"
+                    )
+                status = "resumed"
+            else:
+                counters = stage.run(ctx)
+                if ctx.checkpoint_dir is not None:
+                    stage.save_checkpoint(ctx)
+                status = "executed"
+            reports.append(
+                StageReport(
+                    name=stage.name,
+                    wall_time=time.perf_counter() - start,
+                    status=status,
+                    counters=counters or {},
+                )
+            )
+            self._check_provides(ctx, stage)
+        return reports
+
+    @staticmethod
+    def _check_requirements(ctx: PipelineContext, stage: Stage) -> None:
+        """Fail fast when a declared input artifact is absent."""
+        missing = [key for key in stage.requires if not ctx.store.has(key)]
+        if missing:
+            raise MissingArtifactError(
+                f"stage {stage.name!r} requires artifact(s) {missing} "
+                f"not present in the store (available: {ctx.store.keys()})"
+            )
+
+    @staticmethod
+    def _check_provides(ctx: PipelineContext, stage: Stage) -> None:
+        """Fail fast when a stage forgot to publish a declared output."""
+        absent = [key for key in stage.provides if not ctx.store.has(key)]
+        if absent:
+            raise PipelineError(
+                f"stage {stage.name!r} declared but did not publish "
+                f"artifact(s) {absent}"
+            )

@@ -1,0 +1,100 @@
+"""Typed store of the pipeline's intermediate artifacts.
+
+Each artifact is identified by one of the module-level key constants and
+carries a declared Python type that :meth:`ArtifactStore.put` validates,
+so a mis-wired stage fails loudly at the boundary instead of deep inside
+a downstream stage.  The working PSM set is deliberately a *separate*
+artifact from the raw PSM set: the optimisation stages rewrite the
+former while the latter stays untouched for inspection and ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..hmm import PsmHmm
+from ..mining import MiningResult
+from ..simulation import MultiPsmSimulator
+from .base import MissingArtifactError
+
+#: ``Dict[int, FunctionalTrace]`` — the training functional traces by id.
+FUNCTIONAL_TRACES = "functional_traces"
+#: ``Dict[int, PowerTrace]`` — the reference power traces by id.
+POWER_TRACES = "power_traces"
+#: :class:`~repro.core.mining.MiningResult` — mined propositions/labeler.
+MINING = "mining"
+#: ``List[PSM]`` — the generator's untouched chain PSMs.
+RAW_PSMS = "raw_psms"
+#: ``List[PSM]`` — the working set the optimisation stages rewrite.
+WORKING_PSMS = "psms"
+#: ``int`` — number of states the regression refinement made data-dependent.
+N_REFINED = "n_refined"
+#: :class:`~repro.core.hmm.PsmHmm` — the HMM over the final PSM set.
+HMM = "hmm"
+#: :class:`~repro.core.simulation.MultiPsmSimulator` — the fitted simulator.
+SIMULATOR = "simulator"
+
+#: Declared Python type of each artifact key.
+ARTIFACT_TYPES: Dict[str, Tuple[type, ...]] = {
+    FUNCTIONAL_TRACES: (dict,),
+    POWER_TRACES: (dict,),
+    MINING: (MiningResult,),
+    RAW_PSMS: (list,),
+    WORKING_PSMS: (list,),
+    N_REFINED: (int,),
+    HMM: (PsmHmm,),
+    SIMULATOR: (MultiPsmSimulator,),
+}
+
+
+class ArtifactStore:
+    """Keyed, type-checked container of pipeline intermediates.
+
+    Stages communicate exclusively through the store: a stage reads its
+    declared inputs with :meth:`get` and publishes its outputs with
+    :meth:`put`.  Unknown keys are allowed (extensions may add
+    artifacts) but the known keys are validated against
+    :data:`ARTIFACT_TYPES`.
+    """
+
+    def __init__(self) -> None:
+        self._artifacts: Dict[str, Any] = {}
+
+    def put(self, key: str, value: Any) -> None:
+        """Publish (or overwrite) an artifact, validating known types."""
+        expected = ARTIFACT_TYPES.get(key)
+        if expected is not None and not isinstance(value, expected):
+            names = " | ".join(t.__name__ for t in expected)
+            raise TypeError(
+                f"artifact {key!r} must be {names}, "
+                f"got {type(value).__name__}"
+            )
+        self._artifacts[key] = value
+
+    def get(self, key: str) -> Any:
+        """Fetch an artifact; raises MissingArtifactError when absent."""
+        try:
+            return self._artifacts[key]
+        except KeyError:
+            raise MissingArtifactError(
+                f"artifact {key!r} has not been produced; "
+                f"available: {sorted(self._artifacts) or 'none'}"
+            ) from None
+
+    def get_or(self, key: str, default: Any = None) -> Any:
+        """Fetch an artifact or return ``default`` when absent."""
+        return self._artifacts.get(key, default)
+
+    def has(self, key: str) -> bool:
+        """True when the artifact exists in the store."""
+        return key in self._artifacts
+
+    def keys(self) -> List[str]:
+        """The keys of all published artifacts, in publication order."""
+        return list(self._artifacts)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._artifacts
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ArtifactStore({sorted(self._artifacts)})"

@@ -71,9 +71,24 @@ class FunctionalTrace:
             self._columns[var.name].append(var.validate_value(row[var.name]))
 
     def extend(self, rows: Iterable[Mapping[str, int]]) -> None:
-        """Append several simulation instants."""
+        """Append several simulation instants in one bulk operation.
+
+        The rows are validated column-wise into staging lists first and
+        committed together, so a bad row leaves the trace unchanged and
+        the frozen column cache is invalidated once per call instead of
+        once per row.
+        """
+        staged: Dict[str, List[int]] = {v.name: [] for v in self._variables}
         for row in rows:
-            self.append(row)
+            for var in self._variables:
+                if var.name not in row:
+                    raise KeyError(f"row is missing variable {var.name!r}")
+                staged[var.name].append(var.validate_value(row[var.name]))
+        if not staged[self._variables[0].name]:
+            return
+        self._frozen.clear()
+        for name, values in staged.items():
+            self._columns[name].extend(values)
 
     # ------------------------------------------------------------------
     # inspection

@@ -71,6 +71,48 @@ class TestAppend:
         )
         assert len(trace) == 2
 
+    def test_extend_accepts_generator(self, specs):
+        trace = FunctionalTrace(specs)
+        trace.extend(
+            {"en": i % 2, "data": i, "q": i} for i in range(10)
+        )
+        assert len(trace) == 10
+        assert trace.at(9) == {"en": 1, "data": 9, "q": 9}
+
+    def test_extend_is_atomic_on_bad_row(self, specs):
+        trace = FunctionalTrace(specs)
+        trace.append({"en": 0, "data": 0, "q": 0})
+        with pytest.raises(KeyError):
+            trace.extend(
+                [{"en": 1, "data": 1, "q": 1}, {"en": 1, "data": 2}]
+            )
+        # the valid leading row must not have been committed
+        assert len(trace) == 1
+
+    def test_extend_is_atomic_on_out_of_range_value(self, specs):
+        trace = FunctionalTrace(specs)
+        with pytest.raises(ValueError):
+            trace.extend(
+                [{"en": 0, "data": 0, "q": 0}, {"en": 0, "data": 256, "q": 0}]
+            )
+        assert len(trace) == 0
+
+    def test_extend_invalidates_frozen_column_once(self, specs):
+        trace = FunctionalTrace(specs)
+        trace.append({"en": 0, "data": 0, "q": 0})
+        assert trace.column("data").tolist() == [0]
+        trace.extend(
+            [{"en": 1, "data": 7, "q": 0}, {"en": 1, "data": 8, "q": 7}]
+        )
+        assert trace.column("data").tolist() == [0, 7, 8]
+
+    def test_extend_empty_keeps_cache(self, specs):
+        trace = FunctionalTrace(specs)
+        trace.append({"en": 0, "data": 0, "q": 0})
+        before = trace.column("data")
+        trace.extend([])
+        assert trace.column("data") is before
+
     def test_append_invalidates_frozen_column(self, specs):
         trace = FunctionalTrace(specs)
         trace.append({"en": 0, "data": 0, "q": 0})
