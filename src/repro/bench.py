@@ -16,7 +16,8 @@ from typing import Dict, List, Optional
 
 from .core.metrics import mre
 from .core.pipeline import PsmFlow
-from .core.psm import total_states, total_transitions
+from .core.psm import reset_state_ids, total_states, total_transitions
+from .parallel import parallel_map
 from .power.estimator import PowerSimulationResult, run_power_simulation
 from .power.synthesis import synthesize
 from .sysc.cosim import measure_overhead
@@ -76,15 +77,20 @@ class FittedBenchmark:
 
 
 def fit_benchmark(
-    name: str, stimulus: Optional[list] = None
+    name: str, stimulus: Optional[list] = None, jobs: int = 1
 ) -> FittedBenchmark:
-    """Run the full flow for one IP on its short-TS (or given) stimulus."""
+    """Run the full flow for one IP on its short-TS (or given) stimulus.
+
+    ``jobs`` sets the flow's internal parallelism degree (see
+    :class:`~repro.core.pipeline.FlowConfig`); the fitted model is
+    bit-identical regardless of the value.
+    """
     spec = BENCHMARKS[name]
     stimulus = stimulus if stimulus is not None else spec.short_ts()
     reference = run_power_simulation(spec.module_class(), stimulus)
-    flow = PsmFlow(spec.flow_config()).fit(
-        [reference.trace], [reference.power]
-    )
+    config = spec.flow_config()
+    config.jobs = jobs
+    flow = PsmFlow(config).fit([reference.trace], [reference.power])
     result = flow.estimate(reference.trace)
     return FittedBenchmark(
         spec=spec,
@@ -96,21 +102,35 @@ def fit_benchmark(
     )
 
 
-def table2_rows(include_long: bool = True) -> List[dict]:
+def _table2_rows_for_ip(args: tuple) -> List[dict]:
+    """Worker: the Table II row(s) of one IP (picklable, order-stable).
+
+    State ids come from a process-global counter, so every worker resets
+    it first; serial and parallel runs therefore produce identical PSMs
+    and identical rows.
+    """
+    name, include_long, cycles = args
+    reset_state_ids()
+    spec = BENCHMARKS[name]
+    rows = [_table2_row(name, "short-TS", fit_benchmark(name))]
+    if include_long:
+        long_fitted = fit_benchmark(name, spec.long_ts(cycles))
+        rows.append(_table2_row(name, "long-TS", long_fitted))
+    return rows
+
+
+def table2_rows(include_long: bool = True, jobs: int = 1) -> List[dict]:
     """Characteristics of the generated PSMs (paper Table II).
 
     Rows above the paper's dashed line use the short-TS verification
     suites; rows below use the extended long-TS suites (both as training
-    sets, as in the paper).
+    sets, as in the paper).  ``jobs > 1`` fits the IPs in parallel
+    worker processes; the fitted models (and hence every non-timing
+    column) are bit-identical to a serial run.
     """
-    rows = []
-    for name, spec in BENCHMARKS.items():
-        fitted = fit_benchmark(name)
-        rows.append(_table2_row(name, "short-TS", fitted))
-        if include_long:
-            long_fitted = fit_benchmark(name, spec.long_ts(long_cycles()))
-            rows.append(_table2_row(name, "long-TS", long_fitted))
-    return rows
+    work = [(name, include_long, long_cycles()) for name in BENCHMARKS]
+    per_ip = parallel_map(_table2_rows_for_ip, work, jobs=jobs)
+    return [row for rows in per_ip for row in rows]
 
 
 def _table2_row(name: str, testset: str, fitted: FittedBenchmark) -> dict:
@@ -150,57 +170,63 @@ def stage_time_rows(fitted_by_ip: Dict[str, FittedBenchmark]) -> List[dict]:
 # ----------------------------------------------------------------------
 # Table III — simulation times and accuracy evaluation
 # ----------------------------------------------------------------------
+def _table3_row_for_ip(args: tuple) -> dict:
+    """Worker: the Table III row of one IP (picklable, order-stable)."""
+    name, cycles, repeats = args
+    reset_state_ids()
+    spec = BENCHMARKS[name]
+    fitted = fit_benchmark(name)
+    stimulus = spec.long_ts(cycles)
+    overhead = measure_overhead(
+        spec.module_class, stimulus, fitted.flow, repeats=repeats
+    )
+    reference = run_power_simulation(spec.module_class(), stimulus)
+    start = time.perf_counter()
+    result = fitted.flow.estimate(reference.trace)
+    psm_time = time.perf_counter() - start
+    # The paper states that during resynchronisation "the power
+    # estimation provided by the PSM is not reliable"; the MRE is
+    # therefore measured over the synchronised instants, with the
+    # unreliable share reported as WSP.
+    reliable = result.reliable
+    if reliable.any():
+        accuracy = mre(
+            result.estimated.values[reliable],
+            reference.power.values[reliable],
+        )
+    else:  # pragma: no cover - fully desynchronised model
+        accuracy = float("nan")
+    return {
+        "ip": name,
+        "cycles": cycles,
+        "ip_time": round(overhead.ip_time, 3),
+        "cosim_time": round(overhead.cosim_time, 3),
+        "overhead_pct": round(overhead.overhead_pct, 1),
+        "mre": round(accuracy, 2),
+        "wsp": round(result.wrong_state_fraction, 2),
+        "px_time": round(reference.total_time, 3),
+        "psm_time": round(psm_time, 4),
+        "speedup": round(reference.total_time / psm_time, 1)
+        if psm_time > 0
+        else float("inf"),
+    }
+
+
 def table3_rows(
-    cycles: Optional[int] = None, repeats: int = 3
+    cycles: Optional[int] = None, repeats: int = 3, jobs: int = 1
 ) -> List[dict]:
     """Simulation overhead and short-TS-model accuracy on the long-TS.
 
     For every IP: fit on short-TS, then (i) measure the IP-only and
     IP+PSM co-simulation times over the long-TS, and (ii) replay the
     long-TS through the model to obtain its MRE and WSP — exactly the
-    paper's Table III setup.
+    paper's Table III setup.  ``jobs > 1`` fans the IPs out over worker
+    processes (note that co-simulation *timings* then contend for CPU;
+    accuracy columns are unaffected).
     """
     cycles = cycles or long_cycles()
-    rows = []
-    for name, spec in BENCHMARKS.items():
-        fitted = fit_benchmark(name)
-        stimulus = spec.long_ts(cycles)
-        overhead = measure_overhead(
-            spec.module_class, stimulus, fitted.flow, repeats=repeats
-        )
-        reference = run_power_simulation(spec.module_class(), stimulus)
-        start = time.perf_counter()
-        result = fitted.flow.estimate(reference.trace)
-        psm_time = time.perf_counter() - start
-        # The paper states that during resynchronisation "the power
-        # estimation provided by the PSM is not reliable"; the MRE is
-        # therefore measured over the synchronised instants, with the
-        # unreliable share reported as WSP.
-        reliable = result.reliable
-        if reliable.any():
-            accuracy = mre(
-                result.estimated.values[reliable],
-                reference.power.values[reliable],
-            )
-        else:  # pragma: no cover - fully desynchronised model
-            accuracy = float("nan")
-        rows.append(
-            {
-                "ip": name,
-                "cycles": cycles,
-                "ip_time": round(overhead.ip_time, 3),
-                "cosim_time": round(overhead.cosim_time, 3),
-                "overhead_pct": round(overhead.overhead_pct, 1),
-                "mre": round(accuracy, 2),
-                "wsp": round(result.wrong_state_fraction, 2),
-                "px_time": round(reference.total_time, 3),
-                "psm_time": round(psm_time, 4),
-                "speedup": round(reference.total_time / psm_time, 1)
-                if psm_time > 0
-                else float("inf"),
-            }
-        )
-    return rows
+    work = [(name, cycles, repeats) for name in BENCHMARKS]
+    return parallel_map(_table3_row_for_ip, work, jobs=jobs)
 
 
 # ----------------------------------------------------------------------
@@ -222,16 +248,18 @@ def format_table(rows: List[dict], title: str) -> str:
     return f"{title}\n{header}\n{rule}\n{body}"
 
 
-def run_all_tables(include_long: bool = True, repeats: int = 3) -> str:
+def run_all_tables(
+    include_long: bool = True, repeats: int = 3, jobs: int = 1
+) -> str:
     """Regenerate Tables I-III and return the report text."""
     sections = [
         format_table(table1_rows(), "Table I — benchmark characteristics"),
         format_table(
-            table2_rows(include_long=include_long),
+            table2_rows(include_long=include_long, jobs=jobs),
             "Table II — characteristics of the generated PSMs",
         ),
         format_table(
-            table3_rows(repeats=repeats),
+            table3_rows(repeats=repeats, jobs=jobs),
             "Table III — simulation times and accuracy evaluation",
         ),
     ]

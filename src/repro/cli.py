@@ -52,7 +52,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     functional = [load_functional_csv(p) for p in args.func]
     power = [load_power_csv(p) for p in args.power]
     config = FlowConfig(
-        checkpoint_dir=args.checkpoint_dir, skip_to=args.skip_to
+        checkpoint_dir=args.checkpoint_dir,
+        skip_to=args.skip_to,
+        jobs=args.jobs,
     )
     try:
         flow = PsmFlow(config).fit(functional, power)
@@ -110,6 +112,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .power.estimator import run_power_simulation
     from .testbench import BENCHMARKS
 
+    if args.micro:
+        return _cmd_bench_micro(args)
+    if args.ip is None:
+        print("error: --ip is required (unless --micro)", file=sys.stderr)
+        return 2
     if args.ip not in BENCHMARKS:
         print(
             f"error: unknown IP {args.ip!r}; choose from "
@@ -117,7 +124,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    fitted = fit_benchmark(args.ip)
+    fitted = fit_benchmark(args.ip, jobs=args.jobs)
     report = fitted.flow.report
     print(
         f"{args.ip}: TS={fitted.ts} gen={report.generation_time:.2f}s "
@@ -139,6 +146,47 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.output:
         save_psms(fitted.flow.psms, args.output)
         print(f"model written to {args.output}")
+    return 0
+
+
+def _cmd_bench_micro(args: argparse.Namespace) -> int:
+    from .microbench import compare_micro, run_micro, validate_micro
+    from .testbench import BENCHMARKS
+
+    names = [args.ip] if args.ip else None
+    if args.ip and args.ip not in BENCHMARKS:
+        print(
+            f"error: unknown IP {args.ip!r}; choose from "
+            f"{', '.join(BENCHMARKS)}",
+            file=sys.stderr,
+        )
+        return 2
+    payload = run_micro(
+        names=names, cycles=args.cycles, repeats=args.repeats
+    )
+    for row in payload["results"]:
+        print(
+            f"{row['benchmark']:>10s} {row['stage']:<16s} "
+            f"{row['wall_s'] * 1e3:9.3f} ms  "
+            f"{row['cycles_per_s']:12.0f} cycles/s"
+        )
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"micro-bench report written to {args.json}")
+    if args.compare:
+        baseline = json.loads(Path(args.compare).read_text())
+        validate_micro(baseline)
+        regressions = compare_micro(
+            payload, baseline, threshold=args.threshold
+        )
+        if regressions:
+            print("performance regressions detected:", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(
+            f"no regression beyond {args.threshold}x vs {args.compare}"
+        )
     return 0
 
 
@@ -185,7 +233,7 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 def _cmd_tables(args: argparse.Namespace) -> int:
     from .bench import run_all_tables
 
-    print(run_all_tables(include_long=not args.short_only))
+    print(run_all_tables(include_long=not args.short_only, jobs=args.jobs))
     return 0
 
 
@@ -229,6 +277,12 @@ def build_parser() -> argparse.ArgumentParser:
             "propositions instead of re-mining)"
         ),
     )
+    generate.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the flow's fan-out loops (0 = all CPUs)",
+    )
     generate.set_defaults(func_cmd=_cmd_generate)
 
     estimate = sub.add_parser(
@@ -249,9 +303,41 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="run the paper flow on a built-in benchmark IP"
     )
-    bench.add_argument("--ip", required=True, help="RAM|MultSum|AES|Camellia")
+    bench.add_argument(
+        "--ip", help="RAM|MultSum|AES|Camellia (all IPs with --micro)"
+    )
     bench.add_argument("--cycles", type=int, help="long-TS length")
     bench.add_argument("-o", "--output", help="also save the model JSON")
+    bench.add_argument(
+        "--micro",
+        action="store_true",
+        help="per-stage micro-benchmark instead of the full flow",
+    )
+    bench.add_argument(
+        "--json", help="write the micro-bench JSON report to this path"
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed repetitions per micro-bench stage (best-of)",
+    )
+    bench.add_argument(
+        "--compare",
+        help="baseline micro-bench JSON; exit 1 on throughput regression",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="regression factor tolerated by --compare (default 2x)",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the flow's fan-out loops (0 = all CPUs)",
+    )
     bench.set_defaults(func_cmd=_cmd_bench)
 
     describe = sub.add_parser(
@@ -268,6 +354,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--short-only",
         action="store_true",
         help="skip the long-TS training rows of Table II",
+    )
+    tables.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fit the benchmark IPs in this many worker processes",
     )
     tables.set_defaults(func_cmd=_cmd_tables)
     return parser

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..parallel import parallel_map
 from ..traces.functional import FunctionalTrace
 from .propositions import (
     AtomicProposition,
@@ -36,17 +37,63 @@ from .propositions import (
     PropositionTrace,
     VarCompare,
     VarEqualsConst,
+    run_length_encode,
 )
 
 #: Alphabetic labels used for the first mined propositions (p_a, p_b, ...).
 _ALPHA = "abcdefghijklmnopqrstuvwxyz"
 
+#: Widest atom alphabet labelled through the direct-addressed code table
+#: (2^20 int32 slots = 4 MiB, built once per labeler).
+_DENSE_MAX_BITS = 20
+
 
 def proposition_label(index: int) -> str:
-    """Label of the ``index``-th proposition: p_a..p_z then p_26, p_27..."""
-    if index < len(_ALPHA):
-        return f"p_{_ALPHA[index]}"
-    return f"p_{index}"
+    """Label of the ``index``-th proposition: p_a..p_z, then p_aa, p_ab...
+
+    Indices past the single-letter alphabet continue in bijective base-26
+    (spreadsheet-column style), so every label is unambiguously alphabetic
+    — a ``p_26`` would be indistinguishable from a hypothetical numeric
+    alphabet.  Labels are stored verbatim on export, so round-trips are
+    stable regardless of the scheme that generated them.
+    """
+    chars: List[str] = []
+    n = index
+    while True:
+        chars.append(_ALPHA[n % 26])
+        n = n // 26 - 1
+        if n < 0:
+            break
+    return "p_" + "".join(reversed(chars))
+
+
+def _row_codes(matrix: np.ndarray) -> np.ndarray:
+    """One comparable scalar code per truth-matrix row.
+
+    Alphabets up to 63 atoms pack each row into an ``int64`` bit mask
+    (a single vectorised matmul); wider alphabets fall back on
+    ``np.packbits`` plus a structured void-dtype view, which compares
+    byte-wise.  Either way ``np.unique`` over the codes replaces the
+    historical per-instant ``row.tobytes()`` dictionary probing.
+    """
+    n, k = matrix.shape
+    if k == 0:
+        return np.zeros(n, dtype=np.int64)
+    if k <= 63:
+        weights = np.int64(1) << np.arange(k, dtype=np.int64)
+        return matrix.astype(np.int64) @ weights
+    packed = np.ascontiguousarray(np.packbits(matrix, axis=1))
+    return packed.view(np.dtype((np.void, packed.shape[1])))[:, 0]
+
+
+def _trace_truth_matrix(
+    args: Tuple[Sequence[AtomicProposition], FunctionalTrace],
+) -> np.ndarray:
+    """Truth matrix of one trace (module-level so workers can pickle it)."""
+    atoms, trace = args
+    if not atoms:
+        return np.zeros((len(trace), 0), dtype=bool)
+    return np.column_stack([atom.evaluate_trace(trace) for atom in atoms])
 
 
 @dataclass
@@ -131,9 +178,14 @@ class PropositionLabeler:
                 if name not in names:
                     names.append(name)
         self._atom_variables = tuple(names)
+        # Dense code -> universe-position table (built lazily): alphabets
+        # of up to _DENSE_MAX_BITS atoms fit a direct-addressed array.
+        self._dense_map: Optional[np.ndarray] = None
+        self._dense_lut: Optional[List[Optional[Proposition]]] = None
         self._assignment_cache: Dict[tuple, Optional[Proposition]] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        self._cache_evictions = 0
         self._cache_enabled = True
 
     @property
@@ -141,19 +193,88 @@ class PropositionLabeler:
         """All known propositions."""
         return list(self._universe.values())
 
+    def label_indices(
+        self, trace: FunctionalTrace
+    ) -> Tuple[np.ndarray, List[Optional[Proposition]]]:
+        """Index-coded labelling: ``(int32 indices, look-up table)``.
+
+        ``lut[indices[t]]`` is the proposition holding at instant ``t``
+        (``None`` for valuations never seen in training).  Small alphabets
+        (up to ``_DENSE_MAX_BITS`` atoms) are resolved by one gather from
+        a direct-addressed code table; wider ones fall back on a single
+        ``np.unique`` over packed row codes, probing the universe once per
+        *distinct* valuation instead of once per instant.
+        """
+        matrix = _trace_truth_matrix((self.atoms, trace))
+        codes = _row_codes(matrix)
+        if 0 < len(self.atoms) <= _DENSE_MAX_BITS:
+            dense, lut = self._dense_tables()
+            return dense.take(codes), lut
+        _, first, inverse = np.unique(
+            codes, return_index=True, return_inverse=True
+        )
+        lut = [
+            self._universe.get(matrix[i].tobytes()) for i in first.tolist()
+        ]
+        return inverse.astype(np.int32), lut
+
+    def _dense_tables(
+        self,
+    ) -> Tuple[np.ndarray, List[Optional[Proposition]]]:
+        """``(code table, look-up table)`` for the dense labelling path.
+
+        The code table maps every possible packed atom valuation directly
+        to its universe position; valuations never seen in training all
+        share the trailing ``None`` slot (they are indistinguishable to
+        the simulators, which only ever branch on the proposition value).
+        """
+        if self._dense_map is None:
+            props = list(self._universe.values())
+            dense = np.full(
+                1 << len(self.atoms), len(props), dtype=np.int32
+            )
+            for position, key in enumerate(self._universe):
+                code = 0
+                for bit, byte in enumerate(key):
+                    if byte:
+                        code |= 1 << bit
+                dense[code] = position
+            self._dense_map = dense
+            self._dense_lut = props + [None]
+        return self._dense_map, self._dense_lut
+
     def label(self, trace: FunctionalTrace) -> List[Optional[Proposition]]:
         """Proposition (or None) holding at each instant of ``trace``."""
-        if not self.atoms:
-            key = np.zeros(0, dtype=bool).tobytes()
-            prop = self._universe.get(key)
-            return [prop] * len(trace)
-        matrix = np.column_stack(
-            [atom.evaluate_trace(trace) for atom in self.atoms]
+        indices, lut = self.label_indices(trace)
+        table = np.empty(max(len(lut), 1), dtype=object)
+        table[: len(lut)] = lut
+        return table.take(indices).tolist()
+
+    def label_segments(self, trace: FunctionalTrace) -> "LabeledRuns":
+        """Run-length-encoded labelling of ``trace`` (simulator fast path)."""
+        indices, lut = self.label_indices(trace)
+        starts, lengths, seg_indices = run_length_encode(indices)
+        seg_props = [lut[i] for i in seg_indices.tolist()]
+        return LabeledRuns(
+            n=len(indices),
+            starts=starts,
+            lengths=lengths,
+            props=seg_props,
         )
-        return [
-            self._universe.get(matrix[i].tobytes())
-            for i in range(len(trace))
-        ]
+
+    def stats(self) -> Dict[str, object]:
+        """Effectiveness counters of the per-assignment memo cache.
+
+        ``hits``/``misses`` survive both the bounded-size eviction (which
+        is counted in ``evictions``) and the self-disabling heuristic, so
+        the figures describe the whole lifetime of the labeler.
+        """
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "evictions": self._cache_evictions,
+            "enabled": self._cache_enabled,
+        }
 
     def label_assignment(self, assignment) -> Optional[Proposition]:
         """Proposition holding under a single variable assignment.
@@ -176,7 +297,10 @@ class PropositionLabeler:
         prop = self._universe.get(key)
         if self._cache_enabled:
             if len(cache) > 65536:
+                # Bounded memo: drop the rows, keep the hit/miss counters
+                # so stats() reflects the labeler's whole lifetime.
                 cache.clear()
+                self._cache_evictions += 1
             cache[cache_key] = prop
             # Data-bearing atom variables make the key unique per cycle;
             # turn the memo off when it clearly is not paying for itself.
@@ -187,6 +311,49 @@ class PropositionLabeler:
                 self._cache_enabled = False
                 self._assignment_cache = {}
         return prop
+
+
+@dataclass
+class LabeledRuns:
+    """Run-length-encoded proposition labelling of a functional trace.
+
+    ``props[s]`` holds (or is ``None``) over the whole segment
+    ``[starts[s], starts[s] + lengths[s])``; segments are maximal, so no
+    segment spans a proposition change — the invariant the simulators'
+    O(segments) fast paths rely on.
+    """
+
+    n: int
+    starts: np.ndarray
+    lengths: np.ndarray
+    props: List[Optional[Proposition]]
+
+    def __iter__(self):
+        """Iterate ``(start, length, prop)`` per segment."""
+        return zip(self.starts.tolist(), self.lengths.tolist(), self.props)
+
+    @property
+    def unknown_instants(self) -> int:
+        """Instants whose valuation was never seen in training."""
+        return int(
+            sum(
+                length
+                for length, prop in zip(self.lengths.tolist(), self.props)
+                if prop is None
+            )
+        )
+
+    def instant_props(self) -> List[Optional[Proposition]]:
+        """Per-instant proposition list (the object-API view)."""
+        table = np.empty(max(len(self.props), 1), dtype=object)
+        table[: len(self.props)] = self.props
+        return table.take(
+            np.repeat(np.arange(len(self.props)), self.lengths)
+        ).tolist()
+
+    def run_ends(self) -> np.ndarray:
+        """Per-instant exclusive end of the segment containing ``t``."""
+        return np.repeat(self.starts + self.lengths, self.lengths)
 
 
 @dataclass
@@ -215,10 +382,19 @@ class MiningResult:
 
 
 class AssertionMiner:
-    """Phase-1 + phase-2 miner producing proposition traces."""
+    """Phase-1 + phase-2 miner producing proposition traces.
 
-    def __init__(self, config: Optional[MinerConfig] = None) -> None:
+    ``jobs`` fans the per-trace truth-matrix evaluation out over worker
+    processes when several traces are mined together; results are
+    bit-identical to a serial run (pure numpy evaluation, order-preserving
+    map).
+    """
+
+    def __init__(
+        self, config: Optional[MinerConfig] = None, jobs: int = 1
+    ) -> None:
         self.config = config or MinerConfig()
+        self.jobs = jobs
 
     # ------------------------------------------------------------------
     # public API
@@ -309,14 +485,11 @@ class AssertionMiner:
         restricted to them.
         """
         config = self.config
-        raw = [
-            np.column_stack(
-                [atom.evaluate_trace(trace) for atom in atoms]
-            )
-            if atoms
-            else np.zeros((len(trace), 0), dtype=bool)
-            for trace in traces
-        ]
+        raw = parallel_map(
+            _trace_truth_matrix,
+            [(atoms, trace) for trace in traces],
+            jobs=self.jobs,
+        )
         total = sum(len(trace) for trace in traces)
         keep: List[int] = []
         for j in range(len(atoms)):
@@ -372,25 +545,45 @@ class AssertionMiner:
         matrices: Sequence[np.ndarray],
         traces: Sequence[FunctionalTrace],
     ) -> Tuple[List[Proposition], List[PropositionTrace], Dict[bytes, Proposition]]:
+        """Vectorised AND-composition of the truth-matrix rows.
+
+        All traces' rows are packed into scalar codes and deduplicated by
+        a single ``np.unique(..., return_inverse=True)``; propositions
+        are created once per distinct row, in first-appearance order
+        across the traces (so labels match the historical per-instant
+        accumulation bit for bit), and each trace becomes an index-coded
+        :class:`~repro.core.propositions.PropositionTrace`.
+        """
+        stacked = np.concatenate(matrices, axis=0)
+        codes = _row_codes(stacked)
+        _, first, inverse = np.unique(
+            codes, return_index=True, return_inverse=True
+        )
+        order = np.argsort(first)  # distinct rows in first-appearance order
+        rank = np.empty(len(order), dtype=np.int64)
+        rank[order] = np.arange(len(order))
+        instant_index = rank[inverse]
+
         universe: Dict[bytes, Proposition] = {}
         propositions: List[Proposition] = []
+        for row_index in first[order].tolist():
+            row = stacked[row_index]
+            positives = [a for a, v in zip(atoms, row) if v]
+            negatives = [a for a, v in zip(atoms, row) if not v]
+            prop = Proposition(
+                proposition_label(len(propositions)), positives, negatives
+            )
+            universe[np.ascontiguousarray(row).tobytes()] = prop
+            propositions.append(prop)
+
         prop_traces: List[PropositionTrace] = []
-        for trace_id, (matrix, trace) in enumerate(zip(matrices, traces)):
-            sequence: List[Proposition] = []
-            for i in range(len(trace)):
-                row = matrix[i]
-                key = row.tobytes()
-                prop = universe.get(key)
-                if prop is None:
-                    positives = [a for a, v in zip(atoms, row) if v]
-                    negatives = [a for a, v in zip(atoms, row) if not v]
-                    prop = Proposition(
-                        proposition_label(len(propositions)),
-                        positives,
-                        negatives,
-                    )
-                    universe[key] = prop
-                    propositions.append(prop)
-                sequence.append(prop)
-            prop_traces.append(PropositionTrace(sequence, trace_id=trace_id))
+        offset = 0
+        for trace_id, trace in enumerate(traces):
+            stop = offset + len(trace)
+            prop_traces.append(
+                PropositionTrace.from_indices(
+                    instant_index[offset:stop], propositions, trace_id
+                )
+            )
+            offset = stop
         return propositions, prop_traces, universe

@@ -33,7 +33,7 @@ from ..traces.power import PowerTrace
 from .hmm import PsmHmm
 from .mergeability import MergePolicy
 from .metrics import mae, mre, rmse
-from .mining import MinerConfig, MiningResult
+from .mining import MinerConfig, MiningResult, PropositionLabeler
 from .psm import PSM, clone_psm, total_states, total_transitions
 from .regression import RefinePolicy
 from .simulation import EstimationResult, MultiPsmSimulator
@@ -70,6 +70,11 @@ class FlowConfig:
     ``checkpoint_dir`` enables JSON checkpointing of every stage's
     artifacts; ``skip_to`` resumes a run from those checkpoints at the
     named stage (requires ``checkpoint_dir``).
+
+    ``jobs`` is the process-parallelism degree for the flow's fan-out
+    loops (the miner's per-trace atom evaluation): 1 (the default) runs
+    serially, 0/None uses every CPU.  Parallel and serial runs produce
+    bit-identical PSM sets.
     """
 
     miner: MinerConfig = field(default_factory=MinerConfig)
@@ -78,6 +83,7 @@ class FlowConfig:
     stages: Optional[Sequence[str]] = None
     checkpoint_dir: Optional[Union[str, Path]] = None
     skip_to: Optional[str] = None
+    jobs: int = 1
     apply_simplify: bool = True
     apply_join: bool = True
     apply_refine: bool = True
@@ -124,6 +130,9 @@ class FlowReport:
     n_refined_states: int = 0
     training_instants: int = 0
     stages: List[StageReport] = field(default_factory=list)
+    # Live reference to the fitted flow's labeler; stats are read at
+    # rendering time so they reflect every estimate run so far.
+    labeler: Optional[PropositionLabeler] = None
 
     def row(self) -> tuple:
         """(TS, gen. time, states, transitions) — Table II fragment."""
@@ -149,7 +158,16 @@ class FlowReport:
         """One-line rendering of the stage timings (CLI/bench output)."""
         if not self.stages:
             return "no stage reports"
-        return " | ".join(str(report) for report in self.stages)
+        line = " | ".join(str(report) for report in self.stages)
+        stats = self.labeler.stats() if self.labeler is not None else None
+        if stats:
+            line += (
+                " | labeler cache: "
+                f"{stats['hits']} hits / {stats['misses']} misses"
+                f" / {stats['evictions']} evictions"
+                f" ({'on' if stats['enabled'] else 'off'})"
+            )
+        return line
 
 
 class PsmFlow:
@@ -234,6 +252,7 @@ class PsmFlow:
             n_refined_states=store.get_or(N_REFINED, 0),
             training_instants=sum(len(t) for t in functional_traces),
             stages=stage_reports,
+            labeler=self.mining.labeler,
         )
         return self
 

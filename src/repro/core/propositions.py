@@ -11,7 +11,8 @@ proposition traces rely on.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -179,8 +180,14 @@ class Proposition:
         return (self.positives, self.negatives)
 
     def __eq__(self, other: object) -> bool:
+        # The simulators compare interned universe propositions millions
+        # of times per run; the identity and hash shortcuts avoid the
+        # frozenset comparisons on the hot path.
+        if self is other:
+            return True
         return (
             isinstance(other, Proposition)
+            and self._hash == other._hash
             and self.positives == other.positives
             and self.negatives == other.negatives
         )
@@ -201,28 +208,142 @@ class Proposition:
         return f"Proposition({self.label!r}: {self.formula()})"
 
 
+@dataclass(frozen=True)
+class RunSegment:
+    """One maximal constant stretch of a run-length-encoded trace view.
+
+    The RLE invariant: a segment never spans a proposition change —
+    ``prop`` holds at every instant of ``[start, start + length)`` and a
+    *different* value (or the end of the trace) follows.
+    """
+
+    start: int
+    length: int
+    prop: Optional[Proposition]
+
+    @property
+    def stop(self) -> int:
+        """First instant past the segment (exclusive bound)."""
+        return self.start + self.length
+
+
+def run_length_encode(
+    indices: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """RLE of an index trace: ``(starts, lengths, segment_indices)``.
+
+    Segments are maximal runs of an identical index, so by construction
+    no segment spans an index change.
+    """
+    n = len(indices)
+    if n == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, np.zeros(0, dtype=indices.dtype)
+    change = np.nonzero(indices[1:] != indices[:-1])[0]
+    starts = np.concatenate(([0], change + 1)).astype(np.int64)
+    bounds = np.concatenate((starts[1:], [n]))
+    return starts, bounds - starts, indices[starts]
+
+
 class PropositionTrace:
     """A proposition trace (Def. 2): one proposition per instant.
 
     ``trace_id`` identifies the originating functional trace; PSM states
     remember it so power attributes can be recomputed from the right
     reference power trace after merges.
+
+    The trace is backed by an ``np.int32`` index array over a proposition
+    ``alphabet`` (the mined universe in first-appearance order); the
+    object API (``[]``, iteration, :meth:`at`) materialises proposition
+    objects lazily, while the hot consumers — the miner, the simulators
+    and the checkpoint writer — work on :attr:`indices` or the
+    run-length-encoded :meth:`rle` view directly.
     """
 
     def __init__(
         self, propositions: Sequence[Proposition], trace_id: int = 0
     ) -> None:
-        self._props = list(propositions)
+        alphabet: List[Proposition] = []
+        positions: Dict[Proposition, int] = {}
+        indices = np.empty(len(propositions), dtype=np.int32)
+        for i, prop in enumerate(propositions):
+            pos = positions.get(prop)
+            if pos is None:
+                pos = positions[prop] = len(alphabet)
+                alphabet.append(prop)
+            indices[i] = pos
+        self._init_from_indices(indices, alphabet, trace_id)
+
+    @classmethod
+    def from_indices(
+        cls,
+        indices: np.ndarray,
+        alphabet: Sequence[Proposition],
+        trace_id: int = 0,
+    ) -> "PropositionTrace":
+        """Build a trace directly from an index array over ``alphabet``."""
+        trace = cls.__new__(cls)
+        trace._init_from_indices(
+            np.asarray(indices, dtype=np.int32), list(alphabet), trace_id
+        )
+        return trace
+
+    def _init_from_indices(
+        self,
+        indices: np.ndarray,
+        alphabet: List[Proposition],
+        trace_id: int,
+    ) -> None:
+        indices = np.ascontiguousarray(indices, dtype=np.int32)
+        indices.setflags(write=False)
+        self._indices = indices
+        self._alphabet = alphabet
+        self._objects: Optional[List[Proposition]] = None
         self.trace_id = trace_id
 
+    # ------------------------------------------------------------------
+    # index view
+    # ------------------------------------------------------------------
+    @property
+    def indices(self) -> np.ndarray:
+        """Read-only ``np.int32`` proposition index per instant."""
+        return self._indices
+
+    @property
+    def alphabet(self) -> List[Proposition]:
+        """The propositions the index array refers to."""
+        return list(self._alphabet)
+
+    def rle(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Run-length encoding: ``(starts, lengths, segment_indices)``."""
+        return run_length_encode(self._indices)
+
+    def segments(self) -> Iterator[RunSegment]:
+        """Iterate the RLE view as :class:`RunSegment` objects."""
+        starts, lengths, seg_indices = self.rle()
+        for start, length, index in zip(
+            starts.tolist(), lengths.tolist(), seg_indices.tolist()
+        ):
+            yield RunSegment(start, length, self._alphabet[index])
+
+    # ------------------------------------------------------------------
+    # object API
+    # ------------------------------------------------------------------
+    def _materialise(self) -> List[Proposition]:
+        if self._objects is None:
+            lut = np.empty(max(len(self._alphabet), 1), dtype=object)
+            lut[: len(self._alphabet)] = self._alphabet
+            self._objects = lut.take(self._indices).tolist()
+        return self._objects
+
     def __len__(self) -> int:
-        return len(self._props)
+        return len(self._indices)
 
     def __getitem__(self, instant: int) -> Proposition:
-        return self._props[instant]
+        return self._materialise()[instant]
 
     def __iter__(self):
-        return iter(self._props)
+        return iter(self._materialise())
 
     def at(self, instant: int) -> Proposition:
         """Proposition holding at ``instant`` (nil beyond the end).
@@ -230,16 +351,25 @@ class PropositionTrace:
         Returns ``None`` for instants past the end of the trace, matching
         the paper's *nil* sentinel in Fig. 3.
         """
-        if 0 <= instant < len(self._props):
-            return self._props[instant]
+        if 0 <= instant < len(self._indices):
+            return self._alphabet[self._indices[instant]]
         return None
 
     def distinct(self) -> Dict[Proposition, int]:
-        """Occurrence count of each distinct proposition."""
-        counts: Dict[Proposition, int] = {}
-        for prop in self._props:
-            counts[prop] = counts.get(prop, 0) + 1
-        return counts
+        """Occurrence count of each distinct proposition.
+
+        Keys appear in first-occurrence order, matching the historical
+        per-instant accumulation.
+        """
+        if len(self._indices) == 0:
+            return {}
+        uniq, first, counts = np.unique(
+            self._indices, return_index=True, return_counts=True
+        )
+        order = np.argsort(first)
+        return {
+            self._alphabet[uniq[k]]: int(counts[k]) for k in order
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"PropositionTrace(id={self.trace_id}, len={len(self)})"

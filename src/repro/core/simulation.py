@@ -246,10 +246,47 @@ class EstimationResult:
 
 
 # ----------------------------------------------------------------------
+# shared vectorised helpers
+# ----------------------------------------------------------------------
+def _fill_power(
+    estimated: np.ndarray,
+    start: int,
+    stop: int,
+    state: PowerState,
+    distances: Optional[np.ndarray],
+) -> None:
+    """Vectorised ``estimated[t] = state.output(distances[t])`` over a run.
+
+    Elementwise float64 arithmetic, so the result is bit-identical to the
+    per-instant scalar path.
+    """
+    model = state.power_model
+    if isinstance(model, ConstantPower) or distances is None:
+        estimated[start:stop] = state.output(0.0)
+    else:
+        estimated[start:stop] = (
+            model.intercept + model.slope * distances[start:stop]
+        )
+
+
+def _needs_distances(states) -> bool:
+    """True when any state's output function reads the Hamming distance."""
+    return any(state.is_data_dependent for state in states)
+
+
+# ----------------------------------------------------------------------
 # single-PSM simulation (Sec. III-C)
 # ----------------------------------------------------------------------
 class SinglePsmSimulator:
-    """Basic simulation of one chain PSM against a functional trace."""
+    """Basic simulation of one chain PSM against a functional trace.
+
+    The default :meth:`run` consumes the run-length-encoded proposition
+    view: a k-cycle stretch of a stable *until* body (or of a proposition
+    the machine cannot resynchronise on) costs O(1) instead of O(k), with
+    the power accumulation vectorised over the segment.  ``rle=False``
+    selects the historical per-instant path; both produce the exact same
+    :class:`EstimationResult`.
+    """
 
     def __init__(self, psm: PSM, labeler: PropositionLabeler) -> None:
         if not psm.initial_states:
@@ -257,8 +294,102 @@ class SinglePsmSimulator:
         self.psm = psm
         self.labeler = labeler
 
-    def run(self, trace: FunctionalTrace) -> EstimationResult:
+    def run(self, trace: FunctionalTrace, rle: bool = True) -> EstimationResult:
         """Estimate the power of ``trace`` by stepping the PSM."""
+        if rle:
+            return self._run_rle(trace)
+        return self._run_instantwise(trace)
+
+    def _run_rle(self, trace: FunctionalTrace) -> EstimationResult:
+        """Segment-driven simulation (the RLE fast path)."""
+        runs = self.labeler.label_segments(trace)
+        n = runs.n
+        distances = (
+            trace.hamming_distances()
+            if _needs_distances(self.psm.states)
+            else None
+        )
+        estimated = np.zeros(n)
+        reliable = np.ones(n, dtype=bool)
+        sequence: List[Optional[int]] = []
+        desync = 0
+        unknown = runs.unknown_instants
+
+        current = self.psm.initial_states[0]
+        tracker = StateTracker(current)
+        synced = bool(runs.props) and tracker.enter(runs.props[0]) if n else False
+        for start, length, prop in runs:
+            stop = start + length
+            t = start
+            while t < stop:
+                was_synced = synced
+                if t > 0 and synced:
+                    verdict, _ = tracker.advance(prop)
+                    if verdict == EXIT:
+                        successors = [
+                            tr
+                            for tr in self.psm.successors(current.sid)
+                            if tr.enabling == prop
+                        ]
+                        moved = False
+                        for transition in successors:
+                            nxt = self.psm.state(transition.dst)
+                            candidate = StateTracker(nxt)
+                            if candidate.enter(prop):
+                                current = nxt
+                                tracker = candidate
+                                moved = True
+                                break
+                        if not moved:
+                            synced = False
+                    elif verdict == VIOLATION:
+                        synced = False
+                elif t > 0 and not synced:
+                    # Try to regain the expected behaviour of the current
+                    # state (the chain PSM cannot jump, Sec. III-C).
+                    candidate = StateTracker(current)
+                    if prop is not None and candidate.enter(prop):
+                        tracker = candidate
+                        synced = True
+                if not synced:
+                    desync += 1
+                    reliable[t] = False
+                estimated[t] = current.output(
+                    distances[t] if distances is not None else 0.0
+                )
+                sequence.append(current.sid if synced else None)
+                t += 1
+                if t >= stop:
+                    break
+                if synced and tracker.stable_on(prop):
+                    # Stable until body: the tracker cannot change while
+                    # the proposition repeats — consume the whole segment.
+                    _fill_power(estimated, t, stop, current, distances)
+                    sequence.extend([current.sid] * (stop - t))
+                    t = stop
+                elif not synced and not was_synced:
+                    # Re-entry depends only on (state, proposition) and
+                    # just failed on this very proposition: the rest of
+                    # the segment stays desynchronised.
+                    desync += stop - t
+                    reliable[t:stop] = False
+                    _fill_power(estimated, t, stop, current, distances)
+                    sequence.extend([None] * (stop - t))
+                    t = stop
+        return EstimationResult(
+            estimated=PowerTrace(
+                np.clip(estimated, 0.0, None), name=f"{trace.name}.psm"
+            ),
+            reliable=reliable,
+            predictions=0,
+            wrong_predictions=0,
+            desync_instants=desync,
+            unknown_instants=unknown,
+            state_sequence=sequence,
+        )
+
+    def _run_instantwise(self, trace: FunctionalTrace) -> EstimationResult:
+        """Reference per-instant simulation (semantics oracle for the RLE path)."""
         props = self.labeler.label(trace)
         distances = trace.hamming_distances()
         n = len(trace)
@@ -413,8 +544,178 @@ class MultiPsmSimulator:
         return seen
 
     # ------------------------------------------------------------------
-    def run(self, trace: FunctionalTrace) -> EstimationResult:
-        """Estimate the power of ``trace`` with the full PSM set."""
+    def run(self, trace: FunctionalTrace, rle: bool = True) -> EstimationResult:
+        """Estimate the power of ``trace`` with the full PSM set.
+
+        The default path is driven by the run-length-encoded proposition
+        view (stable until bodies and unresynchronisable stretches cost
+        O(1) per segment); ``rle=False`` selects the historical
+        per-instant path.  Both produce the exact same result.
+        """
+        if rle:
+            return self._run_rle(trace)
+        return self._run_instantwise(trace)
+
+    def _run_rle(self, trace: FunctionalTrace) -> EstimationResult:
+        """Segment-driven simulation (the RLE fast path)."""
+        hmm = self.hmm
+        runs = self.labeler.label_segments(trace)
+        props = runs.instant_props()
+        run_end = runs.run_ends()
+        n = runs.n
+        distances = (
+            trace.hamming_distances()
+            if _needs_distances(self._all_states)
+            else np.zeros(n)
+        )
+        estimated = np.zeros(n)
+        reliable = np.ones(n, dtype=bool)
+        sequence: List[Optional[int]] = []
+        predictions = 0
+        wrong = 0
+        desync = 0
+        reverted = 0
+        unknown = runs.unknown_instants
+
+        current: Optional[PowerState] = None
+        tracker: Optional[StateTracker] = None
+        last_valid: Optional[PowerState] = None
+        # Choice context for wrong-prediction revert: the entry instant,
+        # the predecessor state (None for initial/resync entries), the
+        # untried candidates, and whether the entry was an actual choice.
+        entry_t = 0
+        entry_prev: Optional[int] = None
+        entry_remaining: List[int] = []
+        entry_was_choice = False
+        # Paths proven wrong during *this* run (the paper's per-simulation
+        # zeroing of A entries); the shared HMM is never mutated, so
+        # repeated estimates are independent and reproducible.
+        banned: set = set()
+
+        def enter(sid, t, prev, remaining, was_choice, anywhere=False):
+            nonlocal current, tracker, entry_t, entry_prev
+            nonlocal entry_remaining, entry_was_choice, last_valid
+            nonlocal predictions
+            current = hmm.state(sid)
+            tracker = StateTracker(current)
+            if anywhere:
+                tracker.enter_anywhere(props[t])
+            else:
+                tracker.enter(props[t])
+            entry_t = t
+            entry_prev = prev
+            entry_remaining = remaining
+            entry_was_choice = was_choice
+            last_valid = current
+            if was_choice:
+                predictions += 1
+
+        t = 0
+        while t < n:
+            prop = props[t]
+            # Process the instant against the current state; violations
+            # can trigger a revert that re-processes the same instant.
+            guard = 0
+            while current is not None and t > entry_t:
+                guard += 1
+                if guard > len(self._all_states) + 2:
+                    current = None
+                    break
+                verdict, _satisfied = tracker.advance(prop)
+                if verdict == STAY:
+                    break
+                if verdict == EXIT:
+                    candidates = self._successor_candidates(
+                        current.sid, prop, banned
+                    )
+                    if candidates:
+                        belief = hmm.belief_for_state(current.sid)
+                        best = hmm.best_candidate(belief, candidates)
+                        enter(
+                            best,
+                            t,
+                            current.sid,
+                            [c for c in candidates if c != best],
+                            len(candidates) > 1,
+                        )
+                    else:
+                        current = None
+                    break
+                # VIOLATION: the state predicted at the last choice point
+                # was wrong (counted once per choice).
+                if entry_was_choice:
+                    wrong += 1
+                    entry_was_choice = False
+                recovered = self._revert(
+                    t,
+                    props,
+                    distances,
+                    estimated,
+                    current.sid,
+                    entry_t,
+                    entry_prev,
+                    entry_remaining,
+                    banned,
+                )
+                if recovered is None:
+                    current = None
+                    break
+                state, new_tracker, remaining = recovered
+                reverted += t - entry_t  # instants re-attributed
+                current = state
+                tracker = new_tracker
+                entry_remaining = remaining
+                last_valid = current
+                # Loop again: re-advance the corrected state on prop[t].
+            if current is None:
+                resynced = self._resync(prop, last_valid)
+                if resynced is not None:
+                    sid, anywhere = resynced
+                    enter(sid, t, None, [], False, anywhere=anywhere)
+                else:
+                    # Resynchronisation depends only on (prop, last_valid)
+                    # and neither changes while the proposition repeats:
+                    # the whole remaining segment stays desynchronised.
+                    stop = int(run_end[t])
+                    desync += stop - t
+                    reliable[t:stop] = False
+                    if last_valid is not None:
+                        _fill_power(
+                            estimated, t, stop, last_valid, distances
+                        )
+                    else:
+                        estimated[t:stop] = 0.0
+                    sequence.extend([None] * (stop - t))
+                    t = stop
+                    continue
+            estimated[t] = current.output(distances[t])
+            sequence.append(current.sid)
+            # Run-length fast path: an until body repeats its proposition
+            # for long stretches; consume the rest of the segment (which
+            # by the RLE invariant never spans a proposition change).
+            if tracker.stable_on(prop):
+                stop = int(run_end[t])
+                if stop > t + 1:
+                    _fill_power(estimated, t + 1, stop, current, distances)
+                    sequence.extend([current.sid] * (stop - t - 1))
+                    t = stop
+                    continue
+            t += 1
+        return EstimationResult(
+            estimated=PowerTrace(
+                np.clip(estimated, 0.0, None), name=f"{trace.name}.psm"
+            ),
+            reliable=reliable,
+            predictions=predictions,
+            wrong_predictions=wrong,
+            desync_instants=desync,
+            unknown_instants=unknown,
+            reverted_instants=reverted,
+            state_sequence=sequence,
+        )
+
+    def _run_instantwise(self, trace: FunctionalTrace) -> EstimationResult:
+        """Reference per-instant simulation (semantics oracle for the RLE path)."""
         hmm = self.hmm
         props = self.labeler.label(trace)
         distances = trace.hamming_distances()

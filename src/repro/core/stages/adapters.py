@@ -69,7 +69,9 @@ class MiningStage(Stage):
     def run(self, ctx: PipelineContext) -> Dict[str, int]:
         """Mine the shared proposition universe from the training traces."""
         traces = ctx.store.get(FUNCTIONAL_TRACES)
-        miner = AssertionMiner(ctx.config.miner)
+        miner = AssertionMiner(
+            ctx.config.miner, jobs=getattr(ctx.config, "jobs", 1)
+        )
         mining = miner.mine_many(_ordered(traces))
         ctx.store.put(MINING, mining)
         return self._counters(mining)

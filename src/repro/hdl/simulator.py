@@ -28,6 +28,11 @@ class ActivityRecord:
     def __init__(self, components: Iterable[str]) -> None:
         self._columns: Dict[str, List[float]] = {c: [] for c in components}
         self._length = 0
+        # Frozen-array cache, mirroring FunctionalTrace: the power
+        # estimator reads every column several times, and re-converting
+        # the per-cycle lists on each read dominated its runtime.
+        self._frozen: Dict[str, np.ndarray] = {}
+        self._total: Optional[np.ndarray] = None
 
     @property
     def components(self) -> List[str]:
@@ -39,6 +44,8 @@ class ActivityRecord:
 
     def append(self, activity: Mapping[str, float]) -> None:
         """Record one cycle of activity (missing components count 0)."""
+        self._frozen.clear()
+        self._total = None
         for component in activity:
             if component not in self._columns:
                 # A component can first report activity mid-simulation
@@ -49,16 +56,26 @@ class ActivityRecord:
         self._length += 1
 
     def column(self, component: str) -> np.ndarray:
-        """Activity of one component across all cycles."""
-        return np.asarray(self._columns[component], dtype=np.float64)
+        """Activity of one component across all cycles (immutable array)."""
+        cached = self._frozen.get(component)
+        if cached is None:
+            cached = np.asarray(self._columns[component], dtype=np.float64)
+            cached.setflags(write=False)
+            self._frozen[component] = cached
+        return cached
 
     def total(self) -> np.ndarray:
-        """Total activity per cycle, summed over components."""
-        if not self._columns:
-            return np.zeros(self._length)
-        return np.sum(
-            [self.column(c) for c in self._columns], axis=0
-        )
+        """Total activity per cycle, summed over components (immutable)."""
+        if self._total is None:
+            if not self._columns:
+                total = np.zeros(self._length)
+            else:
+                total = np.sum(
+                    [self.column(c) for c in self._columns], axis=0
+                )
+            total.setflags(write=False)
+            self._total = total
+        return self._total
 
 
 @dataclass

@@ -1,0 +1,196 @@
+"""Per-stage micro-benchmark and perf-regression harness.
+
+``run_micro`` times every pipeline stage of every registered IP in
+isolation — mine / generate / simplify / join on the short training
+suite, label / simulate (single-PSM) / estimate (multi-PSM) on the long
+evaluation suite — and reports per-stage throughput.  The JSON payload
+(``psmgen bench --micro --json``) is the committed ``BENCH_micro.json``
+and the CI bench-smoke artifact; ``compare_micro`` flags stages whose
+throughput regressed past a threshold against such a baseline.
+
+Timings are best-of-``repeats`` after one untimed warm-up run, so
+one-off costs (frozen-column conversion of a fresh trace, import-time
+caches) do not pollute the figures.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from .bench import fit_benchmark, long_cycles, scale_factor
+from .core.join import join
+from .core.mining import AssertionMiner
+from .core.generator import generate_psms
+from .core.psm import clone_psm
+from .core.simplify import simplify_all
+from .core.simulation import SinglePsmSimulator
+from .hdl.simulator import Simulator
+from .testbench import BENCHMARKS
+
+#: Identifier of the payload layout (bump on breaking changes).
+SCHEMA = "psmgen-micro-bench/v1"
+
+#: The stages one micro-bench run times, in report order.
+STAGES = (
+    "mine",
+    "generate",
+    "simplify",
+    "join",
+    "label",
+    "simulate_single",
+    "estimate",
+)
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Best wall time of ``repeats`` timed calls after one warm-up."""
+    fn()
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def micro_rows(
+    name: str, cycles: Optional[int] = None, repeats: int = 3
+) -> List[dict]:
+    """Per-stage timing rows for one IP.
+
+    The training stages run on the IP's short verification suite; the
+    labelling/simulation stages replay a fresh ``cycles``-instant long
+    suite through the short-TS model, matching the paper's Table III
+    setup (and the regime the RLE fast paths target).
+    """
+    cycles = cycles or long_cycles()
+    spec = BENCHMARKS[name]
+    fitted = fit_benchmark(name)
+    flow = fitted.flow
+    mining = flow.mining
+    labeler = mining.labeler
+    config = spec.flow_config()
+
+    train_trace = fitted.short_ref.trace
+    train_power = fitted.short_ref.power
+    power_map = {0: train_power}
+    long_trace = Simulator(
+        spec.module_class(), record_activity=False
+    ).run(spec.long_ts(cycles), name=f"{name}.long").trace
+
+    simplified = simplify_all(
+        [clone_psm(p) for p in flow.raw_psms], power_map, config.merge
+    )
+    single = SinglePsmSimulator(flow.raw_psms[0], labeler)
+
+    timings = {
+        "mine": lambda: AssertionMiner(config.miner).mine(train_trace),
+        "generate": lambda: generate_psms(mining.traces, [train_power]),
+        "simplify": lambda: simplify_all(
+            [clone_psm(p) for p in flow.raw_psms], power_map, config.merge
+        ),
+        "join": lambda: join(
+            [clone_psm(p) for p in simplified], power_map, config.merge
+        ),
+        "label": lambda: labeler.label(long_trace),
+        "simulate_single": lambda: single.run(long_trace),
+        "estimate": lambda: flow.estimate(long_trace),
+    }
+    stage_cycles = {
+        "mine": len(train_trace),
+        "generate": len(train_trace),
+        "simplify": len(train_trace),
+        "join": len(train_trace),
+        "label": len(long_trace),
+        "simulate_single": len(long_trace),
+        "estimate": len(long_trace),
+    }
+    rows = []
+    for stage in STAGES:
+        wall = _best_of(timings[stage], repeats)
+        n = stage_cycles[stage]
+        rows.append(
+            {
+                "benchmark": name,
+                "stage": stage,
+                "wall_s": wall,
+                "cycles": n,
+                "cycles_per_s": n / wall if wall > 0 else float("inf"),
+            }
+        )
+    return rows
+
+
+def run_micro(
+    names: Optional[List[str]] = None,
+    cycles: Optional[int] = None,
+    repeats: int = 3,
+) -> dict:
+    """The full micro-bench payload (``BENCH_micro.json`` layout)."""
+    names = list(names) if names else list(BENCHMARKS)
+    cycles = cycles or long_cycles()
+    results: List[dict] = []
+    for name in names:
+        results.extend(micro_rows(name, cycles=cycles, repeats=repeats))
+    return {
+        "schema": SCHEMA,
+        "repro_scale": scale_factor(),
+        "long_cycles": cycles,
+        "repeats": repeats,
+        "results": results,
+    }
+
+
+def validate_micro(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a well-formed report."""
+    if not isinstance(payload, dict):
+        raise ValueError("micro-bench payload must be a JSON object")
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"unexpected schema {payload.get('schema')!r}; want {SCHEMA!r}"
+        )
+    results = payload.get("results")
+    if not isinstance(results, list) or not results:
+        raise ValueError("payload has no results")
+    for row in results:
+        for key, kind in (
+            ("benchmark", str),
+            ("stage", str),
+            ("wall_s", (int, float)),
+            ("cycles", int),
+            ("cycles_per_s", (int, float)),
+        ):
+            if not isinstance(row.get(key), kind):
+                raise ValueError(f"bad result row (field {key!r}): {row!r}")
+
+
+def compare_micro(
+    current: dict, baseline: dict, threshold: float = 2.0
+) -> List[str]:
+    """Per-stage regressions of ``current`` against ``baseline``.
+
+    Compares *throughput* (``cycles_per_s``), so runs at different
+    ``REPRO_SCALE`` remain comparable; a stage regresses when its
+    throughput dropped by more than ``threshold``x.  Returns
+    human-readable descriptions (empty = no regression).
+    """
+    validate_micro(current)
+    validate_micro(baseline)
+    base = {
+        (row["benchmark"], row["stage"]): row["cycles_per_s"]
+        for row in baseline["results"]
+    }
+    regressions = []
+    for row in current["results"]:
+        reference = base.get((row["benchmark"], row["stage"]))
+        if not reference or reference <= 0:
+            continue
+        ratio = reference / row["cycles_per_s"] if row["cycles_per_s"] else float("inf")
+        if ratio > threshold:
+            regressions.append(
+                f"{row['benchmark']}/{row['stage']}: "
+                f"{row['cycles_per_s']:.0f} cycles/s vs baseline "
+                f"{reference:.0f} ({ratio:.1f}x slower)"
+            )
+    return regressions

@@ -1,0 +1,72 @@
+"""Process-parallel fan-out with a deterministic serial fallback.
+
+The flow's embarrassingly parallel loops — per-IP benchmark fitting, the
+miner's per-trace truth-matrix evaluation — all funnel through
+:func:`parallel_map`, which preserves input order (so parallel and
+serial runs produce identical result lists) and degrades to an in-process
+loop whenever process parallelism is pointless or unsafe:
+
+* ``jobs`` resolves to 1 (the default);
+* there are fewer than two work items;
+* the process is a pytest-xdist worker (nested process pools under the
+  test runner oversubscribe the machine and can deadlock on teardown);
+* the platform cannot start a process pool at all (restricted sandboxes)
+  — the work still completes, just serially.
+
+Workers are separate interpreters, so callables and items must be
+picklable module-level objects.  Bit-identical parallel/serial output is
+a contract of the callers: any global state a worker depends on (e.g.
+the PSM state-id counter) must be reset inside the work function itself,
+so that the result does not depend on which process ran it.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_jobs() -> int:
+    """Number of usable CPUs (the ``jobs=0`` / ``jobs=None`` meaning)."""
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` knob: None/0 -> all CPUs, floor at 1."""
+    if jobs is None or jobs == 0:
+        return default_jobs()
+    return max(int(jobs), 1)
+
+
+def under_test_worker() -> bool:
+    """True inside a pytest-xdist worker process."""
+    return "PYTEST_XDIST_WORKER" in os.environ
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: Optional[int] = 1,
+    chunksize: int = 1,
+) -> List[R]:
+    """``[fn(x) for x in items]``, fanned out over worker processes.
+
+    Results come back in input order regardless of completion order, and
+    a worker exception propagates to the caller (the pool is torn down).
+    Falls back to the serial loop per the module rules above.
+    """
+    work: Sequence[T] = list(items)
+    workers = min(resolve_jobs(jobs), len(work))
+    if workers <= 1 or len(work) <= 1 or under_test_worker():
+        return [fn(item) for item in work]
+    try:
+        executor = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, ValueError, PermissionError):
+        # No process support (sandbox, missing /dev/shm, ...): run serial.
+        return [fn(item) for item in work]
+    with executor:
+        return list(executor.map(fn, work, chunksize=chunksize))

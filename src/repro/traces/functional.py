@@ -49,6 +49,7 @@ class FunctionalTrace:
         self._index: Dict[str, VariableSpec] = {v.name: v for v in variables}
         self._columns: Dict[str, List[int]] = {v.name: [] for v in variables}
         self._frozen: Dict[str, np.ndarray] = {}
+        self._hd_cache: Dict[tuple, np.ndarray] = {}
         if columns is not None:
             missing = [v.name for v in variables if v.name not in columns]
             if missing:
@@ -65,6 +66,7 @@ class FunctionalTrace:
     def append(self, row: Mapping[str, int]) -> None:
         """Append one simulation instant; ``row`` maps name -> value."""
         self._frozen.clear()
+        self._hd_cache.clear()
         for var in self._variables:
             if var.name not in row:
                 raise KeyError(f"row is missing variable {var.name!r}")
@@ -87,6 +89,7 @@ class FunctionalTrace:
         if not staged[self._variables[0].name]:
             return
         self._frozen.clear()
+        self._hd_cache.clear()
         for name, values in staged.items():
             self._columns[name].extend(values)
 
@@ -205,20 +208,28 @@ class FunctionalTrace:
         """
         if names is None:
             names = [v.name for v in self._variables]
+        key = tuple(names)
+        cached = self._hd_cache.get(key)
+        if cached is not None:
+            return cached
         n = len(self)
         total = np.zeros(n, dtype=np.int64)
         for name in names:
             col = self.column(name)
             if col.dtype == object:
+                # Wide (cipher-bus) columns hold Python ints; int.bit_count
+                # is a single CPython opcode per value.
                 values = self._columns[name]
                 pops = [0] * n
                 for i in range(1, n):
-                    pops[i] = bin(values[i] ^ values[i - 1]).count("1")
+                    pops[i] = (values[i] ^ values[i - 1]).bit_count()
                 total += np.asarray(pops, dtype=np.int64)
             else:
                 diff = np.zeros(n, dtype=np.int64)
                 diff[1:] = col[1:] ^ col[:-1]
                 total += popcount(diff)
+        total.setflags(write=False)
+        self._hd_cache[key] = total
         return total
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
@@ -230,6 +241,8 @@ class FunctionalTrace:
 
 def popcount(values: np.ndarray) -> np.ndarray:
     """Vectorised population count of non-negative int64 values."""
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return np.bitwise_count(values).astype(np.int64)
     out = np.zeros_like(values)
     work = values.copy()
     while np.any(work):

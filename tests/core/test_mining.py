@@ -20,10 +20,20 @@ def make_trace(columns, specs=None, name="t"):
 
 
 class TestLabels:
-    def test_alphabetic_then_numeric(self):
+    def test_alphabetic_then_base26(self):
         assert proposition_label(0) == "p_a"
         assert proposition_label(25) == "p_z"
-        assert proposition_label(26) == "p_26"
+        # Past p_z the labels continue in bijective base-26, never numeric.
+        assert proposition_label(26) == "p_aa"
+        assert proposition_label(27) == "p_ab"
+        assert proposition_label(26 + 25) == "p_az"
+        assert proposition_label(26 + 26) == "p_ba"
+        assert proposition_label(26 + 26 * 26 - 1) == "p_zz"
+        assert proposition_label(26 + 26 * 26) == "p_aaa"
+
+    def test_labels_are_unique(self):
+        labels = [proposition_label(i) for i in range(2000)]
+        assert len(set(labels)) == len(labels)
 
 
 class TestFig3WorkedExample:
@@ -285,3 +295,68 @@ class TestLabeler:
         assert len(result.propositions) == 1
         labels = result.labeler.label(trace)
         assert labels[0] is labels[1] is result.propositions[0]
+
+    def test_label_segments_covers_trace(self, fig3_trace, fig3_miner):
+        result = fig3_miner.mine(fig3_trace)
+        runs = result.labeler.label_segments(fig3_trace)
+        assert runs.n == len(fig3_trace)
+        # Fig. 3: p_a x3, p_b x3, p_c, p_d
+        assert runs.lengths.tolist() == [3, 3, 1, 1]
+        assert [p.label for p in runs.props] == ["p_a", "p_b", "p_c", "p_d"]
+        assert runs.unknown_instants == 0
+        # per-instant views agree with the batch labelling
+        assert runs.instant_props() == result.labeler.label(fig3_trace)
+        assert runs.run_ends().tolist() == [3, 3, 3, 6, 6, 6, 7, 8]
+
+    def test_label_segments_marks_unknown_runs(self, fig3_trace, fig3_miner):
+        result = fig3_miner.mine(fig3_trace)
+        unseen = FunctionalTrace(
+            fig3_trace.variables,
+            {
+                "v1": [0, 0, 1],
+                "v2": [0, 0, 0],
+                "v3": [0, 0, 3],
+                "v4": [1, 1, 1],
+            },
+        )
+        runs = result.labeler.label_segments(unseen)
+        assert runs.unknown_instants == 2
+        assert runs.props[0] is None
+
+
+class TestLabelerStats:
+    def test_counters_start_at_zero(self, fig3_trace, fig3_miner):
+        labeler = fig3_miner.mine(fig3_trace).labeler
+        stats = labeler.stats()
+        assert stats == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "enabled": True,
+        }
+
+    def test_hits_and_misses_counted(self, fig3_trace, fig3_miner):
+        labeler = fig3_miner.mine(fig3_trace).labeler
+        row = fig3_trace.at(0)
+        labeler.label_assignment(row)
+        labeler.label_assignment(row)
+        labeler.label_assignment(fig3_trace.at(3))
+        stats = labeler.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+
+    def test_counters_survive_eviction(self, fig3_trace, fig3_miner):
+        labeler = fig3_miner.mine(fig3_trace).labeler
+        labeler.label_assignment(fig3_trace.at(0))
+        before = labeler.stats()
+        # Overflow the bounded memo so the next insert evicts it.
+        labeler._assignment_cache.update(
+            {("synthetic", i): None for i in range(70000)}
+        )
+        labeler.label_assignment(fig3_trace.at(3))
+        stats = labeler.stats()
+        assert stats["evictions"] == 1
+        assert stats["hits"] == before["hits"]
+        assert stats["misses"] == before["misses"] + 1
+        # the memo itself restarted small
+        assert len(labeler._assignment_cache) == 1

@@ -6,8 +6,10 @@ import pytest
 from repro.core.propositions import (
     Proposition,
     PropositionTrace,
+    RunSegment,
     VarCompare,
     VarEqualsConst,
+    run_length_encode,
 )
 from repro.traces.functional import FunctionalTrace
 from repro.traces.variables import bool_in, int_in
@@ -140,3 +142,78 @@ class TestPropositionTrace:
         q = Proposition("q", [VarEqualsConst("x", 2)])
         trace = PropositionTrace([p, q, p])
         assert trace.distinct() == {p: 2, q: 1}
+
+
+class TestIndexBackedTrace:
+    def make_props(self):
+        p = Proposition("p", [VarEqualsConst("x", 1)])
+        q = Proposition("q", [VarEqualsConst("x", 2)])
+        return p, q
+
+    def test_indices_and_alphabet(self):
+        p, q = self.make_props()
+        trace = PropositionTrace([p, p, q, p])
+        assert trace.indices.tolist() == [0, 0, 1, 0]
+        assert trace.alphabet == [p, q]
+        assert not trace.indices.flags.writeable
+
+    def test_from_indices_round_trip(self):
+        p, q = self.make_props()
+        original = PropositionTrace([p, q, q, p], trace_id=7)
+        rebuilt = PropositionTrace.from_indices(
+            original.indices, original.alphabet, trace_id=7
+        )
+        assert list(rebuilt) == list(original)
+        assert rebuilt.trace_id == 7
+
+    def test_segments_respect_rle_invariant(self):
+        p, q = self.make_props()
+        trace = PropositionTrace([p, p, p, q, q, p])
+        segments = list(trace.segments())
+        assert segments == [
+            RunSegment(0, 3, p),
+            RunSegment(3, 2, q),
+            RunSegment(5, 1, p),
+        ]
+        assert segments[0].stop == 3
+        # no segment spans a proposition change
+        for segment in segments:
+            for t in range(segment.start, segment.stop):
+                assert trace[t] is segment.prop
+
+    def test_iteration_matches_getitem(self):
+        p, q = self.make_props()
+        trace = PropositionTrace([p, q, p])
+        assert list(trace) == [trace[0], trace[1], trace[2]]
+
+
+class TestRunLengthEncode:
+    def test_basic(self):
+        starts, lengths, values = run_length_encode(
+            np.array([4, 4, 4, 2, 2, 9], dtype=np.int32)
+        )
+        assert starts.tolist() == [0, 3, 5]
+        assert lengths.tolist() == [3, 2, 1]
+        assert values.tolist() == [4, 2, 9]
+
+    def test_empty(self):
+        starts, lengths, values = run_length_encode(
+            np.zeros(0, dtype=np.int32)
+        )
+        assert len(starts) == len(lengths) == len(values) == 0
+
+    def test_single_run(self):
+        starts, lengths, values = run_length_encode(
+            np.array([7] * 5, dtype=np.int32)
+        )
+        assert starts.tolist() == [0]
+        assert lengths.tolist() == [5]
+        assert values.tolist() == [7]
+
+    def test_reconstruction(self):
+        rng = np.random.default_rng(1)
+        indices = rng.integers(0, 3, 200).astype(np.int32)
+        starts, lengths, values = run_length_encode(indices)
+        rebuilt = np.repeat(values, lengths)
+        assert np.array_equal(rebuilt, indices)
+        assert int(lengths.sum()) == len(indices)

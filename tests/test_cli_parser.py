@@ -57,10 +57,47 @@ class TestParser:
         )
         assert args.ip == "AES"
         assert args.cycles == 500
+        assert not args.micro
+        assert args.jobs == 1
+        assert args.repeats == 3
+        assert args.threshold == 2.0
+
+    def test_bench_micro_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "bench",
+                "--micro",
+                "--json",
+                "BENCH_micro.json",
+                "--repeats",
+                "1",
+                "--compare",
+                "baseline.json",
+                "--threshold",
+                "3.5",
+            ]
+        )
+        assert args.micro
+        assert args.ip is None
+        assert args.json == "BENCH_micro.json"
+        assert args.repeats == 1
+        assert args.compare == "baseline.json"
+        assert args.threshold == 3.5
+
+    def test_generate_jobs_flag(self):
+        args = build_parser().parse_args(
+            ["generate", "--func", "a.csv", "--power", "p.csv", "--jobs", "0"]
+        )
+        assert args.jobs == 0
 
     def test_tables_arguments(self):
         args = build_parser().parse_args(["tables", "--short-only"])
         assert args.short_only
+        assert args.jobs == 1
+
+    def test_tables_jobs_flag(self):
+        args = build_parser().parse_args(["tables", "--jobs", "4"])
+        assert args.jobs == 4
 
     def test_command_required(self):
         with pytest.raises(SystemExit):

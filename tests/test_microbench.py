@@ -1,0 +1,99 @@
+"""Tests of the per-stage micro-benchmark / perf-regression harness."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.microbench import (
+    SCHEMA,
+    STAGES,
+    compare_micro,
+    run_micro,
+    validate_micro,
+)
+
+
+@pytest.fixture(scope="module")
+def ram_payload():
+    """One tiny micro-bench run (RAM only, single repeat)."""
+    return run_micro(names=["RAM"], cycles=1000, repeats=1)
+
+
+class TestRunMicro:
+    def test_payload_is_valid(self, ram_payload):
+        validate_micro(ram_payload)
+        assert ram_payload["schema"] == SCHEMA
+        assert ram_payload["long_cycles"] == 1000
+
+    def test_every_stage_reported(self, ram_payload):
+        stages = [row["stage"] for row in ram_payload["results"]]
+        assert stages == list(STAGES)
+        assert all(
+            row["benchmark"] == "RAM" for row in ram_payload["results"]
+        )
+
+    def test_rows_have_positive_throughput(self, ram_payload):
+        for row in ram_payload["results"]:
+            assert row["wall_s"] > 0
+            assert row["cycles"] > 0
+            assert row["cycles_per_s"] > 0
+
+    def test_long_stages_use_long_cycles(self, ram_payload):
+        by_stage = {r["stage"]: r for r in ram_payload["results"]}
+        assert by_stage["label"]["cycles"] == 1000
+        assert by_stage["simulate_single"]["cycles"] == 1000
+        assert by_stage["estimate"]["cycles"] == 1000
+
+    def test_payload_round_trips_as_json(self, ram_payload):
+        validate_micro(json.loads(json.dumps(ram_payload)))
+
+
+class TestValidate:
+    def test_rejects_wrong_schema(self, ram_payload):
+        bad = copy.deepcopy(ram_payload)
+        bad["schema"] = "something-else/v9"
+        with pytest.raises(ValueError):
+            validate_micro(bad)
+
+    def test_rejects_missing_results(self):
+        with pytest.raises(ValueError):
+            validate_micro({"schema": SCHEMA, "results": []})
+
+    def test_rejects_malformed_row(self, ram_payload):
+        bad = copy.deepcopy(ram_payload)
+        del bad["results"][0]["cycles_per_s"]
+        with pytest.raises(ValueError):
+            validate_micro(bad)
+
+
+class TestCompare:
+    def test_self_compare_is_clean(self, ram_payload):
+        assert compare_micro(ram_payload, ram_payload) == []
+
+    def test_detects_regression(self, ram_payload):
+        fast_baseline = copy.deepcopy(ram_payload)
+        for row in fast_baseline["results"]:
+            row["cycles_per_s"] *= 10.0
+        regressions = compare_micro(
+            ram_payload, fast_baseline, threshold=2.0
+        )
+        assert len(regressions) == len(ram_payload["results"])
+        assert "RAM/mine" in regressions[0]
+
+    def test_threshold_tolerates_noise(self, ram_payload):
+        slightly_faster = copy.deepcopy(ram_payload)
+        for row in slightly_faster["results"]:
+            row["cycles_per_s"] *= 1.5
+        assert (
+            compare_micro(ram_payload, slightly_faster, threshold=2.0)
+            == []
+        )
+
+    def test_unknown_baseline_rows_ignored(self, ram_payload):
+        renamed = copy.deepcopy(ram_payload)
+        for row in renamed["results"]:
+            row["benchmark"] = "OtherIP"
+        assert compare_micro(ram_payload, renamed) == []

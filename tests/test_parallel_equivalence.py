@@ -1,0 +1,152 @@
+"""Determinism contracts of the perf fast paths.
+
+Two guarantees from the performance work are load-bearing enough to pin
+with tests:
+
+* process-parallel fitting (``jobs > 1``) produces bit-identical PSM
+  sets to a serial run; and
+* the RLE segment-driven simulator paths produce exactly the same
+  :class:`~repro.core.simulation.EstimationResult` as the per-instant
+  reference paths, on every registered IP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.export import psms_to_json
+from repro.core.pipeline import PsmFlow
+from repro.core.psm import reset_state_ids
+from repro.core.simulation import SinglePsmSimulator
+from repro.hdl.simulator import Simulator
+from repro.parallel import parallel_map, resolve_jobs, under_test_worker
+from repro.power.estimator import run_power_simulation
+from repro.testbench import BENCHMARKS
+
+#: Long-suite length for the RLE equivalence replays (kept small: the
+#: per-instant reference path is the slow one).
+LONG_CYCLES = 1200
+
+
+def _double(x):
+    return 2 * x
+
+
+def _boom(x):
+    raise RuntimeError("worker failure")
+
+
+class TestParallelMap:
+    def test_preserves_order_serial(self):
+        assert parallel_map(_double, range(5), jobs=1) == [0, 2, 4, 6, 8]
+
+    def test_preserves_order_parallel(self):
+        items = list(range(20))
+        assert parallel_map(_double, items, jobs=2) == [
+            2 * x for x in items
+        ]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError):
+            parallel_map(_boom, [1, 2, 3], jobs=2)
+
+    def test_jobs_resolution(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(-3) == 1
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) == resolve_jobs(None)
+
+    def test_xdist_worker_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("PYTEST_XDIST_WORKER", "gw0")
+        assert under_test_worker()
+        # the call still completes (and in-process, so a local closure
+        # would not even need to be picklable)
+        assert parallel_map(_double, range(4), jobs=8) == [0, 2, 4, 6]
+
+
+@pytest.fixture(scope="module")
+def fitted_ips():
+    """Serially fitted flow + long evaluation trace for every IP."""
+    fitted = {}
+    for name, spec in BENCHMARKS.items():
+        reset_state_ids()
+        reference = run_power_simulation(spec.module_class(), spec.short_ts())
+        flow = PsmFlow(spec.flow_config()).fit(
+            [reference.trace], [reference.power]
+        )
+        long_trace = (
+            Simulator(spec.module_class(), record_activity=False)
+            .run(spec.long_ts(LONG_CYCLES), name=f"{name}.long")
+            .trace
+        )
+        fitted[name] = (spec, flow, long_trace)
+    return fitted
+
+
+def _fit_export(name: str, jobs: int) -> dict:
+    """Fit one IP (two training traces, so mining actually fans out)."""
+    spec = BENCHMARKS[name]
+    reset_state_ids()
+    config = spec.flow_config()
+    config.jobs = jobs
+    short = run_power_simulation(spec.module_class(), spec.short_ts())
+    extra = run_power_simulation(
+        spec.module_class(), spec.long_ts(LONG_CYCLES)
+    )
+    flow = PsmFlow(config).fit(
+        [short.trace, extra.trace], [short.power, extra.power]
+    )
+    return psms_to_json(flow.psms)
+
+
+class TestParallelSerialIdentity:
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_jobs2_fit_is_bit_identical(self, name):
+        serial = _fit_export(name, jobs=1)
+        parallel = _fit_export(name, jobs=2)
+        assert serial == parallel
+
+
+def _assert_results_identical(fast, slow):
+    assert np.array_equal(fast.estimated.values, slow.estimated.values)
+    assert np.array_equal(fast.reliable, slow.reliable)
+    assert fast.predictions == slow.predictions
+    assert fast.wrong_predictions == slow.wrong_predictions
+    assert fast.desync_instants == slow.desync_instants
+    assert fast.unknown_instants == slow.unknown_instants
+    assert fast.reverted_instants == slow.reverted_instants
+    assert fast.state_sequence == slow.state_sequence
+    assert fast.wsp == slow.wsp
+    assert fast.desync_fraction == slow.desync_fraction
+
+
+class TestRleEquivalence:
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_multi_psm_rle_matches_instantwise(self, name, fitted_ips):
+        _, flow, long_trace = fitted_ips[name]
+        simulator = flow.simulator()
+        fast = simulator.run(long_trace, rle=True)
+        slow = simulator.run(long_trace, rle=False)
+        _assert_results_identical(fast, slow)
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_single_psm_rle_matches_instantwise(self, name, fitted_ips):
+        _, flow, long_trace = fitted_ips[name]
+        simulator = SinglePsmSimulator(
+            flow.raw_psms[0], flow.mining.labeler
+        )
+        fast = simulator.run(long_trace, rle=True)
+        slow = simulator.run(long_trace, rle=False)
+        _assert_results_identical(fast, slow)
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_rle_matches_on_training_trace(self, name, fitted_ips):
+        spec, flow, _ = fitted_ips[name]
+        reference = run_power_simulation(spec.module_class(), spec.short_ts())
+        simulator = flow.simulator()
+        _assert_results_identical(
+            simulator.run(reference.trace, rle=True),
+            simulator.run(reference.trace, rle=False),
+        )
