@@ -102,6 +102,25 @@ def fit_benchmark(
     )
 
 
+def evaluation_trace(name: str, cycles: Optional[int] = None):
+    """The long-TS functional trace of one IP (no power simulation).
+
+    The cheap way to obtain realistic serving traffic: a fresh
+    ``cycles``-instant stimulus replayed through the cycle simulator
+    with activity recording off.  Shared by the micro-bench labelling
+    stages and the ``psmgen loadgen`` client.
+    """
+    from .hdl.simulator import Simulator
+
+    spec = BENCHMARKS[name]
+    cycles = cycles or long_cycles()
+    return (
+        Simulator(spec.module_class(), record_activity=False)
+        .run(spec.long_ts(cycles), name=f"{name}.long")
+        .trace
+    )
+
+
 def _table2_rows_for_ip(args: tuple) -> List[dict]:
     """Worker: the Table II row(s) of one IP (picklable, order-stable).
 

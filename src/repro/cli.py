@@ -11,10 +11,16 @@ Subcommands
 ``bench``
     Run the full paper flow for one built-in benchmark IP.
 ``describe``
-    Inspect a saved model: states, transitions, output functions — and
-    optionally its coverage of a given functional trace.
+    Inspect a saved model bundle: states, transitions, output functions,
+    serving metadata (schema version, content digest) — and optionally
+    its coverage of a given functional trace.
 ``tables``
     Regenerate the paper's Tables I-III.
+``serve``
+    Run the estimation server over a directory of exported bundles.
+``loadgen``
+    Replay testbench stimuli against a running server at a target RPS
+    and report throughput / latency percentiles.
 """
 
 from __future__ import annotations
@@ -26,7 +32,9 @@ from pathlib import Path
 from typing import List, Optional
 
 from .core.export import (
+    ExportSchemaError,
     labeler_from_psms,
+    load_bundle,
     load_psms,
     save_psms,
     to_dot,
@@ -71,7 +79,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     print(f"stage timings: {report.describe_stages()}")
     if any(r.resumed for r in report.stages):
         print("(* = stage resumed from checkpoint)")
-    save_psms(flow.psms, args.output, stage_reports=report.stages)
+    save_psms(
+        flow.psms,
+        args.output,
+        stage_reports=report.stages,
+        variables=functional[0].variables,
+    )
     print(f"model written to {args.output}")
     if args.dot:
         Path(args.dot).write_text(to_dot(flow.psms))
@@ -82,28 +95,55 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _indexed_path(path: str, index: int, count: int) -> Path:
+    """``out.csv`` for a single trace, ``out.1.csv`` etc. otherwise."""
+    target = Path(path)
+    if count == 1:
+        return target
+    return target.with_name(f"{target.stem}.{index}{target.suffix}")
+
+
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    psms = load_psms(args.model)
+    references = args.reference or []
+    if references and len(references) != len(args.func):
+        print(
+            "error: need one --reference per --func (or none)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        psms = load_psms(args.model)
+    except ExportSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # One labeler + simulator serves every input trace: both are
+    # immutable per-model artefacts, and rebuilding them dominates the
+    # cost of short estimation runs.
     labeler = labeler_from_psms(psms)
     simulator = MultiPsmSimulator(psms, labeler)
-    trace = load_functional_csv(args.func)
-    result = simulator.run(trace)
-    print(
-        f"estimated {len(trace)} instants: "
-        f"mean power {result.estimated.mean():.4g}, "
-        f"WSP {result.wrong_state_fraction:.2f}%, "
-        f"desync {result.desync_instants} instants"
-    )
-    if args.output:
-        save_power_csv(result.estimated, args.output)
-        print(f"estimated power trace written to {args.output}")
-    if args.reference:
-        reference = load_power_csv(args.reference)
+    count = len(args.func)
+    for index, func_path in enumerate(args.func):
+        trace = load_functional_csv(func_path)
+        result = simulator.run(trace)
+        prefix = f"[{func_path}] " if count > 1 else ""
         print(
-            f"vs reference: MRE {mre(result.estimated, reference):.2f}%  "
-            f"MAE {mae(result.estimated, reference):.4g}  "
-            f"RMSE {rmse(result.estimated, reference):.4g}"
+            f"{prefix}estimated {len(trace)} instants: "
+            f"mean power {result.estimated.mean():.4g}, "
+            f"WSP {result.wrong_state_fraction:.2f}%, "
+            f"desync {result.desync_instants} instants"
         )
+        if args.output:
+            target = _indexed_path(args.output, index, count)
+            save_power_csv(result.estimated, target)
+            print(f"{prefix}estimated power trace written to {target}")
+        if references:
+            reference = load_power_csv(references[index])
+            print(
+                f"{prefix}vs reference: "
+                f"MRE {mre(result.estimated, reference):.2f}%  "
+                f"MAE {mae(result.estimated, reference):.4g}  "
+                f"RMSE {rmse(result.estimated, reference):.4g}"
+            )
     return 0
 
 
@@ -144,7 +184,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"estimation={scores['estimation_time']:.3f}s"
     )
     if args.output:
-        save_psms(fitted.flow.psms, args.output)
+        save_psms(
+            fitted.flow.psms,
+            args.output,
+            stage_reports=report.stages,
+            variables=fitted.short_ref.trace.variables,
+        )
         print(f"model written to {args.output}")
     return 0
 
@@ -191,13 +236,29 @@ def _cmd_bench_micro(args: argparse.Namespace) -> int:
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
-    psms = load_psms(args.model)
+    try:
+        bundle = load_bundle(args.model)
+    except ExportSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    psms = bundle.psms
     total_states = sum(len(p) for p in psms)
     total_transitions = sum(len(p.transitions) for p in psms)
     print(
         f"{len(psms)} PSM(s): {total_states} states, "
         f"{total_transitions} transitions"
     )
+    print(f"schema: {bundle.schema}  digest: {bundle.digest}")
+    if bundle.variables:
+        declared = ", ".join(
+            f"{v.name}[{v.width}]/{v.direction}" for v in bundle.variables
+        )
+        print(f"variables: {declared}")
+    if bundle.stage_reports:
+        stages = "  ".join(
+            f"{r.name}={r.wall_time:.3f}s" for r in bundle.stage_reports
+        )
+        print(f"generation stages: {stages}")
     for psm in psms:
         print(psm.describe())
         deterministic = "yes" if psm.is_deterministic() else "no"
@@ -234,6 +295,93 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     from .bench import run_all_tables
 
     print(run_all_tables(include_long=not args.short_only, jobs=args.jobs))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.server import create_server
+
+    if not Path(args.models_dir).is_dir():
+        print(
+            f"error: models dir {args.models_dir} does not exist",
+            file=sys.stderr,
+        )
+        return 2
+
+    async def _run() -> None:
+        server = create_server(
+            args.models_dir,
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            cap=args.cap,
+            request_timeout=args.timeout,
+        )
+        await server.start()
+        models = ", ".join(server.registry.discover()) or "none yet"
+        print(
+            f"serving {args.models_dir} on "
+            f"http://{server.host}:{server.port} "
+            f"({server.batcher.mode} execution, models: {models})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("shutting down")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .bench import evaluation_trace
+    from .serve.loadgen import format_report, run_loadgen
+    from .testbench import BENCHMARKS
+    from .traces.io import functional_trace_to_json
+
+    if args.ip:
+        if args.ip not in BENCHMARKS:
+            print(
+                f"error: unknown IP {args.ip!r}; choose from "
+                f"{', '.join(BENCHMARKS)}",
+                file=sys.stderr,
+            )
+            return 2
+        trace = evaluation_trace(args.ip, args.cycles)
+    elif args.func:
+        trace = load_functional_csv(args.func)
+    else:
+        print("error: need --ip or --func for stimuli", file=sys.stderr)
+        return 2
+    window = max(int(args.window), 1)
+    windows = []
+    for start in range(0, len(trace), window):
+        stop = min(start + window - 1, len(trace) - 1)
+        windows.append(functional_trace_to_json(trace.slice(start, stop)))
+    report = run_loadgen(
+        args.host,
+        args.port,
+        args.model,
+        windows,
+        rps=args.rps,
+        duration_s=args.duration,
+        concurrency=args.concurrency,
+        timeout=args.timeout,
+    )
+    print(format_report(report))
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"loadgen report written to {args.json}")
+    if report["errors_5xx"] or report["transport_errors"]:
+        return 1
     return 0
 
 
@@ -290,13 +438,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     estimate.add_argument("--model", required=True, help="PSM model JSON")
     estimate.add_argument(
-        "--func", required=True, help="functional trace CSV to estimate"
+        "--func",
+        action="append",
+        required=True,
+        help=(
+            "functional trace CSV to estimate (repeatable; the model is "
+            "loaded and prepared once for all traces)"
+        ),
     )
     estimate.add_argument(
-        "--reference", help="reference power CSV for accuracy scoring"
+        "--reference",
+        action="append",
+        help="reference power CSV for accuracy scoring (one per --func)",
     )
     estimate.add_argument(
-        "-o", "--output", help="write the estimated power trace CSV"
+        "-o",
+        "--output",
+        help=(
+            "write the estimated power trace CSV (indexed as NAME.N.csv "
+            "when several --func traces are given)"
+        ),
     )
     estimate.set_defaults(func_cmd=_cmd_estimate)
 
@@ -362,6 +523,106 @@ def build_parser() -> argparse.ArgumentParser:
         help="fit the benchmark IPs in this many worker processes",
     )
     tables.set_defaults(func_cmd=_cmd_tables)
+
+    serve = sub.add_parser(
+        "serve", help="run the estimation server over exported bundles"
+    )
+    serve.add_argument(
+        "--models-dir",
+        required=True,
+        help="directory of exported PSM bundle JSON files (NAME.json)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "simulation worker processes (1 = in-process threads over "
+            "the registry's cached simulators)"
+        ),
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="per-model queue bound; overflow answers 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        help="max requests coalesced into one simulation batch",
+    )
+    serve.add_argument(
+        "--cap",
+        type=int,
+        default=8,
+        help="max models kept loaded (LRU eviction past this)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request timeout in seconds (expiry answers 504)",
+    )
+    serve.set_defaults(func_cmd=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="benchmark a running estimation server"
+    )
+    loadgen.add_argument(
+        "--host", default="127.0.0.1", help="server address"
+    )
+    loadgen.add_argument(
+        "--port", type=int, required=True, help="server port"
+    )
+    loadgen.add_argument(
+        "--model", required=True, help="model name to estimate against"
+    )
+    loadgen.add_argument(
+        "--ip",
+        help="built-in IP whose long-TS stimuli to replay (RAM|MultSum|...)",
+    )
+    loadgen.add_argument(
+        "--func", help="functional trace CSV to replay instead of --ip"
+    )
+    loadgen.add_argument(
+        "--cycles", type=int, help="long-TS length for --ip stimuli"
+    )
+    loadgen.add_argument(
+        "--window",
+        type=int,
+        default=256,
+        help="instants per request window",
+    )
+    loadgen.add_argument(
+        "--rps", type=float, default=20.0, help="target requests/second"
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=5.0, help="run length in seconds"
+    )
+    loadgen.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="max in-flight requests",
+    )
+    loadgen.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="per-request client timeout in seconds",
+    )
+    loadgen.add_argument(
+        "--json", help="write the psmgen-loadgen/v1 report to this path"
+    )
+    loadgen.set_defaults(func_cmd=_cmd_loadgen)
     return parser
 
 
@@ -373,4 +634,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout consumer (e.g. `psmgen describe | head`) went away;
+        # exit quietly with the conventional SIGPIPE status.
+        sys.stderr.close()
+        sys.exit(141)

@@ -8,10 +8,13 @@ graph viewers; JSON export/import gives a durable on-disk format.
 
 from __future__ import annotations
 
+import hashlib
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
 
+from ..traces.variables import VariableSpec
 from .attributes import Interval, PowerAttributes
 from .propositions import (
     AtomicProposition,
@@ -35,6 +38,29 @@ from .temporal import (
 )
 
 PathLike = Union[str, Path]
+
+#: Identifier of the bundle layout written by :func:`psms_to_json`
+#: (bump on breaking changes; readers reject other versions).
+BUNDLE_SCHEMA = "psmgen-psms/v1"
+
+
+class ExportSchemaError(ValueError):
+    """A PSM bundle is malformed or uses an unsupported schema version.
+
+    Raised instead of raw ``KeyError``/``TypeError`` so consumers (the
+    serving registry in particular) can quarantine a bad bundle instead
+    of crashing.  ``found`` and ``expected`` carry the offending vs
+    supported schema identifier (or a structural description when the
+    problem is not the version marker).
+    """
+
+    def __init__(self, message: str, found: object = None,
+                 expected: object = BUNDLE_SCHEMA) -> None:
+        super().__init__(
+            f"{message} (found: {found!r}, expected: {expected!r})"
+        )
+        self.found = found
+        self.expected = expected
 
 
 # ----------------------------------------------------------------------
@@ -186,14 +212,22 @@ def _power_model_from_json(data: dict):
     raise ValueError(f"unknown power model {data['type']!r}")
 
 
-def psms_to_json(psms: Sequence[PSM], stage_reports: Sequence = ()) -> dict:
+def psms_to_json(
+    psms: Sequence[PSM],
+    stage_reports: Sequence = (),
+    variables: Sequence[VariableSpec] = (),
+) -> dict:
     """Serialise a PSM set into a JSON-compatible dictionary.
 
     When ``stage_reports`` is given (the
     :class:`~repro.core.stages.StageReport` list of the generating flow)
     the per-stage wall times and counters are embedded alongside the
     model under ``"stage_reports"``, so an exported model records how
-    long each phase of its generation took.
+    long each phase of its generation took.  When ``variables`` is given
+    (the :class:`~repro.traces.variables.VariableSpec` list of the
+    training traces) the PI/PO declarations are embedded under
+    ``"variables"``, which lets the serving layer rebuild a functional
+    trace from raw value vectors without a sidecar file.
     """
     propositions: List[Proposition] = []
     prop_ids: Dict[Proposition, int] = {}
@@ -208,9 +242,20 @@ def psms_to_json(psms: Sequence[PSM], stage_reports: Sequence = ()) -> dict:
                 prop_ids[transition.enabling] = len(propositions)
                 propositions.append(transition.enabling)
     payload = {
+        "schema": BUNDLE_SCHEMA,
         "propositions": [_proposition_to_json(p) for p in propositions],
         "psms": [],
     }
+    if variables:
+        payload["variables"] = [
+            {
+                "name": v.name,
+                "width": v.width,
+                "direction": v.direction,
+                "kind": v.kind,
+            }
+            for v in variables
+        ]
     for psm in psms:
         initials = [s.sid for s in psm.initial_states]
         payload["psms"].append(
@@ -249,8 +294,55 @@ def psms_to_json(psms: Sequence[PSM], stage_reports: Sequence = ()) -> dict:
     return payload
 
 
+def _validate_bundle(payload: object) -> dict:
+    """Structural/version checks shared by every bundle reader.
+
+    Returns the payload when it looks like a supported bundle; raises
+    :class:`ExportSchemaError` otherwise.  Bundles written before the
+    schema marker existed (no ``"schema"`` key) are accepted as v1.
+    """
+    if not isinstance(payload, dict):
+        raise ExportSchemaError(
+            "bundle is not a JSON object", found=type(payload).__name__
+        )
+    schema = payload.get("schema", BUNDLE_SCHEMA)
+    if schema != BUNDLE_SCHEMA:
+        raise ExportSchemaError(
+            "unsupported bundle schema version", found=schema
+        )
+    for key, kind in (("propositions", list), ("psms", list)):
+        if not isinstance(payload.get(key), kind):
+            raise ExportSchemaError(
+                f"bundle is missing the {key!r} list",
+                found=type(payload.get(key)).__name__,
+                expected=kind.__name__,
+            )
+    return payload
+
+
 def psms_from_json(payload: dict) -> List[PSM]:
-    """Rebuild a PSM set from :func:`psms_to_json` output."""
+    """Rebuild a PSM set from :func:`psms_to_json` output.
+
+    Raises
+    ------
+    ExportSchemaError
+        When the payload is structurally malformed or declares a schema
+        version this reader does not understand.
+    """
+    _validate_bundle(payload)
+    try:
+        return _psms_from_json_unchecked(payload)
+    except ExportSchemaError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise ExportSchemaError(
+            f"malformed bundle: {exc!r}",
+            found=type(exc).__name__,
+            expected="a well-formed psm/proposition structure",
+        ) from exc
+
+
+def _psms_from_json_unchecked(payload: dict) -> List[PSM]:
     props = [_proposition_from_json(p) for p in payload["propositions"]]
     psms: List[PSM] = []
     for psm_data in payload["psms"]:
@@ -287,22 +379,110 @@ def psms_from_json(payload: dict) -> List[PSM]:
 
 
 def save_psms(
-    psms: Sequence[PSM], path: PathLike, stage_reports: Sequence = ()
+    psms: Sequence[PSM],
+    path: PathLike,
+    stage_reports: Sequence = (),
+    variables: Sequence[VariableSpec] = (),
 ) -> None:
     """Write a PSM set to a JSON file.
 
     ``stage_reports`` (optional) embeds the generating flow's per-stage
     timings in the file; :func:`load_psms` ignores them, and
-    :func:`load_stage_reports` reads them back.
+    :func:`load_stage_reports` reads them back.  ``variables``
+    (optional) embeds the PI/PO declarations of the training traces so
+    the serving layer can accept raw value vectors.
     """
     Path(path).write_text(
-        json.dumps(psms_to_json(psms, stage_reports), indent=2)
+        json.dumps(psms_to_json(psms, stage_reports, variables), indent=2)
     )
 
 
+def _read_bundle_payload(path: PathLike) -> dict:
+    """Parse a bundle file into its raw JSON payload (validated)."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ExportSchemaError(
+            f"bundle {path} is not valid JSON: {exc}",
+            found="invalid JSON",
+            expected="a JSON object",
+        ) from exc
+    return _validate_bundle(payload)
+
+
 def load_psms(path: PathLike) -> List[PSM]:
-    """Read a PSM set from a JSON file."""
-    return psms_from_json(json.loads(Path(path).read_text()))
+    """Read a PSM set from a JSON file.
+
+    Raises :class:`ExportSchemaError` on malformed or future-version
+    bundles (never a raw ``KeyError``/``TypeError``), so callers can
+    quarantine a bad file and keep serving the good ones.
+    """
+    return psms_from_json(_read_bundle_payload(path))
+
+
+@dataclass
+class Bundle:
+    """A fully-loaded PSM bundle plus its serving metadata.
+
+    ``digest`` is a short content hash of the file bytes — the version
+    identifier the model registry and ``psmgen describe`` both report,
+    so operators can check that an inspected file is exactly what the
+    server is running.
+    """
+
+    path: Path
+    psms: List[PSM]
+    schema: str
+    digest: str
+    variables: List[VariableSpec] = field(default_factory=list)
+    stage_reports: list = field(default_factory=list)
+
+
+def bundle_digest(data: bytes) -> str:
+    """Short content hash identifying one bundle version."""
+    return hashlib.sha256(data).hexdigest()[:12]
+
+
+def load_bundle(path: PathLike) -> Bundle:
+    """Read a bundle file with all its embedded metadata.
+
+    The one-stop loader for the serving registry: PSMs, optional
+    variable declarations, optional stage reports, schema identifier and
+    the content digest — validated up front via the same
+    :class:`ExportSchemaError` contract as :func:`load_psms`.
+    """
+    from .stages.base import stage_reports_from_json
+
+    raw = Path(path).read_bytes()
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ExportSchemaError(
+            f"bundle {path} is not valid JSON: {exc}",
+            found="invalid JSON",
+            expected="a JSON object",
+        ) from exc
+    _validate_bundle(payload)
+    psms = psms_from_json(payload)
+    try:
+        variables = [
+            VariableSpec(**spec) for spec in payload.get("variables", ())
+        ]
+        reports = stage_reports_from_json(payload.get("stage_reports", ()))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ExportSchemaError(
+            f"malformed bundle metadata: {exc!r}",
+            found=type(exc).__name__,
+            expected="well-formed variables/stage_reports",
+        ) from exc
+    return Bundle(
+        path=Path(path),
+        psms=psms,
+        schema=payload.get("schema", BUNDLE_SCHEMA),
+        digest=bundle_digest(raw),
+        variables=variables,
+        stage_reports=reports,
+    )
 
 
 def load_stage_reports(path: PathLike) -> list:

@@ -222,6 +222,40 @@ class EstimationResult:
         return 100.0 * self.wrong_predictions / self.predictions
 
     @property
+    def energy(self) -> float:
+        """Total estimated energy: the per-instant power values summed."""
+        return float(np.sum(self.estimated.values))
+
+    def to_json(self, include_trace: bool = True) -> dict:
+        """JSON-compatible summary of the estimation.
+
+        The payload of the serving layer's ``/v1/estimate`` responses;
+        ``include_trace=False`` drops the per-instant power vector for
+        callers that only want the aggregate figures.  Floats survive
+        ``json`` round trips bit-for-bit (``repr`` serialisation), so a
+        served estimate can be compared exactly against an offline one.
+        """
+        n = len(self.estimated)
+        payload = {
+            "instants": n,
+            "energy": self.energy,
+            "mean_power": float(self.estimated.values.mean()) if n else 0.0,
+            "wsp": self.wsp,
+            "wrong_state_fraction": self.wrong_state_fraction,
+            "desync_instants": self.desync_instants,
+            "unknown_instants": self.unknown_instants,
+            "reverted_instants": self.reverted_instants,
+            "predictions": self.predictions,
+            "wrong_predictions": self.wrong_predictions,
+            "reliable_fraction": (
+                float(np.mean(self.reliable)) if n else 1.0
+            ),
+        }
+        if include_trace:
+            payload["estimated"] = [float(x) for x in self.estimated.values]
+        return payload
+
+    @property
     def desync_fraction(self) -> float:
         """Fraction of instants spent desynchronised."""
         total = len(self.estimated)

@@ -18,14 +18,13 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional
 
-from .bench import fit_benchmark, long_cycles, scale_factor
+from .bench import evaluation_trace, fit_benchmark, long_cycles, scale_factor
 from .core.join import join
 from .core.mining import AssertionMiner
 from .core.generator import generate_psms
 from .core.psm import clone_psm
 from .core.simplify import simplify_all
 from .core.simulation import SinglePsmSimulator
-from .hdl.simulator import Simulator
 from .testbench import BENCHMARKS
 
 #: Identifier of the payload layout (bump on breaking changes).
@@ -75,9 +74,7 @@ def micro_rows(
     train_trace = fitted.short_ref.trace
     train_power = fitted.short_ref.power
     power_map = {0: train_power}
-    long_trace = Simulator(
-        spec.module_class(), record_activity=False
-    ).run(spec.long_ts(cycles), name=f"{name}.long").trace
+    long_trace = evaluation_trace(name, cycles)
 
     simplified = simplify_all(
         [clone_psm(p) for p in flow.raw_psms], power_map, config.merge
@@ -142,6 +139,21 @@ def run_micro(
     }
 
 
+def check_fields(obj: dict, fields, context: str = "payload") -> None:
+    """Raise ``ValueError`` unless ``obj`` carries every typed field.
+
+    ``fields`` is a sequence of ``(key, type-or-type-tuple)`` pairs —
+    the shared validation core of every schema-versioned report
+    (micro-bench here, the serving layer's loadgen report in
+    :mod:`repro.serve.loadgen`).
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(f"{context} must be a JSON object, got {obj!r}")
+    for key, kind in fields:
+        if not isinstance(obj.get(key), kind):
+            raise ValueError(f"bad {context} (field {key!r}): {obj!r}")
+
+
 def validate_micro(payload: dict) -> None:
     """Raise ``ValueError`` unless ``payload`` is a well-formed report."""
     if not isinstance(payload, dict):
@@ -154,15 +166,17 @@ def validate_micro(payload: dict) -> None:
     if not isinstance(results, list) or not results:
         raise ValueError("payload has no results")
     for row in results:
-        for key, kind in (
-            ("benchmark", str),
-            ("stage", str),
-            ("wall_s", (int, float)),
-            ("cycles", int),
-            ("cycles_per_s", (int, float)),
-        ):
-            if not isinstance(row.get(key), kind):
-                raise ValueError(f"bad result row (field {key!r}): {row!r}")
+        check_fields(
+            row,
+            (
+                ("benchmark", str),
+                ("stage", str),
+                ("wall_s", (int, float)),
+                ("cycles", int),
+                ("cycles_per_s", (int, float)),
+            ),
+            context="result row",
+        )
 
 
 def compare_micro(

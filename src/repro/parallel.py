@@ -47,6 +47,24 @@ def under_test_worker() -> bool:
     return "PYTEST_XDIST_WORKER" in os.environ
 
 
+def make_pool(jobs: Optional[int]) -> Optional[ProcessPoolExecutor]:
+    """A long-lived worker pool, or ``None`` when serial rules apply.
+
+    The persistent-executor counterpart of :func:`parallel_map` for the
+    serving layer: the same fallback rules (``jobs <= 1``, pytest-xdist
+    workers, platforms without process support) yield ``None``, telling
+    the caller to execute in-process instead.  The caller owns the pool
+    and must ``shutdown()`` it.
+    """
+    workers = resolve_jobs(jobs)
+    if workers <= 1 or under_test_worker():
+        return None
+    try:
+        return ProcessPoolExecutor(max_workers=workers)
+    except (OSError, ValueError, PermissionError):
+        return None
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],

@@ -1,0 +1,43 @@
+"""PSM serving layer: registry + asyncio estimation server + loadgen.
+
+Turns exported PSM bundles into a long-running estimation service
+(paper motivation: mined PSMs make power estimation cheap enough to run
+*in the loop* — which demands a query service, not one-shot CLI runs):
+
+* :mod:`repro.serve.registry` — discovers, validates, versions and
+  hot-reloads bundles; one cached labeler + simulator per model, LRU
+  bounded;
+* :mod:`repro.serve.batching` — coalesces concurrent same-model
+  requests into micro-batches with bounded queues and backpressure;
+* :mod:`repro.serve.server` — the dependency-free asyncio HTTP JSON
+  API (``/v1/estimate``, ``/v1/models``, ``/healthz``, ``/metrics``);
+* :mod:`repro.serve.metrics` — Prometheus-text metrics;
+* :mod:`repro.serve.loadgen` — the RPS-targeted benchmark client and
+  its ``psmgen-loadgen/v1`` report.
+"""
+
+from .batching import MicroBatcher, QueueFullError
+from .loadgen import run_loadgen, validate_loadgen
+from .metrics import MetricsRegistry, parse_prometheus
+from .registry import (
+    ModelEntry,
+    ModelRegistry,
+    QuarantinedModelError,
+    UnknownModelError,
+)
+from .server import PsmServer, create_server
+
+__all__ = [
+    "MicroBatcher",
+    "QueueFullError",
+    "run_loadgen",
+    "validate_loadgen",
+    "MetricsRegistry",
+    "parse_prometheus",
+    "ModelEntry",
+    "ModelRegistry",
+    "QuarantinedModelError",
+    "UnknownModelError",
+    "PsmServer",
+    "create_server",
+]

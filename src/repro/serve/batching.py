@@ -1,0 +1,303 @@
+"""Micro-batching executor: coalesce concurrent estimates per model.
+
+Concurrent ``/v1/estimate`` requests targeting the same model are
+coalesced into one batch and simulated back-to-back in a single executor
+submission, amortising the scheduling and (in process mode) the
+cross-process dispatch over up to ``max_batch`` requests.  Simulation
+itself always takes the RLE fast path of
+:class:`~repro.core.simulation.MultiPsmSimulator`, so a served estimate
+is bit-identical to an offline ``psmgen estimate`` of the same window.
+
+Execution modes follow :func:`repro.parallel.make_pool`: with
+``jobs > 1`` (and process support) batches run on a persistent
+``ProcessPoolExecutor`` whose workers load-and-cache bundles from disk
+by ``(path, version)``; otherwise batches run on a small thread pool
+against the registry's cached simulator (numpy releases the GIL for the
+vectorised fills).  Per-model batches are serialised either way, so the
+shared simulator caches are never raced.
+
+Backpressure is explicit: each model has a bounded queue of pending
+jobs; when it is full, :meth:`MicroBatcher.submit` raises
+:class:`QueueFullError` carrying a ``retry_after`` estimate derived from
+the queue depth and a smoothed batch duration — the server maps this to
+``429`` + ``Retry-After`` instead of buffering unboundedly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..core.export import labeler_from_psms, load_psms
+from ..core.simulation import MultiPsmSimulator
+from ..parallel import make_pool, resolve_jobs
+from ..traces.io import functional_trace_from_json
+from .metrics import MetricsRegistry
+from .registry import ModelEntry, ModelRegistry
+
+
+class QueueFullError(RuntimeError):
+    """The per-model pending queue is at capacity (backpressure).
+
+    ``retry_after`` is the whole-second hint the server returns in the
+    ``Retry-After`` header.
+    """
+
+    def __init__(self, model: str, depth: int, retry_after: int) -> None:
+        super().__init__(
+            f"estimate queue for model {model!r} is full ({depth} pending)"
+        )
+        self.model = model
+        self.depth = depth
+        self.retry_after = max(int(retry_after), 1)
+
+
+@dataclass
+class _Job:
+    """One pending estimate: its input and the future awaiting it."""
+
+    trace_json: dict
+    future: "asyncio.Future"
+
+
+def simulate_one(entry_or_simulator, trace_json: dict) -> dict:
+    """Simulate one trace window; the shared unit of work of every mode.
+
+    Returns the ``EstimationResult.to_json`` payload plus the
+    simulation wall time.  Accepts either a registry entry or a bare
+    simulator so in-process and worker-process callers share one code
+    path (and therefore bit-identical results).
+    """
+    simulator = getattr(entry_or_simulator, "simulator", entry_or_simulator)
+    trace = functional_trace_from_json(trace_json)
+    start = time.perf_counter()
+    result = simulator.run(trace)
+    wall = time.perf_counter() - start
+    payload = result.to_json()
+    payload["sim_seconds"] = wall
+    return payload
+
+
+def _simulate_batch_inline(entry: ModelEntry, traces: List[dict]) -> List[dict]:
+    """Thread-mode batch body: reuse the registry's cached simulator."""
+    return [simulate_one(entry, trace_json) for trace_json in traces]
+
+
+#: Per-worker-process bundle cache: ``(path, version) -> simulator``.
+_WORKER_MODELS: Dict[Tuple[str, str], MultiPsmSimulator] = {}
+
+#: Worker-side cache cap: serving workers hold at most this many models.
+_WORKER_CACHE_CAP = 8
+
+
+def _simulate_batch_worker(
+    path: str, version: str, traces: List[dict]
+) -> List[dict]:
+    """Process-mode batch body: load-and-cache the bundle, then simulate.
+
+    Workers rebuild the simulator from the bundle *file* (nothing heavy
+    crosses the process boundary) and cache it by ``(path, version)``,
+    so a hot-reloaded bundle is picked up while steady-state batches pay
+    zero reload cost.
+    """
+    key = (path, version)
+    simulator = _WORKER_MODELS.get(key)
+    if simulator is None:
+        psms = load_psms(path)
+        labeler = labeler_from_psms(psms)
+        simulator = MultiPsmSimulator(psms, labeler)
+        while len(_WORKER_MODELS) >= _WORKER_CACHE_CAP:
+            _WORKER_MODELS.pop(next(iter(_WORKER_MODELS)))
+        _WORKER_MODELS[key] = simulator
+    return [simulate_one(simulator, trace_json) for trace_json in traces]
+
+
+class MicroBatcher:
+    """Coalesces concurrent per-model estimate requests into batches.
+
+    One lazily-started drainer task per model pulls up to ``max_batch``
+    pending jobs at a time and executes them as a single submission;
+    while a batch is in flight, newly arriving requests accumulate in
+    the (bounded) queue and form the next batch — that is where the
+    coalescing comes from.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        metrics: Optional[MetricsRegistry] = None,
+        jobs: int = 1,
+        max_queue: int = 64,
+        max_batch: int = 8,
+    ) -> None:
+        self.registry = registry
+        self.max_queue = max(int(max_queue), 1)
+        self.max_batch = max(int(max_batch), 1)
+        self._pool = make_pool(jobs)
+        self._threads: Optional[ThreadPoolExecutor] = None
+        if self._pool is None:
+            self._threads = ThreadPoolExecutor(
+                max_workers=min(resolve_jobs(jobs), 4),
+                thread_name_prefix="psm-batch",
+            )
+        self._queues: Dict[str, Deque[_Job]] = {}
+        self._wakeups: Dict[str, asyncio.Event] = {}
+        self._drainers: Dict[str, asyncio.Task] = {}
+        self._batch_ewma: Dict[str, float] = {}
+        metrics = metrics or MetricsRegistry()
+        self._batch_size = metrics.histogram(
+            "psmgen_batch_size",
+            "Requests coalesced per simulation batch.",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        )
+        self._batch_seconds = metrics.histogram(
+            "psmgen_batch_seconds",
+            "Wall time of one batch submission.",
+            labelnames=("model",),
+        )
+        self._queue_depth = metrics.gauge(
+            "psmgen_queue_depth",
+            "Pending estimate requests per model.",
+            labelnames=("model",),
+        )
+        self._rejected = metrics.counter(
+            "psmgen_rejected_total",
+            "Requests rejected before execution.",
+            labelnames=("reason",),
+        )
+        self._instants = metrics.counter(
+            "psmgen_simulated_instants_total",
+            "Trace instants simulated, per model.",
+            labelnames=("model",),
+        )
+
+    @property
+    def mode(self) -> str:
+        """``"process"`` or ``"thread"`` — the active execution mode."""
+        return "process" if self._pool is not None else "thread"
+
+    # ------------------------------------------------------------------
+    def retry_after(self, model: str) -> int:
+        """Whole-second backoff hint for a full queue."""
+        depth = len(self._queues.get(model, ()))
+        ewma = self._batch_ewma.get(model, 0.05)
+        batches_ahead = (depth + self.max_batch - 1) // self.max_batch
+        return min(max(1, round(batches_ahead * ewma + 0.5)), 30)
+
+    async def submit(self, model: str, trace_json: dict) -> dict:
+        """Queue one estimate and await its result payload.
+
+        Raises :class:`QueueFullError` immediately when the model's
+        queue is at capacity, and propagates registry errors (unknown /
+        quarantined model) and simulation errors from the executor.
+        """
+        entry = self.registry.get(model)  # validates + warms the cache
+        queue = self._queues.setdefault(model, deque())
+        if len(queue) >= self.max_queue:
+            self._rejected.inc(reason="queue_full")
+            raise QueueFullError(
+                model, len(queue), self.retry_after(model)
+            )
+        loop = asyncio.get_running_loop()
+        job = _Job(trace_json, loop.create_future())
+        queue.append(job)
+        self._queue_depth.set(len(queue), model=model)
+        self._ensure_drainer(model, entry)
+        return await job.future
+
+    # ------------------------------------------------------------------
+    def _ensure_drainer(self, model: str, entry: ModelEntry) -> None:
+        event = self._wakeups.setdefault(model, asyncio.Event())
+        event.set()
+        task = self._drainers.get(model)
+        if task is None or task.done():
+            self._drainers[model] = asyncio.get_running_loop().create_task(
+                self._drain_loop(model), name=f"psm-drain-{model}"
+            )
+
+    async def _drain_loop(self, model: str) -> None:
+        """Forever: wait for work, then execute one batch at a time."""
+        event = self._wakeups[model]
+        queue = self._queues[model]
+        while True:
+            if not queue:
+                event.clear()
+                await event.wait()
+                continue
+            await self.drain_once(model)
+
+    async def drain_once(self, model: str) -> int:
+        """Execute one batch (<= ``max_batch`` pending jobs); its size.
+
+        Exposed for deterministic tests; the drainer loop calls it
+        repeatedly.
+        """
+        queue = self._queues.get(model)
+        if not queue:
+            return 0
+        batch = [
+            queue.popleft()
+            for _ in range(min(len(queue), self.max_batch))
+        ]
+        self._queue_depth.set(len(queue), model=model)
+        self._batch_size.observe(len(batch))
+        traces = [job.trace_json for job in batch]
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        try:
+            entry = self.registry.get(model)
+            if self._pool is not None:
+                results = await loop.run_in_executor(
+                    self._pool,
+                    _simulate_batch_worker,
+                    str(entry.path),
+                    entry.version,
+                    traces,
+                )
+            else:
+                results = await loop.run_in_executor(
+                    self._threads, _simulate_batch_inline, entry, traces
+                )
+        except Exception as exc:  # registry or simulation failure
+            for job in batch:
+                if not job.future.done():
+                    job.future.set_exception(exc)
+            return len(batch)
+        wall = time.perf_counter() - start
+        self._batch_seconds.observe(wall, model=model)
+        previous = self._batch_ewma.get(model, wall)
+        self._batch_ewma[model] = 0.7 * previous + 0.3 * wall
+        for job, payload in zip(batch, results):
+            payload["batch_size"] = len(batch)
+            self._instants.inc(payload.get("instants", 0), model=model)
+            if not job.future.done():  # the waiter may have timed out
+                job.future.set_result(payload)
+        return len(batch)
+
+    # ------------------------------------------------------------------
+    async def aclose(self) -> None:
+        """Cancel drainers, fail pending jobs, shut the executors down."""
+        for task in self._drainers.values():
+            task.cancel()
+        for task in self._drainers.values():
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._drainers.clear()
+        for model, queue in self._queues.items():
+            while queue:
+                job = queue.popleft()
+                if not job.future.done():
+                    job.future.set_exception(
+                        RuntimeError("server shutting down")
+                    )
+            self._queue_depth.set(0, model=model)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        if self._threads is not None:
+            self._threads.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,285 @@
+"""Load generator for the estimation server (``psmgen loadgen``).
+
+Replays functional-trace windows against ``POST /v1/estimate`` at a
+target request rate and reports throughput and latency percentiles —
+the serving-path counterpart of ``psmgen bench --micro``: a schema-
+versioned JSON report (``psmgen-loadgen/v1``) that CI can archive and
+operators can diff across deployments.
+
+The generator is open-loop with a concurrency cap: requests are
+launched on a fixed ``1/rps`` tick schedule regardless of completions
+(so the server sees the offered load, not a lock-stepped echo of its
+own latency), but at most ``concurrency`` requests are in flight —
+excess ticks queue on the semaphore and the *achieved* throughput in
+the report exposes the gap.  The HTTP client is hand-rolled over
+``asyncio.open_connection``; no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..microbench import check_fields
+
+#: Identifier of the report layout (bump on breaking changes).
+SCHEMA = "psmgen-loadgen/v1"
+
+#: Reported latency percentiles.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (linear interpolation, 0 <= q <= 100)."""
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return float(ordered[low] * (1.0 - fraction) + ordered[high] * fraction)
+
+
+def latency_summary(samples_s: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/p99/mean/max of a latency sample, in milliseconds."""
+    if not samples_s:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    ms = [s * 1e3 for s in samples_s]
+    summary = {
+        f"p{int(q)}": round(percentile(ms, q), 3) for q in PERCENTILES
+    }
+    summary["mean"] = round(sum(ms) / len(ms), 3)
+    summary["max"] = round(max(ms), 3)
+    return summary
+
+
+async def http_request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[dict] = None,
+    timeout: float = 10.0,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """One HTTP/1.1 request over a fresh connection (stdlib asyncio).
+
+    Returns ``(status, headers, body)``.  Matches the server's
+    one-request-per-connection discipline.
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        body = (
+            json.dumps(payload).encode("utf-8") if payload is not None else b""
+        )
+        head = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {host}:{port}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await asyncio.wait_for(writer.drain(), timeout)
+
+        async def _read_response():
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(" ", 2)
+            status = int(parts[1])
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0"))
+            data = await reader.readexactly(length) if length else b""
+            return status, headers, data
+
+        return await asyncio.wait_for(_read_response(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+
+
+async def _run_loadgen_async(
+    host: str,
+    port: int,
+    model: str,
+    windows: Sequence[dict],
+    rps: float,
+    duration_s: float,
+    concurrency: int,
+    timeout: float,
+) -> dict:
+    """The load loop behind :func:`run_loadgen`."""
+    if rps <= 0:
+        raise ValueError("rps must be positive")
+    if not windows:
+        raise ValueError("loadgen needs at least one trace window")
+    semaphore = asyncio.Semaphore(max(int(concurrency), 1))
+    latencies: List[float] = []
+    status_counts: Dict[str, int] = {}
+    transport_errors = 0
+    launched = 0
+    lock = asyncio.Lock()
+
+    async def _one(index: int) -> None:
+        nonlocal transport_errors
+        window = windows[index % len(windows)]
+        async with semaphore:
+            start = time.perf_counter()
+            try:
+                status, _headers, _body = await http_request_json(
+                    host,
+                    port,
+                    "POST",
+                    "/v1/estimate",
+                    {"model": model, "trace": window},
+                    timeout=timeout,
+                )
+            except (OSError, asyncio.TimeoutError, ValueError):
+                async with lock:
+                    transport_errors += 1
+                return
+            elapsed = time.perf_counter() - start
+            async with lock:
+                latencies.append(elapsed)
+                key = str(status)
+                status_counts[key] = status_counts.get(key, 0) + 1
+
+    interval = 1.0 / rps
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+    tasks: List[asyncio.Task] = []
+    while loop.time() - t0 < duration_s:
+        tasks.append(loop.create_task(_one(launched)))
+        launched += 1
+        next_tick = t0 + launched * interval
+        delay = next_tick - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+    if tasks:
+        await asyncio.gather(*tasks)
+    elapsed = loop.time() - t0
+    completed = len(latencies)
+    errors_5xx = sum(
+        count
+        for status, count in status_counts.items()
+        if status.startswith("5")
+    )
+    return {
+        "schema": SCHEMA,
+        "model": model,
+        "target_rps": float(rps),
+        "duration_s": round(elapsed, 3),
+        "concurrency": int(concurrency),
+        "window_instants": _window_instants(windows[0]),
+        "windows": len(windows),
+        "requests": launched,
+        "completed": completed,
+        "throughput_rps": round(completed / elapsed, 3) if elapsed else 0.0,
+        "status_counts": status_counts,
+        "errors_5xx": errors_5xx,
+        "transport_errors": transport_errors,
+        "latency_ms": latency_summary(latencies),
+    }
+
+
+def _window_instants(window: dict) -> int:
+    columns = window.get("columns") or {}
+    for values in columns.values():
+        return len(values)
+    return 0
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    model: str,
+    windows: Sequence[dict],
+    rps: float = 20.0,
+    duration_s: float = 5.0,
+    concurrency: int = 8,
+    timeout: float = 10.0,
+) -> dict:
+    """Drive the server at ``rps`` for ``duration_s``; the v1 report.
+
+    ``windows`` are pre-serialised functional-trace documents
+    (:func:`~repro.traces.io.functional_trace_to_json`), replayed
+    round-robin.
+    """
+    return asyncio.run(
+        _run_loadgen_async(
+            host, port, model, list(windows), rps, duration_s,
+            concurrency, timeout,
+        )
+    )
+
+
+def validate_loadgen(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a well-formed report."""
+    if not isinstance(payload, dict):
+        raise ValueError("loadgen payload must be a JSON object")
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"unexpected schema {payload.get('schema')!r}; want {SCHEMA!r}"
+        )
+    check_fields(
+        payload,
+        (
+            ("model", str),
+            ("target_rps", (int, float)),
+            ("duration_s", (int, float)),
+            ("concurrency", int),
+            ("requests", int),
+            ("completed", int),
+            ("throughput_rps", (int, float)),
+            ("status_counts", dict),
+            ("errors_5xx", int),
+            ("transport_errors", int),
+            ("latency_ms", dict),
+        ),
+        context="loadgen report",
+    )
+    check_fields(
+        payload["latency_ms"],
+        tuple((key, (int, float)) for key in ("p50", "p95", "p99", "mean", "max")),
+        context="latency summary",
+    )
+
+
+def format_report(payload: dict) -> str:
+    """Human-readable one-screen rendering of a loadgen report."""
+    latency = payload["latency_ms"]
+    statuses = ", ".join(
+        f"{status}: {count}"
+        for status, count in sorted(payload["status_counts"].items())
+    ) or "none"
+    return "\n".join(
+        [
+            f"model {payload['model']}: {payload['completed']}/"
+            f"{payload['requests']} responses in {payload['duration_s']}s "
+            f"({payload['throughput_rps']} rps achieved, "
+            f"{payload['target_rps']} targeted)",
+            f"status counts: {statuses}",
+            f"latency ms: p50 {latency['p50']}  p95 {latency['p95']}  "
+            f"p99 {latency['p99']}  mean {latency['mean']}  "
+            f"max {latency['max']}",
+            f"5xx: {payload['errors_5xx']}  transport errors: "
+            f"{payload['transport_errors']}",
+        ]
+    )

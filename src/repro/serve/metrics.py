@@ -1,0 +1,307 @@
+"""Prometheus-style metrics for the estimation server (stdlib only).
+
+A deliberately small subset of the Prometheus client: counters, gauges
+and cumulative histograms with optional labels, rendered in the v0.0.4
+text exposition format by :func:`MetricsRegistry.render`.  Everything is
+guarded by one lock so executor threads can record observations while
+the asyncio loop renders ``/metrics``.
+
+:func:`parse_prometheus` is the matching reader — used by the test
+suite and the CI smoke job to assert that the exposition output is
+well-formed without a third-party parser.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default latency-style histogram buckets (seconds).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelValues = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labelnames: Sequence[str], labels: Dict[str, str]) -> LabelValues:
+    """Normalise a label dict against the metric's declared label names."""
+    unknown = set(labels) - set(labelnames)
+    if unknown:
+        raise ValueError(f"unknown label(s) {sorted(unknown)}")
+    return tuple((name, str(labels.get(name, ""))) for name in labelnames)
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(key: LabelValues, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    """Render a ``{name="value",...}`` label block ('' when empty)."""
+    pairs = [f'{name}="{_escape(value)}"' for name, value in (*key, *extra)]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: float) -> str:
+    """Prometheus float rendering (``+Inf`` for infinity)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing metric, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._values: Dict[LabelValues, float] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (default 1) to the labelled series."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of the labelled series (0 when never touched)."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> List[str]:
+        """Exposition-format lines for this metric."""
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(
+                f"{self.name}{_format_labels(key)} {_format_value(value)}"
+            )
+        return lines
+
+
+class Gauge(Counter):
+    """A metric that can go up and down (queue depths, loaded models)."""
+
+    kind = "gauge"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (may be negative) to the labelled series."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        """Subtract ``amount`` from the labelled series."""
+        self.inc(-amount, **labels)
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the labelled series to ``value``."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+
+class Histogram:
+    """A cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("a histogram needs at least one bucket")
+        self.labelnames = tuple(labelnames)
+        # per label-set: (bucket counts, sum, count)
+        self._series: Dict[LabelValues, List] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = [[0] * len(self.buckets), 0.0, 0]
+                self._series[key] = series
+            counts, _, _ = series
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+            series[1] += float(value)
+            series[2] += 1
+
+    def count(self, **labels: str) -> int:
+        """Number of observations of the labelled series."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            return int(series[2]) if series else 0
+
+    def bucket_count(self, le: float, **labels: str) -> int:
+        """Cumulative observations with value <= ``le``."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return 0
+            for index, bound in enumerate(self.buckets):
+                if bound == float(le):
+                    return int(series[0][index])
+        raise ValueError(f"no bucket with bound {le!r}")
+
+    def render(self) -> List[str]:
+        """Exposition-format lines for this metric."""
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        with self._lock:
+            items = sorted(
+                (key, ([*counts], total, count))
+                for key, (counts, total, count) in self._series.items()
+            )
+        for key, (counts, total, count) in items:
+            for bound, cumulative in zip(self.buckets, counts):
+                le = ("le", _format_value(bound))
+                lines.append(
+                    f"{self.name}_bucket{_format_labels(key, (le,))} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f'{self.name}_bucket{_format_labels(key, (("le", "+Inf"),))} '
+                f"{count}"
+            )
+            lines.append(
+                f"{self.name}_sum{_format_labels(key)} {_format_value(total)}"
+            )
+            lines.append(f"{self.name}_count{_format_labels(key)} {count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Holds the server's metric instruments and renders ``/metrics``."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def counter(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """Get or create the named counter."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """Get or create the named gauge."""
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ) -> Histogram:
+        """Get or create the named histogram."""
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(name, help, buckets, labelnames)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Histogram):
+                raise ValueError(f"{name!r} is already a {type(metric).__name__}")
+            return metric
+
+    def _get_or_create(self, cls, name, help, labelnames):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, labelnames)
+                self._metrics[name] = metric
+            elif type(metric) is not cls:
+                raise ValueError(f"{name!r} is already a {type(metric).__name__}")
+            return metric
+
+    def render(self) -> str:
+        """The full ``/metrics`` exposition document."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse an exposition document into ``{metric: {labelblock: value}}``.
+
+    A strict-enough reader for tests and CI: every non-comment line must
+    be ``name[{labels}] value``; a malformed line raises ``ValueError``.
+    """
+    samples: Dict[str, Dict[str, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, _, value_text = line.rpartition(" ")
+        if not head:
+            raise ValueError(f"malformed sample line: {line!r}")
+        if "{" in head:
+            name, _, rest = head.partition("{")
+            if not rest.endswith("}"):
+                raise ValueError(f"malformed label block: {line!r}")
+            labels = "{" + rest
+        else:
+            name, labels = head, ""
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_text)
+        samples.setdefault(name, {})[labels] = value
+    return samples
+
+
+def find_sample(
+    samples: Dict[str, Dict[str, float]],
+    name: str,
+    **labels: str,
+) -> Optional[float]:
+    """Look up one parsed sample whose label block contains ``labels``."""
+    for block, value in samples.get(name, {}).items():
+        if all(f'{k}="{v}"' in block for k, v in labels.items()):
+            return value
+    return None

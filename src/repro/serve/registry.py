@@ -1,0 +1,296 @@
+"""Model registry: discovery, validation, caching and hot reload.
+
+The registry turns a directory of exported PSM bundles (``psmgen
+generate -o`` / ``psmgen bench -o`` output) into ready-to-serve model
+entries.  Loading a bundle is expensive relative to serving one request
+— JSON decode, proposition-universe rebuild via
+:func:`~repro.core.export.labeler_from_psms`, HMM construction inside
+:class:`~repro.core.simulation.MultiPsmSimulator` — so each model is
+constructed **once** per file version and cached:
+
+* the cache is an LRU bounded by ``cap``: least-recently-served entries
+  are evicted when a new model would exceed it;
+* every access stats the backing file; a changed ``(mtime, size)``
+  signature triggers a hot reload, so operators can atomically replace a
+  bundle under a running server;
+* a bundle that fails schema validation
+  (:class:`~repro.core.export.ExportSchemaError`) is **quarantined**:
+  the error is recorded, requests for the model fail fast with
+  :class:`QuarantinedModelError`, and the file is retried only after it
+  changes on disk — one bad deploy cannot crash or wedge the server.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.export import Bundle, ExportSchemaError, labeler_from_psms, load_bundle
+from ..core.simulation import MultiPsmSimulator
+from ..traces.variables import VariableSpec
+from .metrics import MetricsRegistry
+
+PathLike = Union[str, Path]
+
+#: File signature used for hot-reload detection.
+Signature = Tuple[int, int]
+
+
+class RegistryError(RuntimeError):
+    """Base error of the model registry."""
+
+
+class UnknownModelError(RegistryError):
+    """The requested model has no bundle file in the models directory."""
+
+
+class QuarantinedModelError(RegistryError):
+    """The requested model's bundle failed validation and is quarantined.
+
+    ``reason`` carries the original schema error text so API responses
+    can explain what is wrong with the deployed file.
+    """
+
+    def __init__(self, name: str, reason: str) -> None:
+        super().__init__(f"model {name!r} is quarantined: {reason}")
+        self.model = name
+        self.reason = reason
+
+
+@dataclass
+class ModelEntry:
+    """One ready-to-serve model: bundle + simulator built once, cached."""
+
+    name: str
+    path: Path
+    signature: Signature
+    bundle: Bundle
+    labeler: object
+    simulator: MultiPsmSimulator
+    loaded_at: float
+    hits: int = 0
+
+    @property
+    def version(self) -> str:
+        """Content digest identifying this bundle version."""
+        return self.bundle.digest
+
+    @property
+    def variables(self) -> List[VariableSpec]:
+        """Embedded PI/PO declarations ([] for sidecar-less bundles)."""
+        return self.bundle.variables
+
+    def describe(self) -> dict:
+        """The ``GET /v1/models`` row for this entry."""
+        psms = self.bundle.psms
+        return {
+            "name": self.name,
+            "version": self.version,
+            "schema": self.bundle.schema,
+            "psms": len(psms),
+            "states": sum(len(p) for p in psms),
+            "transitions": sum(len(p.transitions) for p in psms),
+            "variables": [v.name for v in self.variables],
+            "deterministic": all(p.is_deterministic() for p in psms),
+            "loaded_at": self.loaded_at,
+            "hits": self.hits,
+            "quarantined": False,
+        }
+
+
+@dataclass
+class _QuarantineRecord:
+    """Remembers why a bundle version failed, until the file changes."""
+
+    signature: Optional[Signature]
+    reason: str
+    since: float = field(default_factory=time.time)
+
+
+class ModelRegistry:
+    """Discovers, validates, versions and hot-reloads PSM bundles.
+
+    Models are addressed by file stem: ``<models_dir>/MultSum.json``
+    serves as ``MultSum``.  Thread-safe: the asyncio loop and executor
+    threads may call :meth:`get` concurrently.
+    """
+
+    def __init__(
+        self,
+        models_dir: PathLike,
+        cap: int = 8,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.models_dir = Path(models_dir)
+        self.cap = max(int(cap), 1)
+        self._entries: "OrderedDict[str, ModelEntry]" = OrderedDict()
+        self._quarantine: Dict[str, _QuarantineRecord] = {}
+        self._lock = threading.RLock()
+        metrics = metrics or MetricsRegistry()
+        self._hits = metrics.counter(
+            "psmgen_model_cache_hits_total",
+            "Model registry lookups served from the cache.",
+        )
+        self._misses = metrics.counter(
+            "psmgen_model_cache_misses_total",
+            "Model registry lookups that (re)loaded a bundle from disk.",
+        )
+        self._evictions = metrics.counter(
+            "psmgen_model_cache_evictions_total",
+            "Model entries evicted by the LRU cap.",
+        )
+        self._quarantined = metrics.counter(
+            "psmgen_model_quarantined_total",
+            "Bundle loads rejected by schema validation.",
+        )
+        self._loaded_gauge = metrics.gauge(
+            "psmgen_models_loaded",
+            "Model entries currently resident in the registry cache.",
+        )
+
+    # ------------------------------------------------------------------
+    def discover(self) -> Dict[str, Path]:
+        """Bundle files currently present, by model name."""
+        if not self.models_dir.is_dir():
+            return {}
+        return {
+            path.stem: path
+            for path in sorted(self.models_dir.glob("*.json"))
+        }
+
+    def _path_for(self, name: str) -> Path:
+        if (
+            not name
+            or name != Path(name).name
+            or name.startswith(".")
+            or "\\" in name
+        ):
+            raise UnknownModelError(f"invalid model name {name!r}")
+        return self.models_dir / f"{name}.json"
+
+    @staticmethod
+    def _signature(path: Path) -> Optional[Signature]:
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> ModelEntry:
+        """The cached entry for ``name``, loading/reloading as needed.
+
+        Raises
+        ------
+        UnknownModelError
+            No such bundle file exists.
+        QuarantinedModelError
+            The bundle failed validation and has not changed since.
+        """
+        path = self._path_for(name)
+        signature = self._signature(path)
+        if signature is None:
+            with self._lock:
+                self._entries.pop(name, None)
+                self._quarantine.pop(name, None)
+                self._loaded_gauge.set(len(self._entries))
+            raise UnknownModelError(
+                f"no bundle for model {name!r} under {self.models_dir}"
+            )
+        with self._lock:
+            record = self._quarantine.get(name)
+            if record is not None:
+                if record.signature == signature:
+                    raise QuarantinedModelError(name, record.reason)
+                del self._quarantine[name]  # file changed: retry below
+            entry = self._entries.get(name)
+            if entry is not None and entry.signature == signature:
+                self._entries.move_to_end(name)
+                entry.hits += 1
+                self._hits.inc()
+                return entry
+            return self._load(name, path, signature)
+
+    def _load(self, name: str, path: Path, signature: Signature) -> ModelEntry:
+        """Build and cache one entry (caller holds the lock)."""
+        self._misses.inc()
+        try:
+            bundle = load_bundle(path)
+        except ExportSchemaError as exc:
+            self._entries.pop(name, None)
+            self._quarantine[name] = _QuarantineRecord(signature, str(exc))
+            self._quarantined.inc()
+            self._loaded_gauge.set(len(self._entries))
+            raise QuarantinedModelError(name, str(exc)) from exc
+        labeler = labeler_from_psms(bundle.psms)
+        entry = ModelEntry(
+            name=name,
+            path=path,
+            signature=signature,
+            bundle=bundle,
+            labeler=labeler,
+            simulator=MultiPsmSimulator(bundle.psms, labeler),
+            loaded_at=time.time(),
+        )
+        self._entries[name] = entry
+        self._entries.move_to_end(name)
+        while len(self._entries) > self.cap:
+            self._entries.popitem(last=False)
+            self._evictions.inc()
+        self._loaded_gauge.set(len(self._entries))
+        return entry
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Drop entries whose files vanished; reload ones that changed."""
+        with self._lock:
+            for name in list(self._entries):
+                signature = self._signature(self._entries[name].path)
+                if signature is None:
+                    del self._entries[name]
+                elif signature != self._entries[name].signature:
+                    try:
+                        self._load(name, self._path_for(name), signature)
+                    except QuarantinedModelError:
+                        pass
+            self._loaded_gauge.set(len(self._entries))
+
+    def loaded_models(self) -> List[str]:
+        """Names currently resident in the cache (LRU order, oldest first)."""
+        with self._lock:
+            return list(self._entries)
+
+    def list_models(self) -> List[dict]:
+        """The ``GET /v1/models`` rows: every discovered bundle's status.
+
+        Resident entries report their full description; on-disk bundles
+        not currently cached are listed as unloaded (the registry does
+        not force-load every file just to list it); quarantined ones
+        carry their error.
+        """
+        rows: List[dict] = []
+        discovered = self.discover()
+        with self._lock:
+            for name in sorted(discovered):
+                entry = self._entries.get(name)
+                record = self._quarantine.get(name)
+                if record is not None:
+                    rows.append(
+                        {
+                            "name": name,
+                            "quarantined": True,
+                            "error": record.reason,
+                            "since": record.since,
+                        }
+                    )
+                elif entry is not None:
+                    rows.append(entry.describe())
+                else:
+                    rows.append(
+                        {"name": name, "loaded": False, "quarantined": False}
+                    )
+        return rows

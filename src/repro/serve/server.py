@@ -1,0 +1,401 @@
+"""Asyncio HTTP/1.1 JSON API serving PSM power estimation.
+
+A hand-rolled, dependency-free HTTP server on ``asyncio.start_server``
+(the container bakes in no web framework, and the protocol surface we
+need is tiny).  Endpoints:
+
+``POST /v1/estimate``
+    ``{"model": name, "trace": {...}}`` (the
+    :func:`~repro.traces.io.functional_trace_to_json` form) **or**
+    ``{"model": name, "vectors": [{var: value, ...}, ...]}`` using the
+    variable declarations embedded in the bundle.  Responds with the
+    per-instant power plus WSP/desync metrics
+    (:meth:`~repro.core.simulation.EstimationResult.to_json`), the
+    coalesced batch size and the simulation wall time.
+``GET /v1/models``
+    Registry contents: loaded entries (name, version digest, shape),
+    unloaded bundles, quarantined files with their validation error.
+``GET /healthz``
+    Liveness plus basic registry counts.
+``GET /metrics``
+    Prometheus text exposition (see DESIGN.md for the catalogue).
+
+Error mapping: bad input -> 400, unknown model -> 404, queue full ->
+429 with ``Retry-After``, request timeout -> 504, quarantined model ->
+503, anything unexpected -> 500.  Connections are one-request
+(``Connection: close``), which every stdlib client handles and keeps
+the parser honest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from ..core.export import ExportSchemaError
+from .batching import MicroBatcher, QueueFullError
+from .metrics import MetricsRegistry
+from .registry import (
+    ModelRegistry,
+    QuarantinedModelError,
+    UnknownModelError,
+)
+
+#: Largest accepted request body (bytes); estimate windows are bounded.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Reason phrases for the status codes the server emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class BadRequestError(ValueError):
+    """The request body or target is structurally invalid (-> 400)."""
+
+
+def _endpoint_label(method: str, path: str) -> str:
+    """Normalised endpoint label for metrics (bounded cardinality)."""
+    if path == "/healthz":
+        return "healthz"
+    if path == "/metrics":
+        return "metrics"
+    if path == "/v1/models":
+        return "models"
+    if path == "/v1/estimate":
+        return "estimate"
+    return "other"
+
+
+class PsmServer:
+    """The estimation service: registry + micro-batcher behind HTTP."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        batcher: MicroBatcher,
+        metrics: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout: float = 30.0,
+    ) -> None:
+        self.registry = registry
+        self.batcher = batcher
+        self.metrics = metrics
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._requests = metrics.counter(
+            "psmgen_requests_total",
+            "HTTP requests served, by endpoint and status.",
+            labelnames=("endpoint", "status"),
+        )
+        self._latency = metrics.histogram(
+            "psmgen_request_seconds",
+            "End-to-end request latency.",
+            labelnames=("endpoint",),
+        )
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections (port 0 = ephemeral)."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI's foreground mode)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting connections and release the executors."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.aclose()
+
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Serve one request on a fresh connection, then close it."""
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        endpoint = "other"
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except BadRequestError as exc:
+                await self._respond(
+                    writer, 400, {"error": str(exc)}, "other", start
+                )
+                return
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                asyncio.LimitOverrunError,
+            ):
+                return  # client went away mid-request
+            endpoint = _endpoint_label(method, path)
+            status, payload, headers = await self._dispatch(
+                method, path, body
+            )
+            await self._respond(
+                writer, status, payload, endpoint, start, headers
+            )
+        except Exception as exc:  # last-resort 500, never kill the loop
+            try:
+                await self._respond(
+                    writer,
+                    500,
+                    {"error": f"internal error: {exc!r}"},
+                    endpoint,
+                    start,
+                )
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        """Parse one HTTP/1.1 request head + body."""
+        request_line = await reader.readline()
+        if not request_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        try:
+            method, target, _version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            raise BadRequestError("malformed request line")
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise BadRequestError("malformed header line")
+            headers[name.strip().lower()] = value.strip()
+            if len(headers) > 100:
+                raise BadRequestError("too many headers")
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise BadRequestError("bad Content-Length")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise BadRequestError("request body too large")
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method, path, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload,
+        endpoint: str,
+        start: float,
+        headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        """Write one response and record the request metrics."""
+        if isinstance(payload, (dict, list)):
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+            content_type = "application/json"
+        else:
+            body = str(payload).encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        head = [
+            f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        head.extend(f"{name}: {value}" for name, value in headers)
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await writer.drain()
+        loop = asyncio.get_running_loop()
+        self._requests.inc(endpoint=endpoint, status=str(status))
+        self._latency.observe(loop.time() - start, endpoint=endpoint)
+
+    # ------------------------------------------------------------------
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        """Route one request; returns ``(status, payload, headers)``."""
+        if method == "GET" and path == "/healthz":
+            return (
+                200,
+                {
+                    "status": "ok",
+                    "models_loaded": len(self.registry.loaded_models()),
+                    "models_available": len(self.registry.discover()),
+                    "mode": self.batcher.mode,
+                },
+                (),
+            )
+        if method == "GET" and path == "/v1/models":
+            return 200, {"models": self.registry.list_models()}, ()
+        if method == "GET" and path == "/metrics":
+            return 200, self.metrics.render(), ()
+        if path == "/v1/estimate":
+            if method != "POST":
+                return 405, {"error": "use POST"}, ()
+            return await self._handle_estimate(body)
+        return 404, {"error": f"no such endpoint {path!r}"}, ()
+
+    def _trace_json_from_request(self, data: dict) -> Tuple[str, dict]:
+        """Extract ``(model, trace_json)`` from an estimate body.
+
+        Accepts either a full ``"trace"`` document or raw ``"vectors"``
+        resolved against the bundle's embedded variable declarations.
+        """
+        model = data.get("model")
+        if not isinstance(model, str) or not model:
+            raise BadRequestError("body must carry a 'model' name")
+        trace = data.get("trace")
+        if trace is not None:
+            if not isinstance(trace, dict):
+                raise BadRequestError("'trace' must be an object")
+            return model, trace
+        vectors = data.get("vectors")
+        if vectors is None:
+            raise BadRequestError("body needs 'trace' or 'vectors'")
+        if not isinstance(vectors, list) or not vectors:
+            raise BadRequestError("'vectors' must be a non-empty list")
+        entry = self.registry.get(model)
+        if not entry.variables:
+            raise BadRequestError(
+                f"bundle {model!r} embeds no variable declarations; "
+                "send a full 'trace' document instead of 'vectors'"
+            )
+        columns = {}
+        for spec in entry.variables:
+            try:
+                columns[spec.name] = [
+                    int(vector[spec.name]) for vector in vectors
+                ]
+            except (KeyError, TypeError, ValueError):
+                raise BadRequestError(
+                    f"every vector must map variable {spec.name!r} "
+                    "to an integer"
+                )
+        return model, {
+            "name": data.get("name", "request"),
+            "variables": [
+                {
+                    "name": v.name,
+                    "width": v.width,
+                    "direction": v.direction,
+                    "kind": v.kind,
+                }
+                for v in entry.variables
+            ],
+            "columns": columns,
+        }
+
+    async def _handle_estimate(self, body: bytes):
+        """The ``POST /v1/estimate`` route body."""
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}, ()
+        if not isinstance(data, dict):
+            return 400, {"error": "body must be a JSON object"}, ()
+        try:
+            model, trace_json = self._trace_json_from_request(data)
+            entry = self.registry.get(model)
+            payload = await asyncio.wait_for(
+                self.batcher.submit(model, trace_json),
+                timeout=self.request_timeout,
+            )
+        except BadRequestError as exc:
+            return 400, {"error": str(exc)}, ()
+        except UnknownModelError as exc:
+            return 404, {"error": str(exc)}, ()
+        except QuarantinedModelError as exc:
+            return 503, {"error": str(exc)}, ()
+        except QueueFullError as exc:
+            return (
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                (("Retry-After", str(exc.retry_after)),),
+            )
+        except asyncio.TimeoutError:
+            return (
+                504,
+                {
+                    "error": (
+                        "estimate did not complete within "
+                        f"{self.request_timeout}s"
+                    )
+                },
+                (),
+            )
+        except (ExportSchemaError, ValueError, KeyError) as exc:
+            # trace decode / simulation input errors surface here
+            return 400, {"error": f"bad estimate input: {exc}"}, ()
+        payload = {
+            "model": model,
+            "version": entry.version,
+            **payload,
+        }
+        return 200, payload, ()
+
+
+def create_server(
+    models_dir,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    jobs: int = 1,
+    max_queue: int = 64,
+    max_batch: int = 8,
+    cap: int = 8,
+    request_timeout: float = 30.0,
+    metrics: Optional[MetricsRegistry] = None,
+) -> PsmServer:
+    """Wire registry + batcher + metrics into a ready-to-start server.
+
+    The one-call constructor used by ``psmgen serve`` and the test
+    suite; ``port=0`` binds an ephemeral port (read ``server.port``
+    after :meth:`PsmServer.start`).
+    """
+    metrics = metrics or MetricsRegistry()
+    registry = ModelRegistry(models_dir, cap=cap, metrics=metrics)
+    batcher = MicroBatcher(
+        registry,
+        metrics=metrics,
+        jobs=jobs,
+        max_queue=max_queue,
+        max_batch=max_batch,
+    )
+    return PsmServer(
+        registry,
+        batcher,
+        metrics,
+        host=host,
+        port=port,
+        request_timeout=request_timeout,
+    )

@@ -59,6 +59,40 @@ def load_functional_csv(path: PathLike) -> FunctionalTrace:
     return FunctionalTrace(variables, columns, name=meta.get("name", "trace"))
 
 
+def functional_trace_to_json(trace: FunctionalTrace) -> dict:
+    """One-document JSON form of a functional trace.
+
+    The wire format of the estimation server (``POST /v1/estimate``):
+    variable declarations plus column vectors, self-contained — no
+    ``.vars.json`` sidecar needed.  Round-trips exactly through
+    :func:`functional_trace_from_json`.
+    """
+    return {
+        "name": trace.name,
+        "variables": [
+            {
+                "name": v.name,
+                "width": v.width,
+                "direction": v.direction,
+                "kind": v.kind,
+            }
+            for v in trace.variables
+        ],
+        "columns": {
+            v.name: [int(x) for x in trace.column(v.name)]
+            for v in trace.variables
+        },
+    }
+
+
+def functional_trace_from_json(data: dict) -> FunctionalTrace:
+    """Rebuild a functional trace from :func:`functional_trace_to_json`."""
+    variables = [VariableSpec(**v) for v in data["variables"]]
+    return FunctionalTrace(
+        variables, data["columns"], name=data.get("name", "trace")
+    )
+
+
 def save_power_csv(trace: PowerTrace, path: PathLike) -> None:
     """Write a power trace as a one-column CSV."""
     path = Path(path)

@@ -7,7 +7,10 @@ import pytest
 
 from repro.core.attributes import Interval, PowerAttributes
 from repro.core.export import (
+    BUNDLE_SCHEMA,
+    ExportSchemaError,
     labeler_from_psms,
+    load_bundle,
     load_psms,
     psms_from_json,
     psms_to_json,
@@ -15,6 +18,8 @@ from repro.core.export import (
     to_dot,
     to_systemc,
 )
+from repro.core.stages.base import StageReport
+from repro.traces.variables import bool_in
 from repro.core.propositions import Proposition, VarCompare, VarEqualsConst
 from repro.core.psm import PSM, PowerState, RegressionPower, Transition
 from repro.core.temporal import (
@@ -162,6 +167,114 @@ class TestSystemC:
         psm.states[1].power_model = RegressionPower(0.5, 1.0, 0.9)
         text = to_systemc([psm])
         assert "hamming_distance()" in text
+
+
+def nondeterministic_psm():
+    """A joined-style PSM: one guard enables two different successors."""
+    psm = fig2_psm()
+    on = psm.transitions[0].enabling
+    psm.add_transition(
+        Transition(psm.states[0].sid, psm.states[2].sid, on)
+    )
+    assert not psm.is_deterministic()
+    return psm
+
+
+class TestSchemaErrors:
+    def test_future_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"schema": "psmgen-psms/v99"}))
+        with pytest.raises(ExportSchemaError) as excinfo:
+            load_psms(path)
+        assert excinfo.value.found == "psmgen-psms/v99"
+        assert excinfo.value.expected == BUNDLE_SCHEMA
+
+    def test_missing_schema_key_accepted_as_v1(self):
+        payload = psms_to_json([fig2_psm()])
+        del payload["schema"]
+        assert len(psms_from_json(payload)[0]) == 3
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ExportSchemaError):
+            psms_from_json([1, 2, 3])
+
+    def test_missing_lists_rejected(self):
+        with pytest.raises(ExportSchemaError):
+            psms_from_json({"schema": BUNDLE_SCHEMA, "psms": []})
+
+    def test_malformed_state_wrapped_not_keyerror(self):
+        payload = psms_to_json([fig2_psm()])
+        del payload["psms"][0]["states"][0]["mu"]
+        with pytest.raises(ExportSchemaError):
+            psms_from_json(payload)
+
+    def test_invalid_json_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json at all")
+        with pytest.raises(ExportSchemaError):
+            load_psms(path)
+
+    def test_schema_key_written_on_export(self):
+        assert psms_to_json([fig2_psm()])["schema"] == BUNDLE_SCHEMA
+
+
+class TestNonDeterministicRoundTrip:
+    def test_joined_psm_survives_round_trip(self):
+        psm = nondeterministic_psm()
+        restored = psms_from_json(psms_to_json([psm]))[0]
+        assert not restored.is_deterministic()
+        assert len(restored.transitions) == len(psm.transitions)
+        pairs = {(t.src, t.dst, str(t.enabling)) for t in psm.transitions}
+        restored_pairs = {
+            (t.src, t.dst, str(t.enabling)) for t in restored.transitions
+        }
+        assert restored_pairs == pairs
+
+
+class TestBundleMetadata:
+    def test_stage_reports_round_trip(self, tmp_path):
+        reports = [
+            StageReport("mine", 1.25, counters={"atoms": 7}),
+            StageReport("generate", 0.5, status="resumed"),
+        ]
+        path = tmp_path / "model.json"
+        save_psms([fig2_psm()], path, stage_reports=reports)
+        bundle = load_bundle(path)
+        assert [r.name for r in bundle.stage_reports] == ["mine", "generate"]
+        assert bundle.stage_reports[0].counters == {"atoms": 7}
+        assert bundle.stage_reports[1].resumed
+        # PSMs still load cleanly through the plain reader
+        assert len(load_psms(path)[0]) == 3
+
+    def test_variables_round_trip(self, tmp_path):
+        path = tmp_path / "model.json"
+        save_psms(
+            [fig2_psm()],
+            path,
+            variables=[bool_in("on"), bool_in("start")],
+        )
+        bundle = load_bundle(path)
+        assert [(v.name, v.kind) for v in bundle.variables] == [
+            ("on", "bool"),
+            ("start", "bool"),
+        ]
+
+    def test_digest_tracks_content(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        save_psms([fig2_psm()], a)
+        save_psms([nondeterministic_psm()], b)
+        bundle_a, bundle_b = load_bundle(a), load_bundle(b)
+        assert len(bundle_a.digest) == 12
+        assert bundle_a.digest != bundle_b.digest
+        assert bundle_a.schema == BUNDLE_SCHEMA
+
+    def test_metadata_defaults_to_empty(self, tmp_path):
+        path = tmp_path / "model.json"
+        save_psms([fig2_psm()], path)
+        bundle = load_bundle(path)
+        assert bundle.variables == []
+        assert bundle.stage_reports == []
 
 
 class TestLabelerRebuild:

@@ -103,6 +103,86 @@ class TestEstimate:
         assert "MRE" in out
         assert (trace_files / "est.csv").exists()
 
+    def test_estimate_multiple_traces_shares_model(
+        self, trace_files, capsys
+    ):
+        model = trace_files / "model.json"
+        if not model.exists():
+            TestGenerate().test_generate_writes_model(trace_files, capsys)
+            capsys.readouterr()
+        # single-trace baseline output
+        code = main(
+            [
+                "estimate",
+                "--model",
+                str(model),
+                "--func",
+                str(trace_files / "eval.func.csv"),
+            ]
+        )
+        assert code == 0
+        single = capsys.readouterr().out
+        code = main(
+            [
+                "estimate",
+                "--model",
+                str(model),
+                "--func",
+                str(trace_files / "eval.func.csv"),
+                "--func",
+                str(trace_files / "train.func.csv"),
+                "-o",
+                str(trace_files / "multi.csv"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # per-trace lines carry the trace path, results are unchanged
+        assert out.count("estimated") >= 2
+        assert "eval.func.csv]" in out and "train.func.csv]" in out
+        assert single.splitlines()[0].split(": ", 1)[1] in out
+        assert (trace_files / "multi.0.csv").exists()
+        assert (trace_files / "multi.1.csv").exists()
+
+    def test_estimate_reference_count_mismatch_rejected(
+        self, trace_files, capsys
+    ):
+        model = trace_files / "model.json"
+        if not model.exists():
+            TestGenerate().test_generate_writes_model(trace_files, capsys)
+            capsys.readouterr()
+        code = main(
+            [
+                "estimate",
+                "--model",
+                str(model),
+                "--func",
+                str(trace_files / "eval.func.csv"),
+                "--func",
+                str(trace_files / "train.func.csv"),
+                "--reference",
+                str(trace_files / "eval.power.csv"),
+            ]
+        )
+        assert code == 2
+
+    def test_estimate_malformed_bundle_exits_cleanly(
+        self, trace_files, capsys
+    ):
+        bad = trace_files / "bad_model.json"
+        bad.write_text('{"schema": "psmgen-psms/v99"}')
+        code = main(
+            [
+                "estimate",
+                "--model",
+                str(bad),
+                "--func",
+                str(trace_files / "eval.func.csv"),
+            ]
+        )
+        assert code == 2
+        assert "psmgen-psms/v99" in capsys.readouterr().err
+
 
 class TestBench:
     def test_unknown_ip_rejected(self, capsys):
@@ -127,6 +207,28 @@ class TestDescribe:
         out = capsys.readouterr().out
         assert "PSM(s)" in out
         assert "deterministic" in out
+
+    def test_describe_reports_serving_metadata(self, trace_files, capsys):
+        model = trace_files / "model.json"
+        if not model.exists():
+            TestGenerate().test_generate_writes_model(trace_files, capsys)
+            capsys.readouterr()
+        code = main(["describe", "--model", str(model)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schema: psmgen-psms/v1" in out
+        assert "digest: " in out
+        # generate embeds the training variables and stage timings
+        assert "variables: " in out
+        assert "generation stages: " in out
+        assert "mine=" in out
+
+    def test_describe_rejects_malformed_bundle(self, trace_files, capsys):
+        bad = trace_files / "bad_describe.json"
+        bad.write_text("not json")
+        code = main(["describe", "--model", str(bad)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
 
     def test_describe_with_coverage(self, trace_files, capsys):
         model = trace_files / "model.json"

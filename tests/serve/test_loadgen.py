@@ -1,0 +1,113 @@
+"""Tests for the loadgen client: percentile math and report schema."""
+
+import pytest
+
+from repro.serve.loadgen import (
+    SCHEMA,
+    format_report,
+    latency_summary,
+    percentile,
+    validate_loadgen,
+)
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([4.2], 99) == 4.2
+
+    def test_median_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        values = [5, 1, 3, 2, 4]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 5
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_unsorted_input_ok(self):
+        assert percentile([9, 1, 5], 50) == 5
+
+
+class TestLatencySummary:
+    def test_converts_to_milliseconds(self):
+        summary = latency_summary([0.001, 0.002, 0.003])
+        assert summary["p50"] == 2.0
+        assert summary["mean"] == 2.0
+        assert summary["max"] == 3.0
+
+    def test_empty_sample_is_zeros(self):
+        summary = latency_summary([])
+        assert summary == {
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+            "mean": 0.0,
+            "max": 0.0,
+        }
+
+
+def sample_report() -> dict:
+    """A minimal well-formed ``psmgen-loadgen/v1`` payload."""
+    return {
+        "schema": SCHEMA,
+        "model": "fig2",
+        "target_rps": 20.0,
+        "duration_s": 5.0,
+        "concurrency": 8,
+        "window_instants": 256,
+        "windows": 4,
+        "requests": 100,
+        "completed": 98,
+        "throughput_rps": 19.6,
+        "status_counts": {"200": 97, "429": 1},
+        "errors_5xx": 0,
+        "transport_errors": 2,
+        "latency_ms": {
+            "p50": 3.0,
+            "p95": 7.5,
+            "p99": 9.1,
+            "mean": 3.4,
+            "max": 12.0,
+        },
+    }
+
+
+class TestValidation:
+    def test_accepts_well_formed_report(self):
+        validate_loadgen(sample_report())
+
+    def test_rejects_wrong_schema(self):
+        report = sample_report()
+        report["schema"] = "psmgen-loadgen/v99"
+        with pytest.raises(ValueError):
+            validate_loadgen(report)
+
+    def test_rejects_missing_field(self):
+        report = sample_report()
+        del report["throughput_rps"]
+        with pytest.raises(ValueError):
+            validate_loadgen(report)
+
+    def test_rejects_malformed_latency_block(self):
+        report = sample_report()
+        report["latency_ms"] = {"p50": 3.0}
+        with pytest.raises(ValueError):
+            validate_loadgen(report)
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            validate_loadgen([])
+
+
+class TestFormat:
+    def test_one_screen_rendering(self):
+        text = format_report(sample_report())
+        assert "model fig2: 98/100 responses" in text
+        assert "p50 3.0" in text
+        assert "429: 1" in text
+        assert "5xx: 0" in text

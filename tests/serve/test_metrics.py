@@ -1,0 +1,156 @@
+"""Tests for the stdlib Prometheus metrics implementation."""
+
+import math
+import threading
+
+import pytest
+
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    find_sample,
+    parse_prometheus,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("requests_total", "Requests.")
+        assert c.value() == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_counters_only_go_up(self):
+        c = Counter("requests_total", "Requests.")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labelled_series_are_independent(self):
+        c = Counter("requests_total", "Requests.", labelnames=("status",))
+        c.inc(status="200")
+        c.inc(status="200")
+        c.inc(status="500")
+        assert c.value(status="200") == 2
+        assert c.value(status="500") == 1
+        assert c.value(status="404") == 0
+
+    def test_unknown_label_rejected(self):
+        c = Counter("requests_total", "Requests.", labelnames=("status",))
+        with pytest.raises(ValueError):
+            c.inc(region="eu")
+
+    def test_render_includes_help_and_type(self):
+        c = Counter("requests_total", "Requests served.")
+        c.inc(3)
+        lines = c.render()
+        assert "# HELP requests_total Requests served." in lines
+        assert "# TYPE requests_total counter" in lines
+        assert "requests_total 3" in lines
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth", "Queue depth.")
+        g.set(5)
+        g.dec(2)
+        g.inc(1)
+        assert g.value() == 4
+
+    def test_gauges_may_go_negative(self):
+        g = Gauge("drift", "Signed drift.")
+        g.dec(3)
+        assert g.value() == -3
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        h = Histogram("lat", "Latency.", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            h.observe(value)
+        assert h.bucket_count(0.1) == 1
+        assert h.bucket_count(1.0) == 3
+        assert h.bucket_count(10.0) == 4
+        assert h.count() == 4
+
+    def test_render_has_inf_sum_count(self):
+        h = Histogram("lat", "Latency.", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(2.0)
+        text = "\n".join(h.render())
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_sum 2.5" in text
+        assert "lat_count 2" in text
+
+    def test_labelled_histogram(self):
+        h = Histogram(
+            "batch", "Batch wall.", buckets=(1.0,), labelnames=("model",)
+        )
+        h.observe(0.2, model="ram")
+        h.observe(0.3, model="ram")
+        h.observe(0.9, model="aes")
+        assert h.count(model="ram") == 2
+        assert h.count(model="aes") == 1
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("empty", "No buckets.", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", "Hits.")
+        b = reg.counter("hits", "Hits.")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", "Hits.")
+        with pytest.raises(ValueError):
+            reg.gauge("hits", "Hits.")
+        with pytest.raises(ValueError):
+            reg.histogram("hits", "Hits.")
+
+    def test_render_round_trips_through_parser(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "C.", labelnames=("x",)).inc(2, x="a")
+        reg.gauge("g", "G.").set(1.5)
+        reg.histogram("h", "H.", buckets=(1.0,)).observe(0.5)
+        samples = parse_prometheus(reg.render())
+        assert find_sample(samples, "c", x="a") == 2
+        assert samples["g"][""] == 1.5
+        assert find_sample(samples, "h_bucket", le="1") == 1
+        assert samples["h_count"][""] == 1
+
+    def test_concurrent_increments_are_not_lost(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("hits", "Hits.")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value() == 4000
+
+
+class TestParser:
+    def test_parses_inf(self):
+        samples = parse_prometheus('x_bucket{le="+Inf"} 7\n')
+        assert samples["x_bucket"]['{le="+Inf"}'] == 7
+
+    def test_rejects_malformed_line(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("garbage-without-value\n")
+
+    def test_skips_comments_and_blanks(self):
+        samples = parse_prometheus("# HELP x X.\n\nx 1\n")
+        assert samples == {"x": {"": 1.0}}

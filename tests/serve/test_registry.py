@@ -1,0 +1,186 @@
+"""Tests for the model registry: discovery, caching, reload, quarantine."""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.core.export import save_psms
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.registry import (
+    ModelRegistry,
+    QuarantinedModelError,
+    UnknownModelError,
+)
+from repro.traces.variables import bool_in
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from core.test_export import fig2_psm  # noqa: E402
+
+
+def write_bundle(path, variables=()):
+    """Export a fig2 bundle to ``path``."""
+    save_psms([fig2_psm()], path, variables=variables)
+
+
+@pytest.fixture
+def models_dir(tmp_path):
+    write_bundle(tmp_path / "fig2.json")
+    return tmp_path
+
+
+class TestDiscovery:
+    def test_discover_by_stem(self, models_dir):
+        registry = ModelRegistry(models_dir)
+        assert list(registry.discover()) == ["fig2"]
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "nope")
+        assert registry.discover() == {}
+
+    def test_unknown_model_raises(self, models_dir):
+        registry = ModelRegistry(models_dir)
+        with pytest.raises(UnknownModelError):
+            registry.get("other")
+
+    def test_path_traversal_rejected(self, models_dir):
+        registry = ModelRegistry(models_dir)
+        with pytest.raises(UnknownModelError):
+            registry.get("../fig2")
+        with pytest.raises(UnknownModelError):
+            registry.get(".hidden")
+
+
+class TestCaching:
+    def test_entry_built_once_and_cached(self, models_dir):
+        metrics = MetricsRegistry()
+        registry = ModelRegistry(models_dir, metrics=metrics)
+        first = registry.get("fig2")
+        second = registry.get("fig2")
+        assert first is second
+        assert second.hits == 1
+        assert metrics.counter("psmgen_model_cache_hits_total", "").value() == 1
+        assert (
+            metrics.counter("psmgen_model_cache_misses_total", "").value() == 1
+        )
+
+    def test_version_is_content_digest(self, models_dir):
+        registry = ModelRegistry(models_dir)
+        entry = registry.get("fig2")
+        assert len(entry.version) == 12
+        assert entry.describe()["version"] == entry.version
+
+    def test_embedded_variables_exposed(self, tmp_path):
+        write_bundle(
+            tmp_path / "m.json",
+            variables=[bool_in("on"), bool_in("start")],
+        )
+        registry = ModelRegistry(tmp_path)
+        assert [v.name for v in registry.get("m").variables] == [
+            "on",
+            "start",
+        ]
+
+    def test_lru_eviction_past_cap(self, tmp_path):
+        for name in ("a", "b", "c"):
+            write_bundle(tmp_path / f"{name}.json")
+        metrics = MetricsRegistry()
+        registry = ModelRegistry(tmp_path, cap=2, metrics=metrics)
+        registry.get("a")
+        registry.get("b")
+        registry.get("a")  # refresh a's recency
+        registry.get("c")  # evicts b, the least recently used
+        assert registry.loaded_models() == ["a", "c"]
+        assert (
+            metrics.counter("psmgen_model_cache_evictions_total", "").value()
+            == 1
+        )
+        # b reloads transparently on next access
+        registry.get("b")
+        assert "b" in registry.loaded_models()
+
+
+class TestHotReload:
+    def test_changed_file_reloads(self, models_dir):
+        registry = ModelRegistry(models_dir)
+        before = registry.get("fig2")
+        path = models_dir / "fig2.json"
+        write_bundle(path)
+        os.utime(path, ns=(1, 1))  # force a distinct signature
+        after = registry.get("fig2")
+        assert after is not before
+
+    def test_deleted_file_drops_entry(self, models_dir):
+        registry = ModelRegistry(models_dir)
+        registry.get("fig2")
+        (models_dir / "fig2.json").unlink()
+        with pytest.raises(UnknownModelError):
+            registry.get("fig2")
+        assert registry.loaded_models() == []
+
+    def test_refresh_picks_up_changes(self, models_dir):
+        registry = ModelRegistry(models_dir)
+        before = registry.get("fig2")
+        path = models_dir / "fig2.json"
+        write_bundle(path)
+        os.utime(path, ns=(2, 2))
+        registry.refresh()
+        assert registry.get("fig2") is not before
+
+
+class TestQuarantine:
+    def test_invalid_bundle_is_quarantined(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "psmgen-psms/v99"}))
+        metrics = MetricsRegistry()
+        registry = ModelRegistry(tmp_path, metrics=metrics)
+        with pytest.raises(QuarantinedModelError) as excinfo:
+            registry.get("bad")
+        assert "psmgen-psms/v99" in excinfo.value.reason
+        assert (
+            metrics.counter("psmgen_model_quarantined_total", "").value() == 1
+        )
+
+    def test_quarantine_fails_fast_until_file_changes(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        metrics = MetricsRegistry()
+        registry = ModelRegistry(tmp_path, metrics=metrics)
+        with pytest.raises(QuarantinedModelError):
+            registry.get("bad")
+        with pytest.raises(QuarantinedModelError):
+            registry.get("bad")
+        # only the first attempt paid a load; the second failed fast
+        assert (
+            metrics.counter("psmgen_model_cache_misses_total", "").value() == 1
+        )
+        # fixing the file lifts the quarantine
+        write_bundle(path)
+        os.utime(path, ns=(3, 3))
+        assert registry.get("bad").name == "bad"
+
+    def test_quarantined_model_listed_with_error(self, tmp_path):
+        (tmp_path / "bad.json").write_text("[]")
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(QuarantinedModelError):
+            registry.get("bad")
+        rows = registry.list_models()
+        assert rows[0]["quarantined"] is True
+        assert rows[0]["error"]
+
+
+class TestListing:
+    def test_list_mixes_loaded_and_unloaded(self, tmp_path):
+        write_bundle(tmp_path / "a.json")
+        write_bundle(tmp_path / "b.json")
+        registry = ModelRegistry(tmp_path)
+        registry.get("a")
+        rows = {row["name"]: row for row in registry.list_models()}
+        assert rows["a"]["psms"] == 1
+        assert rows["a"]["deterministic"] is True
+        assert rows["b"] == {
+            "name": "b",
+            "loaded": False,
+            "quarantined": False,
+        }

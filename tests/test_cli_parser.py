@@ -49,7 +49,89 @@ class TestParser:
             ["estimate", "--model", "m.json", "--func", "t.csv"]
         )
         assert args.command == "estimate"
+        assert args.func == ["t.csv"]
         assert args.reference is None
+
+    def test_estimate_accepts_multiple_traces(self):
+        args = build_parser().parse_args(
+            [
+                "estimate",
+                "--model",
+                "m.json",
+                "--func",
+                "a.csv",
+                "--func",
+                "b.csv",
+                "--reference",
+                "ra.csv",
+                "--reference",
+                "rb.csv",
+            ]
+        )
+        assert args.func == ["a.csv", "b.csv"]
+        assert args.reference == ["ra.csv", "rb.csv"]
+
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--models-dir",
+                "bundles/",
+                "--port",
+                "9000",
+                "--jobs",
+                "4",
+                "--max-queue",
+                "16",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.models_dir == "bundles/"
+        assert args.port == 9000
+        assert args.jobs == 4
+        assert args.max_queue == 16
+        assert args.max_batch == 8
+        assert args.cap == 8
+        assert args.host == "127.0.0.1"
+        assert args.timeout == 30.0
+
+    def test_serve_requires_models_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_loadgen_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "loadgen",
+                "--port",
+                "9000",
+                "--model",
+                "MultSum",
+                "--ip",
+                "MultSum",
+                "--rps",
+                "50",
+                "--duration",
+                "3",
+                "--json",
+                "report.json",
+            ]
+        )
+        assert args.command == "loadgen"
+        assert args.port == 9000
+        assert args.model == "MultSum"
+        assert args.ip == "MultSum"
+        assert args.rps == 50.0
+        assert args.duration == 3.0
+        assert args.window == 256
+        assert args.concurrency == 8
+        assert args.json == "report.json"
+
+    def test_loadgen_requires_port_and_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--model", "m"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--port", "1"])
 
     def test_bench_arguments(self):
         args = build_parser().parse_args(
