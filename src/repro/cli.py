@@ -10,6 +10,9 @@ Subcommands
     score it against a reference power trace.
 ``bench``
     Run the full paper flow for one built-in benchmark IP.
+``convert``
+    Convert training trace pairs between the CSV form and the packed
+    binary (``.npt``) container.
 ``describe``
     Inspect a saved model bundle: states, transitions, output functions,
     serving metadata (schema version, content digest) — and optionally
@@ -195,7 +198,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_micro(args: argparse.Namespace) -> int:
-    from .microbench import compare_micro, run_micro, validate_micro
+    from .microbench import (
+        compare_micro,
+        run_micro,
+        speedups_micro,
+        validate_micro,
+    )
     from .testbench import BENCHMARKS
 
     names = [args.ip] if args.ip else None
@@ -221,6 +229,18 @@ def _cmd_bench_micro(args: argparse.Namespace) -> int:
     if args.compare:
         baseline = json.loads(Path(args.compare).read_text())
         validate_micro(baseline)
+        speedups = speedups_micro(payload, baseline)
+        training = sorted(
+            (key, value)
+            for key, value in speedups.items()
+            if key[1] in ("generate", "join")
+        )
+        if training:
+            summary = "  ".join(
+                f"{bench}/{stage}: {value:.1f}x"
+                for (bench, stage), value in training
+            )
+            print(f"training speedups vs {args.compare}: {summary}")
         regressions = compare_micro(
             payload, baseline, threshold=args.threshold
         )
@@ -232,6 +252,49 @@ def _cmd_bench_micro(args: argparse.Namespace) -> int:
         print(
             f"no regression beyond {args.threshold}x vs {args.compare}"
         )
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from .traces.io import (
+        load_training_bin,
+        load_training_pair,
+        save_training_bin,
+        save_training_pair,
+    )
+
+    sources = (args.from_csv is not None) + (args.from_binary is not None)
+    if sources != 1:
+        print(
+            "error: need exactly one of --from-csv / --from-binary",
+            file=sys.stderr,
+        )
+        return 2
+    if args.from_csv is not None:
+        if args.to_binary is None:
+            print(
+                "error: --from-csv requires --to-binary", file=sys.stderr
+            )
+            return 2
+        functional, power = load_training_pair(args.from_csv)
+        path = save_training_bin(functional, power, args.to_binary)
+        print(
+            f"binary training pair written to {path} "
+            f"({len(functional)} instants, "
+            f"{len(functional.variables)} variables)"
+        )
+        return 0
+    if args.to_csv is None:
+        print("error: --from-binary requires --to-csv", file=sys.stderr)
+        return 2
+    functional, power = load_training_bin(args.from_binary)
+    func_path, power_path = save_training_pair(
+        functional, power, args.to_csv
+    )
+    print(
+        f"CSV training pair written to {func_path} / {power_path} "
+        f"({len(functional)} instants)"
+    )
     return 0
 
 
@@ -500,6 +563,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the flow's fan-out loops (0 = all CPUs)",
     )
     bench.set_defaults(func_cmd=_cmd_bench)
+
+    convert = sub.add_parser(
+        "convert",
+        help="convert training trace pairs between CSV and binary (.npt)",
+    )
+    convert.add_argument(
+        "--from-csv",
+        help=(
+            "CSV training pair prefix to read "
+            "(<prefix>.func.csv + <prefix>.power.csv)"
+        ),
+    )
+    convert.add_argument(
+        "--from-binary", help="binary .npt training pair to read"
+    )
+    convert.add_argument(
+        "--to-binary", help="binary .npt output path (with --from-csv)"
+    )
+    convert.add_argument(
+        "--to-csv",
+        help="CSV training pair output prefix (with --from-binary)",
+    )
+    convert.set_defaults(func_cmd=_cmd_convert)
 
     describe = sub.add_parser(
         "describe", help="inspect a saved PSM model"

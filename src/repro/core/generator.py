@@ -6,6 +6,14 @@ annotated with its power attributes; consecutive states are connected by a
 transition whose enabling function is the proposition that terminated the
 previous pattern (the exit proposition, i.e. the FIFO's ``f[1]`` at
 recognition time).
+
+Two engines produce the same chain.  ``engine="rle"`` (the default)
+derives the patterns from the run-length-encoded proposition trace and
+computes all per-interval power attributes in one vectorized pass
+(:func:`~repro.core.attributes.segment_attributes`); ``engine="scan"``
+replays the per-instant automaton and per-interval ``numpy`` reductions.
+The scan path is retained as the equivalence oracle — the test suite
+proves both engines emit bit-identical PSMs.
 """
 
 from __future__ import annotations
@@ -13,31 +21,20 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..traces.power import PowerTrace
-from .attributes import Interval, PowerAttributes
+from .attributes import Interval, PowerAttributes, segment_attributes
 from .propositions import PropositionTrace
 from .psm import PSM, PowerState, Transition
+from .temporal import NextAssertion, UntilAssertion
 from .xu import XUAutomaton
 
 
-def generate_psm(
+def _generate_psm_scan(
     proposition_trace: PropositionTrace,
     power_trace: PowerTrace,
-    name: Optional[str] = None,
+    psm: PSM,
 ) -> PSM:
-    """Run PSMGenerator over one (proposition, power) trace pair.
-
-    The first extracted state is marked initial (it is the state active at
-    instant 0 of the training trace).  The result is always a chain: each
-    state has a unique successor and a unique predecessor (paper
-    Sec. III-C).
-    """
-    if len(proposition_trace) > len(power_trace):
-        raise ValueError(
-            "power trace is shorter than the proposition trace "
-            f"({len(power_trace)} < {len(proposition_trace)})"
-        )
+    """Per-instant oracle: two-slot automaton + per-interval reductions."""
     trace_id = proposition_trace.trace_id
-    psm = PSM(name or f"psm_t{trace_id}")
     automaton = XUAutomaton(proposition_trace)
     previous: Optional[PowerState] = None
     while True:
@@ -65,9 +62,96 @@ def generate_psm(
     return psm
 
 
+def _generate_psm_rle(
+    proposition_trace: PropositionTrace,
+    power_trace: PowerTrace,
+    psm: PSM,
+) -> PSM:
+    """RLE fast path: boundary arithmetic + vectorized attributes.
+
+    The mined patterns are runs ``0 .. K-2`` of the RLE view (see
+    :func:`~repro.core.xu.mine_patterns_rle`); their power attributes
+    come from one vectorized :func:`segment_attributes` pass, and the
+    transition enabling the scan oracle reads off the automaton FIFO
+    (the previous pattern's exit proposition) is simply the next run's
+    own proposition.
+    """
+    trace_id = proposition_trace.trace_id
+    starts, lengths, codes = proposition_trace.rle()
+    count = len(starts) - 1
+    if count < 1:
+        return psm
+    alphabet = proposition_trace.alphabet
+    mu, sigma = segment_attributes(
+        power_trace.values, starts[:count], lengths[:count]
+    )
+    mu_list = mu.tolist()
+    sigma_list = sigma.tolist()
+    start_list = starts.tolist()
+    length_list = lengths.tolist()
+    code_list = codes.tolist()
+    cache: dict = {}
+    previous: Optional[PowerState] = None
+    for k in range(count):
+        body, follower = code_list[k], code_list[k + 1]
+        length = length_list[k]
+        is_next = length == 1
+        key = (body, follower, is_next)
+        assertion = cache.get(key)
+        if assertion is None:
+            factory = NextAssertion if is_next else UntilAssertion
+            assertion = cache[key] = factory(
+                alphabet[body], alphabet[follower]
+            )
+        start = start_list[k]
+        state = PowerState(
+            assertion=assertion,
+            attributes=PowerAttributes(
+                mu=mu_list[k], sigma=sigma_list[k], n=length
+            ),
+            intervals=[Interval(trace_id, start, start + length - 1)],
+        )
+        psm.add_state(state, initial=previous is None)
+        if previous is not None:
+            # previous.assertion.exit_proposition() == alphabet[body]
+            psm.add_transition(
+                Transition(previous.sid, state.sid, alphabet[body])
+            )
+        previous = state
+    return psm
+
+
+def generate_psm(
+    proposition_trace: PropositionTrace,
+    power_trace: PowerTrace,
+    name: Optional[str] = None,
+    engine: str = "rle",
+) -> PSM:
+    """Run PSMGenerator over one (proposition, power) trace pair.
+
+    The first extracted state is marked initial (it is the state active at
+    instant 0 of the training trace).  The result is always a chain: each
+    state has a unique successor and a unique predecessor (paper
+    Sec. III-C).  ``engine`` selects the RLE fast path (default) or the
+    retained per-instant scan oracle; both emit bit-identical PSMs.
+    """
+    if len(proposition_trace) > len(power_trace):
+        raise ValueError(
+            "power trace is shorter than the proposition trace "
+            f"({len(power_trace)} < {len(proposition_trace)})"
+        )
+    psm = PSM(name or f"psm_t{proposition_trace.trace_id}")
+    if engine == "rle":
+        return _generate_psm_rle(proposition_trace, power_trace, psm)
+    if engine == "scan":
+        return _generate_psm_scan(proposition_trace, power_trace, psm)
+    raise ValueError(f"unknown engine {engine!r}; use 'rle' or 'scan'")
+
+
 def generate_psms(
     proposition_traces: Sequence[PropositionTrace],
     power_traces: Sequence[PowerTrace],
+    engine: str = "rle",
 ) -> List[PSM]:
     """Generate one chain PSM per training trace pair.
 
@@ -85,5 +169,5 @@ def generate_psms(
                 f"proposition trace at index {k} has trace_id "
                 f"{gamma.trace_id}; expected {k}"
             )
-        psms.append(generate_psm(gamma, delta))
+        psms.append(generate_psm(gamma, delta, engine=engine))
     return psms

@@ -60,48 +60,94 @@ class _Group:
     sampled member) rather than against pooled statistics: pooling
     heterogeneous members inflates the group's variance, which would make
     the t-tests progressively blind and let one group absorb everything.
+    ``leader_index`` is the leader's position in the clustering input,
+    used by the matrix engine to look decisions up instead of recomputing
+    the tests.
     """
 
-    __slots__ = ("members", "leader")
+    __slots__ = ("members", "leader", "leader_index", "data_dependent")
 
-    def __init__(self, state: PowerState) -> None:
+    def __init__(self, state: PowerState, leader_index: int = -1) -> None:
         self.members: List[PowerState] = [state]
         self.leader: PowerAttributes = state.attributes
+        self.leader_index = leader_index
+        # Cached: the greedy pass probes this on every candidate group,
+        # so rescanning the member list each time is O(S^2) on long
+        # tiled traces.
+        self.data_dependent: bool = state.is_data_dependent
 
     def absorb_state(self, state: PowerState) -> None:
         self.members.append(state)
+        if state.is_data_dependent:
+            self.data_dependent = True
 
     def absorb_group(self, other: "_Group") -> None:
         self.members.extend(other.members)
+        if other.data_dependent:
+            self.data_dependent = True
 
-    @property
-    def data_dependent(self) -> bool:
-        return any(s.is_data_dependent for s in self.members)
+
+#: Below this many states the pairwise-matrix setup costs more than the
+#: handful of scalar tests it replaces.
+_MATRIX_MIN_STATES = 16
 
 
 def _cluster(
-    states: Sequence[PowerState], policy: MergePolicy
+    states: Sequence[PowerState],
+    policy: MergePolicy,
+    engine: str = "auto",
 ) -> List[_Group]:
     """Leader-based clustering followed by group merging to fixpoint.
 
     States are visited by decreasing sample count so group leaders carry
-    the most reliable statistics.
+    the most reliable statistics.  ``engine="matrix"`` evaluates every
+    pairwise mergeability decision up front as a compact decision table
+    over the deduplicated attribute triplets
+    (:meth:`~repro.core.mergeability.MergePolicy.mergeability_lookup`)
+    and turns the greedy/fixpoint loops into table lookups — valid
+    because leaders are always founding states' attributes, never
+    pooled, so the precomputed table covers every comparison the scalar
+    engine makes.  ``engine="scalar"`` is the retained oracle;
+    ``"auto"`` picks the matrix for ``len(states) >= 16``.
     """
+    if engine == "auto":
+        engine = (
+            "matrix" if len(states) >= _MATRIX_MIN_STATES else "scalar"
+        )
+    if engine not in ("matrix", "scalar"):
+        raise ValueError(
+            f"unknown engine {engine!r}; use 'matrix', 'scalar' or 'auto'"
+        )
+    table = row_of = None
+    if engine == "matrix":
+        small, inverse = policy.mergeability_lookup(
+            [s.attributes for s in states]
+        )
+        # Plain nested lists: the greedy loop probes single entries, and
+        # Python-level list indexing beats numpy scalar indexing there.
+        table = small.tolist()
+        row_of = inverse.tolist()
+
+    def decide(leader_of: _Group, index: int, attrs: PowerAttributes) -> bool:
+        if table is not None:
+            return table[row_of[leader_of.leader_index]][row_of[index]]
+        return policy.mergeable_attributes(leader_of.leader, attrs)
+
+    order = sorted(range(len(states)), key=lambda k: -states[k].n)
     groups: List[_Group] = []
-    for state in sorted(states, key=lambda s: -s.n):
+    for index in order:
+        state = states[index]
         placed = False
         if not state.is_data_dependent:
             for group in groups:
                 if group.data_dependent:
                     continue
-                if policy.mergeable_attributes(
-                    group.leader, state.attributes
-                ):
+                if decide(group, index, state.attributes):
                     group.absorb_state(state)
                     placed = True
                     break
         if not placed:
-            groups.append(_Group(state))
+            groups.append(_Group(state, leader_index=index))
     # Re-merge whole groups (leader vs leader) until fixpoint.
     changed = True
     while changed:
@@ -112,8 +158,8 @@ def _cluster(
             for j in range(i + 1, len(groups)):
                 if groups[j] is None or groups[j].data_dependent:
                     continue
-                if policy.mergeable_attributes(
-                    groups[i].leader, groups[j].leader
+                if decide(
+                    groups[i], groups[j].leader_index, groups[j].leader
                 ):
                     groups[i].absorb_group(groups[j])
                     groups[j] = None
@@ -126,10 +172,12 @@ def join(
     psms: Sequence[PSM],
     power_traces: Mapping[int, PowerTrace],
     policy: Optional[MergePolicy] = None,
+    engine: str = "auto",
 ) -> List[PSM]:
     """Merge mergeable state sets across a PSM set.
 
     Returns the reduced set ``P'``.  The input PSMs are not modified.
+    ``engine`` selects the clustering backend (see :func:`_cluster`).
     """
     policy = policy or MergePolicy()
     all_states: List[PowerState] = []
@@ -138,7 +186,7 @@ def join(
         all_states.extend(psm.states)
         initial_ids.update(s.sid for s in psm.initial_states)
 
-    groups = _cluster(all_states, policy)
+    groups = _cluster(all_states, policy, engine=engine)
 
     # Build the replacement state of each group and the old->new id map.
     replacement: Dict[int, PowerState] = {}

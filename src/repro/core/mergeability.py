@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
+import numpy as np
 from scipy import special
 
 from .attributes import PowerAttributes
@@ -196,3 +197,220 @@ class MergePolicy:
         if s1.is_data_dependent or s2.is_data_dependent:
             return False
         return self.mergeable_attributes(s1.attributes, s2.attributes)
+
+    # ------------------------------------------------------------------
+    def mergeability_lookup(
+        self, attrs: Sequence[PowerAttributes]
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Compact pairwise-decision table for a state set.
+
+        Returns ``(small, inverse)`` where ``small`` is the symmetric
+        boolean decision matrix over the *deduplicated* ``(mu, sigma, n)``
+        triplets and ``inverse[k]`` maps state ``k`` to its row, so that
+        ``small[inverse[i], inverse[j]] ==
+        self.mergeable_attributes(attrs[i], attrs[j])``.  On long tiled
+        traces thousands of states collapse onto a few distinct triplets,
+        shrinking the t-test matrices quadratically — and callers that
+        only probe a subset of pairs (the clustering loop) never pay for
+        the expanded ``len(attrs)^2`` matrix.
+        """
+        count = len(attrs)
+        if count == 0:
+            return (
+                np.zeros((0, 0), dtype=bool),
+                np.zeros(0, dtype=np.intp),
+            )
+        # First-seen dedup via a dict: cheaper than np.unique(axis=0)
+        # (no row sort) at every scale this is called at.
+        index_of: dict = {}
+        inverse = np.zeros(count, dtype=np.intp)
+        rows = []
+        for k, a in enumerate(attrs):
+            key = (a.mu, a.sigma, a.n)
+            row = index_of.get(key)
+            if row is None:
+                row = index_of[key] = len(rows)
+                rows.append(key)
+            inverse[k] = row
+        unique = np.array(rows, dtype=np.float64)
+        return self._unique_mergeability_matrix(unique), inverse
+
+    def mergeability_matrix(
+        self, attrs: Sequence[PowerAttributes]
+    ) -> np.ndarray:
+        """All pairwise :meth:`mergeable_attributes` decisions at once.
+
+        Returns a symmetric boolean matrix ``M`` with
+        ``M[i, j] == self.mergeable_attributes(attrs[i], attrs[j])`` for
+        every pair, including the diagonal.  The Case 1/2/3 statistics are
+        evaluated as numpy vectors with the *same operation order* as the
+        scalar functions above (including ``x ** 2`` via
+        ``np.float_power``, which matches Python's ``**`` bit for bit
+        where ``np.square`` does not), so each entry is decided on
+        bit-identical intermediate values — the batched join engine is
+        provably equivalent to the scalar one.
+        """
+        small, inverse = self.mergeability_lookup(attrs)
+        if len(inverse) == 0:
+            return small
+        return small[np.ix_(inverse, inverse)]
+
+    #: Unique-triplet count below which filling the table with scalar
+    #: tests beats the fixed overhead of the vectorized lane kernel.
+    _SCALAR_MAX_UNIQUE = 6
+
+    def _unique_mergeability_matrix(self, unique: np.ndarray) -> np.ndarray:
+        """Pairwise decisions over deduplicated ``(mu, sigma, n)`` rows.
+
+        Every test is symmetric in its two operands (Welch's ``t`` only
+        flips sign, the F statistic is max/min-ordered, Case 1/3 compare
+        absolute gaps), so only the upper triangle is evaluated and each
+        case's statistics run on the compressed index set of lanes that
+        actually take that case — the expensive ``betainc`` evaluations
+        drop from three full grids to exactly the lanes that need them.
+        """
+        count = len(unique)
+        if count <= self._SCALAR_MAX_UNIQUE:
+            out = np.zeros((count, count), dtype=bool)
+            rows = [
+                PowerAttributes(mu=row[0], sigma=row[1], n=int(row[2]))
+                for row in unique
+            ]
+            for i in range(count):
+                for j in range(i, count):
+                    out[i, j] = out[j, i] = self.mergeable_attributes(
+                        rows[i], rows[j]
+                    )
+            return out
+
+        mu = unique[:, 0]
+        sigma = unique[:, 1]
+        nf = unique[:, 2]
+        single = nf == 1.0
+
+        # "Low sigma" requirement, elementwise per unique row.
+        if self.max_cv is None:
+            low = np.ones(count, dtype=bool)
+        else:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratio = sigma / np.abs(mu)
+            low = np.where(
+                single,
+                True,
+                np.where(mu == 0.0, sigma == 0.0, ratio <= self.max_cv),
+            )
+
+        # Unbiased sample variance, same op order as _sample_variance
+        # (population variance via ** 2, times n, divided by n - 1).
+        with np.errstate(divide="ignore", invalid="ignore"):
+            var = np.float_power(sigma, 2.0) * nf / (nf - 1.0)
+
+        # Upper-triangle lanes (diagonal included).
+        iu, ju = np.triu_indices(count)
+        mu_a, mu_b = mu[iu], mu[ju]
+        n_a, n_b = nf[iu], nf[ju]
+        var_a, var_b = var[iu], var[ju]
+        single_a, single_b = single[iu], single[ju]
+        diff = mu_a - mu_b
+        merged = np.zeros(len(iu), dtype=bool)
+
+        # Case 1: eps gap between two next-based (n == 1) states.
+        c1 = np.nonzero(single_a & single_b)[0]
+        if len(c1):
+            abs_a, abs_b = np.abs(mu_a[c1]), np.abs(mu_b[c1])
+            threshold = np.maximum(
+                self.epsilon, self.epsilon_rel * np.maximum(abs_a, abs_b)
+            )
+            merged[c1] = np.abs(diff[c1]) < threshold
+
+        # Case 2: both until-based — F-test gate, then Welch's t-test.
+        bu = np.nonzero(~single_a & ~single_b)[0]
+        if len(bu):
+            va, vb = var_a[bu], var_b[bu]
+            na, nb = n_a[bu], n_b[bu]
+            d_bu = diff[bu]
+            close_bu = np.abs(d_bu) <= 1e-12 * np.maximum(
+                np.abs(mu_a[bu]), np.abs(mu_b[bu])
+            )
+
+            if self.variance_alpha is not None:
+                # Same op order as variance_f_test; betainc only on the
+                # lanes where both variances are positive.
+                p_f = np.where((va <= 0.0) & (vb <= 0.0), 1.0, 0.0)
+                gf = np.nonzero((va > 0.0) & (vb > 0.0))[0]
+                if len(gf):
+                    vaf, vbf = va[gf], vb[gf]
+                    a_larger = vaf >= vbf
+                    f = np.where(a_larger, vaf / vbf, vbf / vaf)
+                    d1 = np.where(a_larger, na[gf], nb[gf]) - 1.0
+                    d2 = np.where(a_larger, nb[gf], na[gf]) - 1.0
+                    sf = special.betainc(
+                        d2 / 2.0, d1 / 2.0, d2 / (d2 + d1 * f)
+                    )
+                    p_f[gf] = np.minimum(1.0, 2.0 * sf)
+                variance_ok = p_f > self.variance_alpha
+            else:
+                variance_ok = np.ones(len(bu), dtype=bool)
+
+            # Welch's t-test, same op order as welch_t_test; betainc only
+            # where the standard error is positive (else the zero-variance
+            # fallback compares the means directly).
+            se2 = va / na + vb / nb
+            p_welch = np.where(close_bu, 1.0, 0.0)
+            gw = np.nonzero(se2 > 0.0)[0]
+            if len(gw):
+                se2g = se2[gw]
+                vag, vbg = va[gw], vb[gw]
+                nag, nbg = na[gw], nb[gw]
+                t = d_bu[gw] / np.sqrt(se2g)
+                df_num = np.float_power(se2g, 2.0)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    df_den = np.float_power(vag / nag, 2.0) / (
+                        nag - 1.0
+                    ) + np.float_power(vbg / nbg, 2.0) / (nbg - 1.0)
+                den_ok = df_den > 0.0
+                df = np.where(
+                    den_ok,
+                    df_num / np.where(den_ok, df_den, 1.0),
+                    nag + nbg - 2.0,
+                )
+                df_s = np.where(df > 0.0, df, 1.0)
+                p_welch[gw] = np.where(
+                    df > 0.0,
+                    special.betainc(
+                        df_s / 2.0, 0.5, df_s / (df_s + t * t)
+                    ),
+                    1.0,
+                )
+            merged[bu] = variance_ok & (p_welch > self.alpha)
+
+        # Case 3: one observation (the n == 1 side's mu) against the
+        # until-based sample, same op order as single_observation_t_test.
+        mx = np.nonzero(single_a ^ single_b)[0]
+        if len(mx):
+            sample_first = ~single_a[mx]
+            s_var = np.where(sample_first, var_a[mx], var_b[mx])
+            s_mu = np.where(sample_first, mu_a[mx], mu_b[mx])
+            s_n = np.where(sample_first, n_a[mx], n_b[mx])
+            value = np.where(sample_first, mu_b[mx], mu_a[mx])
+            close_mx = np.abs(diff[mx]) <= 1e-12 * np.maximum(
+                np.abs(mu_a[mx]), np.abs(mu_b[mx])
+            )
+            p3 = np.where(close_mx, 1.0, 0.0)
+            g3 = np.nonzero(s_var > 0.0)[0]
+            if len(g3):
+                sn = s_n[g3]
+                s = np.sqrt(s_var[g3])
+                scale = s * np.sqrt(1.0 + 1.0 / sn)
+                t3 = (value[g3] - s_mu[g3]) / scale
+                df3 = sn - 1.0
+                p3[g3] = special.betainc(
+                    df3 / 2.0, 0.5, df3 / (df3 + t3 * t3)
+                )
+            merged[mx] = p3 > self.alpha
+
+        merged &= low[iu] & low[ju]
+        out = np.zeros((count, count), dtype=bool)
+        out[iu, ju] = merged
+        out[ju, iu] = merged
+        return out

@@ -25,7 +25,7 @@ instant produces no further state.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from .propositions import PropositionTrace
 from .temporal import NextAssertion, TemporalAssertion, UntilAssertion
@@ -146,6 +146,59 @@ class XUAutomaton:
             yield mined
 
 
-def mine_patterns(trace: PropositionTrace) -> list:
-    """All until/next patterns of a proposition trace, in order."""
-    return list(XUAutomaton(trace))
+def mine_patterns_rle(trace: PropositionTrace) -> List[MinedAssertion]:
+    """All until/next patterns, derived from the trace's run lengths.
+
+    The automaton's two recognitions map one-to-one onto the runs of the
+    integer-coded trace: a run of length 1 followed by another run is the
+    *next* pattern, a run of length >= 2 followed by another run is the
+    *until* pattern, and the final run (the one *nil* terminates) emits
+    nothing.  The whole scan therefore reduces to boundary arithmetic on
+    :func:`~repro.core.propositions.run_length_encode` output; assertion
+    objects are memoised per ``(body, exit)`` code pair, so a long trace
+    cycling through few behaviours allocates each assertion once.
+
+    Equivalent to :func:`mine_patterns` with ``engine="scan"`` — the
+    retained oracle — assertion for assertion, interval for interval.
+    """
+    starts, lengths, codes = trace.rle()
+    alphabet = trace.alphabet
+    start_list = starts.tolist()
+    length_list = lengths.tolist()
+    code_list = codes.tolist()
+    cache: Dict[Tuple[int, int, bool], TemporalAssertion] = {}
+    mined: List[MinedAssertion] = []
+    for k in range(len(start_list) - 1):
+        body, follower = code_list[k], code_list[k + 1]
+        is_next = length_list[k] == 1
+        key = (body, follower, is_next)
+        assertion = cache.get(key)
+        if assertion is None:
+            factory = NextAssertion if is_next else UntilAssertion
+            assertion = cache[key] = factory(
+                alphabet[body], alphabet[follower]
+            )
+        start = start_list[k]
+        mined.append(
+            MinedAssertion(
+                assertion, start=start, stop=start + length_list[k] - 1
+            )
+        )
+    return mined
+
+
+def mine_patterns(
+    trace: PropositionTrace, engine: str = "rle"
+) -> List[MinedAssertion]:
+    """All until/next patterns of a proposition trace, in order.
+
+    ``engine="rle"`` (the default) derives the patterns from the
+    run-length-encoded trace; ``engine="scan"`` replays the per-instant
+    two-slot automaton — kept as the equivalence oracle the fast path is
+    tested against.
+    """
+    if engine == "rle":
+        return mine_patterns_rle(trace)
+    if engine == "scan":
+        return list(XUAutomaton(trace))
+    raise ValueError(f"unknown engine {engine!r}; use 'rle' or 'scan'")

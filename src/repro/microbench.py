@@ -15,17 +15,22 @@ caches) do not pollute the figures.
 
 from __future__ import annotations
 
+import math
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from .bench import evaluation_trace, fit_benchmark, long_cycles, scale_factor
 from .core.join import join
 from .core.mining import AssertionMiner
 from .core.generator import generate_psms
+from .core.propositions import PropositionTrace
 from .core.psm import clone_psm
 from .core.simplify import simplify_all
 from .core.simulation import SinglePsmSimulator
 from .testbench import BENCHMARKS
+from .traces.power import PowerTrace
 
 #: Identifier of the payload layout (bump on breaking changes).
 SCHEMA = "psmgen-micro-bench/v1"
@@ -58,10 +63,13 @@ def micro_rows(
 ) -> List[dict]:
     """Per-stage timing rows for one IP.
 
-    The training stages run on the IP's short verification suite; the
-    labelling/simulation stages replay a fresh ``cycles``-instant long
-    suite through the short-TS model, matching the paper's Table III
-    setup (and the regime the RLE fast paths target).
+    ``mine``/``simplify`` run on the IP's short verification suite.
+    ``generate``/``join`` run on a ``cycles``-instant *long synthetic
+    training pair* — the short training behaviour tiled out to ``cycles``
+    instants — which is the regime the RLE generation and matrix join
+    engines target.  The labelling/simulation stages replay a fresh
+    ``cycles``-instant long suite through the short-TS model, matching
+    the paper's Table III setup.
     """
     cycles = cycles or long_cycles()
     spec = BENCHMARKS[name]
@@ -76,19 +84,34 @@ def micro_rows(
     power_map = {0: train_power}
     long_trace = evaluation_trace(name, cycles)
 
+    # Long synthetic training pair: the training proposition/power traces
+    # tiled out to the long-suite length.
+    train_gamma = mining.traces[0]
+    long_gamma = PropositionTrace.from_indices(
+        np.resize(train_gamma.indices, cycles), train_gamma.alphabet, 0
+    )
+    long_power = PowerTrace(np.resize(train_power.values, cycles))
+    long_power_map = {0: long_power}
+
     simplified = simplify_all(
         [clone_psm(p) for p in flow.raw_psms], power_map, config.merge
+    )
+    long_raw = generate_psms([long_gamma], [long_power])
+    long_simplified = simplify_all(
+        [clone_psm(p) for p in long_raw], long_power_map, config.merge
     )
     single = SinglePsmSimulator(flow.raw_psms[0], labeler)
 
     timings = {
         "mine": lambda: AssertionMiner(config.miner).mine(train_trace),
-        "generate": lambda: generate_psms(mining.traces, [train_power]),
+        "generate": lambda: generate_psms([long_gamma], [long_power]),
         "simplify": lambda: simplify_all(
             [clone_psm(p) for p in flow.raw_psms], power_map, config.merge
         ),
+        # join does not mutate its inputs, so the timed call runs on the
+        # precomputed simplified set directly (no per-call deep clone).
         "join": lambda: join(
-            [clone_psm(p) for p in simplified], power_map, config.merge
+            long_simplified, long_power_map, config.merge
         ),
         "label": lambda: labeler.label(long_trace),
         "simulate_single": lambda: single.run(long_trace),
@@ -96,9 +119,9 @@ def micro_rows(
     }
     stage_cycles = {
         "mine": len(train_trace),
-        "generate": len(train_trace),
+        "generate": len(long_gamma),
         "simplify": len(train_trace),
-        "join": len(train_trace),
+        "join": len(long_gamma),
         "label": len(long_trace),
         "simulate_single": len(long_trace),
         "estimate": len(long_trace),
@@ -179,6 +202,35 @@ def validate_micro(payload: dict) -> None:
         )
 
 
+def _row_throughput(row: dict) -> float:
+    """Comparable throughput of one result row.
+
+    Tiny-scale runs can record ``wall_s == 0`` (the stage finished below
+    the clock resolution), which the naive ``cycles / wall_s`` turns into
+    a ``ZeroDivisionError`` and a serialised ``cycles_per_s`` of
+    ``Infinity``.  Such rows — and rows missing the timing fields
+    entirely — are reported as ``0.0``, i.e. "no usable measurement",
+    which comparison code treats as *skip*, never as a regression.
+    """
+    throughput = row.get("cycles_per_s")
+    if (
+        isinstance(throughput, (int, float))
+        and math.isfinite(throughput)
+        and throughput > 0
+    ):
+        return float(throughput)
+    wall = row.get("wall_s")
+    cycles = row.get("cycles")
+    if (
+        not isinstance(wall, (int, float))
+        or not isinstance(cycles, (int, float))
+        or wall <= 0
+        or not math.isfinite(wall)
+    ):
+        return 0.0
+    return cycles / wall
+
+
 def compare_micro(
     current: dict, baseline: dict, threshold: float = 2.0
 ) -> List[str]:
@@ -186,25 +238,54 @@ def compare_micro(
 
     Compares *throughput* (``cycles_per_s``), so runs at different
     ``REPRO_SCALE`` remain comparable; a stage regresses when its
-    throughput dropped by more than ``threshold``x.  Returns
-    human-readable descriptions (empty = no regression).
+    throughput dropped by more than ``threshold``x.  Rows without a
+    usable measurement on either side (zero or missing wall time, as on
+    tiny-scale smoke runs) are skipped instead of dividing by zero.
+    Returns human-readable descriptions (empty = no regression).
     """
     validate_micro(current)
     validate_micro(baseline)
     base = {
-        (row["benchmark"], row["stage"]): row["cycles_per_s"]
+        (row["benchmark"], row["stage"]): _row_throughput(row)
         for row in baseline["results"]
     }
     regressions = []
     for row in current["results"]:
-        reference = base.get((row["benchmark"], row["stage"]))
-        if not reference or reference <= 0:
+        reference = base.get((row["benchmark"], row["stage"]), 0.0)
+        if reference <= 0:
             continue
-        ratio = reference / row["cycles_per_s"] if row["cycles_per_s"] else float("inf")
+        throughput = _row_throughput(row)
+        if throughput <= 0:
+            continue
+        ratio = reference / throughput
         if ratio > threshold:
             regressions.append(
                 f"{row['benchmark']}/{row['stage']}: "
-                f"{row['cycles_per_s']:.0f} cycles/s vs baseline "
+                f"{throughput:.0f} cycles/s vs baseline "
                 f"{reference:.0f} ({ratio:.1f}x slower)"
             )
     return regressions
+
+
+def speedups_micro(
+    current: dict, baseline: dict
+) -> Dict[Tuple[str, str], float]:
+    """Per-stage throughput ratio ``current / baseline``.
+
+    Keys are ``(benchmark, stage)``; values above 1.0 are speedups.
+    Rows without a usable measurement on either side are omitted.
+    """
+    validate_micro(current)
+    validate_micro(baseline)
+    base = {
+        (row["benchmark"], row["stage"]): _row_throughput(row)
+        for row in baseline["results"]
+    }
+    speedups: Dict[Tuple[str, str], float] = {}
+    for row in current["results"]:
+        key = (row["benchmark"], row["stage"])
+        reference = base.get(key, 0.0)
+        throughput = _row_throughput(row)
+        if reference > 0 and throughput > 0:
+            speedups[key] = throughput / reference
+    return speedups

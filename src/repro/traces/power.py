@@ -27,7 +27,10 @@ class PowerTrace:
 
     def __init__(self, values: Sequence[float], name: str = "power") -> None:
         self.name = name
-        arr = np.asarray(list(values), dtype=np.float64)
+        if isinstance(values, np.ndarray):
+            arr = np.array(values, dtype=np.float64, copy=True)
+        else:
+            arr = np.asarray(list(values), dtype=np.float64)
         if arr.ndim != 1:
             raise ValueError("power trace must be one-dimensional")
         if not np.all(np.isfinite(arr)):

@@ -1,5 +1,6 @@
 """Tests for the PSMGenerator procedure (paper Fig. 4)."""
 
+import numpy as np
 import pytest
 
 from repro.core.generator import generate_psm, generate_psms
@@ -9,6 +10,7 @@ from repro.core.propositions import (
     PropositionTrace,
     VarEqualsConst,
 )
+from repro.core.psm import reset_state_ids
 from repro.core.temporal import NextAssertion, UntilAssertion
 from repro.traces.power import PowerTrace
 
@@ -118,6 +120,66 @@ class TestGeneratePsms:
         psms = generate_psms([gamma, gamma2], [delta, delta])
         ids = [s.sid for psm in psms for s in psm.states]
         assert len(set(ids)) == len(ids)
+
+
+def psm_snapshot(psm):
+    """Engine-independent view of a PSM, exact to the bit."""
+    return (
+        [
+            (
+                s.sid,
+                repr(s.assertion),
+                s.attributes.mu,
+                s.attributes.sigma,
+                s.attributes.n,
+                tuple(
+                    (iv.trace_id, iv.start, iv.stop) for iv in s.intervals
+                ),
+            )
+            for s in psm.states
+        ],
+        [
+            (t.src, t.dst, repr(t.enabling)) for t in psm.transitions
+        ],
+        [s.sid for s in psm.initial_states],
+    )
+
+
+class TestEngineEquivalence:
+    """The RLE fast path must emit bit-identical PSMs to the scan oracle."""
+
+    def by_engine(self, gamma, delta, engine):
+        reset_state_ids()
+        return generate_psm(gamma, delta, engine=engine)
+
+    def test_fig5_example_identical(self, example):
+        p, gamma, delta = example
+        scan = psm_snapshot(self.by_engine(gamma, delta, "scan"))
+        rle = psm_snapshot(self.by_engine(gamma, delta, "rle"))
+        assert rle == scan
+
+    def test_randomized_traces_identical(self):
+        rng = np.random.default_rng(99)
+        for _ in range(50):
+            size = int(rng.integers(1, 4))
+            length = int(rng.integers(0, 40))
+            indices = []
+            while len(indices) < length:
+                indices.extend(
+                    [int(rng.integers(0, size))] * int(rng.integers(1, 5))
+                )
+            gamma = PropositionTrace.from_indices(
+                np.asarray(indices[:length], dtype=np.int32), props(size), 0
+            )
+            delta = PowerTrace(np.abs(rng.normal(3.0, 1.0, length)))
+            scan = psm_snapshot(self.by_engine(gamma, delta, "scan"))
+            rle = psm_snapshot(self.by_engine(gamma, delta, "rle"))
+            assert rle == scan
+
+    def test_unknown_engine_rejected(self, example):
+        p, gamma, delta = example
+        with pytest.raises(ValueError):
+            generate_psm(gamma, delta, engine="bogus")
 
 
 class TestEndToEndFromMining:

@@ -168,3 +168,88 @@ class TestJoin:
         # machine may or may not be deterministic; validate structure.
         machine.validate()
         assert total_states(joined) == 3
+
+
+def join_snapshot(psms):
+    """Sid-normalized structural view of a joined PSM set."""
+    out = []
+    for psm in sorted(psms, key=lambda m: min(s.sid for s in m.states)):
+        states = sorted(psm.states, key=lambda s: s.sid)
+        sid_map = {s.sid: k for k, s in enumerate(states)}
+        out.append(
+            (
+                [
+                    (
+                        sid_map[s.sid],
+                        repr(s.assertion),
+                        s.attributes.mu,
+                        s.attributes.sigma,
+                        s.attributes.n,
+                        tuple(
+                            (iv.trace_id, iv.start, iv.stop)
+                            for iv in s.intervals
+                        ),
+                    )
+                    for s in states
+                ],
+                sorted(
+                    (sid_map[t.src], sid_map[t.dst], repr(t.enabling))
+                    for t in psm.transitions
+                ),
+                sorted(sid_map[s.sid] for s in psm.initial_states),
+            )
+        )
+    return out
+
+
+class TestJoinEngines:
+    """The matrix engine must reproduce the scalar oracle bit for bit."""
+
+    def test_engines_identical_on_shared_idle(self):
+        p, psms, power = make_psms()
+        matrix = join_snapshot(join(psms, power, POLICY, engine="matrix"))
+        scalar = join_snapshot(join(psms, power, POLICY, engine="scalar"))
+        assert matrix == scalar
+
+    def test_engines_identical_on_randomized_chains(self):
+        import numpy as np
+
+        rng = np.random.default_rng(314)
+        alphabet = props(4)
+        for _ in range(15):
+            length = int(rng.integers(8, 120))
+            indices = []
+            while len(indices) < length:
+                indices.extend(
+                    [int(rng.integers(0, 4))] * int(rng.integers(1, 6))
+                )
+            gamma = PropositionTrace.from_indices(
+                np.asarray(indices[:length], dtype=np.int32), alphabet, 0
+            )
+            # a few power levels with noise so some states merge
+            delta = PowerTrace(
+                rng.normal(0, 0.02, length)
+                + np.asarray(indices[:length]) * 2.0
+                + 1.0
+            )
+            psms = [generate_psm(gamma, delta)]
+            matrix = join_snapshot(
+                join(psms, {0: delta}, POLICY, engine="matrix")
+            )
+            scalar = join_snapshot(
+                join(psms, {0: delta}, POLICY, engine="scalar")
+            )
+            assert matrix == scalar
+
+    def test_auto_selects_by_state_count(self):
+        p, psms, power = make_psms()
+        # auto must give the same result regardless of which backend it
+        # picks on either side of the threshold
+        auto = join_snapshot(join(psms, power, POLICY, engine="auto"))
+        scalar = join_snapshot(join(psms, power, POLICY, engine="scalar"))
+        assert auto == scalar
+
+    def test_unknown_engine_rejected(self):
+        p, psms, power = make_psms()
+        with pytest.raises(ValueError):
+            join(psms, power, POLICY, engine="bogus")

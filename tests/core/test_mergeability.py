@@ -168,3 +168,138 @@ class TestMergePolicy:
     def test_invalid_policy_rejected(self, kwargs):
         with pytest.raises(ValueError):
             MergePolicy(**kwargs)
+
+
+class TestMergeabilityMatrix:
+    """Batched pairwise decisions vs the scalar oracle."""
+
+    POLICIES = [
+        MergePolicy(),
+        MergePolicy(
+            epsilon=0.5,
+            epsilon_rel=0.0,
+            alpha=0.2,
+            max_cv=None,
+            variance_alpha=None,
+        ),
+        MergePolicy(
+            epsilon=0.0,
+            epsilon_rel=0.1,
+            alpha=0.01,
+            max_cv=0.1,
+            variance_alpha=0.05,
+        ),
+    ]
+
+    def random_attrs(self, rng, count):
+        out = []
+        for _ in range(count):
+            kind = int(rng.integers(0, 5))
+            if kind == 0:
+                # next-based single observations
+                out.append(attrs(float(rng.normal(5, 3)), 0.0, 1))
+            elif kind == 1:
+                # duplicate-prone grid values exercise the dedup path
+                out.append(
+                    attrs(
+                        float(rng.integers(0, 3)) * 0.5,
+                        float(rng.integers(0, 2)) * 0.25,
+                        int(rng.integers(2, 4)),
+                    )
+                )
+            elif kind == 2:
+                # zero-mean lanes hit the mu == 0 low-sigma branch
+                out.append(
+                    attrs(
+                        0.0,
+                        float(rng.choice([0.0, 0.3])),
+                        int(rng.integers(2, 10)),
+                    )
+                )
+            elif kind == 3:
+                # zero variance with n > 1: F-test/Welch fallbacks
+                out.append(
+                    attrs(float(rng.normal(10, 5)), 0.0, int(rng.integers(2, 8)))
+                )
+            else:
+                out.append(
+                    attrs(
+                        float(rng.normal(3, 1)),
+                        abs(float(rng.normal(0, 1))),
+                        1
+                        if rng.random() < 0.4
+                        else int(rng.integers(2, 30)),
+                    )
+                )
+        return out
+
+    def test_matches_scalar_oracle(self):
+        rng = np.random.default_rng(2024)
+        for policy in self.POLICIES:
+            for _ in range(6):
+                batch = self.random_attrs(rng, int(rng.integers(2, 40)))
+                matrix = policy.mergeability_matrix(batch)
+                for i, a in enumerate(batch):
+                    for j, b in enumerate(batch):
+                        assert matrix[i, j] == policy.mergeable_attributes(
+                            a, b
+                        )
+
+    def test_no_floating_point_warnings(self):
+        # The lane kernel must keep every division/betainc operand
+        # sanitized: zero-variance, n == 1 and duplicate rows together.
+        rng = np.random.default_rng(7)
+        batch = self.random_attrs(rng, 64)
+        with np.errstate(all="raise"):
+            for policy in self.POLICIES:
+                policy.mergeability_matrix(batch)
+
+    def test_scalar_fill_and_lane_kernel_agree(self):
+        # Force both sides of the _SCALAR_MAX_UNIQUE dispatch on the same
+        # unique rows.
+        policy = MergePolicy()
+        unique = np.array(
+            [
+                (3.0, 0.0, 1.0),
+                (3.0001, 0.0, 1.0),
+                (8.0, 0.0, 1.0),
+                (3.0, 0.1, 5.0),
+                (3.01, 0.12, 9.0),
+                (3.0, 0.0, 4.0),
+                (12.0, 0.4, 30.0),
+                (0.0, 0.0, 6.0),
+                (0.0, 0.3, 6.0),
+                (12.1, 0.38, 40.0),
+            ]
+        )
+        assert len(unique) > MergePolicy._SCALAR_MAX_UNIQUE
+        lanes = policy._unique_mergeability_matrix(unique)
+        saved = MergePolicy._SCALAR_MAX_UNIQUE
+        try:
+            MergePolicy._SCALAR_MAX_UNIQUE = len(unique) + 1
+            scalar = policy._unique_mergeability_matrix(unique)
+        finally:
+            MergePolicy._SCALAR_MAX_UNIQUE = saved
+        assert np.array_equal(lanes, scalar)
+
+    def test_lookup_expands_to_matrix(self):
+        policy = MergePolicy()
+        rng = np.random.default_rng(3)
+        batch = self.random_attrs(rng, 20)
+        small, inverse = policy.mergeability_lookup(batch)
+        assert len(inverse) == len(batch)
+        expanded = small[np.ix_(inverse, inverse)]
+        assert np.array_equal(expanded, policy.mergeability_matrix(batch))
+
+    def test_symmetric_with_diagonal(self):
+        policy = MergePolicy()
+        rng = np.random.default_rng(5)
+        batch = self.random_attrs(rng, 25)
+        matrix = policy.mergeability_matrix(batch)
+        assert np.array_equal(matrix, matrix.T)
+
+    def test_empty_input(self):
+        policy = MergePolicy()
+        assert policy.mergeability_matrix([]).shape == (0, 0)
+        small, inverse = policy.mergeability_lookup([])
+        assert small.shape == (0, 0) and len(inverse) == 0

@@ -1,0 +1,104 @@
+"""RLE pattern recognizer vs the per-instant XU automaton oracle.
+
+The RLE engine (:func:`repro.core.xu.mine_patterns_rle`) must emit
+exactly the patterns the two-slot scan automaton recognises — same
+assertions, same intervals, same order — on any proposition trace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.propositions import (
+    Proposition,
+    PropositionTrace,
+    VarEqualsConst,
+)
+from repro.core.xu import XUAutomaton, mine_patterns, mine_patterns_rle
+
+
+def props(n):
+    return [
+        Proposition(f"p_{i}", [VarEqualsConst("x", i)]) for i in range(n)
+    ]
+
+
+def trace_of(indices, alphabet_size=None):
+    alphabet = props(alphabet_size or (max(indices) + 1 if indices else 1))
+    return PropositionTrace.from_indices(
+        np.asarray(indices, dtype=np.int32), alphabet, 0
+    )
+
+
+def assert_engines_agree(trace):
+    scan = list(XUAutomaton(trace))
+    rle = mine_patterns_rle(trace)
+    assert rle == scan
+
+
+class TestEquivalenceOracle:
+    def test_randomized_traces(self):
+        rng = np.random.default_rng(1234)
+        for _ in range(200):
+            size = int(rng.integers(1, 5))
+            length = int(rng.integers(0, 60))
+            # Mix short and long runs so both next and until patterns
+            # appear, including repeated identical runs.
+            indices = []
+            while len(indices) < length:
+                indices.extend(
+                    [int(rng.integers(0, size))] * int(rng.integers(1, 6))
+                )
+            assert_engines_agree(trace_of(indices[:length], size))
+
+    def test_dispatch_selects_engine(self):
+        p = props(2)
+        trace = PropositionTrace([p[0], p[0], p[1]])
+        assert mine_patterns(trace, engine="rle") == mine_patterns(
+            trace, engine="scan"
+        )
+        with pytest.raises(ValueError):
+            mine_patterns(trace, engine="bogus")
+
+
+class TestKnownShapes:
+    def test_empty_trace(self):
+        assert mine_patterns_rle(trace_of([])) == []
+
+    def test_single_instant(self):
+        assert mine_patterns_rle(trace_of([0], 1)) == []
+
+    def test_single_run_no_exit(self):
+        # One maximal run never sees its exit proposition: nothing mined.
+        assert mine_patterns_rle(trace_of([0, 0, 0], 1)) == []
+
+    def test_trailing_run_emits_nothing(self):
+        # The last run is nil in Fig. 4 — the scan oracle discards it and
+        # so must the RLE engine, whatever the run's length.
+        for tail in ([1], [1, 1, 1]):
+            trace = trace_of([0, 0] + tail, 2)
+            mined = mine_patterns_rle(trace)
+            assert len(mined) == 1
+            assert (mined[0].start, mined[0].stop) == (0, 1)
+            assert_engines_agree(trace)
+
+    def test_trailing_single_instant_next(self):
+        # Next pattern whose follower is the final (discarded) run.
+        trace = trace_of([0, 1], 2)
+        mined = mine_patterns_rle(trace)
+        assert len(mined) == 1
+        assert mined[0].assertion.exit_proposition().label == "p_1"
+        assert_engines_agree(trace)
+
+    def test_repeated_pattern_shares_assertion_object(self):
+        # The RLE engine caches assertion instances per (body, follower,
+        # kind) — repeats of the same pattern must compare equal.
+        trace = trace_of([0, 0, 1, 0, 0, 1, 0], 2)
+        mined = mine_patterns_rle(trace)
+        assert mined[0].assertion == mined[2].assertion
+        assert_engines_agree(trace)
+
+    def test_alternating_all_distinct(self):
+        assert_engines_agree(trace_of([0, 1, 2, 3], 4))
+
+    def test_paper_fig3_trace(self):
+        assert_engines_agree(trace_of([0, 0, 0, 1, 1, 1, 2, 3], 4))

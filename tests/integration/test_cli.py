@@ -248,3 +248,70 @@ class TestDescribe:
         out = capsys.readouterr().out
         assert "state coverage" in out
         assert "transition coverage" in out
+
+
+class TestConvert:
+    def test_csv_binary_round_trip(self, trace_files, capsys):
+        binary = trace_files / "train.npt"
+        code = main(
+            [
+                "convert",
+                "--from-csv",
+                str(trace_files / "train"),
+                "--to-binary",
+                str(binary),
+            ]
+        )
+        assert code == 0
+        assert binary.exists()
+        assert "binary training pair written" in capsys.readouterr().out
+
+        code = main(
+            [
+                "convert",
+                "--from-binary",
+                str(binary),
+                "--to-csv",
+                str(trace_files / "back"),
+            ]
+        )
+        assert code == 0
+        assert "CSV training pair written" in capsys.readouterr().out
+
+        from repro.traces.io import load_training_pair
+
+        original_trace, original_power = load_training_pair(
+            trace_files / "train"
+        )
+        round_trip_trace, round_trip_power = load_training_pair(
+            trace_files / "back"
+        )
+        assert len(round_trip_trace) == len(original_trace)
+        assert round_trip_trace.at(0) == original_trace.at(0)
+        assert round_trip_trace.at(len(original_trace) - 1) == (
+            original_trace.at(len(original_trace) - 1)
+        )
+        assert (
+            round_trip_power.values.tobytes()
+            == original_power.values.tobytes()
+        )
+
+    def test_requires_exactly_one_source(self, trace_files, capsys):
+        assert main(["convert"]) == 2
+        assert main(
+            [
+                "convert",
+                "--from-csv",
+                str(trace_files / "train"),
+                "--from-binary",
+                "x.npt",
+            ]
+        ) == 2
+        capsys.readouterr()
+
+    def test_requires_matching_destination(self, trace_files, capsys):
+        assert main(
+            ["convert", "--from-csv", str(trace_files / "train")]
+        ) == 2
+        assert main(["convert", "--from-binary", "missing.npt"]) == 2
+        capsys.readouterr()

@@ -181,6 +181,23 @@ class TestParser:
         args = build_parser().parse_args(["tables", "--jobs", "4"])
         assert args.jobs == 4
 
+    def test_convert_arguments(self):
+        args = build_parser().parse_args(
+            ["convert", "--from-csv", "train", "--to-binary", "train.npt"]
+        )
+        assert args.command == "convert"
+        assert args.from_csv == "train"
+        assert args.to_binary == "train.npt"
+        assert args.from_binary is None
+        assert args.to_csv is None
+
+    def test_convert_from_binary_arguments(self):
+        args = build_parser().parse_args(
+            ["convert", "--from-binary", "t.npt", "--to-csv", "out"]
+        )
+        assert args.from_binary == "t.npt"
+        assert args.to_csv == "out"
+
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

@@ -10,8 +10,10 @@ import pytest
 from repro.microbench import (
     SCHEMA,
     STAGES,
+    _row_throughput,
     compare_micro,
     run_micro,
+    speedups_micro,
     validate_micro,
 )
 
@@ -46,6 +48,9 @@ class TestRunMicro:
         assert by_stage["label"]["cycles"] == 1000
         assert by_stage["simulate_single"]["cycles"] == 1000
         assert by_stage["estimate"]["cycles"] == 1000
+        # generate/join run on the long synthetic *training* pair
+        assert by_stage["generate"]["cycles"] == 1000
+        assert by_stage["join"]["cycles"] == 1000
 
     def test_payload_round_trips_as_json(self, ram_payload):
         validate_micro(json.loads(json.dumps(ram_payload)))
@@ -97,3 +102,46 @@ class TestCompare:
         for row in renamed["results"]:
             row["benchmark"] = "OtherIP"
         assert compare_micro(ram_payload, renamed) == []
+
+    def test_zero_wall_baseline_skipped(self, ram_payload):
+        # Tiny-scale smoke runs can record wall_s == 0 and a serialised
+        # throughput of Infinity; such rows must be skipped, not divide.
+        degenerate = copy.deepcopy(ram_payload)
+        for row in degenerate["results"]:
+            row["wall_s"] = 0.0
+            row["cycles_per_s"] = float("inf")
+        assert compare_micro(ram_payload, degenerate) == []
+        assert compare_micro(degenerate, ram_payload) == []
+
+    def test_missing_wall_recomputed_or_skipped(self, ram_payload):
+        row = dict(ram_payload["results"][0])
+        row["cycles_per_s"] = float("inf")
+        row["wall_s"] = 0.5
+        assert _row_throughput(row) == row["cycles"] / 0.5
+        row["wall_s"] = 0.0
+        assert _row_throughput(row) == 0.0
+        del row["wall_s"]
+        assert _row_throughput(row) == 0.0
+
+
+class TestSpeedups:
+    def test_self_speedup_is_one(self, ram_payload):
+        ratios = speedups_micro(ram_payload, ram_payload)
+        assert set(ratios) == {
+            ("RAM", stage) for stage in STAGES
+        }
+        assert all(v == pytest.approx(1.0) for v in ratios.values())
+
+    def test_faster_current_reports_gain(self, ram_payload):
+        slow_baseline = copy.deepcopy(ram_payload)
+        for row in slow_baseline["results"]:
+            row["cycles_per_s"] /= 4.0
+        ratios = speedups_micro(ram_payload, slow_baseline)
+        assert all(v == pytest.approx(4.0) for v in ratios.values())
+
+    def test_unusable_rows_omitted(self, ram_payload):
+        degenerate = copy.deepcopy(ram_payload)
+        for row in degenerate["results"]:
+            row["wall_s"] = 0.0
+            row["cycles_per_s"] = float("inf")
+        assert speedups_micro(ram_payload, degenerate) == {}

@@ -5,11 +5,19 @@ import pytest
 
 from repro.traces.functional import FunctionalTrace
 from repro.traces.io import (
+    BINARY_MAGIC,
+    BinaryTraceReader,
+    load_functional_bin,
     load_functional_csv,
+    load_power_bin,
     load_power_csv,
+    load_training_bin,
     load_training_pair,
+    save_functional_bin,
     save_functional_csv,
+    save_power_bin,
     save_power_csv,
+    save_training_bin,
     save_training_pair,
 )
 from repro.traces.power import PowerTrace
@@ -81,3 +89,162 @@ class TestTrainingPair:
     def test_length_mismatch_rejected(self, trace, tmp_path):
         with pytest.raises(ValueError):
             save_training_pair(trace, PowerTrace([1.0]), tmp_path / "pair")
+
+
+@pytest.fixture
+def wide_trace():
+    specs = [bool_in("en"), int_in("key", 128), int_in("bus", 130), int_out("q", 8)]
+    rows = 257
+    rng = np.random.default_rng(17)
+    key_values = [
+        int(rng.integers(0, 1 << 62)) | (int(rng.integers(0, 1 << 62)) << 64)
+        for _ in range(rows)
+    ]
+    bus_values = [
+        (1 << 129) | int(rng.integers(0, 1 << 62)) for _ in range(rows)
+    ]
+    return FunctionalTrace(
+        specs,
+        {
+            "en": [int(v) for v in rng.integers(0, 2, rows)],
+            "key": key_values,
+            "bus": bus_values,
+            "q": [int(v) for v in rng.integers(0, 256, rows)],
+        },
+        name="bin-test",
+    )
+
+
+@pytest.fixture
+def wide_power():
+    rng = np.random.default_rng(23)
+    return PowerTrace(np.abs(rng.normal(3.0, 1.0, 257)), name="bin-test")
+
+
+class TestBinaryContainer:
+    def test_functional_round_trip(self, wide_trace, tmp_path):
+        path = tmp_path / "t.npt"
+        save_functional_bin(wide_trace, path)
+        loaded = load_functional_bin(path)
+        assert loaded.variable_names == wide_trace.variable_names
+        assert loaded.name == wide_trace.name
+        assert len(loaded) == len(wide_trace)
+        for k in (0, 1, 128, 256):
+            assert loaded.at(k) == wide_trace.at(k)
+
+    def test_wide_columns_exact(self, wide_trace, tmp_path):
+        path = tmp_path / "t.npt"
+        save_functional_bin(wide_trace, path)
+        loaded = load_functional_bin(path)
+        assert list(loaded.column("key")) == list(wide_trace.column("key"))
+        assert list(loaded.column("bus")) == list(wide_trace.column("bus"))
+
+    def test_power_round_trip_bit_exact(self, wide_power, tmp_path):
+        path = tmp_path / "p.npt"
+        save_power_bin(wide_power, path)
+        loaded = load_power_bin(path)
+        assert (
+            loaded.values.tobytes() == wide_power.values.tobytes()
+        )
+
+    def test_training_round_trip(self, wide_trace, wide_power, tmp_path):
+        path = tmp_path / "pair.npt"
+        save_training_bin(wide_trace, wide_power, path)
+        functional, power = load_training_bin(path)
+        assert len(functional) == len(power) == len(wide_trace)
+        assert functional.at(42) == wide_trace.at(42)
+        assert power.values.tobytes() == wide_power.values.tobytes()
+
+    def test_length_mismatch_rejected(self, wide_trace, tmp_path):
+        with pytest.raises(ValueError):
+            save_training_bin(
+                wide_trace, PowerTrace([1.0]), tmp_path / "bad.npt"
+            )
+
+    def test_csv_and_binary_agree(self, wide_trace, wide_power, tmp_path):
+        save_training_pair(wide_trace, wide_power, tmp_path / "pair")
+        csv_trace, csv_power = load_training_pair(tmp_path / "pair")
+        save_training_bin(wide_trace, wide_power, tmp_path / "pair.npt")
+        bin_trace, bin_power = load_training_bin(tmp_path / "pair.npt")
+        for k in range(0, len(wide_trace), 37):
+            assert bin_trace.at(k) == csv_trace.at(k)
+        assert bin_power.values.tobytes() == csv_power.values.tobytes()
+
+
+class TestBinaryReader:
+    def test_chunked_streaming_reconstructs_rows(
+        self, wide_trace, wide_power, tmp_path
+    ):
+        path = tmp_path / "pair.npt"
+        save_training_bin(wide_trace, wide_power, path)
+        reader = BinaryTraceReader(path)
+        seen = 0
+        for start, functional, power in reader.chunks(100):
+            assert start == seen
+            assert len(functional) == len(power)
+            for k in range(len(functional)):
+                assert functional.at(k) == wide_trace.at(start + k)
+            assert (
+                power.tobytes()
+                == wide_power.values[start : start + len(power)].tobytes()
+            )
+            seen += len(functional)
+        assert seen == len(wide_trace)
+
+    def test_windowed_column_reads(self, wide_trace, tmp_path):
+        path = tmp_path / "t.npt"
+        save_functional_bin(wide_trace, path)
+        reader = BinaryTraceReader(path)
+        assert (
+            reader.column_values("q", 10, 5)
+            == wide_trace.column("q")[10:15].tolist()
+        )
+        assert (
+            reader.column_values("key", 250, 7)
+            == list(wide_trace.column("key")[250:257])
+        )
+        with pytest.raises(IndexError):
+            reader.column_values("q", 250, 100)
+
+    def test_memmaps_match(self, wide_trace, wide_power, tmp_path):
+        path = tmp_path / "pair.npt"
+        save_training_bin(wide_trace, wide_power, path)
+        reader = BinaryTraceReader(path)
+        assert np.array_equal(
+            np.asarray(reader.memmap_power()), wide_power.values
+        )
+        q = np.asarray(reader.memmap_column("q"))
+        assert q.tolist() == wide_trace.column("q").tolist()
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.npt"
+        path.write_bytes(b"NOTATRACE" + b"\0" * 64)
+        with pytest.raises(ValueError):
+            BinaryTraceReader(path)
+
+    def test_unsupported_format_rejected(self, wide_trace, tmp_path):
+        path = tmp_path / "t.npt"
+        save_functional_bin(wide_trace, path)
+        raw = path.read_bytes()
+        # Same-length version bump keeps the header offsets intact.
+        patched = raw.replace(b"psmgen-trace/v1", b"psmgen-trace/v9", 1)
+        assert patched != raw
+        path.write_bytes(patched)
+        with pytest.raises(ValueError):
+            BinaryTraceReader(path)
+
+    def test_truncated_block_detected(self, wide_trace, tmp_path):
+        path = tmp_path / "t.npt"
+        save_functional_bin(wide_trace, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 64])
+        with pytest.raises(ValueError):
+            BinaryTraceReader(path).column_values("q")
+
+    def test_power_only_container(self, wide_power, tmp_path):
+        path = tmp_path / "p.npt"
+        save_power_bin(wide_power, path)
+        reader = BinaryTraceReader(path)
+        assert reader.has_power
+        with pytest.raises(ValueError):
+            reader.read_functional()
