@@ -127,7 +127,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     count = len(args.func)
     for index, func_path in enumerate(args.func):
         trace = load_functional_csv(func_path)
-        result = simulator.run(trace)
+        result = simulator.run(trace, engine=args.engine)
         prefix = f"[{func_path}] " if count > 1 else ""
         print(
             f"{prefix}estimated {len(trace)} instants: "
@@ -363,6 +363,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import gc
 
     from .serve.server import create_server
 
@@ -383,8 +384,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             cap=args.cap,
             request_timeout=args.timeout,
+            engine=args.engine,
         )
         await server.start()
+        # Long-lived process: move the (large) startup object graph out
+        # of the cyclic collector's scan set so steady-state traffic
+        # only pays for its own short-lived garbage.
+        gc.collect()
+        gc.freeze()
         models = ", ".join(server.registry.discover()) or "none yet"
         print(
             f"serving {args.models_dir} on "
@@ -438,6 +445,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         concurrency=args.concurrency,
         timeout=args.timeout,
+        warmup=args.warmup,
+        payload=args.payload,
     )
     print(format_report(report))
     if args.json:
@@ -520,6 +529,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "write the estimated power trace CSV (indexed as NAME.N.csv "
             "when several --func traces are given)"
+        ),
+    )
+    estimate.add_argument(
+        "--engine",
+        choices=("auto", "compiled", "object"),
+        default="auto",
+        help=(
+            "estimation backend: compiled segment tables (default via "
+            "auto) or the object-graph oracle; results are bit-identical"
         ),
     )
     estimate.set_defaults(func_cmd=_cmd_estimate)
@@ -657,6 +675,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="per-request timeout in seconds (expiry answers 504)",
     )
+    serve.add_argument(
+        "--engine",
+        choices=("auto", "compiled", "object"),
+        default="auto",
+        help=(
+            "batch execution backend: compiled kernels (default via "
+            "auto) or the object-graph oracle; results are bit-identical"
+        ),
+    )
     serve.set_defaults(func_cmd=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -704,6 +731,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=10.0,
         help="per-request client timeout in seconds",
+    )
+    loadgen.add_argument(
+        "--warmup",
+        type=int,
+        default=0,
+        help=(
+            "requests sent before the timed window and excluded from "
+            "latency stats (hides one-off model load/compile cost)"
+        ),
+    )
+    loadgen.add_argument(
+        "--payload",
+        choices=("json", "npt"),
+        default="json",
+        help=(
+            "request encoding: json trace documents or packed binary "
+            ".npt containers (the zero-copy estimate route)"
+        ),
     )
     loadgen.add_argument(
         "--json", help="write the psmgen-loadgen/v1 report to this path"

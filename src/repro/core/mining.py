@@ -204,19 +204,36 @@ class PropositionLabeler:
         a direct-addressed code table; wider ones fall back on a single
         ``np.unique`` over packed row codes, probing the universe once per
         *distinct* valuation instead of once per instant.
+
+        The result is memoised on the trace itself (when it exposes the
+        derived-data cache protocol), so repeated estimates of the same
+        trace — every per-PSM simulation of a ``flow.estimate``, or the
+        compiled engine re-running a benchmark window — label it once.
         """
+        cache_get = getattr(trace, "cache_get", None)
+        cache_key = ("label_indices", id(self))
+        if cache_get is not None:
+            cached = cache_get(cache_key)
+            if cached is not None:
+                return cached
         matrix = _trace_truth_matrix((self.atoms, trace))
         codes = _row_codes(matrix)
         if 0 < len(self.atoms) <= _DENSE_MAX_BITS:
             dense, lut = self._dense_tables()
-            return dense.take(codes), lut
-        _, first, inverse = np.unique(
-            codes, return_index=True, return_inverse=True
-        )
-        lut = [
-            self._universe.get(matrix[i].tobytes()) for i in first.tolist()
-        ]
-        return inverse.astype(np.int32), lut
+            result = dense.take(codes), lut
+        else:
+            _, first, inverse = np.unique(
+                codes, return_index=True, return_inverse=True
+            )
+            lut = [
+                self._universe.get(matrix[i].tobytes())
+                for i in first.tolist()
+            ]
+            result = inverse.astype(np.int32), lut
+        cache_set = getattr(trace, "cache_set", None)
+        if cache_set is not None:
+            cache_set(cache_key, result)
+        return result
 
     def _dense_tables(
         self,
@@ -251,16 +268,30 @@ class PropositionLabeler:
         return table.take(indices).tolist()
 
     def label_segments(self, trace: FunctionalTrace) -> "LabeledRuns":
-        """Run-length-encoded labelling of ``trace`` (simulator fast path)."""
+        """Run-length-encoded labelling of ``trace`` (simulator fast path).
+
+        Memoised on the trace like :meth:`label_indices`; the returned
+        :class:`LabeledRuns` is treated as immutable by every consumer.
+        """
+        cache_get = getattr(trace, "cache_get", None)
+        cache_key = ("label_segments", id(self))
+        if cache_get is not None:
+            cached = cache_get(cache_key)
+            if cached is not None:
+                return cached
         indices, lut = self.label_indices(trace)
         starts, lengths, seg_indices = run_length_encode(indices)
         seg_props = [lut[i] for i in seg_indices.tolist()]
-        return LabeledRuns(
+        runs = LabeledRuns(
             n=len(indices),
             starts=starts,
             lengths=lengths,
             props=seg_props,
         )
+        cache_set = getattr(trace, "cache_set", None)
+        if cache_set is not None:
+            cache_set(cache_key, runs)
+        return runs
 
     def stats(self) -> Dict[str, object]:
         """Effectiveness counters of the per-assignment memo cache.

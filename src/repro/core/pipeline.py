@@ -272,10 +272,16 @@ class PsmFlow:
         self._require_fitted()
         return self._simulator
 
-    def estimate(self, trace: FunctionalTrace) -> EstimationResult:
-        """Estimate the power trace of an arbitrary functional trace."""
+    def estimate(
+        self, trace: FunctionalTrace, engine: str = "auto"
+    ) -> EstimationResult:
+        """Estimate the power trace of an arbitrary functional trace.
+
+        ``engine`` selects the execution backend — see
+        :meth:`MultiPsmSimulator.run`.
+        """
         self._require_fitted()
-        return self._simulator.run(trace)
+        return self._simulator.run(trace, engine=engine)
 
     def evaluate(
         self, trace: FunctionalTrace, reference: PowerTrace

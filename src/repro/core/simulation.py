@@ -327,9 +327,35 @@ class SinglePsmSimulator:
             raise ValueError("the PSM has no initial state")
         self.psm = psm
         self.labeler = labeler
+        self._compiled_machine = None
 
-    def run(self, trace: FunctionalTrace, rle: bool = True) -> EstimationResult:
-        """Estimate the power of ``trace`` by stepping the PSM."""
+    def _compiled(self):
+        """The compiled (table-driven) form of this simulator, cached."""
+        if self._compiled_machine is None:
+            from .compiled import CompiledSingle
+
+            self._compiled_machine = CompiledSingle(self)
+        return self._compiled_machine
+
+    def run(
+        self,
+        trace: FunctionalTrace,
+        rle: bool = True,
+        engine: str = "auto",
+    ) -> EstimationResult:
+        """Estimate the power of ``trace`` by stepping the PSM.
+
+        ``engine`` selects the execution backend: ``"compiled"`` runs
+        the lazily-compiled segment tables (DESIGN.md §3.5),
+        ``"object"`` forces the interpreting simulator (the
+        bit-exactness oracle), and ``"auto"`` (default) compiles when
+        the RLE path is requested.  All backends produce the exact same
+        :class:`EstimationResult`.
+        """
+        if engine not in ("auto", "compiled", "object"):
+            raise ValueError(f"unknown engine: {engine!r}")
+        if engine == "compiled" or (engine == "auto" and rle):
+            return self._compiled().run(trace)
         if rle:
             return self._run_rle(trace)
         return self._run_instantwise(trace)
@@ -527,6 +553,15 @@ class MultiPsmSimulator:
         # cache them per proposition.
         self._entry_cache: dict = {}
         self._anywhere_cache: dict = {}
+        self._compiled_machine = None
+
+    def _compiled(self):
+        """The compiled (table-driven) form of this simulator, cached."""
+        if self._compiled_machine is None:
+            from .compiled import CompiledMulti
+
+            self._compiled_machine = CompiledMulti(self)
+        return self._compiled_machine
 
     # ------------------------------------------------------------------
     def _entry_candidates(self, prop: Proposition) -> List[int]:
@@ -578,14 +613,27 @@ class MultiPsmSimulator:
         return seen
 
     # ------------------------------------------------------------------
-    def run(self, trace: FunctionalTrace, rle: bool = True) -> EstimationResult:
+    def run(
+        self,
+        trace: FunctionalTrace,
+        rle: bool = True,
+        engine: str = "auto",
+    ) -> EstimationResult:
         """Estimate the power of ``trace`` with the full PSM set.
 
         The default path is driven by the run-length-encoded proposition
         view (stable until bodies and unresynchronisable stretches cost
         O(1) per segment); ``rle=False`` selects the historical
-        per-instant path.  Both produce the exact same result.
+        per-instant path.  ``engine`` picks the backend: ``"compiled"``
+        runs the lazily-compiled segment tables (DESIGN.md §3.5),
+        ``"object"`` forces this interpreting simulator, and ``"auto"``
+        (default) compiles when RLE is requested.  All paths produce the
+        exact same result.
         """
+        if engine not in ("auto", "compiled", "object"):
+            raise ValueError(f"unknown engine: {engine!r}")
+        if engine == "compiled" or (engine == "auto" and rle):
+            return self._compiled().run(trace)
         if rle:
             return self._run_rle(trace)
         return self._run_instantwise(trace)

@@ -35,7 +35,11 @@ from .traces.power import PowerTrace
 #: Identifier of the payload layout (bump on breaking changes).
 SCHEMA = "psmgen-micro-bench/v1"
 
-#: The stages one micro-bench run times, in report order.
+#: The stages one micro-bench run times, in report order.  The
+#: ``simulate_single`` / ``estimate`` rows run the compiled (dense
+#: table) engine — the serving default — while the ``*_object`` rows
+#: replay the same traces through the object-graph oracle so every
+#: report carries its own like-for-like engine comparison.
 STAGES = (
     "mine",
     "generate",
@@ -43,8 +47,24 @@ STAGES = (
     "join",
     "label",
     "simulate_single",
+    "simulate_single_object",
     "estimate",
+    "estimate_object",
 )
+
+#: Engine column per stage ("" = stage has no simulation engine).
+STAGE_ENGINES = {
+    "simulate_single": "compiled",
+    "simulate_single_object": "object",
+    "estimate": "compiled",
+    "estimate_object": "object",
+}
+
+#: compiled stage -> object-oracle stage timed on the same run.
+OBJECT_BASELINES = {
+    "simulate_single": "simulate_single_object",
+    "estimate": "estimate_object",
+}
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> float:
@@ -114,8 +134,12 @@ def micro_rows(
             long_simplified, long_power_map, config.merge
         ),
         "label": lambda: labeler.label(long_trace),
-        "simulate_single": lambda: single.run(long_trace),
-        "estimate": lambda: flow.estimate(long_trace),
+        "simulate_single": lambda: single.run(long_trace, engine="compiled"),
+        "simulate_single_object": lambda: single.run(
+            long_trace, engine="object"
+        ),
+        "estimate": lambda: flow.estimate(long_trace, engine="compiled"),
+        "estimate_object": lambda: flow.estimate(long_trace, engine="object"),
     }
     stage_cycles = {
         "mine": len(train_trace),
@@ -124,21 +148,37 @@ def micro_rows(
         "join": len(long_gamma),
         "label": len(long_trace),
         "simulate_single": len(long_trace),
+        "simulate_single_object": len(long_trace),
         "estimate": len(long_trace),
+        "estimate_object": len(long_trace),
     }
     rows = []
+    walls: Dict[str, float] = {}
     for stage in STAGES:
         wall = _best_of(timings[stage], repeats)
+        walls[stage] = wall
         n = stage_cycles[stage]
-        rows.append(
-            {
-                "benchmark": name,
-                "stage": stage,
-                "wall_s": wall,
-                "cycles": n,
-                "cycles_per_s": n / wall if wall > 0 else float("inf"),
-            }
-        )
+        row = {
+            "benchmark": name,
+            "stage": stage,
+            "wall_s": wall,
+            "cycles": n,
+            "cycles_per_s": n / wall if wall > 0 else float("inf"),
+        }
+        engine = STAGE_ENGINES.get(stage)
+        if engine:
+            row["engine"] = engine
+        rows.append(row)
+    # Annotate the compiled rows with the same-run object baseline so a
+    # single report answers "how much faster is the compiled engine".
+    for row in rows:
+        baseline_stage = OBJECT_BASELINES.get(row["stage"])
+        if baseline_stage is None:
+            continue
+        baseline_wall = walls[baseline_stage]
+        row["object_wall_s"] = baseline_wall
+        if row["wall_s"] > 0 and baseline_wall > 0:
+            row["speedup_vs_object"] = baseline_wall / row["wall_s"]
     return rows
 
 

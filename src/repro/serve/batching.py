@@ -3,10 +3,13 @@
 Concurrent ``/v1/estimate`` requests targeting the same model are
 coalesced into one batch and simulated back-to-back in a single executor
 submission, amortising the scheduling and (in process mode) the
-cross-process dispatch over up to ``max_batch`` requests.  Simulation
-itself always takes the RLE fast path of
-:class:`~repro.core.simulation.MultiPsmSimulator`, so a served estimate
-is bit-identical to an offline ``psmgen estimate`` of the same window.
+cross-process dispatch over up to ``max_batch`` requests.  By default a
+batch executes on the compiled engine (DESIGN.md §3.5): every lane is
+integer-coded up front and swept through the model's shared segment
+tables in one kernel call, which is bit-identical to — and an order of
+magnitude faster than — stepping the object-graph
+:class:`~repro.core.simulation.MultiPsmSimulator` per trace
+(``engine="object"`` keeps that oracle path selectable).
 
 Execution modes follow :func:`repro.parallel.make_pool`: with
 ``jobs > 1`` (and process support) batches run on a persistent
@@ -35,9 +38,12 @@ from typing import Deque, Dict, List, Optional, Tuple
 from ..core.export import labeler_from_psms, load_psms
 from ..core.simulation import MultiPsmSimulator
 from ..parallel import make_pool, resolve_jobs
-from ..traces.io import functional_trace_from_json
+from ..traces.io import BinaryTraceReader, functional_trace_from_json
 from .metrics import MetricsRegistry
 from .registry import ModelEntry, ModelRegistry
+
+#: Backends a batch may execute on (``auto`` resolves to compiled).
+ENGINES = ("auto", "compiled", "object")
 
 
 class QueueFullError(RuntimeError):
@@ -58,33 +64,93 @@ class QueueFullError(RuntimeError):
 
 @dataclass
 class _Job:
-    """One pending estimate: its input and the future awaiting it."""
+    """One pending estimate: its tagged input and the awaiting future.
 
-    trace_json: dict
+    ``payload`` is ``("json", trace_document)`` for the JSON wire form
+    or ``("npt", container_bytes)`` for a binary ``.npt`` body (decoded
+    zero-copy at execution time).
+    """
+
+    payload: Tuple[str, object]
     future: "asyncio.Future"
 
 
-def simulate_one(entry_or_simulator, trace_json: dict) -> dict:
+def _decode_payload(payload: Tuple[str, object]):
+    """One job's trace: JSON rebuild or zero-copy ``.npt`` view."""
+    kind, data = payload
+    if kind == "npt":
+        return BinaryTraceReader.from_bytes(data).view_functional()
+    return functional_trace_from_json(data)
+
+
+def simulate_one(entry_or_simulator, trace_json: dict, engine: str = "auto") -> dict:
     """Simulate one trace window; the shared unit of work of every mode.
 
     Returns the ``EstimationResult.to_json`` payload plus the
-    simulation wall time.  Accepts either a registry entry or a bare
-    simulator so in-process and worker-process callers share one code
-    path (and therefore bit-identical results).
+    simulation wall time and the backend that produced it.  Accepts
+    either a registry entry or a bare simulator so in-process and
+    worker-process callers share one code path (and therefore
+    bit-identical results).
     """
     simulator = getattr(entry_or_simulator, "simulator", entry_or_simulator)
     trace = functional_trace_from_json(trace_json)
     start = time.perf_counter()
-    result = simulator.run(trace)
+    result = simulator.run(trace, engine=engine)
     wall = time.perf_counter() - start
     payload = result.to_json()
     payload["sim_seconds"] = wall
+    payload["engine"] = "object" if engine == "object" else "compiled"
     return payload
 
 
-def _simulate_batch_inline(entry: ModelEntry, traces: List[dict]) -> List[dict]:
+def _execute_batch(
+    simulator: MultiPsmSimulator,
+    payloads: List[Tuple[str, object]],
+    engine: str,
+) -> List[dict]:
+    """Run one coalesced batch; the shared body of both execution modes.
+
+    On the compiled engine the whole batch goes through one kernel
+    sweep over the simulator's shared segment tables: every lane is
+    integer-coded up front, then walked back-to-back, so each table
+    edge resolved for one request is reused by all the others.  Each
+    payload reports its amortised share of the batch kernel wall time
+    as ``sim_seconds`` plus the whole-batch figure.
+    """
+    traces = [_decode_payload(payload) for payload in payloads]
+    start = time.perf_counter()
+    if engine == "object":
+        results = []
+        walls = []
+        for trace in traces:
+            one = time.perf_counter()
+            results.append(simulator.run(trace, engine="object"))
+            walls.append(time.perf_counter() - one)
+        batch_wall = time.perf_counter() - start
+    else:
+        machine = simulator._compiled()
+        for trace in traces:
+            machine._coded(trace)
+        results = [machine.run(trace) for trace in traces]
+        batch_wall = time.perf_counter() - start
+        walls = [batch_wall / len(traces)] * len(traces)
+    out: List[dict] = []
+    for result, wall in zip(results, walls):
+        payload = result.to_json()
+        payload["sim_seconds"] = wall
+        payload["batch_sim_seconds"] = batch_wall
+        payload["engine"] = "object" if engine == "object" else "compiled"
+        out.append(payload)
+    return out
+
+
+def _simulate_batch_inline(
+    entry: ModelEntry,
+    payloads: List[Tuple[str, object]],
+    engine: str = "auto",
+) -> List[dict]:
     """Thread-mode batch body: reuse the registry's cached simulator."""
-    return [simulate_one(entry, trace_json) for trace_json in traces]
+    return _execute_batch(entry.simulator, payloads, engine)
 
 
 #: Per-worker-process bundle cache: ``(path, version) -> simulator``.
@@ -95,14 +161,18 @@ _WORKER_CACHE_CAP = 8
 
 
 def _simulate_batch_worker(
-    path: str, version: str, traces: List[dict]
+    path: str,
+    version: str,
+    payloads: List[Tuple[str, object]],
+    engine: str = "auto",
 ) -> List[dict]:
     """Process-mode batch body: load-and-cache the bundle, then simulate.
 
     Workers rebuild the simulator from the bundle *file* (nothing heavy
     crosses the process boundary) and cache it by ``(path, version)``,
     so a hot-reloaded bundle is picked up while steady-state batches pay
-    zero reload cost.
+    zero reload cost.  The compiled machine lives on the cached
+    simulator, so its tables survive across batches too.
     """
     key = (path, version)
     simulator = _WORKER_MODELS.get(key)
@@ -113,7 +183,7 @@ def _simulate_batch_worker(
         while len(_WORKER_MODELS) >= _WORKER_CACHE_CAP:
             _WORKER_MODELS.pop(next(iter(_WORKER_MODELS)))
         _WORKER_MODELS[key] = simulator
-    return [simulate_one(simulator, trace_json) for trace_json in traces]
+    return _execute_batch(simulator, payloads, engine)
 
 
 class MicroBatcher:
@@ -126,6 +196,11 @@ class MicroBatcher:
     coalescing comes from.
     """
 
+    #: Thread-mode batches whose recent wall EWMA sits under this many
+    #: seconds run inline on the event loop instead of hopping to the
+    #: executor — the handoff costs more than the compiled kernel.
+    INLINE_WALL_S = 0.002
+
     def __init__(
         self,
         registry: ModelRegistry,
@@ -133,8 +208,12 @@ class MicroBatcher:
         jobs: int = 1,
         max_queue: int = 64,
         max_batch: int = 8,
+        engine: str = "auto",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine: {engine!r}")
         self.registry = registry
+        self.engine = engine
         self.max_queue = max(int(max_queue), 1)
         self.max_batch = max(int(max_batch), 1)
         self._pool = make_pool(jobs)
@@ -188,13 +267,23 @@ class MicroBatcher:
         batches_ahead = (depth + self.max_batch - 1) // self.max_batch
         return min(max(1, round(batches_ahead * ewma + 0.5)), 30)
 
-    async def submit(self, model: str, trace_json: dict) -> dict:
+    async def submit(
+        self,
+        model: str,
+        trace_json: Optional[dict] = None,
+        npt_bytes: Optional[bytes] = None,
+    ) -> dict:
         """Queue one estimate and await its result payload.
 
-        Raises :class:`QueueFullError` immediately when the model's
-        queue is at capacity, and propagates registry errors (unknown /
-        quarantined model) and simulation errors from the executor.
+        The input is either a JSON trace document (``trace_json``) or a
+        binary ``.npt`` container body (``npt_bytes``), exactly one of
+        the two.  Raises :class:`QueueFullError` immediately when the
+        model's queue is at capacity, and propagates registry errors
+        (unknown / quarantined model) and simulation errors from the
+        executor.
         """
+        if (trace_json is None) == (npt_bytes is None):
+            raise ValueError("exactly one of trace_json/npt_bytes")
         entry = self.registry.get(model)  # validates + warms the cache
         queue = self._queues.setdefault(model, deque())
         if len(queue) >= self.max_queue:
@@ -203,7 +292,12 @@ class MicroBatcher:
                 model, len(queue), self.retry_after(model)
             )
         loop = asyncio.get_running_loop()
-        job = _Job(trace_json, loop.create_future())
+        payload = (
+            ("npt", npt_bytes)
+            if npt_bytes is not None
+            else ("json", trace_json)
+        )
+        job = _Job(payload, loop.create_future())
         queue.append(job)
         self._queue_depth.set(len(queue), model=model)
         self._ensure_drainer(model, entry)
@@ -245,22 +339,42 @@ class MicroBatcher:
         ]
         self._queue_depth.set(len(queue), model=model)
         self._batch_size.observe(len(batch))
-        traces = [job.trace_json for job in batch]
+        payloads = [job.payload for job in batch]
         loop = asyncio.get_running_loop()
         start = time.perf_counter()
         try:
             entry = self.registry.get(model)
+            if self.engine != "object":
+                # Per-digest compiled cache (ticks the compile counters;
+                # in thread mode the batch then runs on this machine).
+                self.registry.compiled_for(entry)
             if self._pool is not None:
                 results = await loop.run_in_executor(
                     self._pool,
                     _simulate_batch_worker,
                     str(entry.path),
                     entry.version,
-                    traces,
+                    payloads,
+                    self.engine,
+                )
+            elif (
+                self._batch_ewma.get(model, 1.0) < self.INLINE_WALL_S
+            ):
+                # Sub-millisecond batches (the compiled kernel on short
+                # windows) lose more latency to the thread handoff than
+                # to the simulation itself; run them on the loop.  The
+                # EWMA keeps genuinely slow models on the executor so a
+                # long batch can never stall unrelated connections.
+                results = _simulate_batch_inline(
+                    entry, payloads, self.engine
                 )
             else:
                 results = await loop.run_in_executor(
-                    self._threads, _simulate_batch_inline, entry, traces
+                    self._threads,
+                    _simulate_batch_inline,
+                    entry,
+                    payloads,
+                    self.engine,
                 )
         except Exception as exc:  # registry or simulation failure
             for job in batch:

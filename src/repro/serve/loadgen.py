@@ -18,6 +18,7 @@ the report exposes the gap.  The HTTP client is hand-rolled over
 from __future__ import annotations
 
 import asyncio
+import gc
 import json
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -68,7 +69,25 @@ async def http_request_json(
     payload: Optional[dict] = None,
     timeout: float = 10.0,
 ) -> Tuple[int, Dict[str, str], bytes]:
-    """One HTTP/1.1 request over a fresh connection (stdlib asyncio).
+    """One JSON HTTP/1.1 request over a fresh connection."""
+    body = (
+        json.dumps(payload).encode("utf-8") if payload is not None else b""
+    )
+    return await http_request_raw(
+        host, port, method, path, body, "application/json", timeout
+    )
+
+
+async def http_request_raw(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes,
+    content_type: str = "application/json",
+    timeout: float = 10.0,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """One HTTP/1.1 request with a pre-encoded body (stdlib asyncio).
 
     Returns ``(status, headers, body)``.  Matches the server's
     one-request-per-connection discipline.
@@ -77,13 +96,10 @@ async def http_request_json(
         asyncio.open_connection(host, port), timeout
     )
     try:
-        body = (
-            json.dumps(payload).encode("utf-8") if payload is not None else b""
-        )
         head = [
             f"{method} {path} HTTP/1.1",
             f"Host: {host}:{port}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]
@@ -115,6 +131,144 @@ async def http_request_json(
             pass
 
 
+#: Request encodings the load generator can replay.
+PAYLOADS = ("json", "npt")
+
+
+def _encode_request_bodies(
+    model: str, windows: Sequence[dict], payload: str
+) -> Tuple[str, str, List[bytes]]:
+    """Pre-encoded ``(path, content_type, bodies)`` for the load loop.
+
+    Encoding once up front keeps per-request client cost flat: the JSON
+    mode serialises each ``{"model", "trace"}`` document a single time,
+    the ``npt`` mode packs each window into the binary container
+    (``application/x-psmgen-npt``, model passed via the query string) so
+    the timed loop only ships bytes.
+    """
+    if payload == "json":
+        bodies = [
+            json.dumps({"model": model, "trace": window}).encode("utf-8")
+            for window in windows
+        ]
+        return "/v1/estimate", "application/json", bodies
+    if payload == "npt":
+        import tempfile
+        from pathlib import Path
+        from urllib.parse import quote
+
+        from ..traces.io import (
+            functional_trace_from_json,
+            save_functional_bin,
+        )
+
+        bodies = []
+        with tempfile.TemporaryDirectory() as tmp:
+            for index, window in enumerate(windows):
+                path = Path(tmp) / f"window{index}.npt"
+                save_functional_bin(
+                    functional_trace_from_json(window), path
+                )
+                bodies.append(path.read_bytes())
+        return (
+            f"/v1/estimate?model={quote(model)}",
+            "application/x-psmgen-npt",
+            bodies,
+        )
+    raise ValueError(f"unknown payload {payload!r}; want one of {PAYLOADS}")
+
+
+class _Lane:
+    """One persistent keep-alive connection of the load loop.
+
+    Opening a TCP connection per request costs both sides more loop CPU
+    than the estimate itself once the compiled kernel is in play, so
+    each concurrency lane keeps a single HTTP/1.1 connection open and
+    replays requests over it.  A stale connection (server restarted,
+    idle drop) is re-opened once; timeouts drop the connection and
+    propagate.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    def _drop(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+        self._reader = None
+        self._writer = None
+
+    async def close(self) -> None:
+        writer = self._writer
+        self._drop()
+        if writer is not None:
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def request(
+        self, method: str, path: str, body: bytes, content_type: str
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        for attempt in (0, 1):
+            fresh = self._writer is None
+            try:
+                return await asyncio.wait_for(
+                    self._attempt(method, path, body, content_type),
+                    self.timeout,
+                )
+            except asyncio.TimeoutError:
+                self._drop()
+                raise
+            except (OSError, asyncio.IncompleteReadError):
+                self._drop()
+                if fresh or attempt:
+                    raise
+        raise OSError("unreachable")
+
+    async def _attempt(
+        self, method: str, path: str, body: bytes, content_type: str
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        head = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+        ]
+        self._writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+        )
+        self._writer.write(body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        status = int(status_line.decode("latin-1").split(" ", 2)[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        data = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            self._drop()
+        return status, headers, data
+
+
 async def _run_loadgen_async(
     host: str,
     port: int,
@@ -124,12 +278,21 @@ async def _run_loadgen_async(
     duration_s: float,
     concurrency: int,
     timeout: float,
+    warmup: int = 0,
+    payload: str = "json",
 ) -> dict:
     """The load loop behind :func:`run_loadgen`."""
     if rps <= 0:
         raise ValueError("rps must be positive")
     if not windows:
         raise ValueError("loadgen needs at least one trace window")
+    path, content_type, bodies = _encode_request_bodies(
+        model, windows, payload
+    )
+    lanes = [
+        _Lane(host, port, timeout)
+        for _ in range(max(int(concurrency), 1))
+    ]
     semaphore = asyncio.Semaphore(max(int(concurrency), 1))
     latencies: List[float] = []
     status_counts: Dict[str, int] = {}
@@ -137,24 +300,37 @@ async def _run_loadgen_async(
     launched = 0
     lock = asyncio.Lock()
 
+    # Warm-up window: the first requests pay one-off server costs
+    # (bundle load, compile, import caches) that would otherwise skew
+    # the max/p99 columns; they run before the timed loop and are
+    # excluded from every latency statistic.
+    warmup_sent = 0
+    warmup_errors = 0
+    for index in range(max(int(warmup), 0)):
+        warmup_sent += 1
+        try:
+            await lanes[0].request(
+                "POST", path, bodies[index % len(bodies)], content_type
+            )
+        except (OSError, asyncio.TimeoutError, ValueError):
+            warmup_errors += 1
+
     async def _one(index: int) -> None:
         nonlocal transport_errors
-        window = windows[index % len(windows)]
+        body = bodies[index % len(bodies)]
         async with semaphore:
+            lane = lanes.pop()
             start = time.perf_counter()
             try:
-                status, _headers, _body = await http_request_json(
-                    host,
-                    port,
-                    "POST",
-                    "/v1/estimate",
-                    {"model": model, "trace": window},
-                    timeout=timeout,
+                status, _headers, _body = await lane.request(
+                    "POST", path, body, content_type
                 )
             except (OSError, asyncio.TimeoutError, ValueError):
                 async with lock:
                     transport_errors += 1
                 return
+            finally:
+                lanes.append(lane)
             elapsed = time.perf_counter() - start
             async with lock:
                 latencies.append(elapsed)
@@ -163,18 +339,31 @@ async def _run_loadgen_async(
 
     interval = 1.0 / rps
     loop = asyncio.get_running_loop()
+    # Defer cyclic GC for the timed window: a mid-run collection pause
+    # lands in some request's latency sample and pollutes the tail
+    # percentiles with client-side noise.  The window is seconds long
+    # and the loop allocates modestly, so the deferral is safe.
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
     t0 = loop.time()
     tasks: List[asyncio.Task] = []
-    while loop.time() - t0 < duration_s:
-        tasks.append(loop.create_task(_one(launched)))
-        launched += 1
-        next_tick = t0 + launched * interval
-        delay = next_tick - loop.time()
-        if delay > 0:
-            await asyncio.sleep(delay)
-    if tasks:
-        await asyncio.gather(*tasks)
-    elapsed = loop.time() - t0
+    try:
+        while loop.time() - t0 < duration_s:
+            tasks.append(loop.create_task(_one(launched)))
+            launched += 1
+            next_tick = t0 + launched * interval
+            delay = next_tick - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+        if tasks:
+            await asyncio.gather(*tasks)
+        elapsed = loop.time() - t0
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    for lane in lanes:
+        await lane.close()
     completed = len(latencies)
     errors_5xx = sum(
         count
@@ -191,6 +380,9 @@ async def _run_loadgen_async(
         "windows": len(windows),
         "requests": launched,
         "completed": completed,
+        "payload": payload,
+        "warmup_requests": warmup_sent,
+        "warmup_errors": warmup_errors,
         "throughput_rps": round(completed / elapsed, 3) if elapsed else 0.0,
         "status_counts": status_counts,
         "errors_5xx": errors_5xx,
@@ -215,17 +407,24 @@ def run_loadgen(
     duration_s: float = 5.0,
     concurrency: int = 8,
     timeout: float = 10.0,
+    warmup: int = 0,
+    payload: str = "json",
 ) -> dict:
     """Drive the server at ``rps`` for ``duration_s``; the v1 report.
 
     ``windows`` are pre-serialised functional-trace documents
     (:func:`~repro.traces.io.functional_trace_to_json`), replayed
-    round-robin.
+    round-robin.  ``warmup`` requests are sent (and awaited) before the
+    timed window and excluded from the latency statistics — the report
+    still records how many ran via ``warmup_requests``.  ``payload``
+    selects the request encoding: ``"json"`` posts the trace document,
+    ``"npt"`` packs each window once into the binary container and
+    exercises the server's zero-copy estimate route.
     """
     return asyncio.run(
         _run_loadgen_async(
             host, port, model, list(windows), rps, duration_s,
-            concurrency, timeout,
+            concurrency, timeout, warmup, payload,
         )
     )
 

@@ -12,7 +12,10 @@ constructed **once** per file version and cached:
   are evicted when a new model would exceed it;
 * every access stats the backing file; a changed ``(mtime, size)``
   signature triggers a hot reload, so operators can atomically replace a
-  bundle under a running server;
+  bundle under a running server.  A non-zero ``freshness_interval``
+  rate-limits that stat: a cached entry verified within the interval is
+  served without touching the filesystem, which matters on the serving
+  hot path where the registry is consulted per request;
 * a bundle that fails schema validation
   (:class:`~repro.core.export.ExportSchemaError`) is **quarantined**:
   the error is recorded, requests for the model fail fast with
@@ -73,6 +76,10 @@ class ModelEntry:
     simulator: MultiPsmSimulator
     loaded_at: float
     hits: int = 0
+    checked_at: float = 0.0
+    compiled: Optional[object] = None
+    compiled_digest: Optional[str] = None
+    compile_seconds: float = 0.0
 
     @property
     def version(self) -> str:
@@ -99,6 +106,8 @@ class ModelEntry:
             "loaded_at": self.loaded_at,
             "hits": self.hits,
             "quarantined": False,
+            "compiled": self.compiled is not None,
+            "compile_wall_s": self.compile_seconds,
         }
 
 
@@ -124,9 +133,11 @@ class ModelRegistry:
         models_dir: PathLike,
         cap: int = 8,
         metrics: Optional[MetricsRegistry] = None,
+        freshness_interval: float = 0.0,
     ) -> None:
         self.models_dir = Path(models_dir)
         self.cap = max(int(cap), 1)
+        self.freshness_interval = max(float(freshness_interval), 0.0)
         self._entries: "OrderedDict[str, ModelEntry]" = OrderedDict()
         self._quarantine: Dict[str, _QuarantineRecord] = {}
         self._lock = threading.RLock()
@@ -150,6 +161,18 @@ class ModelRegistry:
         self._loaded_gauge = metrics.gauge(
             "psmgen_models_loaded",
             "Model entries currently resident in the registry cache.",
+        )
+        self._compile_hits = metrics.counter(
+            "psmgen_model_compile_hits_total",
+            "Compiled-bundle lookups served from the per-digest cache.",
+        )
+        self._compile_misses = metrics.counter(
+            "psmgen_model_compile_misses_total",
+            "Compiled-bundle lookups that lowered a bundle to arrays.",
+        )
+        self._compile_wall = metrics.counter(
+            "psmgen_model_compile_seconds_total",
+            "Wall-clock seconds spent lowering bundles to compiled form.",
         )
 
     # ------------------------------------------------------------------
@@ -192,6 +215,21 @@ class ModelRegistry:
             The bundle failed validation and has not changed since.
         """
         path = self._path_for(name)
+        if self.freshness_interval > 0.0:
+            # Hot-path fast lane: a stat per lookup is measurable at
+            # serving rates, so trust a recently verified entry and
+            # defer hot-reload detection by at most the interval.
+            entry = self._entries.get(name)
+            if (
+                entry is not None
+                and time.monotonic() - entry.checked_at
+                < self.freshness_interval
+            ):
+                with self._lock:
+                    self._entries.move_to_end(name)
+                    entry.hits += 1
+                    self._hits.inc()
+                return entry
         signature = self._signature(path)
         if signature is None:
             with self._lock:
@@ -211,6 +249,7 @@ class ModelRegistry:
             if entry is not None and entry.signature == signature:
                 self._entries.move_to_end(name)
                 entry.hits += 1
+                entry.checked_at = time.monotonic()
                 self._hits.inc()
                 return entry
             return self._load(name, path, signature)
@@ -235,6 +274,7 @@ class ModelRegistry:
             labeler=labeler,
             simulator=MultiPsmSimulator(bundle.psms, labeler),
             loaded_at=time.time(),
+            checked_at=time.monotonic(),
         )
         self._entries[name] = entry
         self._entries.move_to_end(name)
@@ -245,6 +285,40 @@ class ModelRegistry:
         return entry
 
     # ------------------------------------------------------------------
+    def compiled_for(self, entry: ModelEntry):
+        """The compiled (dense-array) form of ``entry``, built per digest.
+
+        The first request for a bundle version pays the lowering cost
+        (:class:`~repro.core.compiled.CompiledBundle`); later requests —
+        and every batch — reuse the cached form.  A hot reload produces
+        a fresh entry, and the digest check catches in-place bundle
+        swaps, so stale tables can never serve a new model version.
+        """
+        with self._lock:
+            if (
+                entry.compiled is not None
+                and entry.compiled_digest == entry.version
+            ):
+                self._compile_hits.inc()
+                return entry.compiled
+            from ..core.compiled import CompiledBundle
+
+            self._compile_misses.inc()
+            compiled = CompiledBundle.from_simulator(entry.simulator)
+            entry.compiled = compiled
+            entry.compiled_digest = entry.version
+            entry.compile_seconds = compiled.compile_wall_s
+            self._compile_wall.inc(compiled.compile_wall_s)
+            return compiled
+
+    def compile_stats(self) -> Dict[str, float]:
+        """Registry-wide compile counters (``GET /v1/models`` payload)."""
+        return {
+            "compile_hits": int(self._compile_hits.value()),
+            "compile_misses": int(self._compile_misses.value()),
+            "compile_wall_s": float(self._compile_wall.value()),
+        }
+
     def refresh(self) -> None:
         """Drop entries whose files vanished; reload ones that changed."""
         with self._lock:

@@ -8,10 +8,16 @@ need is tiny).  Endpoints:
     ``{"model": name, "trace": {...}}`` (the
     :func:`~repro.traces.io.functional_trace_to_json` form) **or**
     ``{"model": name, "vectors": [{var: value, ...}, ...]}`` using the
-    variable declarations embedded in the bundle.  Responds with the
-    per-instant power plus WSP/desync metrics
+    variable declarations embedded in the bundle, **or** a raw binary
+    ``.npt`` trace container (``Content-Type:
+    application/x-psmgen-npt`` or the ``PSMT`` magic) addressed as
+    ``POST /v1/estimate?model=<name>`` — the binary body feeds the
+    compiled kernel zero-copy through
+    :meth:`~repro.traces.io.BinaryTraceReader.from_bytes`.  Responds
+    with the per-instant power plus WSP/desync metrics
     (:meth:`~repro.core.simulation.EstimationResult.to_json`), the
-    coalesced batch size and the simulation wall time.
+    coalesced batch size, the executing engine and the simulation wall
+    time.
 ``GET /v1/models``
     Registry contents: loaded entries (name, version digest, shape),
     unloaded bundles, quarantined files with their validation error.
@@ -22,9 +28,10 @@ need is tiny).  Endpoints:
 
 Error mapping: bad input -> 400, unknown model -> 404, queue full ->
 429 with ``Retry-After``, request timeout -> 504, quarantined model ->
-503, anything unexpected -> 500.  Connections are one-request
-(``Connection: close``), which every stdlib client handles and keeps
-the parser honest.
+503, anything unexpected -> 500.  Connections are HTTP/1.1 keep-alive
+by default — sustained clients (the loadgen's persistent lanes) reuse
+them request after request — while ``Connection: close`` clients get
+the old one-request discipline.
 """
 
 from __future__ import annotations
@@ -32,8 +39,10 @@ from __future__ import annotations
 import asyncio
 import json
 from typing import Optional, Tuple
+from urllib.parse import parse_qs
 
 from ..core.export import ExportSchemaError
+from ..traces.io import BINARY_MAGIC, BinaryTraceReader
 from .batching import MicroBatcher, QueueFullError
 from .metrics import MetricsRegistry
 from .registry import (
@@ -44,6 +53,9 @@ from .registry import (
 
 #: Largest accepted request body (bytes); estimate windows are bounded.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Content type selecting the binary ``.npt`` estimate input.
+NPT_CONTENT_TYPE = "application/x-psmgen-npt"
 
 #: Reason phrases for the status codes the server emits.
 REASONS = {
@@ -135,31 +147,43 @@ class PsmServer:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
-        """Serve one request on a fresh connection, then close it."""
+        """Serve requests on one connection until the client is done.
+
+        HTTP/1.1 keep-alive: the connection is reused for further
+        requests unless the client sends ``Connection: close`` (or
+        speaks HTTP/1.0), which spares both sides the per-request
+        connect/accept/teardown cost under sustained load.
+        """
         loop = asyncio.get_running_loop()
-        start = loop.time()
         endpoint = "other"
         try:
-            try:
-                method, path, body = await self._read_request(reader)
-            except BadRequestError as exc:
-                await self._respond(
-                    writer, 400, {"error": str(exc)}, "other", start
+            while True:
+                start = loop.time()
+                try:
+                    method, path, query, content_type, body, keep = (
+                        await self._read_request(reader)
+                    )
+                except BadRequestError as exc:
+                    await self._respond(
+                        writer, 400, {"error": str(exc)}, "other", start
+                    )
+                    return
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    asyncio.LimitOverrunError,
+                ):
+                    return  # client went away / closed between requests
+                endpoint = _endpoint_label(method, path)
+                status, payload, headers = await self._dispatch(
+                    method, path, query, content_type, body
                 )
-                return
-            except (
-                asyncio.IncompleteReadError,
-                ConnectionError,
-                asyncio.LimitOverrunError,
-            ):
-                return  # client went away mid-request
-            endpoint = _endpoint_label(method, path)
-            status, payload, headers = await self._dispatch(
-                method, path, body
-            )
-            await self._respond(
-                writer, status, payload, endpoint, start, headers
-            )
+                await self._respond(
+                    writer, status, payload, endpoint, start, headers,
+                    close=not keep,
+                )
+                if not keep:
+                    return
         except Exception as exc:  # last-resort 500, never kill the loop
             try:
                 await self._respond(
@@ -167,7 +191,7 @@ class PsmServer:
                     500,
                     {"error": f"internal error: {exc!r}"},
                     endpoint,
-                    start,
+                    loop.time(),
                 )
             except Exception:
                 pass
@@ -180,13 +204,19 @@ class PsmServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, bytes]:
-        """Parse one HTTP/1.1 request head + body."""
+    ) -> Tuple[str, str, str, str, bytes, bool]:
+        """Parse one HTTP/1.1 request head + body.
+
+        Returns ``(method, path, query, content_type, body, keep)`` —
+        the query string and content type drive the binary estimate
+        input; ``keep`` is whether the connection may serve another
+        request afterwards.
+        """
         request_line = await reader.readline()
         if not request_line:
             raise asyncio.IncompleteReadError(b"", None)
         try:
-            method, target, _version = (
+            method, target, version = (
                 request_line.decode("latin-1").strip().split(" ", 2)
             )
         except ValueError:
@@ -209,8 +239,11 @@ class PsmServer:
         if length < 0 or length > MAX_BODY_BYTES:
             raise BadRequestError("request body too large")
         body = await reader.readexactly(length) if length else b""
-        path = target.split("?", 1)[0]
-        return method, path, body
+        path, _, query = target.partition("?")
+        content_type = headers.get("content-type", "").partition(";")[0]
+        connection = headers.get("connection", "").lower()
+        keep = version != "HTTP/1.0" and connection != "close"
+        return method, path, query, content_type.strip().lower(), body, keep
 
     async def _respond(
         self,
@@ -220,10 +253,16 @@ class PsmServer:
         endpoint: str,
         start: float,
         headers: Tuple[Tuple[str, str], ...] = (),
+        close: bool = True,
     ) -> None:
         """Write one response and record the request metrics."""
         if isinstance(payload, (dict, list)):
-            body = (json.dumps(payload) + "\n").encode("utf-8")
+            # Compact separators: estimate responses carry per-instant
+            # arrays, and the default ", " padding costs both bytes and
+            # encoder time on the serving hot path.
+            body = (
+                json.dumps(payload, separators=(",", ":")) + "\n"
+            ).encode("utf-8")
             content_type = "application/json"
         else:
             body = str(payload).encode("utf-8")
@@ -232,7 +271,7 @@ class PsmServer:
             f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
             f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
-            "Connection: close",
+            f"Connection: {'close' if close else 'keep-alive'}",
         ]
         head.extend(f"{name}: {value}" for name, value in headers)
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
@@ -243,7 +282,14 @@ class PsmServer:
         self._latency.observe(loop.time() - start, endpoint=endpoint)
 
     # ------------------------------------------------------------------
-    async def _dispatch(self, method: str, path: str, body: bytes):
+    async def _dispatch(
+        self,
+        method: str,
+        path: str,
+        query: str,
+        content_type: str,
+        body: bytes,
+    ):
         """Route one request; returns ``(status, payload, headers)``."""
         if method == "GET" and path == "/healthz":
             return (
@@ -253,17 +299,25 @@ class PsmServer:
                     "models_loaded": len(self.registry.loaded_models()),
                     "models_available": len(self.registry.discover()),
                     "mode": self.batcher.mode,
+                    "engine": self.batcher.engine,
                 },
                 (),
             )
         if method == "GET" and path == "/v1/models":
-            return 200, {"models": self.registry.list_models()}, ()
+            return (
+                200,
+                {
+                    "models": self.registry.list_models(),
+                    **self.registry.compile_stats(),
+                },
+                (),
+            )
         if method == "GET" and path == "/metrics":
             return 200, self.metrics.render(), ()
         if path == "/v1/estimate":
             if method != "POST":
                 return 405, {"error": "use POST"}, ()
-            return await self._handle_estimate(body)
+            return await self._handle_estimate(body, query, content_type)
         return 404, {"error": f"no such endpoint {path!r}"}, ()
 
     def _trace_json_from_request(self, data: dict) -> Tuple[str, dict]:
@@ -316,19 +370,45 @@ class PsmServer:
             "columns": columns,
         }
 
-    async def _handle_estimate(self, body: bytes):
-        """The ``POST /v1/estimate`` route body."""
+    async def _handle_estimate(
+        self, body: bytes, query: str = "", content_type: str = ""
+    ):
+        """The ``POST /v1/estimate`` route body (JSON or binary)."""
+        is_npt = (
+            content_type == NPT_CONTENT_TYPE
+            or body[: len(BINARY_MAGIC)] == BINARY_MAGIC
+        )
+        if not is_npt:
+            try:
+                data = json.loads(body.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                return 400, {"error": f"invalid JSON body: {exc}"}, ()
+            if not isinstance(data, dict):
+                return 400, {"error": "body must be a JSON object"}, ()
         try:
-            data = json.loads(body.decode("utf-8"))
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            return 400, {"error": f"invalid JSON body: {exc}"}, ()
-        if not isinstance(data, dict):
-            return 400, {"error": "body must be a JSON object"}, ()
-        try:
-            model, trace_json = self._trace_json_from_request(data)
-            entry = self.registry.get(model)
+            if is_npt:
+                params = parse_qs(query)
+                model = (params.get("model") or [""])[0]
+                if not model:
+                    raise BadRequestError(
+                        "binary estimate needs a ?model=<name> "
+                        "query parameter"
+                    )
+                # Validate the container header before queueing; the
+                # body bytes travel to the kernel untouched.
+                reader = BinaryTraceReader.from_bytes(body)
+                if not reader.variables:
+                    raise BadRequestError(
+                        "binary trace carries no functional columns"
+                    )
+                entry = self.registry.get(model)
+                submission = self.batcher.submit(model, npt_bytes=body)
+            else:
+                model, trace_json = self._trace_json_from_request(data)
+                entry = self.registry.get(model)
+                submission = self.batcher.submit(model, trace_json)
             payload = await asyncio.wait_for(
-                self.batcher.submit(model, trace_json),
+                submission,
                 timeout=self.request_timeout,
             )
         except BadRequestError as exc:
@@ -375,21 +455,31 @@ def create_server(
     cap: int = 8,
     request_timeout: float = 30.0,
     metrics: Optional[MetricsRegistry] = None,
+    engine: str = "auto",
+    freshness_interval: float = 0.25,
 ) -> PsmServer:
     """Wire registry + batcher + metrics into a ready-to-start server.
 
     The one-call constructor used by ``psmgen serve`` and the test
     suite; ``port=0`` binds an ephemeral port (read ``server.port``
-    after :meth:`PsmServer.start`).
+    after :meth:`PsmServer.start`).  ``freshness_interval`` rate-limits
+    the registry's per-lookup hot-reload stat — replaced bundle files
+    are still picked up, just at most that many seconds late.
     """
     metrics = metrics or MetricsRegistry()
-    registry = ModelRegistry(models_dir, cap=cap, metrics=metrics)
+    registry = ModelRegistry(
+        models_dir,
+        cap=cap,
+        metrics=metrics,
+        freshness_interval=freshness_interval,
+    )
     batcher = MicroBatcher(
         registry,
         metrics=metrics,
         jobs=jobs,
         max_queue=max_queue,
         max_batch=max_batch,
+        engine=engine,
     )
     return PsmServer(
         registry,

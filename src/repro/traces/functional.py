@@ -50,6 +50,7 @@ class FunctionalTrace:
         self._columns: Dict[str, List[int]] = {v.name: [] for v in variables}
         self._frozen: Dict[str, np.ndarray] = {}
         self._hd_cache: Dict[tuple, np.ndarray] = {}
+        self._derived: Dict[object, object] = {}
         if columns is not None:
             missing = [v.name for v in variables if v.name not in columns]
             if missing:
@@ -67,6 +68,7 @@ class FunctionalTrace:
         """Append one simulation instant; ``row`` maps name -> value."""
         self._frozen.clear()
         self._hd_cache.clear()
+        self._derived.clear()
         for var in self._variables:
             if var.name not in row:
                 raise KeyError(f"row is missing variable {var.name!r}")
@@ -90,6 +92,7 @@ class FunctionalTrace:
             return
         self._frozen.clear()
         self._hd_cache.clear()
+        self._derived.clear()
         for name, values in staged.items():
             self._columns[name].extend(values)
 
@@ -119,6 +122,7 @@ class FunctionalTrace:
             return
         self._frozen.clear()
         self._hd_cache.clear()
+        self._derived.clear()
         for name, values in staged.items():
             self._columns[name].extend(values)
 
@@ -261,6 +265,20 @@ class FunctionalTrace:
     # ------------------------------------------------------------------
     # derived quantities
     # ------------------------------------------------------------------
+    def cache_get(self, key):
+        """Look up derived data attached to this trace (or ``None``).
+
+        Consumers (the proposition labeler, the compiled simulators)
+        memoise whole-trace derivations here; the cache is invalidated
+        whenever the trace mutates, exactly like the frozen-column and
+        Hamming-distance caches.
+        """
+        return self._derived.get(key)
+
+    def cache_set(self, key, value) -> None:
+        """Attach derived data to this trace (see :meth:`cache_get`)."""
+        self._derived[key] = value
+
     def hamming_distances(
         self, names: Optional[Sequence[str]] = None
     ) -> np.ndarray:
@@ -304,6 +322,125 @@ class FunctionalTrace:
         return (
             f"FunctionalTrace({self.name!r}, vars={len(self._variables)}, "
             f"len={len(self)})"
+        )
+
+
+class ArrayTrace:
+    """Read-only trace view over pre-built numpy columns (zero-copy).
+
+    Implements the subset of the :class:`FunctionalTrace` protocol the
+    labeler and the simulators consume — ``variables`` / ``column`` /
+    ``hamming_distances`` / ``__len__`` / the derived-data cache — while
+    borrowing the caller's arrays instead of copying them into Python
+    lists.  This is the serving layer's ``.npt`` fast path: columns
+    decoded by :class:`~repro.traces.io.BinaryTraceReader` (memmap or
+    ``frombuffer`` views) feed the compiled kernels without a row-wise
+    rebuild.
+
+    Narrow columns must already be ``int64``; wide (>62-bit) columns are
+    object arrays of Python ints.  Values are trusted, not re-validated:
+    the binary container's writer validated them once.
+    """
+
+    def __init__(
+        self,
+        variables: Sequence[VariableSpec],
+        columns: Mapping[str, np.ndarray],
+        name: str = "trace",
+    ) -> None:
+        if not variables:
+            raise ValueError("a trace needs at least one variable")
+        self.name = name
+        self._variables: List[VariableSpec] = list(variables)
+        self._index: Dict[str, VariableSpec] = {v.name: v for v in variables}
+        self._frozen: Dict[str, np.ndarray] = {}
+        lengths = set()
+        for var in self._variables:
+            if var.name not in columns:
+                raise KeyError(f"missing column for variable {var.name!r}")
+            arr = columns[var.name]
+            if not isinstance(arr, np.ndarray) or arr.ndim != 1:
+                raise ValueError(f"column {var.name!r} must be a 1-D array")
+            if var.width <= 62 and arr.dtype != np.int64:
+                arr = arr.astype(np.int64)  # normalise, copies only if needed
+            if arr.flags.writeable:
+                try:
+                    arr.setflags(write=False)
+                except ValueError:
+                    arr = arr.copy()
+                    arr.setflags(write=False)
+            lengths.add(len(arr))
+            self._frozen[var.name] = arr
+        if len(lengths) > 1:
+            raise ValueError("all columns must have the same length")
+        self._n = lengths.pop() if lengths else 0
+        self._hd_cache: Dict[tuple, np.ndarray] = {}
+        self._derived: Dict[object, object] = {}
+
+    # -- FunctionalTrace protocol subset -------------------------------
+    @property
+    def variables(self) -> List[VariableSpec]:
+        return list(self._variables)
+
+    @property
+    def variable_names(self) -> List[str]:
+        return [v.name for v in self._variables]
+
+    def spec(self, name: str) -> VariableSpec:
+        """The :class:`VariableSpec` for ``name``."""
+        return self._index[name]
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def column(self, name: str) -> np.ndarray:
+        """All values of variable ``name`` — the borrowed array itself."""
+        return self._frozen[name]
+
+    def cache_get(self, key):
+        """Derived-data cache (never invalidated: the view is immutable)."""
+        return self._derived.get(key)
+
+    def cache_set(self, key, value) -> None:
+        """Attach derived data to this view (see :meth:`cache_get`)."""
+        self._derived[key] = value
+
+    def hamming_distances(
+        self, names: Optional[Sequence[str]] = None
+    ) -> np.ndarray:
+        """Same definition (and bit-identical result) as the list-backed
+        trace: per-instant popcount of the XOR between consecutive rows."""
+        if names is None:
+            names = [v.name for v in self._variables]
+        key = tuple(names)
+        cached = self._hd_cache.get(key)
+        if cached is not None:
+            return cached
+        n = self._n
+        total = np.zeros(n, dtype=np.int64)
+        for name in names:
+            col = self.column(name)
+            if col.dtype == object:
+                values = col
+                pops = [0] * n
+                for i in range(1, n):
+                    pops[i] = (values[i] ^ values[i - 1]).bit_count()
+                total += np.asarray(pops, dtype=np.int64)
+            else:
+                diff = np.zeros(n, dtype=np.int64)
+                diff[1:] = col[1:] ^ col[:-1]
+                total += popcount(diff)
+        total.setflags(write=False)
+        self._hd_cache[key] = total
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ArrayTrace({self.name!r}, vars={len(self._variables)}, "
+            f"len={self._n})"
         )
 
 

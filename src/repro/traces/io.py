@@ -24,7 +24,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .functional import FunctionalTrace
+from .functional import ArrayTrace, FunctionalTrace
 from .power import PowerTrace
 from .variables import VariableSpec
 
@@ -362,20 +362,50 @@ class BinaryTraceReader:
     Parses the JSON header once; column and power data are then read on
     demand — fully, in ``[start, start + count)`` windows for chunked
     streaming, or as read-only memory maps that never materialise the
-    file in RAM.
+    file in RAM.  :meth:`from_bytes` reads the same container straight
+    out of an in-memory buffer (e.g. an HTTP request body) with
+    ``np.frombuffer`` views instead of file reads.
     """
 
     def __init__(self, path: PathLike) -> None:
-        self.path = Path(path)
+        self.path: Optional[Path] = Path(path)
+        self._buffer: Optional[bytes] = None
         with self.path.open("rb") as fh:
             magic = fh.read(len(BINARY_MAGIC))
             if magic != BINARY_MAGIC:
                 raise ValueError(f"{self.path}: not a psmgen binary trace")
             (header_len,) = struct.unpack("<Q", fh.read(8))
             header = json.loads(fh.read(header_len).decode("utf-8"))
+        self._init_header(header, header_len)
+
+    @classmethod
+    def from_bytes(cls, data) -> "BinaryTraceReader":
+        """Reader over an in-memory container (zero-copy column views)."""
+        reader = cls.__new__(cls)
+        reader.path = None
+        reader._buffer = (
+            data if isinstance(data, bytes) else bytes(data)
+        )
+        prefix = len(BINARY_MAGIC)
+        if reader._buffer[:prefix] != BINARY_MAGIC:
+            raise ValueError("buffer is not a psmgen binary trace")
+        if len(reader._buffer) < prefix + 8:
+            raise ValueError("truncated binary trace buffer")
+        (header_len,) = struct.unpack_from("<Q", reader._buffer, prefix)
+        header_end = prefix + 8 + header_len
+        if len(reader._buffer) < header_end:
+            raise ValueError("truncated binary trace buffer")
+        header = json.loads(
+            reader._buffer[prefix + 8 : header_end].decode("utf-8")
+        )
+        reader._init_header(header, header_len)
+        return reader
+
+    def _init_header(self, header: dict, header_len: int) -> None:
+        source = self.path if self.path is not None else "<bytes>"
         if header.get("format") != BINARY_FORMAT:
             raise ValueError(
-                f"{self.path}: unsupported format {header.get('format')!r}"
+                f"{source}: unsupported format {header.get('format')!r}"
             )
         self._header = header
         self._data_start = _align_up(
@@ -420,16 +450,32 @@ class BinaryTraceReader:
             + record["offset"]
             + start * row_items * dtype.itemsize
         )
-        with self.path.open("rb") as fh:
-            fh.seek(offset)
-            flat = np.fromfile(fh, dtype=dtype, count=count * row_items)
-        if len(flat) != count * row_items:
-            raise ValueError(f"{self.path}: truncated data block")
+        if self._buffer is not None:
+            end = offset + count * row_items * dtype.itemsize
+            if end > len(self._buffer):
+                raise ValueError("<bytes>: truncated data block")
+            flat = np.frombuffer(
+                self._buffer,
+                dtype=dtype,
+                count=count * row_items,
+                offset=offset,
+            )
+        else:
+            with self.path.open("rb") as fh:
+                fh.seek(offset)
+                flat = np.fromfile(
+                    fh, dtype=dtype, count=count * row_items
+                )
+            if len(flat) != count * row_items:
+                raise ValueError(f"{self.path}: truncated data block")
         if limbs:
             return flat.reshape(count, limbs)
         return flat
 
     def _memmap_block(self, record: dict) -> np.ndarray:
+        """Zero-copy view of a whole block (memmap or buffer view)."""
+        if self._buffer is not None:
+            return self._read_block(record, 0, self.length)
         dtype = np.dtype(record["dtype"])
         limbs = record["limbs"]
         shape = (self.length, limbs) if limbs else (self.length,)
@@ -475,6 +521,29 @@ class BinaryTraceReader:
         return FunctionalTrace.from_arrays(
             self.variables, columns, name=self.name
         )
+
+    def view_functional(self) -> ArrayTrace:
+        """Zero-copy :class:`ArrayTrace` view of the whole container.
+
+        Narrow columns feed the estimation kernels as int64 views
+        straight over the container bytes (memory map for file-backed
+        readers, ``np.frombuffer`` for in-memory ones); wide
+        (limb-packed) columns are unpacked to object arrays, since
+        arbitrary-width ints have no flat view.
+        """
+        if not self.variables:
+            source = self.path if self.path is not None else "<bytes>"
+            raise ValueError(f"{source}: container has no functional data")
+        columns: Dict[str, np.ndarray] = {}
+        for var in self.variables:
+            record = self._columns[var.name]
+            block = self._memmap_block(record)
+            if record["limbs"]:
+                wide = np.empty(self.length, dtype=object)
+                wide[:] = _unpack_wide(block)
+                block = wide
+            columns[var.name] = block
+        return ArrayTrace(self.variables, columns, name=self.name)
 
     def read_power(
         self, start: int = 0, count: Optional[int] = None

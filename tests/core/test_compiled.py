@@ -1,0 +1,233 @@
+"""Bit-exactness tests of the compiled (dense-table) estimation engine.
+
+The compiled engine (:mod:`repro.core.compiled`) lowers a fitted model
+into integer transition tables and replays traces through a table walk;
+the object-graph simulators remain the semantic oracle.  Every test here
+checks **bit-for-bit** agreement — estimated power values, reliability
+mask, all prediction/desync counters and the per-instant state sequence
+— across all four benchmark IPs and deliberately nasty inputs:
+randomized long stimuli, single-instant windows, traces with random
+(unknown-proposition) tails and desync-inducing behaviour the training
+suite never covered.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.bench import fit_benchmark
+from repro.core.compiled import CompiledBundle
+from repro.core.simulation import SinglePsmSimulator
+from repro.hdl.simulator import Simulator
+from repro.testbench import BENCHMARKS
+from repro.traces.functional import FunctionalTrace
+
+ALL_IPS = ("RAM", "MultSum", "AES", "Camellia")
+
+#: Instants per randomized evaluation trace (kept modest: four IPs x
+#: several seeds, each replayed through both engines).
+CYCLES = 400
+
+
+@pytest.fixture(scope="module", params=ALL_IPS)
+def fitted_ip(request):
+    """One fitted benchmark flow per IP (module-shared)."""
+    return request.param, fit_benchmark(request.param)
+
+
+def random_trace(name: str, cycles: int, seed: int) -> FunctionalTrace:
+    """A fresh randomized long-suite trace for ``name``."""
+    spec = BENCHMARKS[name]
+    stimulus = spec.long_ts(cycles, seed=seed)
+    return (
+        Simulator(spec.module_class(), record_activity=False)
+        .run(stimulus, name=f"{name}.rand{seed}")
+        .trace
+    )
+
+
+def with_random_tail(trace: FunctionalTrace, tail: int, seed: int):
+    """``trace`` extended by ``tail`` uniformly random input vectors.
+
+    Random vectors rarely satisfy any mined proposition, so the suffix
+    exercises the unknown/nil code path (and, on IPs with incomplete
+    training coverage, desynchronisation) right at the end of the trace.
+    """
+    rng = random.Random(seed)
+    columns = {}
+    for var in trace.variables:
+        values = list(trace.column(var.name))
+        values += [rng.randrange(1 << var.width) for _ in range(tail)]
+        columns[var.name] = values
+    return FunctionalTrace(
+        trace.variables, columns, name=f"{trace.name}.tail"
+    )
+
+
+def assert_bit_identical(compiled, oracle):
+    """Every observable field of the two estimation results agrees."""
+    assert np.array_equal(
+        compiled.estimated.values, oracle.estimated.values
+    )
+    assert np.array_equal(compiled.reliable, oracle.reliable)
+    assert compiled.predictions == oracle.predictions
+    assert compiled.wrong_predictions == oracle.wrong_predictions
+    assert compiled.desync_instants == oracle.desync_instants
+    assert compiled.unknown_instants == oracle.unknown_instants
+    assert compiled.reverted_instants == oracle.reverted_instants
+    # both comparison directions: LazyStateSequence.__eq__ and the
+    # list's reflected comparison must agree.
+    assert compiled.state_sequence == oracle.state_sequence
+    assert oracle.state_sequence == compiled.state_sequence
+
+
+class TestMultiPsmBitIdentity:
+    def test_randomized_traces(self, fitted_ip):
+        name, fitted = fitted_ip
+        simulator = fitted.flow.simulator()
+        for seed in (11, 29):
+            trace = random_trace(name, CYCLES, seed)
+            oracle = simulator.run(trace, engine="object")
+            compiled = simulator.run(trace, engine="compiled")
+            assert_bit_identical(compiled, oracle)
+
+    def test_training_trace(self, fitted_ip):
+        _name, fitted = fitted_ip
+        simulator = fitted.flow.simulator()
+        trace = fitted.short_ref.trace
+        assert_bit_identical(
+            simulator.run(trace, engine="compiled"),
+            simulator.run(trace, engine="object"),
+        )
+
+    def test_single_instant_windows(self, fitted_ip):
+        _name, fitted = fitted_ip
+        simulator = fitted.flow.simulator()
+        trace = fitted.short_ref.trace
+        for start in (0, len(trace) // 2, len(trace) - 1):
+            window = trace.slice(start, start)
+            assert len(window) == 1
+            assert_bit_identical(
+                simulator.run(window, engine="compiled"),
+                simulator.run(window, engine="object"),
+            )
+
+    def test_random_tail_unknown_instants(self, fitted_ip):
+        name, fitted = fitted_ip
+        simulator = fitted.flow.simulator()
+        trace = with_random_tail(random_trace(name, CYCLES, 5), 48, seed=7)
+        oracle = simulator.run(trace, engine="object")
+        compiled = simulator.run(trace, engine="compiled")
+        assert_bit_identical(compiled, oracle)
+
+    def test_repeat_run_hits_walk_cache(self, fitted_ip):
+        name, fitted = fitted_ip
+        simulator = fitted.flow.simulator()
+        trace = random_trace(name, CYCLES, 3)
+        first = simulator.run(trace, engine="compiled")
+        second = simulator.run(trace, engine="compiled")
+        assert_bit_identical(second, first)
+        assert_bit_identical(second, simulator.run(trace, engine="object"))
+
+
+class TestDesyncCoverage:
+    def test_camellia_randomized_trace_desyncs(self):
+        """The hard path — desync, resync, reverts — is really exercised.
+
+        Camellia's verification plan does not cover clock gating, so a
+        randomized gating-heavy long suite forces the simulator off the
+        mined PSMs (the paper's WSP scenario); the compiled engine must
+        track the oracle through every desync and revert.
+        """
+        fitted = fit_benchmark("Camellia")
+        simulator = fitted.flow.simulator()
+        trace = random_trace("Camellia", 1200, 17)
+        oracle = simulator.run(trace, engine="object")
+        assert oracle.desync_instants > 0
+        assert_bit_identical(
+            simulator.run(trace, engine="compiled"), oracle
+        )
+
+
+class TestSinglePsmBitIdentity:
+    def test_randomized_traces(self, fitted_ip):
+        name, fitted = fitted_ip
+        labeler = fitted.flow.mining.labeler
+        single = SinglePsmSimulator(fitted.flow.raw_psms[0], labeler)
+        for seed in (13, 31):
+            trace = random_trace(name, CYCLES, seed)
+            assert_bit_identical(
+                single.run(trace, engine="compiled"),
+                single.run(trace, engine="object"),
+            )
+
+    def test_single_instant_and_random_tail(self, fitted_ip):
+        name, fitted = fitted_ip
+        labeler = fitted.flow.mining.labeler
+        single = SinglePsmSimulator(fitted.flow.raw_psms[0], labeler)
+        base = fitted.short_ref.trace
+        for window in (
+            base.slice(0, 0),
+            with_random_tail(random_trace(name, 200, 23), 32, seed=9),
+        ):
+            assert_bit_identical(
+                single.run(window, engine="compiled"),
+                single.run(window, engine="object"),
+            )
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self, fitted_ip):
+        _name, fitted = fitted_ip
+        simulator = fitted.flow.simulator()
+        trace = fitted.short_ref.trace
+        with pytest.raises(ValueError, match="unknown engine"):
+            simulator.run(trace, engine="turbo")
+        labeler = fitted.flow.mining.labeler
+        single = SinglePsmSimulator(fitted.flow.raw_psms[0], labeler)
+        with pytest.raises(ValueError, match="unknown engine"):
+            single.run(trace, engine="turbo")
+
+    def test_auto_matches_explicit_engines(self, fitted_ip):
+        _name, fitted = fitted_ip
+        simulator = fitted.flow.simulator()
+        trace = fitted.short_ref.trace
+        assert_bit_identical(
+            simulator.run(trace, engine="auto"),
+            simulator.run(trace, engine="object"),
+        )
+
+
+class TestCompiledBundle:
+    def test_from_simulator_estimates_bit_identical(self, fitted_ip):
+        name, fitted = fitted_ip
+        simulator = fitted.flow.simulator()
+        bundle = CompiledBundle.from_simulator(simulator)
+        trace = random_trace(name, CYCLES, 41)
+        assert_bit_identical(
+            bundle.estimate(trace), simulator.run(trace, engine="object")
+        )
+
+    def test_run_batch_matches_per_trace_runs(self, fitted_ip):
+        name, fitted = fitted_ip
+        simulator = fitted.flow.simulator()
+        bundle = CompiledBundle.from_simulator(simulator)
+        traces = [random_trace(name, 150, seed) for seed in (1, 2)]
+        batch = bundle.run_batch(traces)
+        for trace, result in zip(traces, batch):
+            assert_bit_identical(
+                result, simulator.run(trace, engine="object")
+            )
+
+    def test_stats_report_lowered_tables(self, fitted_ip):
+        _name, fitted = fitted_ip
+        bundle = CompiledBundle.from_simulator(fitted.flow.simulator())
+        stats = bundle.stats()
+        assert stats["states"] > 0
+        assert stats["symbols"] > 0
+        assert stats["compile_wall_s"] >= 0.0
+        assert bundle.mu.shape == bundle.sigma.shape
+        assert bundle.A.shape[0] == bundle.A.shape[1] == len(bundle.mu)

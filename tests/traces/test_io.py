@@ -248,3 +248,59 @@ class TestBinaryReader:
         assert reader.has_power
         with pytest.raises(ValueError):
             reader.read_functional()
+
+
+class TestBufferReader:
+    """``from_bytes`` + ``view_functional``: the serving ingest path."""
+
+    def test_from_bytes_matches_file_reader(self, wide_trace, tmp_path):
+        path = tmp_path / "t.npt"
+        save_functional_bin(wide_trace, path)
+        reader = BinaryTraceReader.from_bytes(path.read_bytes())
+        assert reader.length == len(wide_trace)
+        assert (
+            reader.column_values("q")
+            == wide_trace.column("q").tolist()
+        )
+        assert (
+            reader.column_values("key")
+            == list(wide_trace.column("key"))
+        )
+
+    def test_view_functional_is_zero_copy_and_read_only(
+        self, wide_trace, tmp_path
+    ):
+        path = tmp_path / "t.npt"
+        save_functional_bin(wide_trace, path)
+        view = BinaryTraceReader.from_bytes(path.read_bytes())
+        trace = view.view_functional()
+        assert len(trace) == len(wide_trace)
+        for name in ("q", "key"):
+            assert (
+                list(trace.column(name))
+                == list(wide_trace.column(name))
+            )
+        column = trace.column("q")
+        assert not column.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            column[0] = 99
+
+    def test_memoryview_input_accepted(self, wide_trace, tmp_path):
+        path = tmp_path / "t.npt"
+        save_functional_bin(wide_trace, path)
+        reader = BinaryTraceReader.from_bytes(
+            memoryview(path.read_bytes())
+        )
+        assert reader.length == len(wide_trace)
+
+    def test_truncated_buffer_rejected(self, wide_trace, tmp_path):
+        path = tmp_path / "t.npt"
+        save_functional_bin(wide_trace, path)
+        raw = path.read_bytes()
+        with pytest.raises(ValueError):
+            BinaryTraceReader.from_bytes(raw[:16])
+        truncated = BinaryTraceReader.from_bytes(raw[: len(raw) - 64])
+        with pytest.raises(ValueError):
+            truncated.view_functional()
+        with pytest.raises(ValueError):
+            BinaryTraceReader.from_bytes(b"NOTATRACE" + b"\0" * 64)
