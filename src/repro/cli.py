@@ -98,6 +98,126 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_mine(args: argparse.Namespace) -> int:
+    from .core.streaming import (
+        DriftDetector,
+        DriftPolicy,
+        BundlePublisher,
+        MemoryWindowSource,
+        ReaderWindowSource,
+    )
+    from .traces.io import BinaryTraceReader
+
+    sources: list = []
+    if args.pair:
+        for trace_id, path in enumerate(args.pair):
+            reader = BinaryTraceReader(path)
+            if not reader.has_power:
+                print(
+                    f"error: {path} carries no power block", file=sys.stderr
+                )
+                return 2
+            sources.append(ReaderWindowSource(reader, trace_id))
+    if args.func or args.power:
+        if len(args.func or []) != len(args.power or []):
+            print("error: need one --power per --func", file=sys.stderr)
+            return 2
+        for func_path, power_path in zip(args.func, args.power):
+            sources.append(
+                MemoryWindowSource(
+                    load_functional_csv(func_path),
+                    load_power_csv(power_path),
+                    trace_id=len(sources),
+                )
+            )
+    if not sources:
+        print(
+            "error: need at least one --pair or --func/--power",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = FlowConfig(jobs=args.jobs)
+    flow = PsmFlow(config)
+    variables = list(sources[0].variables)
+
+    if not args.stream:
+        try:
+            flow.fit(
+                [s.functional() for s in sources],
+                [s.power() for s in sources],
+            )
+        except PipelineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        progress = None
+        if args.progress:
+
+            def progress(summary) -> None:
+                print(
+                    f"window {summary.index}: trace {summary.trace_id} "
+                    f"[{summary.start}, {summary.start + summary.instants})"
+                    f" universe={summary.universe_size}"
+                    f" (+{summary.new_propositions})",
+                    flush=True,
+                )
+
+        drift = None
+        publisher = None
+        if args.drift_new_fraction > 0 or args.drift_sigmas > 0:
+            drift = DriftDetector(
+                DriftPolicy(
+                    max_new_fraction=args.drift_new_fraction,
+                    mean_shift_sigmas=args.drift_sigmas,
+                    warmup_windows=args.drift_warmup,
+                )
+            )
+        if args.publish:
+            publisher = BundlePublisher(args.publish, variables=variables)
+        try:
+            flow.fit_stream(
+                sources,
+                window=args.window,
+                drift=drift,
+                publisher=publisher,
+                progress=progress,
+            )
+        except PipelineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if drift is not None:
+            for event in drift.events:
+                print(
+                    f"drift: {event.reason} at trace {event.trace_id} "
+                    f"window {event.window_index} (value {event.value:.4g})"
+                )
+        if publisher is not None:
+            print(
+                f"published {len(publisher.versions)} bundle version(s) "
+                f"to {publisher.path} (latest {publisher.digest})"
+            )
+
+    report = flow.report
+    mode = "streamed" if args.stream else "batch"
+    print(
+        f"{mode} mining: {report.n_psms} PSM(s), {report.n_states} states, "
+        f"{report.n_transitions} transitions over "
+        f"{report.training_instants} instants "
+        f"in {report.generation_time:.2f}s"
+    )
+    print(f"stage timings: {report.describe_stages()}")
+    # Bundles are written without stage reports so a batch run and a
+    # stream run over the same traces produce byte-identical files —
+    # the digest is the equivalence check.
+    save_psms(flow.psms, args.output, variables=variables)
+    from .core.export import bundle_digest
+
+    digest = bundle_digest(Path(args.output).read_bytes())
+    print(f"model written to {args.output} (digest {digest})")
+    return 0
+
+
 def _indexed_path(path: str, index: int, count: int) -> Path:
     """``out.csv`` for a single trace, ``out.1.csv`` etc. otherwise."""
     target = Path(path)
@@ -504,6 +624,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the flow's fan-out loops (0 = all CPUs)",
     )
     generate.set_defaults(func_cmd=_cmd_generate)
+
+    mine = sub.add_parser(
+        "mine",
+        help=(
+            "mine PSMs batch or incrementally (--stream) from training "
+            "pairs, with optional drift-aware bundle refresh"
+        ),
+    )
+    mine.add_argument(
+        "--pair",
+        action="append",
+        help="binary .npt training pair (repeatable; the stream substrate)",
+    )
+    mine.add_argument(
+        "--func", action="append", help="functional trace CSV (with --power)"
+    )
+    mine.add_argument(
+        "--power", action="append", help="power trace CSV (one per --func)"
+    )
+    mine.add_argument(
+        "-o", "--output", default="psms.json", help="model output path"
+    )
+    mine.add_argument(
+        "--stream",
+        action="store_true",
+        help="train incrementally over a windowed replay of the traces",
+    )
+    mine.add_argument(
+        "--window",
+        type=int,
+        default=4096,
+        help="instants per training window (with --stream)",
+    )
+    mine.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per consumed window (with --stream)",
+    )
+    mine.add_argument(
+        "--publish",
+        help=(
+            "atomically publish refreshed bundles to this path on every "
+            "drift firing and at end of stream (hot-reload target)"
+        ),
+    )
+    mine.add_argument(
+        "--drift-new-fraction",
+        type=float,
+        default=0.0,
+        help=(
+            "fire drift when a window's fraction of instants under "
+            "first-seen propositions exceeds this (0 = off)"
+        ),
+    )
+    mine.add_argument(
+        "--drift-sigmas",
+        type=float,
+        default=0.0,
+        help=(
+            "fire drift when a window's power mean shifts more than this "
+            "many sigmas from the running baseline (0 = off)"
+        ),
+    )
+    mine.add_argument(
+        "--drift-warmup",
+        type=int,
+        default=1,
+        help="windows observed before drift detection arms",
+    )
+    mine.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the flow's fan-out loops (0 = all CPUs)",
+    )
+    mine.set_defaults(func_cmd=_cmd_mine)
 
     estimate = sub.add_parser(
         "estimate", help="estimate the power of a functional trace"

@@ -128,5 +128,99 @@ class PowerAttributes:
         variance = max(second_moment / total_n - mean ** 2, 0.0)
         return cls(mu=mean, sigma=math.sqrt(variance), n=total_n)
 
+    def merge(self, other: "PowerAttributes") -> "PowerAttributes":
+        """Welford/Chan parallel merge of two ``(mu, sigma, n)`` triplets.
+
+        Unlike :meth:`pooled`, which recombines raw second moments, this
+        uses Chan's update ``M2 = M2_a + M2_b + delta^2 * n_a n_b / n``,
+        which stays numerically stable when ``mu`` is large relative to
+        ``sigma`` — the regime streaming window merges live in.  Both
+        formulations are algebraically identical to a single pass over
+        the concatenated samples.
+        """
+        n = self.n + other.n
+        delta = other.mu - self.mu
+        mean = self.mu + delta * other.n / n
+        m2 = (
+            self.n * self.variance
+            + other.n * other.variance
+            + delta * delta * self.n * other.n / n
+        )
+        return PowerAttributes(
+            mu=mean, sigma=math.sqrt(max(m2 / n, 0.0)), n=n
+        )
+
     def __str__(self) -> str:
         return f"(mu={self.mu:.4g}, sigma={self.sigma:.4g}, n={self.n})"
+
+
+class RunningAttributes:
+    """Mergeable single-pass accumulator of power statistics.
+
+    The streaming operators' counterpart of :class:`PowerAttributes`:
+    windows feed samples in with :meth:`update_many`, partitions combine
+    with :meth:`merge` (Chan's parallel variance update, the same
+    formula as :meth:`PowerAttributes.merge`), and :meth:`finalize`
+    freezes the triplet.  An empty accumulator (``n == 0``) is valid —
+    it is the identity element of :meth:`merge`.
+    """
+
+    __slots__ = ("n", "mean", "m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def update(self, value: float) -> None:
+        """Fold one sample in (classic Welford update)."""
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (value - self.mean)
+
+    def update_many(self, values: np.ndarray) -> None:
+        """Fold a whole window in: one vectorised reduce, one Chan merge."""
+        values = np.asarray(values, dtype=np.float64)
+        count = len(values)
+        if count == 0:
+            return
+        mean = float(values.mean())
+        m2 = float(((values - mean) ** 2).sum())
+        self._combine(count, mean, m2)
+
+    def merge(self, other: "RunningAttributes") -> "RunningAttributes":
+        """Fold another accumulator in (returns ``self`` for chaining)."""
+        self._combine(other.n, other.mean, other.m2)
+        return self
+
+    def _combine(self, n: int, mean: float, m2: float) -> None:
+        if n == 0:
+            return
+        if self.n == 0:
+            self.n, self.mean, self.m2 = n, mean, m2
+            return
+        total = self.n + n
+        delta = mean - self.mean
+        self.mean += delta * n / total
+        self.m2 += m2 + delta * delta * self.n * n / total
+        self.n = total
+
+    @property
+    def sigma(self) -> float:
+        """Population standard deviation of the samples seen so far."""
+        if self.n == 0:
+            return 0.0
+        return math.sqrt(max(self.m2 / self.n, 0.0))
+
+    def finalize(self) -> PowerAttributes:
+        """The frozen ``(mu, sigma, n)`` triplet (requires ``n >= 1``)."""
+        if self.n < 1:
+            raise ValueError("no samples accumulated")
+        return PowerAttributes(mu=self.mean, sigma=self.sigma, n=self.n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"RunningAttributes(n={self.n}, mean={self.mean:.4g}, "
+            f"sigma={self.sigma:.4g})"
+        )

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
@@ -395,6 +396,32 @@ def save_psms(
     Path(path).write_text(
         json.dumps(psms_to_json(psms, stage_reports, variables), indent=2)
     )
+
+
+def publish_psms(
+    psms: Sequence[PSM],
+    path: PathLike,
+    stage_reports: Sequence = (),
+    variables: Sequence[VariableSpec] = (),
+) -> str:
+    """Atomically replace a bundle file; returns the new content digest.
+
+    The streaming refresh publisher: the payload is written to a
+    temporary sibling and moved into place with ``os.replace``, so a
+    registry watching ``path`` only ever observes complete bundle
+    versions — its ``(mtime, size)`` hot-reload signature flips exactly
+    once per publish.  The bytes are identical to :func:`save_psms`
+    output, so the returned digest matches :func:`load_bundle` on either
+    writer's file.
+    """
+    path = Path(path)
+    payload = json.dumps(
+        psms_to_json(psms, stage_reports, variables), indent=2
+    ).encode("utf-8")
+    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    tmp.write_bytes(payload)
+    os.replace(tmp, path)
+    return bundle_digest(payload)
 
 
 def _read_bundle_payload(path: PathLike) -> dict:

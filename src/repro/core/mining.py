@@ -25,7 +25,7 @@ different traces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -151,6 +151,82 @@ class MinerConfig:
     max_chatter_fraction: float = 0.25
     min_support: float = 0.0
     extra_atoms: Sequence[AtomicProposition] = field(default_factory=tuple)
+
+
+def candidate_atoms_from_values(
+    variables: Sequence,
+    config: MinerConfig,
+    distinct_values: Mapping[str, Optional[Set[int]]],
+) -> List[AtomicProposition]:
+    """The candidate atom list for known per-variable distinct values.
+
+    ``distinct_values`` maps each eligible multi-bit variable name to the
+    distinct values it takes over the training data, or ``None`` once the
+    count exceeded ``max_distinct_for_const`` (the caller may stop
+    collecting at that point — only the *sorted* values of variables at
+    or under the cap influence the result).  Shared by the batch miner
+    and the streaming :class:`~repro.core.streaming.AtomDiscovery`
+    operator so both construct the exact same alphabet in the exact same
+    order: boolean atoms, then per-variable sorted equality constants,
+    then same-width comparisons, then the configured extras.
+    """
+    atoms: List[AtomicProposition] = []
+    bool_vars = [v for v in variables if v.width == 1]
+    int_vars = [v for v in variables if v.width > 1]
+
+    if config.include_bool_atoms:
+        for var in bool_vars:
+            atoms.append(VarEqualsConst(var.name, 1, is_bool=True))
+
+    for var in int_vars:
+        if var.width > config.max_const_width:
+            continue
+        values = distinct_values.get(var.name)
+        if values is None or len(values) > config.max_distinct_for_const:
+            continue
+        for value in sorted(values):
+            atoms.append(VarEqualsConst(var.name, int(value)))
+
+    if config.include_comparisons:
+        for i, left in enumerate(int_vars):
+            for right in int_vars[i + 1 :]:
+                if left.width != right.width:
+                    continue
+                if left.width > config.max_compare_width:
+                    continue
+                atoms.append(VarCompare(left.name, "==", right.name))
+                atoms.append(VarCompare(left.name, ">", right.name))
+
+    for atom in config.extra_atoms:
+        if atom not in atoms:
+            atoms.append(atom)
+    return atoms
+
+
+def atom_passes_filters(
+    config: MinerConfig,
+    holds: int,
+    total: int,
+    avg_run: float,
+    chatter: float,
+) -> bool:
+    """The miner's keep/drop decision for one candidate atom.
+
+    Centralises the support / average-run / chatter comparisons so the
+    batch filter and the streaming per-window statistics apply bit-equal
+    thresholds (the epsilon guards included).
+    """
+    if config.min_support > 0:
+        frac = holds / total
+        if min(frac, 1.0 - frac) + 1e-12 < config.min_support and (
+            0 < holds < total
+        ):
+            return False
+    if avg_run + 1e-9 < config.min_avg_run:
+        return False
+    if chatter > config.max_chatter_fraction:
+        return False
+    return True
 
 
 class PropositionLabeler:
@@ -470,40 +546,19 @@ class AssertionMiner:
     ) -> List[AtomicProposition]:
         config = self.config
         first = traces[0]
-        atoms: List[AtomicProposition] = []
-        bool_vars = [v for v in first.variables if v.width == 1]
-        int_vars = [v for v in first.variables if v.width > 1]
-
-        if config.include_bool_atoms:
-            for var in bool_vars:
-                atoms.append(VarEqualsConst(var.name, 1, is_bool=True))
-
-        for var in int_vars:
-            if var.width > config.max_const_width:
+        distinct: Dict[str, Optional[Set[int]]] = {}
+        for var in first.variables:
+            if var.width <= 1 or var.width > config.max_const_width:
                 continue
-            values: set = set()
+            values: Set[int] = set()
             for trace in traces:
-                values.update(int(v) for v in np.unique(trace.column(var.name)))
+                values.update(
+                    int(v) for v in np.unique(trace.column(var.name))
+                )
                 if len(values) > config.max_distinct_for_const:
                     break
-            if len(values) <= config.max_distinct_for_const:
-                for value in sorted(values):
-                    atoms.append(VarEqualsConst(var.name, int(value)))
-
-        if config.include_comparisons:
-            for i, left in enumerate(int_vars):
-                for right in int_vars[i + 1 :]:
-                    if left.width != right.width:
-                        continue
-                    if left.width > config.max_compare_width:
-                        continue
-                    atoms.append(VarCompare(left.name, "==", right.name))
-                    atoms.append(VarCompare(left.name, ">", right.name))
-
-        for atom in config.extra_atoms:
-            if atom not in atoms:
-                atoms.append(atom)
-        return atoms
+            distinct[var.name] = values
+        return candidate_atoms_from_values(first.variables, config, distinct)
 
     def _filter_atoms(
         self,
@@ -525,18 +580,9 @@ class AssertionMiner:
         keep: List[int] = []
         for j in range(len(atoms)):
             holds = sum(int(np.count_nonzero(m[:, j])) for m in raw)
-            if config.min_support > 0:
-                frac = holds / total
-                if min(frac, 1.0 - frac) + 1e-12 < config.min_support and (
-                    0 < holds < total
-                ):
-                    continue
             avg_run, chatter = self._run_statistics(raw, j)
-            if avg_run + 1e-9 < config.min_avg_run:
-                continue
-            if chatter > config.max_chatter_fraction:
-                continue
-            keep.append(j)
+            if atom_passes_filters(config, holds, total, avg_run, chatter):
+                keep.append(j)
         kept_atoms = [atoms[j] for j in keep]
         matrices = [m[:, keep] if keep else m[:, :0] for m in raw]
         return kept_atoms, matrices

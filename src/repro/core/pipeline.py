@@ -47,12 +47,21 @@ from .stages import (
     RAW_PSMS,
     SIMULATOR,
     STAGE_ORDER,
+    WINDOW_SOURCES,
     WORKING_PSMS,
     ArtifactStore,
     PipelineContext,
     PipelineRunner,
     StageReport,
     build_stages,
+    build_streaming_stages,
+)
+from .streaming import (
+    DEFAULT_WINDOW,
+    BundlePublisher,
+    DriftDetector,
+    DriftPolicy,
+    as_window_source,
 )
 
 
@@ -251,6 +260,103 @@ class PsmFlow:
             n_psms=len(self.psms),
             n_refined_states=store.get_or(N_REFINED, 0),
             training_instants=sum(len(t) for t in functional_traces),
+            stages=stage_reports,
+            labeler=self.mining.labeler,
+        )
+        return self
+
+    def fit_stream(
+        self,
+        sources: Sequence,
+        window: int = DEFAULT_WINDOW,
+        publisher: Optional[BundlePublisher] = None,
+        drift: Optional[Union[DriftDetector, DriftPolicy]] = None,
+        progress=None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        skip_to: Optional[str] = None,
+    ) -> "PsmFlow":
+        """Fit the flow from a windowed replay of the training streams.
+
+        ``sources`` are window sources — anything
+        :func:`~repro.core.streaming.as_window_source` accepts: an
+        existing source, a ``(functional, power)`` pair, a
+        :class:`~repro.traces.io.BinaryTraceReader` or a ``.npt`` path —
+        replayed in windows of ``window`` instants.  The mining phase
+        runs incrementally (see
+        :class:`~repro.core.stages.StreamMiningStage`); every downstream
+        stage consumes the finalized artifacts unchanged, so with drift
+        detection off the result is bit-identical to :meth:`fit` over
+        the full traces — the batch path is this path's equivalence
+        oracle.
+
+        ``drift`` (a policy or a ready detector) arms mid-stream
+        refresh: each firing re-runs ``simplify``/``join`` over the
+        stream prefix and — when ``publisher`` is given — publishes a
+        versioned bundle through its atomic-replace path, which a
+        serving registry hot-reloads with zero estimate downtime.  The
+        final model is always published last when a publisher is given.
+        """
+        if not sources:
+            raise ValueError("at least one training source is required")
+        normalized = [
+            as_window_source(source, trace_id)
+            for trace_id, source in enumerate(sources)
+        ]
+        if isinstance(drift, DriftPolicy):
+            drift = DriftDetector(drift)
+        config = self.config
+        if checkpoint_dir is None:
+            checkpoint_dir = config.checkpoint_dir
+        if skip_to is None:
+            skip_to = config.skip_to
+        start = time.perf_counter()
+
+        store = ArtifactStore()
+        store.put(WINDOW_SOURCES, normalized)
+        store.put(
+            FUNCTIONAL_TRACES,
+            {s.trace_id: s.functional() for s in normalized},
+        )
+        store.put(
+            POWER_TRACES, {s.trace_id: s.power() for s in normalized}
+        )
+        runner = PipelineRunner(
+            build_streaming_stages(
+                config.stage_names(),
+                window=window,
+                progress=progress,
+                drift=drift,
+                publisher=publisher,
+            )
+        )
+        ctx = PipelineContext(
+            config=config,
+            store=store,
+            checkpoint_dir=Path(checkpoint_dir) if checkpoint_dir else None,
+        )
+        stage_reports = runner.run(ctx, skip_to=skip_to)
+
+        self._functional_traces = store.get(FUNCTIONAL_TRACES)
+        self._power_traces = store.get(POWER_TRACES)
+        self.mining = store.get(MINING)
+        self.raw_psms = store.get(RAW_PSMS)
+        self.psms = store.get(WORKING_PSMS)
+        self.hmm = store.get(HMM)
+        self._simulator = store.get(SIMULATOR)
+
+        if publisher is not None:
+            publisher.publish(self.psms, reason="final")
+
+        self.report = FlowReport(
+            generation_time=time.perf_counter() - start,
+            n_atoms=len(self.mining.atoms),
+            n_propositions=len(self.mining.propositions),
+            n_raw_states=total_states(self.raw_psms),
+            n_states=total_states(self.psms),
+            n_transitions=total_transitions(self.psms),
+            n_psms=len(self.psms),
+            n_refined_states=store.get_or(N_REFINED, 0),
+            training_instants=sum(len(s) for s in normalized),
             stages=stage_reports,
             labeler=self.mining.labeler,
         )

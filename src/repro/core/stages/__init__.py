@@ -45,8 +45,14 @@ from .store import (
     POWER_TRACES,
     RAW_PSMS,
     SIMULATOR,
+    WINDOW_SOURCES,
     WORKING_PSMS,
     ArtifactStore,
+)
+from .streaming import (
+    StreamingStage,
+    StreamMiningStage,
+    build_streaming_stages,
 )
 
 __all__ = [
@@ -71,6 +77,7 @@ __all__ = [
     "N_REFINED",
     "HMM",
     "SIMULATOR",
+    "WINDOW_SOURCES",
     # stages
     "MiningStage",
     "GenerationStage",
@@ -79,6 +86,10 @@ __all__ = [
     "RefineStage",
     "HmmStage",
     "build_stages",
+    # streaming stages
+    "StreamingStage",
+    "StreamMiningStage",
+    "build_streaming_stages",
     # runner & checkpoints
     "PipelineRunner",
     "mining_to_json",

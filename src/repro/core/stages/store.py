@@ -33,6 +33,8 @@ N_REFINED = "n_refined"
 HMM = "hmm"
 #: :class:`~repro.core.simulation.MultiPsmSimulator` — the fitted simulator.
 SIMULATOR = "simulator"
+#: ``List`` of window sources — the streaming flow's replayable inputs.
+WINDOW_SOURCES = "window_sources"
 
 #: Declared Python type of each artifact key.
 ARTIFACT_TYPES: Dict[str, Tuple[type, ...]] = {
@@ -44,6 +46,7 @@ ARTIFACT_TYPES: Dict[str, Tuple[type, ...]] = {
     N_REFINED: (int,),
     HMM: (PsmHmm,),
     SIMULATOR: (MultiPsmSimulator,),
+    WINDOW_SOURCES: (list,),
 }
 
 

@@ -1,0 +1,147 @@
+"""Streaming variants of the pipeline stages.
+
+:class:`StreamingStage` specialises the :class:`Stage` contract for
+operators that consume their input window-by-window instead of all at
+once; :class:`StreamMiningStage` is the mining phase rebuilt on
+:class:`~repro.core.streaming.StreamingMiner` — same artifact
+(``MINING``), same checkpoint file (``mine.json``, so a streamed run can
+be resumed by the batch runner and vice versa), but driven from the
+``WINDOW_SOURCES`` artifact and instrumented with window / drift
+counters.  When a drift detector fires mid-stream, the stage re-runs the
+delta ``simplify`` + ``join`` over the stream prefix and republishes the
+refreshed bundle through its :class:`~repro.core.streaming.BundlePublisher`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..streaming import (
+    DEFAULT_WINDOW,
+    BundlePublisher,
+    DriftDetector,
+    StreamSnapshot,
+    StreamingMiner,
+    WindowSummary,
+    refresh_psms,
+)
+from .adapters import STAGE_CLASSES, MiningStage
+from .base import PipelineContext, PipelineError, Stage
+from .store import MINING, POWER_TRACES, WINDOW_SOURCES
+
+
+class StreamingStage(Stage):
+    """A stage that folds its input in windows.
+
+    Adds the window size and an optional per-window progress callback to
+    the base contract; subclasses report a ``windows`` counter so the
+    :class:`StageReport` records how many windows the stage consumed.
+    Checkpointing behaviour is inherited unchanged — a streaming stage
+    produces the same artifacts as its batch twin, so the runner can mix
+    the two freely when resuming.
+    """
+
+    def __init__(
+        self,
+        window: int = DEFAULT_WINDOW,
+        progress: Optional[Callable[[WindowSummary], None]] = None,
+    ) -> None:
+        if window < 1:
+            raise PipelineError("window size must be >= 1")
+        self.window = window
+        self.progress = progress
+
+
+class StreamMiningStage(StreamingStage, MiningStage):
+    """Phase 1, incremental — windowed mining with drift-aware refresh.
+
+    Requires ``WINDOW_SOURCES`` (replayable window sources in trace-id
+    order) and provides the same ``MINING`` artifact as the batch
+    :class:`MiningStage`, whose checkpoint format it inherits.  With a
+    drift detector and a publisher attached, each drift firing triggers
+    a prefix ``simplify``/``join`` re-run and an atomic versioned bundle
+    publish — the zero-downtime refresh loop.
+    """
+
+    name = "mine"
+    requires = (WINDOW_SOURCES,)
+    provides = (MINING,)
+
+    def __init__(
+        self,
+        window: int = DEFAULT_WINDOW,
+        progress: Optional[Callable[[WindowSummary], None]] = None,
+        drift: Optional[DriftDetector] = None,
+        publisher: Optional[BundlePublisher] = None,
+    ) -> None:
+        StreamingStage.__init__(self, window=window, progress=progress)
+        self.drift = drift
+        self.publisher = publisher
+
+    def run(self, ctx: PipelineContext) -> Dict[str, int]:
+        """Stream every source through the three-pass windowed miner."""
+        sources = ctx.store.get(WINDOW_SOURCES)
+
+        on_drift = None
+        if self.drift is not None and self.publisher is not None:
+            def on_drift(snapshot: StreamSnapshot) -> None:
+                self._refresh(ctx, snapshot)
+
+        miner = StreamingMiner(
+            config=ctx.config.miner,
+            window=self.window,
+            drift=self.drift,
+            progress=self.progress,
+            on_drift=on_drift,
+        )
+        report = miner.mine_sources(sources)
+        ctx.store.put(MINING, report.mining)
+        counters = self._counters(report.mining)
+        counters["windows"] = report.windows
+        counters["candidate_atoms"] = report.candidates
+        if self.drift is not None:
+            counters["drift_events"] = len(report.drift_events)
+            counters["refreshes"] = report.refreshes
+        return counters
+
+    def _refresh(self, ctx: PipelineContext, snapshot: StreamSnapshot):
+        """Drift fired: re-optimise the prefix and publish a version."""
+        psms = refresh_psms(
+            snapshot, ctx.store.get(POWER_TRACES), ctx.config.merge
+        )
+        if psms:
+            self.publisher.publish(psms, reason="drift")
+
+
+def build_streaming_stages(
+    names: Sequence[str],
+    window: int = DEFAULT_WINDOW,
+    progress: Optional[Callable[[WindowSummary], None]] = None,
+    drift: Optional[DriftDetector] = None,
+    publisher: Optional[BundlePublisher] = None,
+) -> List[Stage]:
+    """The stage list of a streaming run.
+
+    The mining stage is swapped for :class:`StreamMiningStage`; every
+    other requested stage keeps its batch implementation (they operate
+    on finalized artifacts, which are identical between the two paths).
+    """
+    stages: List[Stage] = []
+    for name in names:
+        if name == StreamMiningStage.name:
+            stages.append(
+                StreamMiningStage(
+                    window=window,
+                    progress=progress,
+                    drift=drift,
+                    publisher=publisher,
+                )
+            )
+        elif name in STAGE_CLASSES:
+            stages.append(STAGE_CLASSES[name]())
+        else:
+            raise PipelineError(
+                f"unknown stage name(s) [{name!r}]; "
+                f"known stages: {sorted(STAGE_CLASSES)}"
+            )
+    return stages

@@ -1,0 +1,898 @@
+"""Incremental training core: window operators over trace streams.
+
+The batch flow consumes a whole training pair at once; this module
+refactors the same mining pipeline into *window operators* sharing one
+contract — ``fit_window(window)`` folds one window of instants in,
+``merge(other)`` combines operators that consumed disjoint partitions,
+and ``finalize()`` freezes the artifact — so
+:meth:`~repro.core.pipeline.PsmFlow.fit_stream` can train from a
+windowed replay of traces that never fit in memory at once.
+
+Three operators reproduce the two-phase miner of
+:mod:`~repro.core.mining` exactly:
+
+* :class:`AtomDiscovery` — accumulates bounded per-variable distinct
+  value sets and finalizes into the batch candidate alphabet
+  (:func:`~repro.core.mining.candidate_atoms_from_values`);
+* :class:`AtomStats` — per-window truth evaluation with cross-window
+  run stitching, so support / average-run / chatter statistics equal
+  the batch single-pass figures integer for integer;
+* :class:`MintermStream` — AND-composition into minterm propositions in
+  global first-appearance order, with the per-trace proposition trace
+  kept run-length-encoded through a
+  :class:`~repro.core.xu.RunLengthStitcher`.
+
+:class:`StreamingMiner` schedules the three passes over *replayable*
+window sources and emits a :class:`~repro.core.mining.MiningResult`
+bit-identical to ``AssertionMiner.mine_many`` over the concatenated
+traces.  A :class:`DriftDetector` watches the composition pass for new
+propositions and shifted window power means; when it fires, the flow
+re-runs ``simplify``/``join`` over the stream prefix and republishes a
+versioned bundle through :class:`BundlePublisher` — the registry's
+hot-reload path picks the refresh up with zero estimate downtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from ..traces.functional import ArrayTrace
+from ..traces.io import BinaryTraceReader, window_bounds
+from ..traces.power import PowerTrace
+from .attributes import RunningAttributes
+from .mining import (
+    MinerConfig,
+    MiningResult,
+    PropositionLabeler,
+    _row_codes,
+    _trace_truth_matrix,
+    atom_passes_filters,
+    candidate_atoms_from_values,
+    proposition_label,
+)
+from .propositions import AtomicProposition, Proposition, PropositionTrace
+from .xu import RunLengthStitcher
+
+#: Default window size of the streaming scheduler (instants).
+DEFAULT_WINDOW = 4096
+
+
+class StreamingError(RuntimeError):
+    """Base error of the streaming training core."""
+
+
+# ----------------------------------------------------------------------
+# windows and window sources
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TraceWindow:
+    """One window of a training pair: functional slice + power slice.
+
+    ``functional`` covers instants ``[start, start + len)`` of trace
+    ``trace_id``; ``power`` is the matching raw float64 vector (``None``
+    for power-less sources).
+    """
+
+    trace_id: int
+    start: int
+    functional: object
+    power: Optional[np.ndarray]
+
+    def __len__(self) -> int:
+        return len(self.functional)
+
+
+def _slice_trace(trace, start: int, count: int):
+    """A window view of a trace-protocol object.
+
+    :class:`FunctionalTrace` exposes an inclusive-bound ``slice``;
+    :class:`ArrayTrace` (and other column-protocol views) are windowed
+    by slicing each column, which keeps the zero-copy property.
+    """
+    slicer = getattr(trace, "slice", None)
+    if slicer is not None:
+        return slicer(start, start + count - 1)
+    return ArrayTrace(
+        trace.variables,
+        {
+            name: trace.column(name)[start : start + count]
+            for name in trace.variable_names
+        },
+        name=getattr(trace, "name", "trace"),
+    )
+
+
+class MemoryWindowSource:
+    """Replayable window source over an in-memory training pair."""
+
+    def __init__(
+        self,
+        functional,
+        power: Union[PowerTrace, np.ndarray, None],
+        trace_id: int = 0,
+    ) -> None:
+        if power is not None and not isinstance(power, PowerTrace):
+            power = PowerTrace(np.asarray(power, dtype=np.float64))
+        if power is not None and len(functional) != len(power):
+            raise ValueError(
+                "functional and power traces must have equal lengths"
+            )
+        self._functional = functional
+        self._power = power
+        self.trace_id = trace_id
+        self.name = getattr(functional, "name", f"trace{trace_id}")
+
+    def __len__(self) -> int:
+        return len(self._functional)
+
+    @property
+    def variables(self):
+        return self._functional.variables
+
+    def windows(self, size: int) -> Iterator[TraceWindow]:
+        """Replay the pair in windows of ``size`` instants."""
+        values = self._power.values if self._power is not None else None
+        for start, count in window_bounds(len(self._functional), size):
+            yield TraceWindow(
+                trace_id=self.trace_id,
+                start=start,
+                functional=_slice_trace(self._functional, start, count),
+                power=(
+                    values[start : start + count]
+                    if values is not None
+                    else None
+                ),
+            )
+
+    def functional(self):
+        """The whole functional trace (for the finalize-time stages)."""
+        return self._functional
+
+    def power(self) -> PowerTrace:
+        """The whole power trace."""
+        if self._power is None:
+            raise StreamingError(f"source {self.name!r} has no power data")
+        return self._power
+
+
+class ReaderWindowSource:
+    """Replayable window source over a binary ``.npt`` training pair.
+
+    The ingest substrate of ``psmgen mine --stream``: windows come from
+    :meth:`~repro.traces.io.BinaryTraceReader.chunks`, the finalize-time
+    functional view is the reader's zero-copy
+    :class:`~repro.traces.functional.ArrayTrace`, and the power trace is
+    read once on demand.
+    """
+
+    def __init__(
+        self,
+        reader: Union[BinaryTraceReader, str, Path],
+        trace_id: int = 0,
+    ) -> None:
+        if not isinstance(reader, BinaryTraceReader):
+            reader = BinaryTraceReader(reader)
+        self.reader = reader
+        self.trace_id = trace_id
+        self.name = reader.name
+        self._functional = None
+        self._power: Optional[PowerTrace] = None
+
+    def __len__(self) -> int:
+        return self.reader.length
+
+    @property
+    def variables(self):
+        return self.reader.variables
+
+    def windows(self, size: int) -> Iterator[TraceWindow]:
+        """Stream the container as ``TraceWindow``s of ``size`` instants."""
+        for start, functional, power in self.reader.chunks(size):
+            yield TraceWindow(
+                trace_id=self.trace_id,
+                start=start,
+                functional=functional,
+                power=power,
+            )
+
+    def functional(self):
+        """The whole functional trace as a zero-copy buffer view."""
+        if self._functional is None:
+            self._functional = self.reader.view_functional()
+        return self._functional
+
+    def power(self) -> PowerTrace:
+        """The whole power trace, read once on first access."""
+        if self._power is None:
+            if not self.reader.has_power:
+                raise StreamingError(
+                    f"source {self.name!r} has no power data"
+                )
+            self._power = PowerTrace(
+                self.reader.read_power(), name=self.name
+            )
+        return self._power
+
+
+def as_window_source(source, trace_id: int):
+    """Coerce a source-ish object into a window source.
+
+    Accepts an existing source, a ``(functional, power)`` pair, a
+    :class:`BinaryTraceReader` or a path to a ``.npt`` container.
+    """
+    if hasattr(source, "windows") and hasattr(source, "functional"):
+        source.trace_id = trace_id
+        return source
+    if isinstance(source, BinaryTraceReader):
+        return ReaderWindowSource(source, trace_id)
+    if isinstance(source, (str, Path)):
+        return ReaderWindowSource(BinaryTraceReader(source), trace_id)
+    if isinstance(source, tuple) and len(source) == 2:
+        return MemoryWindowSource(source[0], source[1], trace_id)
+    raise TypeError(
+        f"cannot build a window source from {type(source).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# the operator contract
+# ----------------------------------------------------------------------
+
+
+class WindowOperator:
+    """Contract shared by the incremental training operators.
+
+    ``fit_window`` folds one window in; windows of one trace must arrive
+    in order (run stitching is inherently sequential), while whole
+    traces are the parallel axis — ``merge`` combines operators that
+    consumed *disjoint trace subsets*, mirroring the batch miner's
+    per-trace fan-out.  ``finalize`` freezes the operator's artifact.
+    """
+
+    def fit_window(self, window: TraceWindow):
+        """Fold one trace window into the operator state."""
+        raise NotImplementedError
+
+    def merge(self, other: "WindowOperator") -> "WindowOperator":
+        """Combine with an operator that consumed disjoint traces."""
+        raise NotImplementedError
+
+    def finalize(self):
+        """Freeze the accumulated state into the batch-identical artifact."""
+        raise NotImplementedError
+
+
+class AtomDiscovery(WindowOperator):
+    """Pass 1 — bounded distinct-value collection per eligible variable.
+
+    Value sets stop growing once they exceed ``max_distinct_for_const``
+    (the batch miner's early break): past the cap only *that* fact
+    matters, so the truncated set and the full union finalize into the
+    same alphabet.
+    """
+
+    def __init__(self, config: MinerConfig) -> None:
+        self.config = config
+        self.variables = None
+        self._values: Dict[str, Set[int]] = {}
+        self._saturated: Set[str] = set()
+
+    def fit_window(self, window: TraceWindow) -> None:
+        trace = window.functional
+        if self.variables is None:
+            self.variables = list(trace.variables)
+            for var in self.variables:
+                if 1 < var.width <= self.config.max_const_width:
+                    self._values[var.name] = set()
+        for name, values in self._values.items():
+            if name in self._saturated:
+                continue
+            values.update(int(v) for v in np.unique(trace.column(name)))
+            if len(values) > self.config.max_distinct_for_const:
+                self._saturated.add(name)
+
+    def merge(self, other: "AtomDiscovery") -> "AtomDiscovery":
+        if self.variables is None:
+            self.variables = other.variables
+            self._values = other._values
+            self._saturated = other._saturated
+            return self
+        for name, values in other._values.items():
+            if name in self._saturated:
+                continue
+            if name in other._saturated:
+                self._saturated.add(name)
+                continue
+            mine = self._values[name]
+            mine.update(values)
+            if len(mine) > self.config.max_distinct_for_const:
+                self._saturated.add(name)
+        return self
+
+    def finalize(self) -> List[AtomicProposition]:
+        if self.variables is None:
+            raise StreamingError("no windows were consumed")
+        distinct: Dict[str, Optional[Set[int]]] = {
+            name: (None if name in self._saturated else values)
+            for name, values in self._values.items()
+        }
+        return candidate_atoms_from_values(
+            self.variables, self.config, distinct
+        )
+
+
+class AtomStats(WindowOperator):
+    """Pass 2 — per-atom stability statistics with run stitching.
+
+    Per candidate atom the operator tracks the support count plus the
+    run-length statistics of the truth signal — total runs and chatter
+    instants — carrying the pending trailing run across window
+    boundaries and flushing it at each trace boundary, exactly as the
+    batch single-pass filter sees it (runs never span traces).
+    """
+
+    def __init__(
+        self, atoms: Sequence[AtomicProposition], config: MinerConfig
+    ) -> None:
+        self.atoms = list(atoms)
+        self.config = config
+        k = len(self.atoms)
+        self.total = 0
+        self.holds = np.zeros(k, dtype=np.int64)
+        self.total_runs = np.zeros(k, dtype=np.int64)
+        self.chatter = np.zeros(k, dtype=np.int64)
+        self._pending_len = np.zeros(k, dtype=np.int64)
+        self._pending_val = np.zeros(k, dtype=bool)
+        self._current_trace: Optional[int] = None
+
+    def fit_window(self, window: TraceWindow) -> None:
+        if (
+            self._current_trace is not None
+            and window.trace_id != self._current_trace
+        ):
+            self._flush_trace()
+        self._current_trace = window.trace_id
+        matrix = _trace_truth_matrix((self.atoms, window.functional))
+        n = len(matrix)
+        if n == 0:
+            return
+        self.total += n
+        if not self.atoms:
+            return
+        self.holds += matrix.sum(axis=0, dtype=np.int64)
+        min_stable = self.config.min_stable_run
+        has_pending = self._pending_len > 0
+        for j in range(len(self.atoms)):
+            signal = matrix[:, j]
+            changes = np.nonzero(signal[1:] != signal[:-1])[0]
+            bounds = np.concatenate(([0], changes + 1, [n]))
+            lengths = np.diff(bounds)
+            if has_pending[j] and signal[0] == self._pending_val[j]:
+                lengths[0] += self._pending_len[j]
+            elif has_pending[j]:
+                self._close_run(j, int(self._pending_len[j]), min_stable)
+            for length in lengths[:-1].tolist():
+                self._close_run(j, int(length), min_stable)
+            self._pending_len[j] = int(lengths[-1])
+            self._pending_val[j] = bool(signal[-1])
+
+    def _close_run(self, j: int, length: int, min_stable: int) -> None:
+        self.total_runs[j] += 1
+        if length < min_stable:
+            self.chatter[j] += length
+
+    def _flush_trace(self) -> None:
+        min_stable = self.config.min_stable_run
+        for j in np.nonzero(self._pending_len > 0)[0].tolist():
+            self._close_run(j, int(self._pending_len[j]), min_stable)
+        self._pending_len[:] = 0
+
+    def merge(self, other: "AtomStats") -> "AtomStats":
+        other._flush_trace()
+        self._flush_trace()
+        self.total += other.total
+        self.holds += other.holds
+        self.total_runs += other.total_runs
+        self.chatter += other.chatter
+        return self
+
+    def statistics(self, j: int) -> Tuple[float, float]:
+        """``(avg_run, chatter_fraction)`` of atom ``j`` so far."""
+        runs = int(self.total_runs[j])
+        if runs == 0:
+            return float("inf"), 0.0
+        return self.total / runs, int(self.chatter[j]) / self.total
+
+    def finalize(self) -> List[AtomicProposition]:
+        """The surviving atoms, in candidate order."""
+        self._flush_trace()
+        kept: List[AtomicProposition] = []
+        for j, atom in enumerate(self.atoms):
+            avg_run, chatter = self.statistics(j)
+            if atom_passes_filters(
+                self.config, int(self.holds[j]), self.total, avg_run, chatter
+            ):
+                kept.append(atom)
+        return kept
+
+
+@dataclass
+class WindowSummary:
+    """Per-window progress record of the composition pass."""
+
+    trace_id: int
+    index: int
+    start: int
+    instants: int
+    new_propositions: int
+    new_instants: int
+    universe_size: int
+
+    @property
+    def new_fraction(self) -> float:
+        """Fraction of the window's instants under first-seen minterms."""
+        if self.instants == 0:
+            return 0.0
+        return self.new_instants / self.instants
+
+
+class MintermStream(WindowOperator):
+    """Pass 3 — minterm composition with run-length stitching.
+
+    Maintains the proposition universe as truth rows in global
+    first-appearance order (windows of one trace in order, traces in id
+    order — the same order the batch ``np.unique`` composition sees the
+    concatenated matrices in) and the per-trace proposition trace as a
+    stitched RLE, so the finalized result is bit-identical to the batch
+    ``_compose`` while holding only ``O(runs)`` state between windows.
+
+    Proposition *objects* (and their labels) are created lazily at
+    :meth:`finalize`/:meth:`snapshot` time — positions are the identity
+    during streaming, which is what makes :meth:`merge` a pure row
+    remap.
+    """
+
+    def __init__(self, atoms: Sequence[AtomicProposition]) -> None:
+        self.atoms = list(atoms)
+        self._rows: List[bytes] = []
+        self._positions: Dict[bytes, int] = {}
+        self._stitchers: Dict[int, RunLengthStitcher] = {}
+        self._order: List[int] = []
+
+    @property
+    def universe_size(self) -> int:
+        """Distinct minterms observed so far."""
+        return len(self._rows)
+
+    def fit_window(self, window: TraceWindow) -> np.ndarray:
+        """Fold one window in; returns its universe-position indices."""
+        matrix = _trace_truth_matrix((self.atoms, window.functional))
+        codes = _row_codes(matrix)
+        _, first, inverse = np.unique(
+            codes, return_index=True, return_inverse=True
+        )
+        order = np.argsort(first)
+        rank = np.empty(len(order), dtype=np.int64)
+        rank[order] = np.arange(len(order))
+        mapping = np.empty(len(order), dtype=np.int32)
+        for local, row_index in enumerate(first[order].tolist()):
+            key = np.ascontiguousarray(matrix[row_index]).tobytes()
+            position = self._positions.get(key)
+            if position is None:
+                position = self._positions[key] = len(self._rows)
+                self._rows.append(key)
+            mapping[local] = position
+        indices = mapping[rank[inverse]]
+        stitcher = self._stitchers.get(window.trace_id)
+        if stitcher is None:
+            stitcher = self._stitchers[window.trace_id] = RunLengthStitcher()
+            self._order.append(window.trace_id)
+        stitcher.extend(indices)
+        return indices
+
+    def merge(self, other: "MintermStream") -> "MintermStream":
+        remap = np.empty(len(other._rows), dtype=np.int32)
+        for position, key in enumerate(other._rows):
+            mine = self._positions.get(key)
+            if mine is None:
+                mine = self._positions[key] = len(self._rows)
+                self._rows.append(key)
+            remap[position] = mine
+        for trace_id in other._order:
+            if trace_id in self._stitchers:
+                raise StreamingError(
+                    f"cannot merge: trace {trace_id} in both operators"
+                )
+            stitcher = RunLengthStitcher()
+            stitcher.extend(remap[other._stitchers[trace_id].indices()])
+            self._stitchers[trace_id] = stitcher
+            self._order.append(trace_id)
+        return self
+
+    # ------------------------------------------------------------------
+    def _build_propositions(
+        self, count: Optional[int] = None
+    ) -> Tuple[List[Proposition], Dict[bytes, Proposition]]:
+        rows = self._rows if count is None else self._rows[:count]
+        propositions: List[Proposition] = []
+        universe: Dict[bytes, Proposition] = {}
+        for key in rows:
+            row = np.frombuffer(key, dtype=bool)
+            positives = [a for a, v in zip(self.atoms, row) if v]
+            negatives = [a for a, v in zip(self.atoms, row) if not v]
+            prop = Proposition(
+                proposition_label(len(propositions)), positives, negatives
+            )
+            universe[key] = prop
+            propositions.append(prop)
+        return propositions, universe
+
+    def snapshot(self) -> "StreamSnapshot":
+        """A consistent view of everything composed so far."""
+        propositions, universe = self._build_propositions()
+        traces: List[PropositionTrace] = []
+        for trace_id in sorted(self._order):
+            traces.append(
+                PropositionTrace.from_indices(
+                    self._stitchers[trace_id].indices(),
+                    propositions,
+                    trace_id,
+                )
+            )
+        return StreamSnapshot(
+            atoms=list(self.atoms),
+            propositions=propositions,
+            universe=universe,
+            traces=traces,
+        )
+
+    def finalize(self) -> MiningResult:
+        """The batch-equivalent mining result over all consumed windows."""
+        snapshot = self.snapshot()
+        row_matrix = (
+            np.array(
+                [np.frombuffer(key, dtype=bool) for key in self._rows],
+                dtype=bool,
+            )
+            if self._rows
+            else np.zeros((0, len(self.atoms)), dtype=bool)
+        )
+        matrices = [
+            row_matrix[trace.indices]
+            if len(self._rows)
+            else np.zeros((len(trace), len(self.atoms)), dtype=bool)
+            for trace in snapshot.traces
+        ]
+        return MiningResult(
+            atoms=list(self.atoms),
+            propositions=snapshot.propositions,
+            traces=snapshot.traces,
+            matrices=matrices,
+            labeler=PropositionLabeler(self.atoms, snapshot.universe),
+        )
+
+
+@dataclass
+class StreamSnapshot:
+    """Prefix view of the composition pass (drift-refresh input).
+
+    ``traces`` cover every instant consumed so far; the trailing (still
+    open) run of each trace is present but — as in any batch run — the
+    generator emits no state for a final run, so every state built from
+    a snapshot is final.
+    """
+
+    atoms: List[AtomicProposition]
+    propositions: List[Proposition]
+    universe: Dict[bytes, Proposition]
+    traces: List[PropositionTrace]
+
+    @property
+    def instants(self) -> int:
+        return sum(len(t) for t in self.traces)
+
+
+# ----------------------------------------------------------------------
+# drift detection
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DriftPolicy:
+    """When the composition pass should trigger a model refresh.
+
+    ``max_new_fraction`` — a window whose fraction of instants labelled
+    by first-seen minterms exceeds this fires (0 disables).
+    ``mean_shift_sigmas`` — a window whose power mean deviates from the
+    running baseline by more than this many baseline sigmas fires
+    (0 disables).  ``warmup_windows`` windows are always observed
+    without firing (the first windows are trivially all-new), and after
+    a firing at least ``min_windows_between`` windows must pass before
+    the next one.
+    """
+
+    max_new_fraction: float = 0.0
+    mean_shift_sigmas: float = 0.0
+    warmup_windows: int = 1
+    min_windows_between: int = 1
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_new_fraction > 0 or self.mean_shift_sigmas > 0
+
+
+@dataclass
+class DriftEvent:
+    """One firing of the drift detector."""
+
+    trace_id: int
+    window_index: int
+    start: int
+    reason: str
+    value: float
+
+
+class DriftDetector:
+    """Watches window summaries for new propositions / shifted means.
+
+    The power baseline is a :class:`RunningAttributes` accumulator —
+    Welford merges of the per-window statistics — so the detector's
+    state is O(1) regardless of stream length.
+    """
+
+    def __init__(self, policy: Optional[DriftPolicy] = None) -> None:
+        self.policy = policy or DriftPolicy()
+        self.baseline = RunningAttributes()
+        self.events: List[DriftEvent] = []
+        self._windows_seen = 0
+        self._last_fired = -(10 ** 9)
+
+    def observe(
+        self,
+        summary: WindowSummary,
+        power: Optional[np.ndarray],
+    ) -> Optional[DriftEvent]:
+        """Fold one window in; returns the event when drift fired."""
+        policy = self.policy
+        index = self._windows_seen
+        self._windows_seen += 1
+        event: Optional[DriftEvent] = None
+        armed = (
+            policy.enabled
+            and index >= policy.warmup_windows
+            and index - self._last_fired >= policy.min_windows_between
+        )
+        if armed and policy.max_new_fraction > 0:
+            fraction = summary.new_fraction
+            if fraction > policy.max_new_fraction:
+                event = DriftEvent(
+                    trace_id=summary.trace_id,
+                    window_index=index,
+                    start=summary.start,
+                    reason="new_propositions",
+                    value=fraction,
+                )
+        if (
+            event is None
+            and armed
+            and policy.mean_shift_sigmas > 0
+            and power is not None
+            and len(power) > 0
+            and self.baseline.n > 0
+        ):
+            mean = float(np.asarray(power, dtype=np.float64).mean())
+            sigma = self.baseline.sigma
+            shift = abs(mean - self.baseline.mean)
+            if shift > policy.mean_shift_sigmas * max(sigma, 1e-12):
+                event = DriftEvent(
+                    trace_id=summary.trace_id,
+                    window_index=index,
+                    start=summary.start,
+                    reason="mean_shift",
+                    value=shift,
+                )
+        if power is not None and len(power) > 0:
+            self.baseline.update_many(power)
+        if event is not None:
+            self._last_fired = index
+            self.events.append(event)
+        return event
+
+
+# ----------------------------------------------------------------------
+# versioned bundle publishing
+# ----------------------------------------------------------------------
+
+
+class BundlePublisher:
+    """Atomic, versioned bundle publishes into a registry-watched path.
+
+    Each :meth:`publish` serialises the PSM set with
+    :func:`~repro.core.export.publish_psms` — write-to-temp plus
+    ``os.replace``, so a running registry only ever observes complete
+    files and its ``(mtime, size)`` hot-reload signature flips exactly
+    once per refresh.  Versions (digest + reason) are recorded in
+    publish order.
+    """
+
+    def __init__(self, path, variables: Sequence = ()) -> None:
+        self.path = Path(path)
+        self.variables = list(variables)
+        self.versions: List[Tuple[str, str]] = []
+
+    def publish(self, psms: Sequence, reason: str = "refresh") -> str:
+        """Write one bundle version; returns its content digest."""
+        from .export import publish_psms
+
+        digest = publish_psms(psms, self.path, variables=self.variables)
+        self.versions.append((digest, reason))
+        return digest
+
+    @property
+    def digest(self) -> Optional[str]:
+        """The most recently published digest (None before the first)."""
+        return self.versions[-1][0] if self.versions else None
+
+
+# ----------------------------------------------------------------------
+# the streaming miner
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StreamMiningReport:
+    """Outcome of one streaming mining run."""
+
+    mining: MiningResult
+    windows: int
+    candidates: int
+    drift_events: List[DriftEvent] = field(default_factory=list)
+    refreshes: int = 0
+
+
+class StreamingMiner:
+    """Three-pass windowed scheduler over replayable sources.
+
+    Pass 1 discovers the candidate alphabet, pass 2 filters it with
+    stitched run statistics, pass 3 composes minterm propositions —
+    each pass streams every source window-by-window through one
+    operator, sources in trace-id order (the batch concatenation
+    order).  The result is bit-identical to
+    ``AssertionMiner(config).mine_many([...])`` over the full traces.
+
+    ``drift`` (a :class:`DriftDetector`) observes pass 3; on a firing,
+    ``on_drift`` is called with a :class:`StreamSnapshot` of the stream
+    prefix — the hook :meth:`PsmFlow.fit_stream` uses to re-run
+    ``simplify``/``join`` and republish mid-stream.
+    """
+
+    def __init__(
+        self,
+        config: Optional[MinerConfig] = None,
+        window: int = DEFAULT_WINDOW,
+        drift: Optional[DriftDetector] = None,
+        progress: Optional[Callable[[WindowSummary], None]] = None,
+        on_drift: Optional[Callable[[StreamSnapshot], None]] = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window size must be >= 1")
+        self.config = config or MinerConfig()
+        self.window = window
+        self.drift = drift
+        self.progress = progress
+        self.on_drift = on_drift
+
+    def _check_sources(self, sources: Sequence) -> None:
+        if not sources:
+            raise ValueError("at least one window source is required")
+        names = [v.name for v in sources[0].variables]
+        for source in sources[1:]:
+            if [v.name for v in source.variables] != names:
+                raise ValueError(
+                    "all traces must observe the same variables"
+                )
+        if any(len(source) == 0 for source in sources):
+            raise ValueError("cannot mine an empty trace")
+
+    def mine_sources(self, sources: Sequence) -> StreamMiningReport:
+        """Run all three passes; returns the mining result + counters."""
+        self._check_sources(sources)
+
+        discovery = AtomDiscovery(self.config)
+        for source in sources:
+            for win in source.windows(self.window):
+                discovery.fit_window(win)
+        candidates = discovery.finalize()
+
+        stats = AtomStats(candidates, self.config)
+        for source in sources:
+            for win in source.windows(self.window):
+                stats.fit_window(win)
+        kept = stats.finalize()
+
+        composer = MintermStream(kept)
+        refreshes = 0
+        windows = 0
+        for source in sources:
+            for win in source.windows(self.window):
+                before = composer.universe_size
+                indices = composer.fit_window(win)
+                new_props = composer.universe_size - before
+                summary = WindowSummary(
+                    trace_id=win.trace_id,
+                    index=windows,
+                    start=win.start,
+                    instants=len(indices),
+                    new_propositions=new_props,
+                    new_instants=(
+                        int(np.count_nonzero(indices >= before))
+                        if new_props
+                        else 0
+                    ),
+                    universe_size=composer.universe_size,
+                )
+                windows += 1
+                if self.progress is not None:
+                    self.progress(summary)
+                if self.drift is not None:
+                    event = self.drift.observe(summary, win.power)
+                    if event is not None and self.on_drift is not None:
+                        self.on_drift(composer.snapshot())
+                        refreshes += 1
+
+        return StreamMiningReport(
+            mining=composer.finalize(),
+            windows=windows,
+            candidates=len(candidates),
+            drift_events=list(self.drift.events) if self.drift else [],
+            refreshes=refreshes,
+        )
+
+
+def refresh_psms(
+    snapshot: StreamSnapshot,
+    power_traces: Dict[int, PowerTrace],
+    merge_policy,
+) -> List:
+    """The delta-driven ``simplify`` + ``join`` re-run over a prefix.
+
+    Generates chain PSMs from the snapshot's (complete-run) proposition
+    traces, truncates each reference power trace to the consumed prefix,
+    and re-optimises — the refresh body behind every mid-stream publish.
+    Traces still too short to complete a pattern contribute no PSM.
+    """
+    from .generator import generate_psm
+    from .join import join
+    from .simplify import simplify_all
+
+    psms = []
+    prefix_powers: Dict[int, PowerTrace] = {}
+    for trace in snapshot.traces:
+        power = power_traces[trace.trace_id]
+        prefix = PowerTrace(
+            power.values[: len(trace)], name=getattr(power, "name", "power")
+        )
+        prefix_powers[trace.trace_id] = prefix
+        psm = generate_psm(trace, prefix, name=f"psm_t{trace.trace_id}")
+        if len(psm) > 0:
+            psms.append(psm)
+    if not psms:
+        return []
+    simplified = simplify_all(psms, prefix_powers, merge_policy)
+    return join(simplified, prefix_powers, merge_policy)

@@ -27,7 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from .propositions import PropositionTrace
+import numpy as np
+
+from .propositions import PropositionTrace, run_length_encode
 from .temporal import NextAssertion, TemporalAssertion, UntilAssertion
 
 #: Automaton state names (exported for introspection and tests).
@@ -185,6 +187,104 @@ def mine_patterns_rle(trace: PropositionTrace) -> List[MinedAssertion]:
             )
         )
     return mined
+
+
+class RunLengthStitcher:
+    """Incremental run-length encoding across window boundaries.
+
+    The streaming counterpart of
+    :func:`~repro.core.propositions.run_length_encode`: windows of an
+    index-coded trace arrive one at a time via :meth:`extend`, and a run
+    that spans a window boundary is *stitched* — the window's leading run
+    is folded into the pending trailing run of the previous window when
+    their codes match — so :meth:`rle` over any prefix of windows equals
+    a batch ``run_length_encode`` over the concatenation of those
+    windows, run for run.
+
+    This is the substrate of per-window XU pattern mining: the automaton
+    recognises one until/next pattern per *closed* run
+    (:func:`mine_patterns_rle`), and a run only closes once a window
+    reveals a different follower code, so the pending trailing run is
+    exactly the automaton's incomplete (*nil*-terminated) pattern at
+    every window boundary.
+    """
+
+    def __init__(self) -> None:
+        self._pieces: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._offset = 0
+        self._tail_start = 0
+        self._tail_length = 0
+        self._tail_value: Optional[object] = None
+
+    def __len__(self) -> int:
+        """Instants consumed so far."""
+        return self._offset
+
+    @property
+    def runs(self) -> int:
+        """Runs so far, counting the pending (still extendable) tail."""
+        closed = sum(len(starts) for starts, _, _ in self._pieces)
+        return closed + (1 if self._tail_value is not None else 0)
+
+    def extend(self, values: np.ndarray) -> None:
+        """Append one window of codes, stitching at the boundary."""
+        values = np.asarray(values)
+        if len(values) == 0:
+            return
+        starts, lengths, codes = run_length_encode(values)
+        starts = starts + self._offset
+        self._offset += len(values)
+        first = 0
+        if self._tail_value is not None and codes[0] == self._tail_value:
+            # The window opens on the pending run's code: stitch.
+            self._tail_length += int(lengths[0])
+            first = 1
+        if first >= len(codes):
+            return
+        if self._tail_value is not None:
+            self._pieces.append(
+                (
+                    np.array([self._tail_start], dtype=np.int64),
+                    np.array([self._tail_length], dtype=np.int64),
+                    np.array([self._tail_value], dtype=codes.dtype),
+                )
+            )
+        if len(codes) - first > 1:
+            self._pieces.append(
+                (starts[first:-1], lengths[first:-1], codes[first:-1])
+            )
+        self._tail_start = int(starts[-1])
+        self._tail_length = int(lengths[-1])
+        self._tail_value = codes[-1]
+
+    def rle(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(starts, lengths, codes)`` over everything consumed so far.
+
+        Includes the pending tail as the final run, so the result is
+        identical to ``run_length_encode`` of the concatenated windows.
+        """
+        if self._tail_value is None:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, np.zeros(0, dtype=np.int64)
+        pieces = list(self._pieces)
+        pieces.append(
+            (
+                np.array([self._tail_start], dtype=np.int64),
+                np.array([self._tail_length], dtype=np.int64),
+                np.array([self._tail_value]),
+            )
+        )
+        starts = np.concatenate([p[0] for p in pieces])
+        lengths = np.concatenate([p[1] for p in pieces])
+        codes = np.concatenate([p[2] for p in pieces])
+        return starts, lengths, codes
+
+    def indices(self, dtype=np.int32) -> np.ndarray:
+        """The consumed trace expanded back to one code per instant."""
+        _, lengths, codes = self.rle()
+        if len(codes) == 0:
+            return np.zeros(0, dtype=dtype)
+        return np.repeat(codes.astype(dtype), lengths)
 
 
 def mine_patterns(

@@ -174,6 +174,26 @@ class ModelRegistry:
             "psmgen_model_compile_seconds_total",
             "Wall-clock seconds spent lowering bundles to compiled form.",
         )
+        self._compiled_dropped = metrics.counter(
+            "psmgen_model_compiled_dropped_total",
+            "Compiled forms released on eviction, quarantine or reload.",
+        )
+
+    def _drop_compiled(self, entry: Optional[ModelEntry]) -> None:
+        """Release an entry's compiled form so it cannot stay pinned.
+
+        Called whenever an entry leaves the cache (LRU eviction,
+        quarantine, vanished file) or is superseded by a reload: the
+        dense arrays of a :class:`~repro.core.compiled.CompiledBundle`
+        are the registry's largest per-model allocation, and a caller
+        still holding the evicted entry must not keep them alive.
+        """
+        if entry is None or entry.compiled is None:
+            return
+        entry.compiled = None
+        entry.compiled_digest = None
+        entry.compile_seconds = 0.0
+        self._compiled_dropped.inc()
 
     # ------------------------------------------------------------------
     def discover(self) -> Dict[str, Path]:
@@ -233,7 +253,7 @@ class ModelRegistry:
         signature = self._signature(path)
         if signature is None:
             with self._lock:
-                self._entries.pop(name, None)
+                self._drop_compiled(self._entries.pop(name, None))
                 self._quarantine.pop(name, None)
                 self._loaded_gauge.set(len(self._entries))
             raise UnknownModelError(
@@ -260,7 +280,7 @@ class ModelRegistry:
         try:
             bundle = load_bundle(path)
         except ExportSchemaError as exc:
-            self._entries.pop(name, None)
+            self._drop_compiled(self._entries.pop(name, None))
             self._quarantine[name] = _QuarantineRecord(signature, str(exc))
             self._quarantined.inc()
             self._loaded_gauge.set(len(self._entries))
@@ -276,10 +296,12 @@ class ModelRegistry:
             loaded_at=time.time(),
             checked_at=time.monotonic(),
         )
+        self._drop_compiled(self._entries.get(name))
         self._entries[name] = entry
         self._entries.move_to_end(name)
         while len(self._entries) > self.cap:
-            self._entries.popitem(last=False)
+            _, evicted = self._entries.popitem(last=False)
+            self._drop_compiled(evicted)
             self._evictions.inc()
         self._loaded_gauge.set(len(self._entries))
         return entry
@@ -325,7 +347,7 @@ class ModelRegistry:
             for name in list(self._entries):
                 signature = self._signature(self._entries[name].path)
                 if signature is None:
-                    del self._entries[name]
+                    self._drop_compiled(self._entries.pop(name))
                 elif signature != self._entries[name].signature:
                     try:
                         self._load(name, self._path_for(name), signature)

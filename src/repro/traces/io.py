@@ -569,15 +569,26 @@ class BinaryTraceReader:
         loader for training runs whose traces do not fit in memory at
         once.
         """
-        if size < 1:
-            raise ValueError("chunk size must be >= 1")
-        for start in range(0, self.length, size):
-            count = min(size, self.length - start)
+        for start, count in window_bounds(self.length, size):
             functional = self.read_functional(start, count)
             power = (
                 self.read_power(start, count) if self.has_power else None
             )
             yield start, functional, power
+
+
+def window_bounds(length: int, size: int) -> Iterator[Tuple[int, int]]:
+    """``(start, count)`` pairs tiling ``[0, length)`` in ``size`` steps.
+
+    The final window is partial when ``size`` does not divide ``length``;
+    a zero-length trace yields no windows.  The single window arithmetic
+    shared by :meth:`BinaryTraceReader.chunks` and the streaming window
+    sources.
+    """
+    if size < 1:
+        raise ValueError("chunk size must be >= 1")
+    for start in range(0, length, size):
+        yield start, min(size, length - start)
 
 
 def load_functional_bin(path: PathLike) -> FunctionalTrace:

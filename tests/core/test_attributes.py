@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core.attributes import Interval, PowerAttributes
+from repro.core.attributes import (
+    Interval,
+    PowerAttributes,
+    RunningAttributes,
+)
 from repro.traces.power import PowerTrace
 
 
@@ -82,3 +86,126 @@ class TestPowerAttributes:
         )
         assert attrs.mu == pytest.approx(2.0)
         assert attrs.sigma == pytest.approx(1.0)
+
+
+def random_splits(rng, samples, parts):
+    """Partition ``samples`` into ``parts`` contiguous non-empty pieces."""
+    cuts = np.sort(rng.choice(np.arange(1, len(samples)), parts - 1, False))
+    return np.split(samples, cuts)
+
+
+class TestMergeExactness:
+    """merge()/RunningAttributes equal a single pass over concatenation."""
+
+    def attrs_of(self, values):
+        power = PowerTrace(values)
+        return PowerAttributes.from_power_trace(power, 0, len(values) - 1)
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("parts", [2, 3, 7])
+    def test_pairwise_merge_matches_single_pass(self, seed, parts):
+        rng = np.random.default_rng(seed)
+        samples = rng.normal(10.0, 2.0, 200)
+        pieces = random_splits(rng, samples, parts)
+        merged = self.attrs_of(pieces[0])
+        for piece in pieces[1:]:
+            merged = merged.merge(self.attrs_of(piece))
+        assert merged.n == len(samples)
+        assert merged.mu == pytest.approx(float(np.mean(samples)), rel=1e-12)
+        assert merged.sigma == pytest.approx(
+            float(np.std(samples)), rel=1e-9, abs=1e-12
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merge_matches_pooled(self, seed):
+        rng = np.random.default_rng(seed)
+        samples = rng.normal(10.0, 1.0, 64)
+        pieces = random_splits(rng, samples, 4)
+        parts = [self.attrs_of(p) for p in pieces]
+        merged = parts[0]
+        for part in parts[1:]:
+            merged = merged.merge(part)
+        pooled = PowerAttributes.pooled(parts)
+        assert merged.mu == pytest.approx(pooled.mu, rel=1e-12)
+        assert merged.sigma == pytest.approx(pooled.sigma, rel=1e-9, abs=1e-12)
+
+    def test_single_sample_parts(self):
+        samples = np.array([3.0, 1.5, 4.0, 1.0, 5.0])
+        merged = self.attrs_of(samples[:1])
+        for value in samples[1:]:
+            merged = merged.merge(PowerAttributes(float(value), 0.0, 1))
+        assert merged.mu == pytest.approx(float(np.mean(samples)), rel=1e-12)
+        assert merged.sigma == pytest.approx(float(np.std(samples)), rel=1e-12)
+
+    def test_constant_segments_stay_exact(self):
+        left = self.attrs_of(np.full(40, 7.5))
+        right = self.attrs_of(np.full(60, 7.5))
+        merged = left.merge(right)
+        assert merged.mu == pytest.approx(7.5)
+        assert merged.sigma == 0.0
+        assert merged.n == 100
+
+    def test_large_mean_small_variance_is_stable(self):
+        # The regime Chan's formulation exists for: mu >> sigma.
+        base = 1.0e9
+        left = self.attrs_of(base + np.array([0.0, 1.0, 2.0]))
+        right = self.attrs_of(base + np.array([3.0, 4.0, 5.0]))
+        merged = left.merge(right)
+        samples = base + np.arange(6.0)
+        assert merged.mu == pytest.approx(float(np.mean(samples)), rel=1e-15)
+        assert merged.sigma == pytest.approx(float(np.std(samples)), rel=1e-6)
+
+
+class TestRunningAttributes:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("parts", [1, 2, 5])
+    def test_update_many_then_merge_matches_numpy(self, seed, parts):
+        rng = np.random.default_rng(100 + seed)
+        samples = rng.normal(2.0, 0.5, 150)
+        pieces = (
+            [samples] if parts == 1 else random_splits(rng, samples, parts)
+        )
+        accs = []
+        for piece in pieces:
+            acc = RunningAttributes()
+            acc.update_many(piece)
+            accs.append(acc)
+        merged = accs[0]
+        for acc in accs[1:]:
+            merged = merged.merge(acc)
+        assert merged.n == len(samples)
+        assert merged.mean == pytest.approx(float(np.mean(samples)), rel=1e-12)
+        assert merged.sigma == pytest.approx(
+            float(np.std(samples)), rel=1e-9, abs=1e-12
+        )
+
+    def test_scalar_updates_match_update_many(self):
+        samples = np.array([1.0, 2.0, 2.0, 9.0, -4.0])
+        one_by_one, bulk = RunningAttributes(), RunningAttributes()
+        for value in samples:
+            one_by_one.update(float(value))
+        bulk.update_many(samples)
+        assert one_by_one.n == bulk.n
+        assert one_by_one.mean == pytest.approx(bulk.mean, rel=1e-12)
+        assert one_by_one.sigma == pytest.approx(bulk.sigma, rel=1e-12)
+
+    def test_merge_with_empty_is_identity(self):
+        acc = RunningAttributes()
+        acc.update_many(np.array([1.0, 2.0, 3.0]))
+        merged = acc.merge(RunningAttributes())
+        assert merged.n == 3
+        assert merged.mean == pytest.approx(2.0)
+
+    def test_finalize_round_trips_to_power_attributes(self):
+        samples = np.array([1.0, 4.0, 4.0, 7.0])
+        acc = RunningAttributes()
+        acc.update_many(samples)
+        attrs = acc.finalize()
+        assert isinstance(attrs, PowerAttributes)
+        assert attrs.n == 4
+        assert attrs.mu == pytest.approx(4.0)
+        assert attrs.sigma == pytest.approx(float(np.std(samples)))
+
+    def test_finalize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RunningAttributes().finalize()

@@ -1,0 +1,184 @@
+"""Acceptance test: zero-downtime hot swap of a streamed bundle.
+
+Publishes a refreshed PSM bundle (atomic ``publish_psms`` replace, the
+same primitive ``fit_stream`` uses on drift) underneath a live server
+while concurrent ``/v1/estimate`` traffic is in flight, and checks:
+
+* not a single request fails across the swap — every response is 200;
+* the registry hot-reloads to the new content digest;
+* the compiled fast path is re-lowered against the new digest (a second
+  compile miss) and the old compiled form is released (drop counter).
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.bench import fit_benchmark
+from repro.core.export import publish_psms
+from repro.serve.loadgen import http_request_json
+from repro.serve.metrics import find_sample, parse_prometheus
+from repro.traces.io import functional_trace_to_json
+
+from .test_serve_e2e import ServerHandle, get, offline_estimate
+
+MODEL = "MultSum"
+WINDOW = 64
+TRAFFIC_THREADS = 4
+SWAP_SETTLE_S = 15.0
+
+
+@pytest.fixture(scope="module")
+def fitted_bundle(tmp_path_factory):
+    """A fitted MultSum flow, its request windows, and a models dir."""
+    root = tmp_path_factory.mktemp("hotswap-models")
+    fitted = fit_benchmark(MODEL)
+    trace = fitted.short_ref.trace
+    windows = [
+        functional_trace_to_json(
+            trace.slice(start, min(start + WINDOW - 1, len(trace) - 1))
+        )
+        for start in range(0, len(trace), WINDOW)
+    ]
+    return root, fitted, windows
+
+
+class Traffic:
+    """Continuous /v1/estimate traffic from background threads."""
+
+    def __init__(self, port, windows):
+        self.port = port
+        self.windows = windows
+        self.stop = threading.Event()
+        self.results = []  # (status, body) tuples, appended under lock
+        self._lock = threading.Lock()
+        self.threads = [
+            threading.Thread(target=self._run, args=(k,), daemon=True)
+            for k in range(TRAFFIC_THREADS)
+        ]
+
+    def _run(self, worker):
+        k = worker
+        while not self.stop.is_set():
+            index = k % len(self.windows)
+            body = {"model": MODEL, "trace": self.windows[index]}
+            status, _headers, raw = asyncio.run(
+                http_request_json(
+                    "127.0.0.1", self.port, "POST", "/v1/estimate",
+                    body, timeout=60.0,
+                )
+            )
+            with self._lock:
+                self.results.append((status, raw, index))
+            k += 1
+
+    def __enter__(self):
+        for thread in self.threads:
+            thread.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop.set()
+        for thread in self.threads:
+            thread.join(60)
+
+
+def served_version(port):
+    status, _headers, raw = get(port, "/v1/models")
+    assert status == 200
+    rows = {row["name"]: row for row in json.loads(raw)["models"]}
+    return rows[MODEL]["version"]
+
+
+class TestHotSwap:
+    def test_zero_downtime_swap_relowers_compiled(self, fitted_bundle):
+        root, fitted, windows = fitted_bundle
+        variables = fitted.short_ref.trace.variables
+
+        # v1: the equivalence-bundle shape fit_stream publishes (no
+        # stage reports).  v2 carries the stage reports, so its bytes —
+        # and content digest — differ while the PSMs stay identical,
+        # which keeps every in-flight estimate bit-for-bit checkable.
+        v1 = publish_psms(
+            fitted.flow.psms, root / f"{MODEL}.json", variables=variables
+        )
+
+        with ServerHandle(root, max_queue=64, max_batch=8) as handle:
+            port = handle.port
+            # Prime: load + lower v1 before traffic starts.
+            status, _h, _b = asyncio.run(
+                http_request_json(
+                    "127.0.0.1", port, "POST", "/v1/estimate",
+                    {"model": MODEL, "trace": windows[0]}, timeout=120.0,
+                )
+            )
+            assert status == 200
+            assert served_version(port) == v1
+
+            with Traffic(port, windows) as traffic:
+                # Let some pre-swap traffic through, then swap.
+                deadline = time.monotonic() + SWAP_SETTLE_S
+                while (
+                    len(traffic.results) < 4
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.05)
+
+                v2 = publish_psms(
+                    fitted.flow.psms,
+                    root / f"{MODEL}.json",
+                    stage_reports=fitted.flow.report.stages,
+                    variables=variables,
+                )
+                assert v2 != v1
+
+                # The registry notices the replaced file on a later
+                # request (freshness fast lane may defer it briefly).
+                while time.monotonic() < deadline:
+                    if served_version(port) == v2:
+                        break
+                    time.sleep(0.1)
+                assert served_version(port) == v2
+
+                # Keep traffic flowing against the swapped bundle.
+                post_swap_floor = len(traffic.results) + 4
+                while (
+                    len(traffic.results) < post_swap_floor
+                    and time.monotonic() < deadline + 5.0
+                ):
+                    time.sleep(0.05)
+
+            status, _h, metrics_raw = get(port, "/metrics")
+            assert status == 200
+
+        # (a) zero failed requests across the swap.
+        assert traffic.results, "traffic never got a response in"
+        statuses = [status for status, _raw, _i in traffic.results]
+        assert statuses.count(200) == len(statuses), (
+            f"non-200 during hot swap: {sorted(set(statuses))}"
+        )
+
+        # (b) every answer — before and after the swap — matches the
+        # offline estimate of the same PSMs (the swapped bundle holds
+        # the same PSMs, so one reference covers both versions).
+        reference = [
+            offline_estimate(root / f"{MODEL}.json", window)
+            for window in windows
+        ]
+        step = max(1, len(traffic.results) // 16)
+        for _status, raw, index in traffic.results[::step]:
+            payload = json.loads(raw)
+            assert payload["estimated"] == [
+                float(v) for v in reference[index].estimated.values
+            ]
+
+        # (c) the compiled cache was re-lowered for the new digest and
+        # the stale compiled form was released.
+        samples = parse_prometheus(metrics_raw.decode("utf-8"))
+        assert find_sample(samples, "psmgen_model_compile_misses_total") >= 2
+        assert (
+            find_sample(samples, "psmgen_model_compiled_dropped_total") >= 1
+        )

@@ -184,3 +184,77 @@ class TestListing:
             "loaded": False,
             "quarantined": False,
         }
+
+
+class TestCompiledRelease:
+    """Compiled forms must be dropped with their entry, not leaked."""
+
+    def dropped(self, metrics):
+        return metrics.counter(
+            "psmgen_model_compiled_dropped_total", ""
+        ).value()
+
+    def test_eviction_releases_compiled_form(self, tmp_path):
+        for name in ("a", "b", "c"):
+            write_bundle(tmp_path / f"{name}.json")
+        metrics = MetricsRegistry()
+        registry = ModelRegistry(tmp_path, cap=2, metrics=metrics)
+        entry_a = registry.get("a")
+        registry.compiled_for(entry_a)
+        assert entry_a.compiled is not None
+        registry.get("b")
+        registry.get("c")  # evicts a, which holds a compiled form
+        assert self.dropped(metrics) == 1
+        assert entry_a.compiled is None
+        assert entry_a.compiled_digest is None
+        assert entry_a.compile_seconds == 0.0
+
+    def test_eviction_without_compiled_form_is_not_counted(self, tmp_path):
+        for name in ("a", "b", "c"):
+            write_bundle(tmp_path / f"{name}.json")
+        metrics = MetricsRegistry()
+        registry = ModelRegistry(tmp_path, cap=2, metrics=metrics)
+        registry.get("a")
+        registry.get("b")
+        registry.get("c")  # evicts a; a was never compiled
+        assert self.dropped(metrics) == 0
+
+    def test_reload_after_overwrite_releases_old_compiled(self, models_dir):
+        metrics = MetricsRegistry()
+        registry = ModelRegistry(models_dir, metrics=metrics)
+        entry = registry.get("fig2")
+        registry.compiled_for(entry)
+        write_bundle(models_dir / "fig2.json", variables=[bool_in("x")])
+        os.utime(models_dir / "fig2.json", ns=(7, 7))
+        fresh = registry.get("fig2")
+        assert fresh is not entry
+        assert self.dropped(metrics) == 1
+        assert entry.compiled is None
+        # the fresh entry re-lowers lazily against its own digest
+        compiled = registry.compiled_for(fresh)
+        assert fresh.compiled_digest == fresh.version
+        assert compiled is fresh.compiled
+
+    def test_corrupted_reload_quarantines_and_releases(self, models_dir):
+        metrics = MetricsRegistry()
+        registry = ModelRegistry(models_dir, metrics=metrics)
+        entry = registry.get("fig2")
+        registry.compiled_for(entry)
+        (models_dir / "fig2.json").write_text("{broken")
+        os.utime(models_dir / "fig2.json", ns=(9, 9))
+        with pytest.raises(QuarantinedModelError):
+            registry.get("fig2")
+        assert self.dropped(metrics) == 1
+        assert entry.compiled is None
+        assert entry.compile_seconds == 0.0
+
+    def test_vanished_file_releases_compiled(self, models_dir):
+        metrics = MetricsRegistry()
+        registry = ModelRegistry(models_dir, metrics=metrics)
+        entry = registry.get("fig2")
+        registry.compiled_for(entry)
+        (models_dir / "fig2.json").unlink()
+        with pytest.raises(UnknownModelError):
+            registry.get("fig2")
+        assert self.dropped(metrics) == 1
+        assert entry.compiled is None

@@ -198,6 +198,53 @@ class TestParser:
         assert args.from_binary == "t.npt"
         assert args.to_csv == "out"
 
+    def test_mine_stream_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "mine",
+                "--pair",
+                "a.npt",
+                "--pair",
+                "b.npt",
+                "--stream",
+                "--window",
+                "512",
+                "--progress",
+                "--publish",
+                "live.json",
+                "--drift-new-fraction",
+                "0.2",
+                "--drift-sigmas",
+                "4.0",
+                "--drift-warmup",
+                "3",
+                "-o",
+                "out.json",
+            ]
+        )
+        assert args.command == "mine"
+        assert args.pair == ["a.npt", "b.npt"]
+        assert args.stream is True
+        assert args.window == 512
+        assert args.progress is True
+        assert args.publish == "live.json"
+        assert args.drift_new_fraction == 0.2
+        assert args.drift_sigmas == 4.0
+        assert args.drift_warmup == 3
+        assert args.output == "out.json"
+
+    def test_mine_defaults_to_batch(self):
+        args = build_parser().parse_args(
+            ["mine", "--func", "t.csv", "--power", "p.csv"]
+        )
+        assert args.command == "mine"
+        assert args.stream is False
+        assert args.window == 4096
+        assert args.publish is None
+        assert args.drift_new_fraction == 0.0
+        assert args.drift_sigmas == 0.0
+        assert args.output == "psms.json"
+
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

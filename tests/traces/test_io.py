@@ -19,6 +19,7 @@ from repro.traces.io import (
     save_power_csv,
     save_training_bin,
     save_training_pair,
+    window_bounds,
 )
 from repro.traces.power import PowerTrace
 from repro.traces.variables import bool_in, int_in, int_out
@@ -304,3 +305,79 @@ class TestBufferReader:
             truncated.view_functional()
         with pytest.raises(ValueError):
             BinaryTraceReader.from_bytes(b"NOTATRACE" + b"\0" * 64)
+
+
+class TestWindowBounds:
+    def test_non_dividing_size_has_partial_tail(self):
+        assert list(window_bounds(20, 7)) == [(0, 7), (7, 7), (14, 6)]
+
+    def test_exact_division_has_no_tail(self):
+        assert list(window_bounds(21, 7)) == [(0, 7), (7, 7), (14, 7)]
+
+    def test_size_larger_than_length_single_window(self):
+        assert list(window_bounds(5, 100)) == [(0, 5)]
+
+    def test_zero_length_yields_nothing(self):
+        assert list(window_bounds(0, 8)) == []
+
+    def test_size_one_enumerates_instants(self):
+        assert list(window_bounds(3, 1)) == [(0, 1), (1, 1), (2, 1)]
+
+    @pytest.mark.parametrize("size", [0, -3])
+    def test_invalid_size_rejected(self, size):
+        with pytest.raises(ValueError):
+            list(window_bounds(10, size))
+
+
+class TestChunkedWindows:
+    """BinaryTraceReader.chunks edge cases for the streaming ingest path."""
+
+    @pytest.fixture
+    def pair_path(self, wide_trace, wide_power, tmp_path):
+        path = tmp_path / "pair.npt"
+        save_training_bin(wide_trace, wide_power, path)
+        return path
+
+    def test_final_partial_window(self, pair_path, wide_trace, wide_power):
+        # 257 instants in windows of 100 -> 100, 100, 57.
+        reader = BinaryTraceReader(pair_path)
+        chunks = list(reader.chunks(100))
+        assert [(start, len(func)) for start, func, _ in chunks] == [
+            (0, 100), (100, 100), (200, 57),
+        ]
+        for start, func, power in chunks:
+            stop = start + len(func)
+            for spec in wide_trace.variables:
+                assert np.array_equal(
+                    func.column(spec.name),
+                    wide_trace.column(spec.name)[start:stop],
+                )
+            assert np.array_equal(power, wide_power.values[start:stop])
+
+    def test_window_larger_than_trace(self, pair_path, wide_trace):
+        chunks = list(BinaryTraceReader(pair_path).chunks(10_000))
+        assert len(chunks) == 1
+        start, func, power = chunks[0]
+        assert start == 0
+        assert len(func) == len(wide_trace)
+        assert len(power) == len(wide_trace)
+
+    def test_dividing_window_no_empty_tail(self, wide_trace, tmp_path):
+        # A trace whose length divides the window exactly must not emit
+        # a trailing zero-length chunk.
+        path = tmp_path / "exact.npt"
+        save_functional_bin(wide_trace.slice(0, 199), path)
+        chunks = list(BinaryTraceReader(path).chunks(50))
+        assert [start for start, _, _ in chunks] == [0, 50, 100, 150]
+        assert all(len(func) == 50 for _, func, _ in chunks)
+
+    def test_functional_only_yields_none_power(self, wide_trace, tmp_path):
+        path = tmp_path / "func.npt"
+        save_functional_bin(wide_trace, path)
+        for _, func, power in BinaryTraceReader(path).chunks(64):
+            assert power is None
+            assert len(func) > 0
+
+    def test_invalid_window_rejected(self, pair_path):
+        with pytest.raises(ValueError):
+            list(BinaryTraceReader(pair_path).chunks(0))
