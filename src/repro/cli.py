@@ -484,6 +484,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import gc
+    import signal
 
     from .serve.server import create_server
 
@@ -494,35 +495,90 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         return 2
 
-    async def _run() -> None:
-        server = create_server(
-            args.models_dir,
-            host=args.host,
-            port=args.port,
-            jobs=args.jobs,
-            max_queue=args.max_queue,
-            max_batch=args.max_batch,
-            cap=args.cap,
-            request_timeout=args.timeout,
-            engine=args.engine,
-        )
-        await server.start()
+    async def _run() -> bool:
+        if args.workers > 1:
+            from .serve.cluster import create_cluster
+
+            target = create_cluster(
+                args.models_dir,
+                workers=args.workers,
+                host=args.host,
+                port=args.port,
+                replicas_hot=args.replicas_hot,
+                hot_rps=args.hot_rps,
+                drain_timeout=args.drain_timeout,
+                worker_config={
+                    "jobs": args.jobs,
+                    "max_queue": args.max_queue,
+                    "max_batch": args.max_batch,
+                    "cap": args.cap,
+                    "request_timeout": args.timeout,
+                    "engine": args.engine,
+                },
+            )
+            await target.start()
+            metrics = target.metrics
+            detail = (
+                f"{args.workers} workers via "
+                f"{target.supervisor.backend}, replicas-hot "
+                f"{args.replicas_hot}"
+            )
+        else:
+            target = create_server(
+                args.models_dir,
+                host=args.host,
+                port=args.port,
+                jobs=args.jobs,
+                max_queue=args.max_queue,
+                max_batch=args.max_batch,
+                cap=args.cap,
+                request_timeout=args.timeout,
+                engine=args.engine,
+            )
+            await target.start()
+            metrics = target.metrics
+            models = ", ".join(target.registry.discover()) or "none yet"
+            detail = f"{target.batcher.mode} execution, models: {models}"
         # Long-lived process: move the (large) startup object graph out
         # of the cyclic collector's scan set so steady-state traffic
         # only pays for its own short-lived garbage.
         gc.collect()
         gc.freeze()
-        models = ", ".join(server.registry.discover()) or "none yet"
         print(
             f"serving {args.models_dir} on "
-            f"http://{server.host}:{server.port} "
-            f"({server.batcher.mode} execution, models: {models})",
+            f"http://{target.host}:{target.port} ({detail})",
             flush=True,
         )
+        # SIGTERM/SIGINT start the graceful drain: stop accepting, let
+        # in-flight micro-batches finish (bounded by --drain-timeout),
+        # flush final metrics, exit 0 — so supervisors and CI can stop
+        # the server without failing live requests.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        serve_task = loop.create_task(target.serve_forever())
+        await stop.wait()
+        serve_task.cancel()
         try:
-            await server.serve_forever()
-        finally:
-            await server.stop()
+            await serve_task
+        except asyncio.CancelledError:
+            pass
+        drained = await target.shutdown(args.drain_timeout)
+        exposition = metrics.render()
+        served = sum(
+            int(float(line.rpartition(" ")[2]))
+            for line in exposition.splitlines()
+            if line.startswith(
+                ("psmgen_requests_total", "psmgen_router_requests_total")
+            )
+        )
+        print(
+            f"drained {'cleanly' if drained else 'past deadline'}; "
+            f"{served} requests served; final metrics flushed",
+            flush=True,
+        )
+        return drained
 
     try:
         asyncio.run(_run())
@@ -533,10 +589,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from .bench import evaluation_trace
-    from .serve.loadgen import format_report, run_loadgen
+    from .serve.loadgen import (
+        format_report,
+        run_loadgen,
+        run_scaling_bench,
+    )
     from .testbench import BENCHMARKS
     from .traces.io import functional_trace_to_json
 
+    if args.scale_workers and not args.models_dir:
+        print(
+            "error: --scale-workers needs --models-dir (the sweep "
+            "starts its own servers)",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.scale_workers and args.port is None:
+        print("error: need --port (or --scale-workers)", file=sys.stderr)
+        return 2
     if args.ip:
         if args.ip not in BENCHMARKS:
             print(
@@ -556,6 +626,60 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     for start in range(0, len(trace), window):
         stop = min(start + window - 1, len(trace) - 1)
         windows.append(functional_trace_to_json(trace.slice(start, stop)))
+
+    if args.scale_workers:
+        counts = sorted(
+            {max(int(n), 1) for n in args.scale_workers.split(",")}
+        )
+        cluster = run_scaling_bench(
+            args.models_dir,
+            args.model,
+            windows,
+            counts,
+            rps_per_worker=args.rps,
+            duration_s=args.duration,
+            concurrency=args.concurrency,
+            timeout=args.timeout,
+            warmup=args.warmup,
+            payload=args.payload,
+            seed=args.seed,
+        )
+        for run in cluster["runs"]:
+            latency = run["latency_ms"]
+            print(
+                f"workers {run['workers']}: "
+                f"{run['throughput_rps']} rps achieved "
+                f"({run['target_rps']} targeted), p50 {latency['p50']} "
+                f"p95 {latency['p95']} p99 {latency['p99']} ms, "
+                f"5xx {run['errors_5xx']}, serve exit "
+                f"{run['serve_exit']}"
+            )
+        print(
+            f"speedup vs single worker: "
+            f"{cluster['speedup_vs_single']}x at "
+            f"{cluster['best_workers']} workers "
+            f"(host has {cluster['host_cpus']} CPUs)"
+        )
+        if args.json:
+            # Merge the cluster sweep into the report file, keeping an
+            # existing single-process top level bit-for-bit intact.
+            target = Path(args.json)
+            document = (
+                json.loads(target.read_text())
+                if target.exists()
+                else {}
+            )
+            document["cluster"] = cluster
+            target.write_text(json.dumps(document, indent=2) + "\n")
+            print(f"cluster section written to {args.json}")
+        failures = sum(
+            run["errors_5xx"]
+            + run["transport_errors"]
+            + (run["serve_exit"] != 0)
+            for run in cluster["runs"]
+        )
+        return 1 if failures else 0
+
     report = run_loadgen(
         args.host,
         args.port,
@@ -567,6 +691,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         warmup=args.warmup,
         payload=args.payload,
+        seed=args.seed,
     )
     print(format_report(report))
     if args.json:
@@ -880,6 +1005,39 @@ def build_parser() -> argparse.ArgumentParser:
             "auto) or the object-graph oracle; results are bit-identical"
         ),
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "shared-nothing worker processes behind a consistent-hash "
+            "router (1 = the unchanged single-process server)"
+        ),
+    )
+    serve.add_argument(
+        "--replicas-hot",
+        type=int,
+        default=2,
+        help=(
+            "ring workers a hot model fans out to (least-loaded "
+            "pick-2 routing among them)"
+        ),
+    )
+    serve.add_argument(
+        "--hot-rps",
+        type=float,
+        default=50.0,
+        help="request rate past which a model is considered hot",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help=(
+            "seconds granted to in-flight requests when SIGTERM/SIGINT "
+            "starts the graceful shutdown"
+        ),
+    )
     serve.set_defaults(func_cmd=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -889,7 +1047,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--host", default="127.0.0.1", help="server address"
     )
     loadgen.add_argument(
-        "--port", type=int, required=True, help="server port"
+        "--port",
+        type=int,
+        help="server port (omit with --scale-workers)",
     )
     loadgen.add_argument(
         "--model", required=True, help="model name to estimate against"
@@ -947,7 +1107,31 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     loadgen.add_argument(
-        "--json", help="write the psmgen-loadgen/v1 report to this path"
+        "--seed",
+        type=int,
+        help=(
+            "seed for deterministic window sampling (same seed = same "
+            "request sequence; default replays windows round-robin)"
+        ),
+    )
+    loadgen.add_argument(
+        "--scale-workers",
+        help=(
+            "comma-separated worker counts (e.g. 1,2,4): start a "
+            "psmgen serve cluster per count, load it at N * --rps, and "
+            "report the scaling sweep"
+        ),
+    )
+    loadgen.add_argument(
+        "--models-dir",
+        help="exported-bundle directory for the --scale-workers servers",
+    )
+    loadgen.add_argument(
+        "--json",
+        help=(
+            "write the psmgen-loadgen/v1 report to this path (with "
+            "--scale-workers: merge a 'cluster' section into it)"
+        ),
     )
     loadgen.set_defaults(func_cmd=_cmd_loadgen)
     return parser

@@ -65,6 +65,52 @@ def make_pool(jobs: Optional[int]) -> Optional[ProcessPoolExecutor]:
         return None
 
 
+def mp_context():
+    """The multiprocessing context for long-lived server workers.
+
+    Prefers ``fork`` (starts in milliseconds and inherits the parent's
+    already-imported numpy/repro modules — the cluster supervisor
+    respawns dead workers on this path, so start latency is part of the
+    recovery time) and falls back to ``spawn`` on platforms without
+    fork.
+    """
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def spawn_process(target, args=(), name: Optional[str] = None):
+    """Start one supervised long-lived child process running ``target``.
+
+    The cluster-serving counterpart of :func:`make_pool`: instead of a
+    pool executing short tasks, the child runs an entire server loop
+    until signalled.  The caller owns the returned ``Process`` handle —
+    supervision (liveness polling, respawn, SIGTERM on drain) lives in
+    :class:`repro.serve.cluster.ClusterSupervisor`.  Children are
+    daemonic so an abandoned supervisor cannot leak workers.  Raises
+    ``OSError`` where process support is unavailable (restricted
+    sandboxes) — callers fall back to in-process serving.
+    """
+    process = mp_context().Process(
+        target=target, args=tuple(args), name=name, daemon=True
+    )
+    process.start()
+    return process
+
+
+def worker_pipe():
+    """A ``(parent, child)`` duplex pipe matching :func:`spawn_process`.
+
+    Used for the one-shot ready handshake: a freshly spawned serving
+    worker reports its bound ephemeral port (or a startup error) before
+    the supervisor adds it to the hash ring.
+    """
+    return mp_context().Pipe()
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],

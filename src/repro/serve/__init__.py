@@ -1,4 +1,4 @@
-"""PSM serving layer: registry + asyncio estimation server + loadgen.
+"""PSM serving layer: registry + asyncio estimation server + cluster.
 
 Turns exported PSM bundles into a long-running estimation service
 (paper motivation: mined PSMs make power estimation cheap enough to run
@@ -9,15 +9,23 @@ Turns exported PSM bundles into a long-running estimation service
   bounded;
 * :mod:`repro.serve.batching` — coalesces concurrent same-model
   requests into micro-batches with bounded queues and backpressure;
+* :mod:`repro.serve.wire` — the shared stdlib HTTP/1.1 framing used by
+  the server, the cluster router and the client pools;
 * :mod:`repro.serve.server` — the dependency-free asyncio HTTP JSON
   API (``/v1/estimate``, ``/v1/models``, ``/healthz``, ``/metrics``);
+* :mod:`repro.serve.ring` — the consistent hash ring placing models on
+  workers;
+* :mod:`repro.serve.cluster` — the shared-nothing multi-worker cluster:
+  front router, replica fan-out for hot models, worker supervision
+  with drain/rebalance (``psmgen serve --workers N``);
 * :mod:`repro.serve.metrics` — Prometheus-text metrics;
-* :mod:`repro.serve.loadgen` — the RPS-targeted benchmark client and
-  its ``psmgen-loadgen/v1`` report.
+* :mod:`repro.serve.loadgen` — the RPS-targeted benchmark client, its
+  ``psmgen-loadgen/v1`` report and the worker-scaling sweep.
 """
 
 from .batching import MicroBatcher, QueueFullError
-from .loadgen import run_loadgen, validate_loadgen
+from .cluster import ClusterConfig, ServeCluster, create_cluster
+from .loadgen import run_loadgen, run_scaling_bench, validate_loadgen
 from .metrics import MetricsRegistry, parse_prometheus
 from .registry import (
     ModelEntry,
@@ -25,12 +33,17 @@ from .registry import (
     QuarantinedModelError,
     UnknownModelError,
 )
+from .ring import HashRing
 from .server import PsmServer, create_server
 
 __all__ = [
     "MicroBatcher",
     "QueueFullError",
+    "ClusterConfig",
+    "ServeCluster",
+    "create_cluster",
     "run_loadgen",
+    "run_scaling_bench",
     "validate_loadgen",
     "MetricsRegistry",
     "parse_prometheus",
@@ -38,6 +51,7 @@ __all__ = [
     "ModelRegistry",
     "QuarantinedModelError",
     "UnknownModelError",
+    "HashRing",
     "PsmServer",
     "create_server",
 ]

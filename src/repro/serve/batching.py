@@ -227,11 +227,21 @@ class MicroBatcher:
         self._wakeups: Dict[str, asyncio.Event] = {}
         self._drainers: Dict[str, asyncio.Task] = {}
         self._batch_ewma: Dict[str, float] = {}
+        self._executing = 0
+        self._settled: Optional[asyncio.Event] = None
         metrics = metrics or MetricsRegistry()
         self._batch_size = metrics.histogram(
             "psmgen_batch_size",
             "Requests coalesced per simulation batch.",
             buckets=(1, 2, 4, 8, 16, 32, 64),
+        )
+        self._batch_occupancy = metrics.histogram(
+            "psmgen_batch_occupancy",
+            "Fill ratio of each simulation batch (size / max_batch); "
+            "sustained occupancy near 1.0 means the worker is "
+            "saturated — the cluster router's replica trigger and "
+            "operators both read this.",
+            buckets=(0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0),
         )
         self._batch_seconds = metrics.histogram(
             "psmgen_batch_seconds",
@@ -242,6 +252,11 @@ class MicroBatcher:
             "psmgen_queue_depth",
             "Pending estimate requests per model.",
             labelnames=("model",),
+        )
+        self._pending_total = metrics.gauge(
+            "psmgen_pending_total",
+            "Pending estimate requests across all models plus "
+            "batches currently executing.",
         )
         self._rejected = metrics.counter(
             "psmgen_rejected_total",
@@ -258,6 +273,37 @@ class MicroBatcher:
     def mode(self) -> str:
         """``"process"`` or ``"thread"`` — the active execution mode."""
         return "process" if self._pool is not None else "thread"
+
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """Queued jobs plus batches currently executing."""
+        return sum(len(q) for q in self._queues.values()) + self._executing
+
+    def _note_settled(self) -> None:
+        self._pending_total.set(self.pending())
+        if self._settled is not None and self.pending() == 0:
+            self._settled.set()
+
+    async def drain(self, deadline_s: float) -> bool:
+        """Wait until every queued job has executed; True if it did.
+
+        The graceful-shutdown path: the server has already stopped
+        accepting work, so the queues only shrink.  Waits at most
+        ``deadline_s`` seconds; a ``False`` return means jobs were
+        still pending (the caller will fail them via :meth:`aclose`).
+        """
+        if self.pending() == 0:
+            return True
+        self._settled = asyncio.Event()
+        try:
+            await asyncio.wait_for(
+                self._settled.wait(), max(float(deadline_s), 0.001)
+            )
+            return True
+        except asyncio.TimeoutError:
+            return self.pending() == 0
+        finally:
+            self._settled = None
 
     # ------------------------------------------------------------------
     def retry_after(self, model: str) -> int:
@@ -300,6 +346,7 @@ class MicroBatcher:
         job = _Job(payload, loop.create_future())
         queue.append(job)
         self._queue_depth.set(len(queue), model=model)
+        self._pending_total.set(self.pending())
         self._ensure_drainer(model, entry)
         return await job.future
 
@@ -337,8 +384,10 @@ class MicroBatcher:
             queue.popleft()
             for _ in range(min(len(queue), self.max_batch))
         ]
+        self._executing += 1
         self._queue_depth.set(len(queue), model=model)
         self._batch_size.observe(len(batch))
+        self._batch_occupancy.observe(len(batch) / self.max_batch)
         payloads = [job.payload for job in batch]
         loop = asyncio.get_running_loop()
         start = time.perf_counter()
@@ -381,6 +430,9 @@ class MicroBatcher:
                 if not job.future.done():
                     job.future.set_exception(exc)
             return len(batch)
+        finally:
+            self._executing -= 1
+            self._note_settled()
         wall = time.perf_counter() - start
         self._batch_seconds.observe(wall, model=model)
         previous = self._batch_ewma.get(model, wall)
@@ -411,6 +463,7 @@ class MicroBatcher:
                         RuntimeError("server shutting down")
                     )
             self._queue_depth.set(0, model=model)
+        self._pending_total.set(0)
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
         if self._threads is not None:

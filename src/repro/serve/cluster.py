@@ -1,0 +1,1108 @@
+"""Shared-nothing multi-worker serving cluster: router + supervisor.
+
+``psmgen serve --workers N`` (DESIGN.md §3.7) grows the single-process
+estimation server into a cluster with three moving parts, all in this
+module:
+
+* **Workers** — N independent processes (spawned and supervised via
+  :mod:`repro.parallel`), each running the unmodified single-process
+  server loop (:class:`~repro.serve.server.PsmServer`) on its own
+  ephemeral port with its own registry, compiled-bundle cache and
+  micro-batcher.  Nothing is shared, so worker throughput multiplies
+  across cores instead of serialising on one interpreter.
+* **Router** — one asyncio front process accepting every client
+  connection.  ``POST /v1/estimate`` consistent-hashes the model key
+  over the worker ring (:class:`~repro.serve.ring.HashRing`), so each
+  worker's caches stay hot for its shard.  Models whose request rate
+  or router-observed queue depth crosses the hot threshold fan out to
+  ``replicas_hot`` ring successors with least-loaded pick-2 routing.
+  A forward that fails at the transport level (worker died mid-flight)
+  is retried on the next ring worker — estimates are pure functions of
+  (bundle, trace), so replays are safe and clients never see the loss.
+* **Supervisor** — polls worker liveness, removes dead workers from
+  the ring (instant rebalance: only the dead worker's arcs move),
+  respawns them with backoff, and re-adds them once their ready
+  handshake lands.  Shutdown drains: the router stops accepting and
+  finishes in-flight requests, then workers get SIGTERM and run their
+  own graceful drain (:meth:`~repro.serve.server.PsmServer.shutdown`).
+
+``GET /metrics`` on the router aggregates every live worker's
+Prometheus exposition — each sample gains a ``worker="wK"`` label — on
+top of the router's own series (ring ownership, per-worker in-flight,
+forward retries, worker restarts), so one scrape sees cluster-level
+queue depth, batch occupancy and per-worker latency histograms.
+
+The in-process backend (``backend="inproc"``) runs every "worker" as a
+:class:`PsmServer` on the router's own event loop — the automatic
+fallback where process spawning is unavailable (restricted sandboxes,
+pytest-xdist workers) and the deterministic substrate for the test
+suite.  The wire protocol and routing logic are identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import signal
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..parallel import spawn_process, under_test_worker, worker_pipe
+from ..traces.io import BINARY_MAGIC
+from .metrics import MetricsRegistry
+from .ring import HashRing
+from .server import NPT_CONTENT_TYPE, WORKER_HEADER, PsmServer, create_server
+from .wire import (
+    BadRequestError,
+    encode_body,
+    read_request,
+    read_response,
+    write_response,
+)
+
+#: Worker lifecycle states.
+STARTING, READY, DRAINING, DEAD = "starting", "ready", "draining", "dead"
+
+#: Response headers the router relays from worker responses.
+RELAY_HEADERS = ("retry-after", "x-psm-worker")
+
+#: Seconds a freshly spawned worker gets to report its ready handshake.
+READY_TIMEOUT = 30.0
+
+#: Supervisor liveness poll interval (seconds).
+POLL_INTERVAL = 0.2
+
+
+@dataclass
+class ClusterConfig:
+    """Knobs of the cluster (CLI flags map 1:1 onto these)."""
+
+    workers: int = 2
+    replicas_hot: int = 2
+    hot_rps: float = 50.0
+    hot_depth: int = 16
+    drain_timeout: float = 10.0
+    vnodes: int = 64
+    forward_timeout: float = 35.0
+    max_restarts: int = 5
+    restart_backoff: float = 0.5
+
+
+class WorkerClient:
+    """Persistent keep-alive connection pool to one worker.
+
+    Forwarding opens (and keeps) at most a handful of TCP connections
+    per worker; ``inflight`` counts requests currently outstanding —
+    the load signal behind least-loaded pick-2 replica routing and the
+    router's queue-depth proxy for the hot-model trigger.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.inflight = 0
+        self._free: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+
+    async def request(
+        self,
+        method: str,
+        target: str,
+        body: bytes = b"",
+        content_type: str = "application/json",
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One forwarded request; raises ``OSError`` family on loss."""
+        self.inflight += 1
+        try:
+            connection = (
+                self._free.pop()
+                if self._free
+                else await asyncio.open_connection(self.host, self.port)
+            )
+            reader, writer = connection
+            try:
+                head = [
+                    f"{method} {target} HTTP/1.1",
+                    f"Host: {self.host}:{self.port}",
+                    f"Content-Type: {content_type}",
+                    f"Content-Length: {len(body)}",
+                ]
+                writer.write(
+                    ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                )
+                writer.write(body)
+                await writer.drain()
+                status, headers, payload = await read_response(reader)
+            except BaseException:
+                writer.close()
+                raise
+            if headers.get("connection", "").lower() == "close":
+                writer.close()
+            else:
+                self._free.append((reader, writer))
+            return status, headers, payload
+        finally:
+            self.inflight -= 1
+
+    async def close(self) -> None:
+        """Drop every pooled connection."""
+        while self._free:
+            _, writer = self._free.pop()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+
+@dataclass
+class WorkerHandle:
+    """One cluster member: identity, transport, lifecycle, supervision."""
+
+    worker_id: str
+    host: str
+    port: int = 0
+    state: str = STARTING
+    restarts: int = 0
+    process: Optional[object] = None  # multiprocessing.Process
+    server: Optional[PsmServer] = None  # inproc backend
+    client: Optional[WorkerClient] = None
+
+    @property
+    def ready(self) -> bool:
+        return self.state == READY
+
+    def alive(self) -> bool:
+        """Backend-appropriate liveness check."""
+        if self.process is not None:
+            return bool(self.process.is_alive())
+        return self.server is not None and self.state in (STARTING, READY)
+
+    def describe(self) -> dict:
+        """Health-endpoint row for this worker."""
+        return {
+            "id": self.worker_id,
+            "port": self.port,
+            "state": self.state,
+            "restarts": self.restarts,
+            "inflight": self.client.inflight if self.client else 0,
+            "pid": getattr(self.process, "pid", None),
+        }
+
+
+class HotTracker:
+    """Per-model request-rate EWMA + in-flight counts -> replica count.
+
+    A model turns *hot* — and fans out to ``replicas_hot`` ring
+    successors — when its request rate crosses ``hot_rps`` or the
+    router sees ``hot_depth`` of its requests in flight at once (the
+    router-side proxy for worker queue depth).  Cooling is hysteretic:
+    the model stays hot until its rate falls under half the threshold,
+    so placement does not flap around the threshold and caches on the
+    replica set stay warm.
+    """
+
+    def __init__(
+        self, hot_rps: float, hot_depth: int, replicas_hot: int
+    ) -> None:
+        self.hot_rps = float(hot_rps)
+        self.hot_depth = int(hot_depth)
+        self.replicas_hot = max(int(replicas_hot), 1)
+        self.inflight: Dict[str, int] = {}
+        self._bucket: Dict[str, int] = {}
+        self._count: Dict[str, int] = {}
+        self._rate: Dict[str, float] = {}
+        self._hot: Set[str] = set()
+
+    def note(self, model: str, now: float) -> None:
+        """Record one arrival at time ``now`` (seconds, any epoch)."""
+        bucket = int(now)
+        last = self._bucket.get(model)
+        if last is None or bucket != last:
+            if last is not None:
+                gap = bucket - last
+                # The finished bucket's count is the freshest rate
+                # sample; empty gap buckets decay it geometrically.
+                rate = 0.5 * self._rate.get(model, 0.0) + 0.5 * self._count[
+                    model
+                ]
+                self._rate[model] = rate * (0.5 ** max(gap - 1, 0))
+            self._bucket[model] = bucket
+            self._count[model] = 0
+        self._count[model] += 1
+
+    def rate(self, model: str) -> float:
+        """Smoothed requests/second estimate for ``model``."""
+        return self._rate.get(model, 0.0)
+
+    def replicas(self, model: str) -> int:
+        """How many ring workers ``model`` should currently fan out to."""
+        rate = self._rate.get(model, 0.0)
+        depth = self.inflight.get(model, 0)
+        if model in self._hot:
+            if rate < 0.5 * self.hot_rps and depth < self.hot_depth:
+                self._hot.discard(model)
+        elif rate >= self.hot_rps or depth >= self.hot_depth:
+            self._hot.add(model)
+        return self.replicas_hot if model in self._hot else 1
+
+    def hot_models(self) -> List[str]:
+        """Models currently in the hot (fanned-out) set."""
+        return sorted(self._hot)
+
+
+def aggregate_expositions(sections: Dict[str, str]) -> str:
+    """Merge per-worker Prometheus expositions into one document.
+
+    Every sample line gains a ``worker="<id>"`` label (prepended, so
+    existing labels survive untouched); HELP/TYPE metadata is emitted
+    once per metric and all samples of a metric stay contiguous, which
+    keeps the merged document a valid exposition.
+    """
+    meta: Dict[str, List[str]] = {}
+    samples: Dict[str, List[str]] = {}
+    order: List[str] = []
+    for worker in sorted(sections):
+        current = ""
+        for line in sections[worker].splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                name = line.split(" ", 3)[2]
+                if name not in meta:
+                    meta[name] = []
+                    order.append(name)
+                if len(meta[name]) < 2:  # one HELP + one TYPE
+                    meta[name].append(line)
+                current = name
+                continue
+            if line.startswith("#"):
+                continue
+            head, _, value = line.rpartition(" ")
+            if "{" in head:
+                name, _, rest = head.partition("{")
+                labelled = f'{name}{{worker="{worker}",{rest}'
+            else:
+                labelled = f'{head}{{worker="{worker}"}}'
+            bucket = current or head.partition("{")[0]
+            samples.setdefault(bucket, []).append(f"{labelled} {value}")
+    lines: List[str] = []
+    for name in order:
+        lines.extend(meta[name])
+        lines.extend(samples.get(name, []))
+    for name in samples:
+        if name not in meta:
+            lines.extend(samples[name])
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _worker_main(models_dir, host, conn, worker_id, config: dict) -> None:
+    """Entry point of one worker process: serve until signalled.
+
+    Runs the unmodified single-process server (its own registry,
+    caches and micro-batcher) on an ephemeral port, reports the port
+    through the ready pipe, then blocks until SIGTERM/SIGINT triggers
+    the graceful drain.
+    """
+    drain_timeout = float(config.pop("drain_timeout", 10.0))
+
+    async def _run() -> None:
+        server = create_server(
+            models_dir, host=host, port=0, worker_id=worker_id, **config
+        )
+        await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        conn.send(("ready", server.port))
+        conn.close()
+        await stop.wait()
+        await server.shutdown(drain_deadline=drain_timeout)
+
+    try:
+        asyncio.run(_run())
+    except Exception as exc:  # startup failure -> tell the supervisor
+        try:
+            conn.send(("error", repr(exc)))
+            conn.close()
+        except Exception:
+            pass
+        raise
+
+
+class ClusterSupervisor:
+    """Spawns, watches, respawns and drains the worker fleet."""
+
+    def __init__(
+        self,
+        models_dir,
+        config: ClusterConfig,
+        worker_config: Optional[dict] = None,
+        host: str = "127.0.0.1",
+        backend: str = "auto",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.models_dir = models_dir
+        self.config = config
+        self.worker_config = dict(worker_config or {})
+        self.host = host
+        if backend == "auto":
+            backend = "inproc" if under_test_worker() else "process"
+        if backend not in ("process", "inproc"):
+            raise ValueError(f"unknown cluster backend {backend!r}")
+        self.backend = backend
+        self.ring = HashRing(vnodes=config.vnodes)
+        self.workers: Dict[str, WorkerHandle] = {}
+        self._monitor_task: Optional[asyncio.Task] = None
+        self._respawns: Set[asyncio.Task] = set()
+        self._closing = False
+        metrics = metrics or MetricsRegistry()
+        self.metrics = metrics
+        self._up = metrics.gauge(
+            "psmgen_worker_up",
+            "1 while the worker is ready to serve, else 0.",
+            labelnames=("worker",),
+        )
+        self._restarts = metrics.counter(
+            "psmgen_worker_restarts_total",
+            "Times the supervisor respawned a dead worker.",
+            labelnames=("worker",),
+        )
+        self._ring_share = metrics.gauge(
+            "psmgen_ring_share",
+            "Fraction of the consistent-hash key space owned.",
+            labelnames=("worker",),
+        )
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the initial fleet and start the liveness monitor."""
+        await asyncio.gather(
+            *(
+                self._start_worker(f"w{index}")
+                for index in range(self.config.workers)
+            )
+        )
+        if not any(handle.ready for handle in self.workers.values()):
+            raise RuntimeError("no cluster worker became ready")
+        self._monitor_task = asyncio.get_running_loop().create_task(
+            self._monitor(), name="psm-cluster-monitor"
+        )
+
+    async def _start_worker(self, worker_id: str) -> None:
+        handle = self.workers.get(worker_id)
+        if handle is None:
+            handle = WorkerHandle(worker_id=worker_id, host=self.host)
+            self.workers[worker_id] = handle
+        handle.state = STARTING
+        try:
+            if self.backend == "process":
+                await self._start_process_worker(handle)
+            else:
+                await self._start_inproc_worker(handle)
+        except Exception:
+            handle.state = DEAD
+            self._up.set(0, worker=worker_id)
+            if self.backend == "process" and not self._respawns:
+                # Process spawning may be unavailable wholesale
+                # (restricted sandbox): fall back to in-process
+                # workers instead of dying.
+                self.backend = "inproc"
+                await self._start_inproc_worker(handle)
+            else:
+                return
+        handle.state = READY
+        handle.client = WorkerClient(handle.host, handle.port)
+        self.ring.add(worker_id)
+        self._up.set(1, worker=worker_id)
+        self._publish_ring()
+
+    async def _start_process_worker(self, handle: WorkerHandle) -> None:
+        parent, child = worker_pipe()
+        handle.process = spawn_process(
+            _worker_main,
+            (
+                str(self.models_dir),
+                self.host,
+                child,
+                handle.worker_id,
+                {
+                    **self.worker_config,
+                    "drain_timeout": self.config.drain_timeout,
+                },
+            ),
+            name=f"psm-worker-{handle.worker_id}",
+        )
+        child.close()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + READY_TIMEOUT
+        try:
+            while True:
+                if parent.poll(0):
+                    kind, value = parent.recv()
+                    if kind != "ready":
+                        raise RuntimeError(
+                            f"worker {handle.worker_id} failed: {value}"
+                        )
+                    handle.port = int(value)
+                    return
+                if not handle.process.is_alive():
+                    raise RuntimeError(
+                        f"worker {handle.worker_id} died during startup"
+                    )
+                if loop.time() > deadline:
+                    handle.process.terminate()
+                    raise TimeoutError(
+                        f"worker {handle.worker_id} ready handshake "
+                        "timed out"
+                    )
+                await asyncio.sleep(0.02)
+        finally:
+            parent.close()
+
+    async def _start_inproc_worker(self, handle: WorkerHandle) -> None:
+        server = create_server(
+            self.models_dir,
+            host=self.host,
+            port=0,
+            worker_id=handle.worker_id,
+            **self.worker_config,
+        )
+        await server.start()
+        handle.server = server
+        handle.process = None
+        handle.port = server.port
+
+    def _publish_ring(self) -> None:
+        shares = self.ring.ownership()
+        for worker_id in self.workers:
+            self._ring_share.set(
+                shares.get(worker_id, 0.0), worker=worker_id
+            )
+
+    # ------------------------------------------------------------------
+    async def _monitor(self) -> None:
+        """Detect dead workers; rebalance and respawn."""
+        while not self._closing:
+            await asyncio.sleep(POLL_INTERVAL)
+            for handle in list(self.workers.values()):
+                if handle.state == READY and not handle.alive():
+                    self._mark_dead(handle)
+
+    def _mark_dead(self, handle: WorkerHandle, respawn: bool = True) -> None:
+        """Remove a lost worker from the ring (the rebalance)."""
+        handle.state = DEAD
+        self.ring.remove(handle.worker_id)
+        self._up.set(0, worker=handle.worker_id)
+        self._publish_ring()
+        if (
+            respawn
+            and not self._closing
+            and handle.restarts < self.config.max_restarts
+        ):
+            task = asyncio.get_running_loop().create_task(
+                self._respawn(handle),
+                name=f"psm-respawn-{handle.worker_id}",
+            )
+            self._respawns.add(task)
+            task.add_done_callback(self._respawns.discard)
+
+    def mark_dead(self, worker_id: str) -> None:
+        """Router-observed loss (failed forward): rebalance immediately
+        instead of waiting for the next liveness poll."""
+        handle = self.workers.get(worker_id)
+        if handle is not None and handle.state == READY:
+            if not handle.alive():
+                self._mark_dead(handle)
+
+    async def _respawn(self, handle: WorkerHandle) -> None:
+        await asyncio.sleep(self.config.restart_backoff)
+        if self._closing:
+            return
+        handle.restarts += 1
+        self._restarts.inc(worker=handle.worker_id)
+        if handle.client is not None:
+            await handle.client.close()
+        await self._start_worker(handle.worker_id)
+
+    # ------------------------------------------------------------------
+    async def kill_worker(
+        self,
+        worker_id: str,
+        graceful: bool = False,
+        respawn: bool = True,
+    ) -> None:
+        """Operational / test hook: take one worker down now."""
+        handle = self.workers[worker_id]
+        if handle.process is not None:
+            if graceful:
+                handle.process.terminate()  # SIGTERM -> worker drains
+            else:
+                handle.process.kill()
+        elif handle.server is not None:
+            server, handle.server = handle.server, None
+            if graceful:
+                await server.shutdown(self.config.drain_timeout)
+            else:
+                await server.stop()
+        self._mark_dead(handle, respawn=respawn)
+
+    async def shutdown(self, deadline_s: float) -> None:
+        """Drain and stop the whole fleet."""
+        self._closing = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            try:
+                await self._monitor_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for task in list(self._respawns):
+            task.cancel()
+        loop = asyncio.get_running_loop()
+        stop_by = loop.time() + max(float(deadline_s), 0.0)
+        for handle in self.workers.values():
+            handle.state = DRAINING
+            self._up.set(0, worker=handle.worker_id)
+            if handle.process is not None and handle.process.is_alive():
+                handle.process.terminate()
+        for handle in self.workers.values():
+            if handle.server is not None:
+                server, handle.server = handle.server, None
+                await server.shutdown(max(stop_by - loop.time(), 0.0))
+        for handle in self.workers.values():
+            process = handle.process
+            if process is None:
+                continue
+            while process.is_alive() and loop.time() < stop_by:
+                await asyncio.sleep(0.05)
+            if process.is_alive():
+                process.kill()
+            process.join(timeout=1.0)
+            handle.state = DEAD
+        for handle in self.workers.values():
+            if handle.client is not None:
+                await handle.client.close()
+
+    def ready_workers(self) -> List[WorkerHandle]:
+        """Workers currently able to take forwards."""
+        return [h for h in self.workers.values() if h.ready]
+
+
+class ClusterRouter:
+    """The front door: accepts clients, routes to workers, aggregates.
+
+    One asyncio process, no simulation work of its own — it parses the
+    request head, resolves the model key on the hash ring and relays
+    bytes.  Estimate bodies are only JSON-decoded when the key cannot
+    be read from the query string (the binary ``.npt`` route keeps the
+    hot path parse-free).
+    """
+
+    def __init__(
+        self,
+        supervisor: ClusterSupervisor,
+        config: ClusterConfig,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.supervisor = supervisor
+        self.config = config
+        self.host = host
+        self.port = port
+        self.metrics = metrics or supervisor.metrics
+        self.rng = rng or random.Random()
+        self.tracker = HotTracker(
+            config.hot_rps, config.hot_depth, config.replicas_hot
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._requests = self.metrics.counter(
+            "psmgen_router_requests_total",
+            "Requests handled by the cluster router.",
+            labelnames=("endpoint", "status"),
+        )
+        self._latency = self.metrics.histogram(
+            "psmgen_router_request_seconds",
+            "Router end-to-end latency (forward + relay).",
+            labelnames=("endpoint",),
+        )
+        self._forwards = self.metrics.counter(
+            "psmgen_router_forwards_total",
+            "Requests forwarded, by worker.",
+            labelnames=("worker",),
+        )
+        self._retries = self.metrics.counter(
+            "psmgen_router_retries_total",
+            "Forwards replayed on another worker after transport loss.",
+        )
+        self._no_worker = self.metrics.counter(
+            "psmgen_router_no_worker_total",
+            "Requests failed because no ready worker remained.",
+        )
+        self._inflight_gauge = self.metrics.gauge(
+            "psmgen_router_inflight",
+            "Requests currently forwarded, by worker.",
+            labelnames=("worker",),
+        )
+        self._hot_gauge = self.metrics.gauge(
+            "psmgen_hot_models",
+            "Models currently fanned out to the replica set.",
+        )
+        self._scrape_errors = self.metrics.counter(
+            "psmgen_router_scrape_errors_total",
+            "Worker /metrics scrapes that failed during aggregation.",
+        )
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the router listener (resolving an ephemeral port)."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Accept and route connections until cancelled."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self, drain_deadline: float = 10.0) -> bool:
+        """Stop accepting, drain router in-flight, then the fleet."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(float(drain_deadline), 0.0)
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        drained = True
+        if not self._idle.is_set():
+            try:
+                await asyncio.wait_for(
+                    self._idle.wait(), max(deadline - loop.time(), 0.001)
+                )
+            except asyncio.TimeoutError:
+                drained = False
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        await self.supervisor.shutdown(max(deadline - loop.time(), 0.0))
+        return drained
+
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        self._writers.add(writer)
+        try:
+            while True:
+                start = loop.time()
+                try:
+                    method, path, query, content_type, body, keep = (
+                        await read_request(reader)
+                    )
+                except BadRequestError as exc:
+                    await self._respond(
+                        writer, 400, {"error": str(exc)}, "other", start
+                    )
+                    return
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    asyncio.LimitOverrunError,
+                ):
+                    return
+                endpoint = (
+                    "estimate" if path == "/v1/estimate" else
+                    path.strip("/").replace("v1/", "") or "other"
+                )
+                self._inflight += 1
+                self._idle.clear()
+                try:
+                    status, payload, headers, raw = await self._dispatch(
+                        method, path, query, content_type, body
+                    )
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.set()
+                keep = keep and not self._draining
+                await self._respond(
+                    writer, status, payload, endpoint, start, headers,
+                    close=not keep, raw=raw,
+                )
+                if not keep:
+                    return
+        except Exception as exc:
+            try:
+                await self._respond(
+                    writer,
+                    500,
+                    {"error": f"router error: {exc!r}"},
+                    "other",
+                    loop.time(),
+                )
+            except Exception:
+                pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload,
+        endpoint: str,
+        start: float,
+        headers: Tuple[Tuple[str, str], ...] = (),
+        close: bool = True,
+        raw: Optional[Tuple[bytes, str]] = None,
+    ) -> None:
+        if raw is not None:
+            body, content_type = raw
+        else:
+            body, content_type = encode_body(payload)
+        await write_response(
+            writer, status, body, content_type, headers, close=close
+        )
+        loop = asyncio.get_running_loop()
+        self._requests.inc(endpoint=endpoint, status=str(status))
+        self._latency.observe(loop.time() - start, endpoint=endpoint)
+
+    # ------------------------------------------------------------------
+    async def _dispatch(self, method, path, query, content_type, body):
+        """Route one request; ``(status, payload, headers, raw)``."""
+        if method == "GET" and path == "/healthz":
+            workers = {
+                worker_id: handle.describe()
+                for worker_id, handle in self.supervisor.workers.items()
+            }
+            ready = sum(
+                1 for handle in self.supervisor.workers.values()
+                if handle.ready
+            )
+            return (
+                200 if ready else 503,
+                {
+                    "status": (
+                        "draining" if self._draining
+                        else "ok" if ready else "no-workers"
+                    ),
+                    "role": "router",
+                    "workers": workers,
+                    "ready": ready,
+                    "ring": self.supervisor.ring.ownership(),
+                    "hot_models": self.tracker.hot_models(),
+                },
+                (),
+                None,
+            )
+        if method == "GET" and path == "/metrics":
+            return 200, await self._render_metrics(), (), None
+        if method == "GET" and path == "/v1/models":
+            return await self._merge_models()
+        if path == "/v1/estimate":
+            if method != "POST":
+                return 405, {"error": "use POST"}, (), None
+            return await self._forward_estimate(query, content_type, body)
+        return 404, {"error": f"no such endpoint {path!r}"}, (), None
+
+    def _model_key(self, query: str, content_type: str, body: bytes) -> str:
+        """The routing key of one estimate request.
+
+        The binary route carries the model in the query string, so the
+        router never touches the body; JSON bodies are decoded only to
+        read the ``model`` field.
+        """
+        if query:
+            for param in query.split("&"):
+                name, _, value = param.partition("=")
+                if name == "model" and value:
+                    return value
+        if (
+            content_type == NPT_CONTENT_TYPE
+            or body[: len(BINARY_MAGIC)] == BINARY_MAGIC
+        ):
+            raise BadRequestError(
+                "binary estimate needs a ?model=<name> query parameter"
+            )
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise BadRequestError(f"invalid JSON body: {exc}")
+        model = data.get("model") if isinstance(data, dict) else None
+        if not isinstance(model, str) or not model:
+            raise BadRequestError("body must carry a 'model' name")
+        return model
+
+    def _pick_worker(
+        self, model: str, exclude: Set[str]
+    ) -> Optional[WorkerHandle]:
+        """Ring placement + replica fan-out + least-loaded pick-2."""
+        ring = self.supervisor.ring
+        if not len(ring):
+            return None
+        preference = ring.preference(model, len(ring))
+        candidates = [
+            self.supervisor.workers[worker_id]
+            for worker_id in preference
+            if worker_id not in exclude
+            and self.supervisor.workers[worker_id].ready
+        ]
+        if not candidates:
+            return None
+        replicas = self.tracker.replicas(model)
+        self._hot_gauge.set(len(self.tracker.hot_models()))
+        replica_set = candidates[: max(replicas, 1)]
+        if len(replica_set) == 1:
+            return replica_set[0]
+        # Pick two distinct replicas at random, route to the less
+        # loaded one — the classic power-of-two-choices balancer.
+        first, second = self.rng.sample(range(len(replica_set)), 2)
+        a, b = replica_set[first], replica_set[second]
+        return a if a.client.inflight <= b.client.inflight else b
+
+    async def _forward_estimate(self, query, content_type, body):
+        loop = asyncio.get_running_loop()
+        try:
+            model = self._model_key(query, content_type, body)
+        except BadRequestError as exc:
+            return 400, {"error": str(exc)}, (), None
+        self.tracker.note(model, loop.time())
+        self.tracker.inflight[model] = (
+            self.tracker.inflight.get(model, 0) + 1
+        )
+        target = "/v1/estimate" + (f"?{query}" if query else "")
+        tried: Set[str] = set()
+        try:
+            while True:
+                handle = self._pick_worker(model, tried)
+                if handle is None:
+                    self._no_worker.inc()
+                    return (
+                        503,
+                        {"error": "no ready worker for this request"},
+                        (),
+                        None,
+                    )
+                tried.add(handle.worker_id)
+                client = handle.client
+                self._inflight_gauge.set(
+                    client.inflight + 1, worker=handle.worker_id
+                )
+                try:
+                    status, headers, payload = await asyncio.wait_for(
+                        client.request(
+                            "POST", target, body, content_type
+                        ),
+                        self.config.forward_timeout,
+                    )
+                except (
+                    OSError,
+                    asyncio.IncompleteReadError,
+                    asyncio.TimeoutError,
+                ):
+                    # Worker lost mid-flight (or wedged): estimates are
+                    # pure, so replay on the next ring worker.  Tell
+                    # the supervisor so the ring rebalances now rather
+                    # than at the next liveness poll.
+                    self._retries.inc()
+                    self.supervisor.mark_dead(handle.worker_id)
+                    continue
+                finally:
+                    self._inflight_gauge.set(
+                        client.inflight, worker=handle.worker_id
+                    )
+                self._forwards.inc(worker=handle.worker_id)
+                relay = tuple(
+                    (name.title(), value)
+                    for name, value in headers.items()
+                    if name in RELAY_HEADERS
+                )
+                raw = (
+                    payload,
+                    headers.get("content-type", "application/json"),
+                )
+                return status, None, relay, raw
+        finally:
+            remaining = self.tracker.inflight.get(model, 1) - 1
+            if remaining:
+                self.tracker.inflight[model] = remaining
+            else:
+                self.tracker.inflight.pop(model, None)
+
+    # ------------------------------------------------------------------
+    async def _scrape_worker(self, handle: WorkerHandle, path: str):
+        try:
+            status, _, payload = await asyncio.wait_for(
+                handle.client.request("GET", path), 5.0
+            )
+        except (OSError, asyncio.IncompleteReadError, asyncio.TimeoutError):
+            self._scrape_errors.inc()
+            return None
+        if status != 200:
+            self._scrape_errors.inc()
+            return None
+        return payload
+
+    async def _render_metrics(self) -> str:
+        """Router series + every worker's exposition, worker-labelled."""
+        ready = self.supervisor.ready_workers()
+        scraped = await asyncio.gather(
+            *(self._scrape_worker(handle, "/metrics") for handle in ready)
+        )
+        sections = {
+            handle.worker_id: payload.decode("utf-8")
+            for handle, payload in zip(ready, scraped)
+            if payload is not None
+        }
+        return self.metrics.render() + aggregate_expositions(sections)
+
+    async def _merge_models(self):
+        """Union of every worker's ``/v1/models`` view."""
+        ready = self.supervisor.ready_workers()
+        scraped = await asyncio.gather(
+            *(
+                self._scrape_worker(handle, "/v1/models")
+                for handle in ready
+            )
+        )
+        rows: Dict[str, dict] = {}
+        compile_totals = {"compile_hits": 0, "compile_misses": 0,
+                          "compile_wall_s": 0.0}
+        for handle, payload in zip(ready, scraped):
+            if payload is None:
+                continue
+            data = json.loads(payload.decode("utf-8"))
+            for key in compile_totals:
+                compile_totals[key] += data.get(key, 0)
+            for row in data.get("models", ()):
+                name = row.get("name")
+                current = rows.get(name)
+                loaded = row.get("version") is not None
+                if current is None or (
+                    loaded and current.get("version") is None
+                ):
+                    if loaded:
+                        row = {**row, "worker": handle.worker_id}
+                    rows[name] = row
+        compile_totals["compile_wall_s"] = round(
+            compile_totals["compile_wall_s"], 6
+        )
+        return (
+            200,
+            {
+                "models": [rows[name] for name in sorted(rows)],
+                "workers": len(ready),
+                **compile_totals,
+            },
+            (),
+            None,
+        )
+
+
+class ServeCluster:
+    """Supervisor + router, wired: the ``--workers N`` serving object."""
+
+    def __init__(
+        self,
+        models_dir,
+        config: Optional[ClusterConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        worker_config: Optional[dict] = None,
+        backend: str = "auto",
+        metrics: Optional[MetricsRegistry] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.supervisor = ClusterSupervisor(
+            models_dir,
+            self.config,
+            worker_config=worker_config,
+            host=host,
+            backend=backend,
+            metrics=self.metrics,
+        )
+        self.router = ClusterRouter(
+            self.supervisor,
+            self.config,
+            host=host,
+            port=port,
+            metrics=self.metrics,
+            rng=rng,
+        )
+
+    @property
+    def host(self) -> str:
+        return self.router.host
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    async def start(self) -> None:
+        """Spawn the worker fleet, then open the router front door."""
+        await self.supervisor.start()
+        await self.router.start()
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled or signalled."""
+        await self.router.serve_forever()
+
+    async def shutdown(self, drain_deadline: Optional[float] = None) -> bool:
+        """Graceful drain of router and fleet; True if fully clean."""
+        if drain_deadline is None:
+            drain_deadline = self.config.drain_timeout
+        return await self.router.shutdown(drain_deadline)
+
+
+def create_cluster(
+    models_dir,
+    workers: int,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    replicas_hot: int = 2,
+    hot_rps: float = 50.0,
+    drain_timeout: float = 10.0,
+    worker_config: Optional[dict] = None,
+    backend: str = "auto",
+    metrics: Optional[MetricsRegistry] = None,
+) -> ServeCluster:
+    """One-call constructor mirroring :func:`~repro.serve.server.create_server`."""
+    config = ClusterConfig(
+        workers=max(int(workers), 1),
+        replicas_hot=max(int(replicas_hot), 1),
+        hot_rps=float(hot_rps),
+        drain_timeout=float(drain_timeout),
+    )
+    return ServeCluster(
+        models_dir,
+        config=config,
+        host=host,
+        port=port,
+        worker_config=worker_config,
+        backend=backend,
+        metrics=metrics,
+    )

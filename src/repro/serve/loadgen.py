@@ -20,6 +20,7 @@ from __future__ import annotations
 import asyncio
 import gc
 import json
+import random
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -280,6 +281,7 @@ async def _run_loadgen_async(
     timeout: float,
     warmup: int = 0,
     payload: str = "json",
+    seed: Optional[int] = None,
 ) -> dict:
     """The load loop behind :func:`run_loadgen`."""
     if rps <= 0:
@@ -289,12 +291,18 @@ async def _run_loadgen_async(
     path, content_type, bodies = _encode_request_bodies(
         model, windows, payload
     )
+    # Window selection: sequential round-robin by default; with a seed,
+    # a seeded RNG draws the window per request — runs with the same
+    # seed replay the identical request sequence (windows are sampled
+    # in launch order, which is deterministic).
+    rng = random.Random(seed) if seed is not None else None
     lanes = [
         _Lane(host, port, timeout)
         for _ in range(max(int(concurrency), 1))
     ]
     semaphore = asyncio.Semaphore(max(int(concurrency), 1))
     latencies: List[float] = []
+    worker_latencies: Dict[str, List[float]] = {}
     status_counts: Dict[str, int] = {}
     transport_errors = 0
     launched = 0
@@ -315,14 +323,13 @@ async def _run_loadgen_async(
         except (OSError, asyncio.TimeoutError, ValueError):
             warmup_errors += 1
 
-    async def _one(index: int) -> None:
+    async def _one(body: bytes) -> None:
         nonlocal transport_errors
-        body = bodies[index % len(bodies)]
         async with semaphore:
             lane = lanes.pop()
             start = time.perf_counter()
             try:
-                status, _headers, _body = await lane.request(
+                status, headers, _body = await lane.request(
                     "POST", path, body, content_type
                 )
             except (OSError, asyncio.TimeoutError, ValueError):
@@ -332,8 +339,13 @@ async def _run_loadgen_async(
             finally:
                 lanes.append(lane)
             elapsed = time.perf_counter() - start
+            # Cluster workers self-tag responses; grouping by the tag
+            # yields per-worker latency percentiles from one client run.
+            worker = headers.get("x-psm-worker")
             async with lock:
                 latencies.append(elapsed)
+                if worker:
+                    worker_latencies.setdefault(worker, []).append(elapsed)
                 key = str(status)
                 status_counts[key] = status_counts.get(key, 0) + 1
 
@@ -350,7 +362,12 @@ async def _run_loadgen_async(
     tasks: List[asyncio.Task] = []
     try:
         while loop.time() - t0 < duration_s:
-            tasks.append(loop.create_task(_one(launched)))
+            choice = (
+                rng.randrange(len(bodies))
+                if rng is not None
+                else launched % len(bodies)
+            )
+            tasks.append(loop.create_task(_one(bodies[choice])))
             launched += 1
             next_tick = t0 + launched * interval
             delay = next_tick - loop.time()
@@ -370,6 +387,13 @@ async def _run_loadgen_async(
         for status, count in status_counts.items()
         if status.startswith("5")
     )
+    per_worker = {
+        worker: {
+            "completed": len(samples),
+            "latency_ms": latency_summary(samples),
+        }
+        for worker, samples in sorted(worker_latencies.items())
+    }
     return {
         "schema": SCHEMA,
         "model": model,
@@ -388,6 +412,8 @@ async def _run_loadgen_async(
         "errors_5xx": errors_5xx,
         "transport_errors": transport_errors,
         "latency_ms": latency_summary(latencies),
+        "seed": seed,
+        "workers": per_worker,
     }
 
 
@@ -409,24 +435,178 @@ def run_loadgen(
     timeout: float = 10.0,
     warmup: int = 0,
     payload: str = "json",
+    seed: Optional[int] = None,
 ) -> dict:
     """Drive the server at ``rps`` for ``duration_s``; the v1 report.
 
     ``windows`` are pre-serialised functional-trace documents
     (:func:`~repro.traces.io.functional_trace_to_json`), replayed
-    round-robin.  ``warmup`` requests are sent (and awaited) before the
-    timed window and excluded from the latency statistics — the report
-    still records how many ran via ``warmup_requests``.  ``payload``
-    selects the request encoding: ``"json"`` posts the trace document,
-    ``"npt"`` packs each window once into the binary container and
-    exercises the server's zero-copy estimate route.
+    round-robin — or sampled by a seeded RNG when ``seed`` is given, so
+    two runs with the same seed offer the identical request sequence.
+    ``warmup`` requests are sent (and awaited) before the timed window
+    and excluded from the latency statistics — the report still records
+    how many ran via ``warmup_requests``.  ``payload`` selects the
+    request encoding: ``"json"`` posts the trace document, ``"npt"``
+    packs each window once into the binary container and exercises the
+    server's zero-copy estimate route.  Responses tagged with
+    ``X-Psm-Worker`` (cluster mode) are grouped into a per-worker
+    ``workers`` section with individual latency summaries.
     """
     return asyncio.run(
         _run_loadgen_async(
             host, port, model, list(windows), rps, duration_s,
-            concurrency, timeout, warmup, payload,
+            concurrency, timeout, warmup, payload, seed,
         )
     )
+
+
+#: Identifier of the cluster scaling-report layout.
+CLUSTER_SCHEMA = "psmgen-loadgen-cluster/v1"
+
+
+def _spawn_serve(models_dir, workers: int, serve_args: Sequence[str]):
+    """Start ``psmgen serve --workers N`` as a subprocess; ``(proc, port)``.
+
+    The server prints its bound address (``http://host:port``) on one
+    flushed banner line; we scan stdout for it with a deadline instead
+    of blocking, so a worker that dies during startup surfaces as an
+    error rather than a hang.
+    """
+    import re
+    import select
+    import subprocess
+    import sys
+
+    command = [
+        sys.executable,
+        "-c",
+        "from repro.cli import main; raise SystemExit(main())",
+        "serve",
+        "--models-dir",
+        str(models_dir),
+        "--port",
+        "0",
+        "--workers",
+        str(workers),
+        *serve_args,
+    ]
+    proc = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 120.0
+    banner = re.compile(r"http://[\w.\-]+:(\d+)")
+    collected = []
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"psmgen serve exited {proc.returncode} during startup:\n"
+                + "".join(collected)
+            )
+        readable, _, _ = select.select([proc.stdout], [], [], 0.25)
+        if not readable:
+            continue
+        line = proc.stdout.readline()
+        collected.append(line)
+        match = banner.search(line)
+        if match:
+            return proc, int(match.group(1))
+    proc.kill()
+    raise TimeoutError(
+        "psmgen serve never printed its address:\n" + "".join(collected)
+    )
+
+
+def run_scaling_bench(
+    models_dir,
+    model: str,
+    windows: Sequence[dict],
+    worker_counts: Sequence[int],
+    rps_per_worker: float,
+    duration_s: float = 5.0,
+    concurrency: int = 8,
+    timeout: float = 10.0,
+    warmup: int = 0,
+    payload: str = "json",
+    seed: Optional[int] = None,
+    serve_args: Sequence[str] = (),
+) -> dict:
+    """Throughput-scaling sweep: one ``psmgen serve --workers N``
+    subprocess per worker count, loaded at ``N * rps_per_worker``.
+
+    Each server is stopped with SIGTERM after its run — exercising the
+    graceful drain path — and must exit 0 (recorded per run as
+    ``serve_exit``).  The returned ``psmgen-loadgen-cluster/v1`` section
+    records per-run aggregate and per-worker latency summaries plus the
+    measured speedup over the single-worker baseline.  ``host_cpus`` is
+    part of the record because shared-nothing workers scale with
+    physical cores: on a 1-core host every worker timeshares the same
+    CPU and throughput stays flat by construction.
+    """
+    import os
+    import signal as signal_module
+
+    runs: List[dict] = []
+    for workers in worker_counts:
+        proc, port = _spawn_serve(models_dir, workers, serve_args)
+        try:
+            report = run_loadgen(
+                "127.0.0.1",
+                port,
+                model,
+                windows,
+                rps=rps_per_worker * workers,
+                duration_s=duration_s,
+                concurrency=max(int(concurrency), workers),
+                timeout=timeout,
+                warmup=warmup,
+                payload=payload,
+                seed=seed,
+            )
+        finally:
+            proc.send_signal(signal_module.SIGTERM)
+            try:
+                exit_code = proc.wait(timeout=60.0)
+            except Exception:
+                proc.kill()
+                exit_code = proc.wait(timeout=10.0)
+        runs.append(
+            {
+                "workers": workers,
+                "target_rps": report["target_rps"],
+                "throughput_rps": report["throughput_rps"],
+                "completed": report["completed"],
+                "requests": report["requests"],
+                "errors_5xx": report["errors_5xx"],
+                "transport_errors": report["transport_errors"],
+                "latency_ms": report["latency_ms"],
+                "per_worker": report.get("workers", {}),
+                "serve_exit": exit_code,
+            }
+        )
+    baseline = next(
+        (run for run in runs if run["workers"] == 1), runs[0]
+    )
+    best = max(runs, key=lambda run: run["throughput_rps"])
+    speedup = (
+        best["throughput_rps"] / baseline["throughput_rps"]
+        if baseline["throughput_rps"]
+        else 0.0
+    )
+    return {
+        "schema": CLUSTER_SCHEMA,
+        "model": model,
+        "payload": payload,
+        "seed": seed,
+        "rps_per_worker": float(rps_per_worker),
+        "duration_s": float(duration_s),
+        "host_cpus": os.cpu_count(),
+        "runs": runs,
+        "speedup_vs_single": round(speedup, 3),
+        "best_workers": best["workers"],
+    }
 
 
 def validate_loadgen(payload: dict) -> None:

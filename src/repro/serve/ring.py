@@ -1,0 +1,120 @@
+"""Consistent hash ring: stable model -> worker placement.
+
+The cluster router (DESIGN.md §3.7) shards models across shared-nothing
+workers so each worker's registry / compiled-bundle / LRU cache stays
+hot for its own slice of the model set.  A consistent ring — rather
+than ``hash(model) % N`` — keeps that placement *stable under
+membership change*: when one of N workers dies, only the ~1/N of the
+key space it owned moves (to its ring successors); every other model
+keeps its warmed worker and pays no recompile.
+
+Each worker is projected onto the ring as ``vnodes`` virtual points
+(SHA-1 of ``"worker-id#i"``), which evens out ownership across the
+2^32 key space; lookups bisect the sorted point list.  The hash is
+deliberately *not* Python's seeded ``hash()``: placements must agree
+across router restarts and between processes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Tuple
+
+#: Virtual points per worker; 64 keeps worst-case ownership within a
+#: few percent of fair for single-digit worker counts.
+DEFAULT_VNODES = 64
+
+
+def ring_hash(key: str) -> int:
+    """Deterministic 32-bit position of ``key`` on the ring."""
+    digest = hashlib.sha1(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+class HashRing:
+    """Sorted virtual-node ring over a changing set of worker ids."""
+
+    def __init__(self, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._points: List[Tuple[int, str]] = []
+        self._workers: Dict[str, List[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, worker: str) -> bool:
+        return worker in self._workers
+
+    @property
+    def workers(self) -> List[str]:
+        """Current members, sorted by id."""
+        return sorted(self._workers)
+
+    # ------------------------------------------------------------------
+    def add(self, worker: str) -> None:
+        """Join ``worker`` (idempotent)."""
+        if worker in self._workers:
+            return
+        points = [
+            ring_hash(f"{worker}#{index}") for index in range(self.vnodes)
+        ]
+        self._workers[worker] = points
+        for point in points:
+            bisect.insort(self._points, (point, worker))
+
+    def remove(self, worker: str) -> None:
+        """Leave ``worker`` (idempotent); its arcs fall to successors."""
+        if self._workers.pop(worker, None) is None:
+            return
+        self._points = [
+            entry for entry in self._points if entry[1] != worker
+        ]
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> str:
+        """The worker owning ``key`` (its primary placement)."""
+        return self.preference(key, 1)[0]
+
+    def preference(self, key: str, k: int) -> List[str]:
+        """The first ``k`` *distinct* workers clockwise from ``key``.
+
+        Element 0 is the primary; the rest are the replica set used for
+        hot-model fan-out.  ``k`` is clamped to the member count.
+        Raises ``LookupError`` on an empty ring.
+        """
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        k = min(max(int(k), 1), len(self._workers))
+        start = bisect.bisect(self._points, (ring_hash(key), "￿"))
+        chosen: List[str] = []
+        seen = set()
+        for offset in range(len(self._points)):
+            _, worker = self._points[(start + offset) % len(self._points)]
+            if worker not in seen:
+                seen.add(worker)
+                chosen.append(worker)
+                if len(chosen) == k:
+                    break
+        return chosen
+
+    # ------------------------------------------------------------------
+    def ownership(self) -> Dict[str, float]:
+        """Fraction of the key space each worker owns (sums to 1.0).
+
+        Rendered as the ``psmgen_ring_share`` gauge so a rebalance is
+        visible in the aggregated cluster metrics.
+        """
+        if not self._points:
+            return {}
+        shares = {worker: 0 for worker in self._workers}
+        span = 1 << 32
+        previous = self._points[-1][0] - span
+        for point, worker in self._points:
+            shares[worker] += point - previous
+            previous = point
+        return {
+            worker: owned / span for worker, owned in sorted(shares.items())
+        }

@@ -32,13 +32,19 @@ Error mapping: bad input -> 400, unknown model -> 404, queue full ->
 by default — sustained clients (the loadgen's persistent lanes) reuse
 them request after request — while ``Connection: close`` clients get
 the old one-request discipline.
+
+Shutdown is graceful (DESIGN.md §3.7): :meth:`PsmServer.shutdown`
+closes the listener, lets in-flight requests and queued micro-batches
+finish inside a drain deadline, then force-closes what is left.  The
+``psmgen serve`` CLI wires SIGTERM/SIGINT to it, and the cluster
+router relies on it to drain workers without dropping requests.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional, Tuple
+from typing import Optional, Set, Tuple
 from urllib.parse import parse_qs
 
 from ..core.export import ExportSchemaError
@@ -50,29 +56,22 @@ from .registry import (
     QuarantinedModelError,
     UnknownModelError,
 )
-
-#: Largest accepted request body (bytes); estimate windows are bounded.
-MAX_BODY_BYTES = 64 * 1024 * 1024
+from .wire import (  # noqa: F401  (MAX_BODY_BYTES/REASONS re-exported)
+    MAX_BODY_BYTES,
+    REASONS,
+    BadRequestError,
+    encode_body,
+    read_request,
+    write_response,
+)
 
 #: Content type selecting the binary ``.npt`` estimate input.
 NPT_CONTENT_TYPE = "application/x-psmgen-npt"
 
-#: Reason phrases for the status codes the server emits.
-REASONS = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-    504: "Gateway Timeout",
-}
-
-
-class BadRequestError(ValueError):
-    """The request body or target is structurally invalid (-> 400)."""
+#: Response header naming the worker that served an estimate; the
+#: cluster router preserves it so clients (and the loadgen's
+#: per-worker percentiles) can attribute every response.
+WORKER_HEADER = "X-Psm-Worker"
 
 
 def _endpoint_label(method: str, path: str) -> str:
@@ -99,6 +98,7 @@ class PsmServer:
         host: str = "127.0.0.1",
         port: int = 0,
         request_timeout: float = 30.0,
+        worker_id: Optional[str] = None,
     ) -> None:
         self.registry = registry
         self.batcher = batcher
@@ -106,7 +106,13 @@ class PsmServer:
         self.host = host
         self.port = port
         self.request_timeout = request_timeout
+        self.worker_id = worker_id
         self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        self._inflight = 0
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._idle = asyncio.Event()
+        self._idle.set()
         self._requests = metrics.counter(
             "psmgen_requests_total",
             "HTTP requests served, by endpoint and status.",
@@ -117,6 +123,11 @@ class PsmServer:
             "End-to-end request latency.",
             labelnames=("endpoint",),
         )
+
+    @property
+    def draining(self) -> bool:
+        """True once shutdown began: no new connections are accepted."""
+        return self._draining
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -141,6 +152,50 @@ class PsmServer:
             self._server = None
         await self.batcher.aclose()
 
+    async def shutdown(self, drain_deadline: float = 10.0) -> bool:
+        """Drain gracefully: stop accepting, finish in-flight, stop.
+
+        The sequence the ``psmgen serve`` signal handlers and the
+        cluster's worker-drain path both run:
+
+        1. close the listening socket — no new connections;
+        2. wait (up to ``drain_deadline`` seconds) for every dispatched
+           request and every queued micro-batch to complete — responses
+           written while draining carry ``Connection: close`` so
+           keep-alive clients re-connect elsewhere;
+        3. force-close whatever connections remain (idle keep-alive
+           peers, or requests that outlived the deadline), then release
+           the executors.
+
+        Returns ``True`` when the drain completed inside the deadline
+        (nothing was cut off), ``False`` when the deadline expired
+        first.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(float(drain_deadline), 0.0)
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        drained = await self.batcher.drain(
+            max(deadline - loop.time(), 0.0)
+        )
+        if not self._idle.is_set():
+            try:
+                await asyncio.wait_for(
+                    self._idle.wait(), max(deadline - loop.time(), 0.001)
+                )
+            except asyncio.TimeoutError:
+                drained = False
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        await self.batcher.aclose()
+        return drained
+
     # ------------------------------------------------------------------
     async def _handle_client(
         self,
@@ -156,12 +211,13 @@ class PsmServer:
         """
         loop = asyncio.get_running_loop()
         endpoint = "other"
+        self._writers.add(writer)
         try:
             while True:
                 start = loop.time()
                 try:
                     method, path, query, content_type, body, keep = (
-                        await self._read_request(reader)
+                        await read_request(reader)
                     )
                 except BadRequestError as exc:
                     await self._respond(
@@ -175,15 +231,29 @@ class PsmServer:
                 ):
                     return  # client went away / closed between requests
                 endpoint = _endpoint_label(method, path)
-                status, payload, headers = await self._dispatch(
-                    method, path, query, content_type, body
-                )
+                self._inflight += 1
+                self._idle.clear()
+                try:
+                    status, payload, headers = await self._dispatch(
+                        method, path, query, content_type, body
+                    )
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.set()
+                keep = keep and not self._draining
                 await self._respond(
                     writer, status, payload, endpoint, start, headers,
                     close=not keep,
                 )
                 if not keep:
                     return
+        except asyncio.CancelledError:
+            # Loop teardown cancelled us mid-read (idle keep-alive
+            # connection at shutdown).  Exit normally so the streams
+            # protocol callback doesn't log the cancellation as an
+            # unhandled error.
+            return
         except Exception as exc:  # last-resort 500, never kill the loop
             try:
                 await self._respond(
@@ -196,54 +266,12 @@ class PsmServer:
             except Exception:
                 pass
         finally:
+            self._writers.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()
             except Exception:
                 pass
-
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, str, str, bytes, bool]:
-        """Parse one HTTP/1.1 request head + body.
-
-        Returns ``(method, path, query, content_type, body, keep)`` —
-        the query string and content type drive the binary estimate
-        input; ``keep`` is whether the connection may serve another
-        request afterwards.
-        """
-        request_line = await reader.readline()
-        if not request_line:
-            raise asyncio.IncompleteReadError(b"", None)
-        try:
-            method, target, version = (
-                request_line.decode("latin-1").strip().split(" ", 2)
-            )
-        except ValueError:
-            raise BadRequestError("malformed request line")
-        headers = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, sep, value = line.decode("latin-1").partition(":")
-            if not sep:
-                raise BadRequestError("malformed header line")
-            headers[name.strip().lower()] = value.strip()
-            if len(headers) > 100:
-                raise BadRequestError("too many headers")
-        try:
-            length = int(headers.get("content-length", "0"))
-        except ValueError:
-            raise BadRequestError("bad Content-Length")
-        if length < 0 or length > MAX_BODY_BYTES:
-            raise BadRequestError("request body too large")
-        body = await reader.readexactly(length) if length else b""
-        path, _, query = target.partition("?")
-        content_type = headers.get("content-type", "").partition(";")[0]
-        connection = headers.get("connection", "").lower()
-        keep = version != "HTTP/1.0" and connection != "close"
-        return method, path, query, content_type.strip().lower(), body, keep
 
     async def _respond(
         self,
@@ -256,27 +284,12 @@ class PsmServer:
         close: bool = True,
     ) -> None:
         """Write one response and record the request metrics."""
-        if isinstance(payload, (dict, list)):
-            # Compact separators: estimate responses carry per-instant
-            # arrays, and the default ", " padding costs both bytes and
-            # encoder time on the serving hot path.
-            body = (
-                json.dumps(payload, separators=(",", ":")) + "\n"
-            ).encode("utf-8")
-            content_type = "application/json"
-        else:
-            body = str(payload).encode("utf-8")
-            content_type = "text/plain; version=0.0.4; charset=utf-8"
-        head = [
-            f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
-            f"Content-Type: {content_type}",
-            f"Content-Length: {len(body)}",
-            f"Connection: {'close' if close else 'keep-alive'}",
-        ]
-        head.extend(f"{name}: {value}" for name, value in headers)
-        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
-        writer.write(body)
-        await writer.drain()
+        body, content_type = encode_body(payload)
+        if self.worker_id is not None:
+            headers = (*headers, (WORKER_HEADER, self.worker_id))
+        await write_response(
+            writer, status, body, content_type, headers, close=close
+        )
         loop = asyncio.get_running_loop()
         self._requests.inc(endpoint=endpoint, status=str(status))
         self._latency.observe(loop.time() - start, endpoint=endpoint)
@@ -295,7 +308,7 @@ class PsmServer:
             return (
                 200,
                 {
-                    "status": "ok",
+                    "status": "draining" if self._draining else "ok",
                     "models_loaded": len(self.registry.loaded_models()),
                     "models_available": len(self.registry.discover()),
                     "mode": self.batcher.mode,
@@ -457,6 +470,7 @@ def create_server(
     metrics: Optional[MetricsRegistry] = None,
     engine: str = "auto",
     freshness_interval: float = 0.25,
+    worker_id: Optional[str] = None,
 ) -> PsmServer:
     """Wire registry + batcher + metrics into a ready-to-start server.
 
@@ -465,6 +479,9 @@ def create_server(
     after :meth:`PsmServer.start`).  ``freshness_interval`` rate-limits
     the registry's per-lookup hot-reload stat — replaced bundle files
     are still picked up, just at most that many seconds late.
+    ``worker_id`` tags every response with ``X-Psm-Worker`` (set by the
+    cluster supervisor so responses stay attributable through the
+    router).
     """
     metrics = metrics or MetricsRegistry()
     registry = ModelRegistry(
@@ -488,4 +505,5 @@ def create_server(
         host=host,
         port=port,
         request_timeout=request_timeout,
+        worker_id=worker_id,
     )

@@ -1,0 +1,145 @@
+"""Shared HTTP/1.1 wire helpers for the serving layer.
+
+One hand-rolled, dependency-free HTTP implementation serves three
+consumers — the single-process estimation server
+(:mod:`repro.serve.server`), the cluster front router
+(:mod:`repro.serve.cluster`) and the router's per-worker client pool —
+so request parsing and response framing live here, once.  The protocol
+surface is deliberately tiny: request line + headers + length-framed
+body, HTTP/1.1 keep-alive by default, ``Connection: close`` honoured.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Tuple
+
+#: Largest accepted request body (bytes); estimate windows are bounded.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Reason phrases for the status codes the serving layer emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class BadRequestError(ValueError):
+    """The request body or target is structurally invalid (-> 400)."""
+
+
+#: Parsed request head: method, path, query, content type, body, keep.
+ParsedRequest = Tuple[str, str, str, str, bytes, bool]
+
+
+async def read_request(reader: asyncio.StreamReader) -> ParsedRequest:
+    """Parse one HTTP/1.1 request head + body from ``reader``.
+
+    Returns ``(method, path, query, content_type, body, keep)`` — the
+    query string and content type drive the binary estimate input;
+    ``keep`` is whether the connection may serve another request
+    afterwards.  Raises :class:`BadRequestError` on malformed input and
+    :class:`asyncio.IncompleteReadError` when the peer closed between
+    requests.
+    """
+    request_line = await reader.readline()
+    if not request_line:
+        raise asyncio.IncompleteReadError(b"", None)
+    try:
+        method, target, version = (
+            request_line.decode("latin-1").strip().split(" ", 2)
+        )
+    except ValueError:
+        raise BadRequestError("malformed request line")
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequestError("malformed header line")
+        headers[name.strip().lower()] = value.strip()
+        if len(headers) > 100:
+            raise BadRequestError("too many headers")
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise BadRequestError("bad Content-Length")
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise BadRequestError("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    path, _, query = target.partition("?")
+    content_type = headers.get("content-type", "").partition(";")[0]
+    connection = headers.get("connection", "").lower()
+    keep = version != "HTTP/1.0" and connection != "close"
+    return method, path, query, content_type.strip().lower(), body, keep
+
+
+def encode_body(payload) -> Tuple[bytes, str]:
+    """Encode a response payload; ``(body bytes, content type)``.
+
+    Dicts and lists render as compact JSON — estimate responses carry
+    per-instant arrays, and the default ``", "`` padding costs both
+    bytes and encoder time on the serving hot path — anything else as
+    plain text (the Prometheus exposition).
+    """
+    if isinstance(payload, (dict, list)):
+        body = (
+            json.dumps(payload, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        return body, "application/json"
+    return (
+        str(payload).encode("utf-8"),
+        "text/plain; version=0.0.4; charset=utf-8",
+    )
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    content_type: str,
+    headers: Tuple[Tuple[str, str], ...] = (),
+    close: bool = True,
+) -> None:
+    """Frame and flush one HTTP/1.1 response."""
+    head = [
+        f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'close' if close else 'keep-alive'}",
+    ]
+    head.extend(f"{name}: {value}" for name, value in headers)
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    writer.write(body)
+    await writer.drain()
+
+
+async def read_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """Parse one HTTP/1.1 response: ``(status, headers, body)``."""
+    status_line = await reader.readline()
+    if not status_line:
+        raise asyncio.IncompleteReadError(b"", None)
+    status = int(status_line.decode("latin-1").split(" ", 2)[1])
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body

@@ -208,3 +208,101 @@ class TestProcessMode:
         result = run(scenario())
         assert result["estimated"] == expected["estimated"]
         assert result["energy"] == expected["energy"]
+
+
+class TestQueueDepthMetrics:
+    """Queue depth + batch occupancy exposed for the cluster router."""
+
+    def test_occupancy_histogram_records_fill_fraction(self, registry):
+        metrics = MetricsRegistry()
+
+        async def scenario():
+            batcher = make_batcher(registry, metrics, max_batch=4)
+            batcher._ensure_drainer = lambda *args: None
+            tasks = [
+                asyncio.create_task(batcher.submit("fig2", make_window(i)))
+                for i in range(2)
+            ]
+            await asyncio.sleep(0)
+            await batcher.drain_once("fig2")  # 2 of 4 slots -> 0.5
+            await asyncio.gather(*tasks)
+            await batcher.aclose()
+
+        run(scenario())
+        occupancy = metrics.histogram("psmgen_batch_occupancy", "")
+        assert occupancy.count() == 1
+        assert occupancy.bucket_count(0.5) == 1
+        assert occupancy.bucket_count(0.375) == 0
+
+    def test_pending_gauge_tracks_queue(self, registry):
+        metrics = MetricsRegistry()
+
+        async def scenario():
+            batcher = make_batcher(registry, metrics)
+            batcher._ensure_drainer = lambda *args: None
+            tasks = [
+                asyncio.create_task(batcher.submit("fig2", make_window(i)))
+                for i in range(3)
+            ]
+            await asyncio.sleep(0)
+            queued = batcher.pending()
+            gauge = metrics.gauge("psmgen_pending_total", "").value()
+            await batcher.drain_once("fig2")
+            await asyncio.gather(*tasks)
+            drained = batcher.pending()
+            await batcher.aclose()
+            return queued, gauge, drained
+
+        queued, gauge, drained = run(scenario())
+        assert queued == 3
+        assert gauge == 3.0
+        assert drained == 0
+
+
+class TestDrain:
+    """Graceful-shutdown support: wait out queued micro-batches."""
+
+    def test_drain_idle_batcher_is_immediate(self, registry):
+        async def scenario():
+            batcher = make_batcher(registry)
+            drained = await batcher.drain(0.001)
+            await batcher.aclose()
+            return drained
+
+        assert run(scenario()) is True
+
+    def test_drain_waits_for_queued_jobs(self, registry):
+        async def scenario():
+            batcher = make_batcher(registry)
+            tasks = [
+                asyncio.create_task(batcher.submit("fig2", make_window(i)))
+                for i in range(4)
+            ]
+            await asyncio.sleep(0)
+            drained = await batcher.drain(5.0)
+            results = await asyncio.gather(*tasks)
+            await batcher.aclose()
+            return drained, results
+
+        drained, results = run(scenario())
+        assert drained is True
+        assert len(results) == 4
+
+    def test_drain_deadline_reports_failure(self, registry):
+        async def scenario():
+            batcher = make_batcher(registry)
+            batcher._ensure_drainer = lambda *args: None  # nobody drains
+            task = asyncio.create_task(
+                batcher.submit("fig2", make_window(0))
+            )
+            await asyncio.sleep(0)
+            drained = await batcher.drain(0.05)
+            pending = batcher.pending()
+            await batcher.aclose()
+            with pytest.raises(RuntimeError):
+                await task
+            return drained, pending
+
+        drained, pending = run(scenario())
+        assert drained is False
+        assert pending == 1

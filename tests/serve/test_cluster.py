@@ -1,0 +1,440 @@
+"""Tests for the multi-worker cluster: routing, fan-out, supervision.
+
+Runs the cluster on the in-process backend — every "worker" is a full
+:class:`PsmServer` with its own registry and micro-batcher on the test
+loop — so routing, replica fan-out, metrics aggregation and the
+kill/rebalance path are exercised deterministically without real
+processes (those are covered by ``tests/integration/test_cluster_e2e``).
+"""
+
+import asyncio
+import json
+import os
+import sys
+
+import pytest
+
+from repro.core.export import save_psms
+from repro.serve.cluster import (
+    ClusterConfig,
+    HotTracker,
+    ServeCluster,
+    aggregate_expositions,
+)
+from repro.serve.loadgen import http_request_json
+from repro.serve.metrics import find_sample, parse_prometheus
+from repro.traces.functional import FunctionalTrace
+from repro.traces.io import functional_trace_to_json
+from repro.traces.variables import bool_in
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from core.test_export import fig2_psm  # noqa: E402
+
+VARIABLES = [bool_in("on"), bool_in("start")]
+MODELS = ("alpha", "beta", "gamma")
+
+
+def make_window(seed: int, instants: int = 16) -> dict:
+    on = [(i + seed) % 3 != 0 for i in range(instants)]
+    start = [(i + seed) % 4 == 1 for i in range(instants)]
+    trace = FunctionalTrace(
+        VARIABLES,
+        {"on": [int(v) for v in on], "start": [int(v) for v in start]},
+        name=f"w{seed}",
+    )
+    return functional_trace_to_json(trace)
+
+
+@pytest.fixture
+def models_dir(tmp_path):
+    for name in MODELS:
+        save_psms([fig2_psm()], tmp_path / f"{name}.json", variables=VARIABLES)
+    return tmp_path
+
+
+def make_cluster(models_dir, workers=3, **config):
+    config.setdefault("vnodes", 16)
+    return ServeCluster(
+        models_dir,
+        config=ClusterConfig(workers=workers, **config),
+        backend="inproc",
+    )
+
+
+async def estimate(port, model, seed=0):
+    status, headers, data = await http_request_json(
+        "127.0.0.1",
+        port,
+        "POST",
+        "/v1/estimate",
+        {"model": model, "trace": make_window(seed)},
+    )
+    payload = json.loads(data) if data else {}
+    return status, headers.get("x-psm-worker"), payload
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRouting:
+    def test_estimates_route_to_ring_primary(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(models_dir)
+            await cluster.start()
+            try:
+                ring = cluster.supervisor.ring
+                for model in MODELS:
+                    status, worker, payload = await estimate(
+                        cluster.port, model
+                    )
+                    assert status == 200
+                    assert worker == ring.lookup(model)
+                    assert payload["model"] == model
+                    assert "energy" in payload
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+    def test_same_model_sticks_to_one_worker(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(models_dir)
+            await cluster.start()
+            try:
+                served = set()
+                for index in range(8):
+                    status, worker, _ = await estimate(
+                        cluster.port, "alpha", seed=index
+                    )
+                    assert status == 200
+                    served.add(worker)
+                assert len(served) == 1
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+    def test_missing_model_key_is_400(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(models_dir)
+            await cluster.start()
+            try:
+                status, _, data = await http_request_json(
+                    "127.0.0.1",
+                    cluster.port,
+                    "POST",
+                    "/v1/estimate",
+                    {"trace": make_window(0)},
+                )
+                assert status == 400
+                assert "model" in json.loads(data)["error"]
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+    def test_unknown_model_propagates_worker_404(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(models_dir)
+            await cluster.start()
+            try:
+                status, worker, payload = await estimate(
+                    cluster.port, "nonexistent"
+                )
+                assert status == 404
+                assert worker is not None  # a worker answered
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+    def test_no_ready_workers_is_503(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(models_dir, workers=1)
+            await cluster.start()
+            try:
+                await cluster.supervisor.kill_worker("w0", respawn=False)
+                status, _, data = await http_request_json(
+                    "127.0.0.1",
+                    cluster.port,
+                    "POST",
+                    "/v1/estimate",
+                    {"model": "alpha", "trace": make_window(0)},
+                )
+                assert status == 503
+                assert "no ready worker" in json.loads(data)["error"]
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+
+class TestReplicaFanOut:
+    def test_hot_model_spreads_over_replica_set(self, models_dir):
+        async def scenario():
+            # hot_depth=0 makes every model hot immediately, so the
+            # pick-2 balancer routes across the k=2 replica set.
+            cluster = make_cluster(
+                models_dir, workers=3, replicas_hot=2, hot_depth=0
+            )
+            await cluster.start()
+            try:
+                replica_set = set(
+                    cluster.supervisor.ring.preference("alpha", 2)
+                )
+                served = set()
+                for index in range(24):
+                    status, worker, _ = await estimate(
+                        cluster.port, "alpha", seed=index
+                    )
+                    assert status == 200
+                    served.add(worker)
+                assert served == replica_set
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+    def test_cold_model_does_not_fan_out(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(
+                models_dir, workers=3, replicas_hot=2, hot_rps=10_000.0
+            )
+            await cluster.start()
+            try:
+                served = {
+                    (await estimate(cluster.port, "alpha", seed=index))[1]
+                    for index in range(12)
+                }
+                assert len(served) == 1
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+
+class TestSupervision:
+    def test_kill_rebalances_and_traffic_survives(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(models_dir, workers=3)
+            await cluster.start()
+            try:
+                ring = cluster.supervisor.ring
+                victim = ring.lookup("alpha")
+                baseline = (await estimate(cluster.port, "alpha"))[2]
+                await cluster.supervisor.kill_worker(victim, respawn=False)
+                assert victim not in ring
+                for index in range(6):
+                    status, worker, payload = await estimate(
+                        cluster.port, "alpha", seed=0
+                    )
+                    assert status == 200
+                    assert worker != victim
+                    # Bit-identical result from the successor worker.
+                    assert payload == baseline or payload["energy"] == (
+                        baseline["energy"]
+                    )
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+    def test_kill_updates_ring_share_and_up_gauges(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(models_dir, workers=2)
+            await cluster.start()
+            try:
+                await cluster.supervisor.kill_worker("w1", respawn=False)
+                rendered = cluster.metrics.render()
+                samples = parse_prometheus(rendered)
+                assert find_sample(
+                    samples, "psmgen_worker_up", worker="w1"
+                ) == 0.0
+                assert find_sample(
+                    samples, "psmgen_ring_share", worker="w1"
+                ) == 0.0
+                assert find_sample(
+                    samples, "psmgen_ring_share", worker="w0"
+                ) == pytest.approx(1.0)
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+    def test_inproc_respawn_rejoins_ring(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(
+                models_dir, workers=2, restart_backoff=0.05
+            )
+            await cluster.start()
+            try:
+                await cluster.supervisor.kill_worker("w0", respawn=True)
+                for _ in range(100):
+                    if cluster.supervisor.workers["w0"].ready:
+                        break
+                    await asyncio.sleep(0.05)
+                assert cluster.supervisor.workers["w0"].ready
+                assert "w0" in cluster.supervisor.ring
+                assert cluster.supervisor.workers["w0"].restarts == 1
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+    def test_shutdown_drains_cleanly(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(models_dir, workers=2)
+            await cluster.start()
+            status, _, _ = await estimate(cluster.port, "alpha")
+            assert status == 200
+            assert await cluster.shutdown(5.0) is True
+
+        run(scenario())
+
+
+class TestAggregation:
+    def test_metrics_gain_worker_labels(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(models_dir, workers=2)
+            await cluster.start()
+            try:
+                for model in MODELS:
+                    await estimate(cluster.port, model)
+                status, _, data = await http_request_json(
+                    "127.0.0.1", cluster.port, "GET", "/metrics"
+                )
+                assert status == 200
+                text = data.decode()
+                assert 'worker="w0"' in text
+                assert 'worker="w1"' in text
+                assert "psmgen_router_requests_total" in text
+                assert "psmgen_ring_share" in text
+                assert "psmgen_batch_occupancy" in text
+                # HELP/TYPE emitted once per metric despite two workers.
+                assert text.count("# TYPE psmgen_requests_total ") == 1
+                samples = parse_prometheus(text)
+                served = [
+                    value
+                    for block, value in samples.get(
+                        "psmgen_requests_total", {}
+                    ).items()
+                    if 'endpoint="estimate"' in block
+                ]
+                assert sum(served) == len(MODELS)
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+    def test_healthz_reports_cluster_state(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(models_dir, workers=2)
+            await cluster.start()
+            try:
+                status, _, data = await http_request_json(
+                    "127.0.0.1", cluster.port, "GET", "/healthz"
+                )
+                health = json.loads(data)
+                assert status == 200
+                assert health["status"] == "ok"
+                assert health["role"] == "router"
+                assert health["ready"] == 2
+                assert set(health["workers"]) == {"w0", "w1"}
+                assert sum(health["ring"].values()) == pytest.approx(1.0)
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+    def test_models_view_merges_workers(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(models_dir, workers=2)
+            await cluster.start()
+            try:
+                await estimate(cluster.port, "alpha")
+                status, _, data = await http_request_json(
+                    "127.0.0.1", cluster.port, "GET", "/v1/models"
+                )
+                merged = json.loads(data)
+                assert status == 200
+                assert [m["name"] for m in merged["models"]] == sorted(
+                    MODELS
+                )
+                assert merged["workers"] == 2
+                loaded = [
+                    m for m in merged["models"] if m.get("version")
+                ]
+                assert loaded and all("worker" in m for m in loaded)
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+
+class TestHotTracker:
+    def test_rate_crossing_threshold_turns_hot(self):
+        tracker = HotTracker(hot_rps=5.0, hot_depth=100, replicas_hot=3)
+        for tick in range(20):
+            tracker.note("m", 10.0 + tick * 0.05)  # 20 rps into bucket 10
+        tracker.note("m", 11.0)  # bucket rolls, rate folds in
+        assert tracker.rate("m") == pytest.approx(10.0)
+        assert tracker.replicas("m") == 3
+
+    def test_cold_model_keeps_single_replica(self):
+        tracker = HotTracker(hot_rps=5.0, hot_depth=100, replicas_hot=3)
+        tracker.note("m", 10.0)
+        tracker.note("m", 11.0)
+        assert tracker.replicas("m") == 1
+
+    def test_queue_depth_triggers_fan_out(self):
+        tracker = HotTracker(hot_rps=1e9, hot_depth=4, replicas_hot=2)
+        tracker.inflight["m"] = 4
+        assert tracker.replicas("m") == 2
+
+    def test_hysteresis_holds_until_half_threshold(self):
+        tracker = HotTracker(hot_rps=8.0, hot_depth=100, replicas_hot=2)
+        tracker._rate["m"] = 10.0
+        assert tracker.replicas("m") == 2  # hot
+        tracker._rate["m"] = 6.0  # below threshold, above half
+        assert tracker.replicas("m") == 2  # still hot
+        tracker._rate["m"] = 3.0  # below half: cools
+        assert tracker.replicas("m") == 1
+
+    def test_idle_gap_decays_rate(self):
+        tracker = HotTracker(hot_rps=5.0, hot_depth=100, replicas_hot=2)
+        for tick in range(16):
+            tracker.note("m", 10.0 + tick * 0.05)
+        tracker.note("m", 20.0)  # nine empty buckets in between
+        assert tracker.rate("m") < 1.0
+
+    def test_hot_models_listed(self):
+        tracker = HotTracker(hot_rps=1.0, hot_depth=100, replicas_hot=2)
+        tracker._rate["a"] = 5.0
+        tracker.replicas("a")
+        assert tracker.hot_models() == ["a"]
+
+
+class TestAggregateExpositions:
+    def test_injects_worker_label(self):
+        merged = aggregate_expositions(
+            {"w0": "# HELP m h\n# TYPE m counter\nm 1\n"}
+        )
+        assert 'm{worker="w0"} 1' in merged
+
+    def test_existing_labels_survive(self):
+        merged = aggregate_expositions(
+            {"w1": '# HELP m h\n# TYPE m counter\nm{a="b"} 2\n'}
+        )
+        assert 'm{worker="w1",a="b"} 2' in merged
+
+    def test_metadata_deduped_and_samples_grouped(self):
+        section = "# HELP m h\n# TYPE m counter\nm 1\n"
+        merged = aggregate_expositions({"w0": section, "w1": section})
+        assert merged.count("# HELP m h") == 1
+        assert merged.count("# TYPE m counter") == 1
+        lines = merged.strip().splitlines()
+        assert lines[2:] == ['m{worker="w0"} 1', 'm{worker="w1"} 1']
+
+    def test_empty_input_is_empty(self):
+        assert aggregate_expositions({}) == ""

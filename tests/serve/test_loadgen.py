@@ -111,3 +111,86 @@ class TestFormat:
         assert "p50 3.0" in text
         assert "429: 1" in text
         assert "5xx: 0" in text
+
+
+class TestSeededSampling:
+    """--seed: deterministic window selection; per-worker grouping."""
+
+    WINDOWS = [
+        {"columns": {"on": [i % 2] * 8}, "variables": []} for i in range(6)
+    ]
+
+    def _run(self, monkeypatch, seed, duration=0.15):
+        import asyncio
+
+        from repro.serve import loadgen
+
+        sent = []
+
+        async def fake_request(self, method, path, body, content_type):
+            sent.append(body)
+            worker = f"w{len(sent) % 3}"
+            return 200, {"x-psm-worker": worker}, b"{}"
+
+        monkeypatch.setattr(loadgen._Lane, "request", fake_request)
+        report = asyncio.run(
+            loadgen._run_loadgen_async(
+                "127.0.0.1",
+                1,
+                "m",
+                self.WINDOWS,
+                rps=500.0,
+                duration_s=duration,
+                concurrency=4,
+                timeout=1.0,
+                seed=seed,
+            )
+        )
+        return sent, report
+
+    def test_same_seed_replays_identical_sequence(self, monkeypatch):
+        first, _ = self._run(monkeypatch, seed=42)
+        second, _ = self._run(monkeypatch, seed=42)
+        shared = min(len(first), len(second))
+        assert shared >= 5
+        assert first[:shared] == second[:shared]
+
+    def test_different_seeds_diverge(self, monkeypatch):
+        first, _ = self._run(monkeypatch, seed=1)
+        second, _ = self._run(monkeypatch, seed=2)
+        shared = min(len(first), len(second))
+        assert first[:shared] != second[:shared]
+
+    def test_no_seed_is_round_robin(self, monkeypatch):
+        import json as json_module
+
+        sent, report = self._run(monkeypatch, seed=None)
+        windows = [json_module.loads(body)["trace"] for body in sent]
+        expected = [
+            self.WINDOWS[i % len(self.WINDOWS)] for i in range(len(sent))
+        ]
+        assert windows == expected
+        assert report["seed"] is None
+
+    def test_seed_recorded_in_report(self, monkeypatch):
+        _, report = self._run(monkeypatch, seed=7)
+        assert report["seed"] == 7
+        validate_loadgen(report)
+
+    def test_worker_tags_grouped_into_per_worker_summaries(
+        self, monkeypatch
+    ):
+        _, report = self._run(monkeypatch, seed=3)
+        workers = report["workers"]
+        assert set(workers) <= {"w0", "w1", "w2"}
+        assert sum(w["completed"] for w in workers.values()) == (
+            report["completed"]
+        )
+        for summary in workers.values():
+            assert set(summary["latency_ms"]) == {
+                "p50",
+                "p95",
+                "p99",
+                "mean",
+                "max",
+            }

@@ -258,3 +258,82 @@ class TestCompiledRelease:
             registry.get("fig2")
         assert self.dropped(metrics) == 1
         assert entry.compiled is None
+
+
+class TestReloadEvictionRace:
+    """Hot reload raced against LRU eviction under concurrent estimates.
+
+    Two models behind a cap of 1: every estimate for one model evicts
+    the other, so a bundle overwrite mid-stream exercises the reload
+    path while the rewritten entry is continuously thrown out and
+    rebuilt.  Every estimate must still succeed and the rewrite must be
+    visible afterwards — no stale entry, no leaked compiled form.
+    """
+
+    def test_estimates_survive_reload_under_eviction_churn(self, tmp_path):
+        import asyncio
+
+        from repro.serve.batching import MicroBatcher
+        from repro.traces.functional import FunctionalTrace
+        from repro.traces.io import functional_trace_to_json
+
+        def make_window(seed, instants=12):
+            on = [(i + seed) % 3 != 0 for i in range(instants)]
+            start = [(i + seed) % 4 == 1 for i in range(instants)]
+            return functional_trace_to_json(
+                FunctionalTrace(
+                    [bool_in("on"), bool_in("start")],
+                    {
+                        "on": [int(v) for v in on],
+                        "start": [int(v) for v in start],
+                    },
+                    name=f"w{seed}",
+                )
+            )
+
+        write_bundle(tmp_path / "a.json")
+        write_bundle(tmp_path / "b.json")
+        metrics = MetricsRegistry()
+        registry = ModelRegistry(
+            tmp_path, cap=1, freshness_interval=0.0, metrics=metrics
+        )
+        version_before = registry.get("a").version
+
+        async def scenario():
+            batcher = MicroBatcher(
+                registry, metrics=metrics, jobs=1, max_queue=64, max_batch=4
+            )
+
+            async def hammer(model):
+                results = []
+                for index in range(10):
+                    results.append(
+                        await batcher.submit(model, make_window(index))
+                    )
+                    await asyncio.sleep(0)
+                return results
+
+            task_a = asyncio.create_task(hammer("a"))
+            task_b = asyncio.create_task(hammer("b"))
+            await asyncio.sleep(0.01)
+            # Overwrite "a" mid-stream: embedding variables changes the
+            # content digest, so the reload is observable.
+            write_bundle(
+                tmp_path / "a.json",
+                variables=[bool_in("on"), bool_in("start")],
+            )
+            results_a, results_b = await asyncio.gather(task_a, task_b)
+            await batcher.aclose()
+            return results_a, results_b
+
+        results_a, results_b = asyncio.run(scenario())
+        assert len(results_a) == len(results_b) == 10
+        assert all("energy" in r for r in results_a + results_b)
+        evictions = metrics.counter(
+            "psmgen_model_cache_evictions_total", ""
+        ).value()
+        assert evictions >= 2  # the two models really did churn
+        entry = registry.get("a")
+        assert entry.version != version_before  # rewrite was picked up
+        # Cap 1 still holds after the churn: fetching "a" evicted "b".
+        assert list(registry._entries) == ["a"]

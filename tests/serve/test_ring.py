@@ -1,0 +1,122 @@
+"""Tests for the consistent hash ring: stability, fairness, replicas."""
+
+import pytest
+
+from repro.serve.ring import DEFAULT_VNODES, HashRing, ring_hash
+
+WORKERS = ("w0", "w1", "w2", "w3")
+KEYS = [f"model-{index}" for index in range(200)]
+
+
+def make_ring(workers=WORKERS, vnodes=DEFAULT_VNODES):
+    ring = HashRing(vnodes=vnodes)
+    for worker in workers:
+        ring.add(worker)
+    return ring
+
+
+class TestRingHash:
+    def test_deterministic_across_instances(self):
+        # Placement must agree between router restarts and across
+        # processes: the hash cannot be Python's seeded hash().
+        assert ring_hash("MultSum") == ring_hash("MultSum")
+        assert 0 <= ring_hash("anything") < 1 << 32
+
+    def test_distinct_keys_spread(self):
+        positions = {ring_hash(key) for key in KEYS}
+        assert len(positions) == len(KEYS)
+
+
+class TestMembership:
+    def test_add_is_idempotent(self):
+        ring = make_ring()
+        before = {key: ring.lookup(key) for key in KEYS}
+        ring.add("w1")
+        assert {key: ring.lookup(key) for key in KEYS} == before
+
+    def test_remove_is_idempotent(self):
+        ring = make_ring()
+        ring.remove("w9")
+        assert ring.workers == sorted(WORKERS)
+
+    def test_len_and_contains(self):
+        ring = make_ring()
+        assert len(ring) == 4
+        assert "w2" in ring
+        ring.remove("w2")
+        assert len(ring) == 3
+        assert "w2" not in ring
+
+    def test_empty_ring_lookup_raises(self):
+        with pytest.raises(LookupError):
+            HashRing().lookup("m")
+
+    def test_rejects_bad_vnodes(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+
+class TestStability:
+    def test_only_dead_workers_keys_move(self):
+        # The whole point of consistent hashing: losing one of N
+        # workers relocates exactly the keys it owned, nothing else.
+        ring = make_ring()
+        before = {key: ring.lookup(key) for key in KEYS}
+        ring.remove("w2")
+        after = {key: ring.lookup(key) for key in KEYS}
+        moved = {key for key in KEYS if before[key] != after[key]}
+        owned = {key for key in KEYS if before[key] == "w2"}
+        assert moved == owned
+
+    def test_rejoin_restores_placement(self):
+        ring = make_ring()
+        before = {key: ring.lookup(key) for key in KEYS}
+        ring.remove("w1")
+        ring.add("w1")
+        assert {key: ring.lookup(key) for key in KEYS} == before
+
+    def test_placement_agrees_between_rings(self):
+        one, two = make_ring(), make_ring()
+        assert [one.lookup(key) for key in KEYS] == [
+            two.lookup(key) for key in KEYS
+        ]
+
+
+class TestPreference:
+    def test_primary_matches_lookup(self):
+        ring = make_ring()
+        for key in KEYS[:20]:
+            assert ring.preference(key, 3)[0] == ring.lookup(key)
+
+    def test_workers_are_distinct(self):
+        ring = make_ring()
+        for key in KEYS[:20]:
+            chosen = ring.preference(key, 3)
+            assert len(chosen) == len(set(chosen)) == 3
+
+    def test_k_clamped_to_members(self):
+        ring = make_ring(("w0", "w1"))
+        assert len(ring.preference("m", 5)) == 2
+        assert len(ring.preference("m", 0)) == 1
+
+    def test_replica_set_is_prefix_stable(self):
+        # The k=1 placement must be the head of the k=2 set, so a model
+        # going hot keeps its warmed primary.
+        ring = make_ring()
+        for key in KEYS[:20]:
+            assert ring.preference(key, 2)[0] == ring.preference(key, 1)[0]
+
+
+class TestOwnership:
+    def test_shares_sum_to_one(self):
+        shares = make_ring().ownership()
+        assert set(shares) == set(WORKERS)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_vnodes_keep_ownership_fair(self):
+        shares = make_ring().ownership()
+        for worker, share in shares.items():
+            assert 0.10 < share < 0.45, (worker, share)
+
+    def test_empty_ring_owns_nothing(self):
+        assert HashRing().ownership() == {}

@@ -127,11 +127,70 @@ class TestParser:
         assert args.concurrency == 8
         assert args.json == "report.json"
 
-    def test_loadgen_requires_port_and_model(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["loadgen", "--model", "m"])
+    def test_loadgen_requires_model(self):
+        # --port became optional (the --scale-workers sweep starts its
+        # own servers); --model is still mandatory.
         with pytest.raises(SystemExit):
             build_parser().parse_args(["loadgen", "--port", "1"])
+        args = build_parser().parse_args(["loadgen", "--model", "m"])
+        assert args.port is None
+
+    def test_serve_cluster_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--models-dir",
+                "bundles/",
+                "--workers",
+                "4",
+                "--replicas-hot",
+                "3",
+                "--hot-rps",
+                "80",
+                "--drain-timeout",
+                "5",
+            ]
+        )
+        assert args.workers == 4
+        assert args.replicas_hot == 3
+        assert args.hot_rps == 80.0
+        assert args.drain_timeout == 5.0
+
+    def test_serve_cluster_defaults_to_single_process(self):
+        args = build_parser().parse_args(
+            ["serve", "--models-dir", "bundles/"]
+        )
+        assert args.workers == 1
+        assert args.replicas_hot == 2
+        assert args.hot_rps == 50.0
+        assert args.drain_timeout == 10.0
+
+    def test_loadgen_cluster_flags(self):
+        args = build_parser().parse_args(
+            [
+                "loadgen",
+                "--model",
+                "MultSum",
+                "--ip",
+                "MultSum",
+                "--seed",
+                "7",
+                "--scale-workers",
+                "1,2,4",
+                "--models-dir",
+                "bundles/",
+            ]
+        )
+        assert args.seed == 7
+        assert args.scale_workers == "1,2,4"
+        assert args.models_dir == "bundles/"
+
+    def test_loadgen_seed_defaults_off(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--port", "1", "--model", "m"]
+        )
+        assert args.seed is None
+        assert args.scale_workers is None
 
     def test_bench_arguments(self):
         args = build_parser().parse_args(
