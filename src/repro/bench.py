@@ -77,16 +77,25 @@ class FittedBenchmark:
 
 
 def fit_benchmark(
-    name: str, stimulus: Optional[list] = None, jobs: int = 1
+    name: str,
+    stimulus: Optional[list] = None,
+    jobs: int = 1,
+    seed: Optional[int] = None,
 ) -> FittedBenchmark:
     """Run the full flow for one IP on its short-TS (or given) stimulus.
 
     ``jobs`` sets the flow's internal parallelism degree (see
     :class:`~repro.core.pipeline.FlowConfig`); the fitted model is
-    bit-identical regardless of the value.
+    bit-identical regardless of the value.  ``seed`` overrides the
+    short-TS builder's default seed (ignored when an explicit
+    ``stimulus`` is given), which is how ``psmgen bench --seed`` makes a
+    run reproducible from the command line.
     """
     spec = BENCHMARKS[name]
-    stimulus = stimulus if stimulus is not None else spec.short_ts()
+    if stimulus is None:
+        stimulus = (
+            spec.short_ts() if seed is None else spec.short_ts(seed=seed)
+        )
     reference = run_power_simulation(spec.module_class(), stimulus)
     config = spec.flow_config()
     config.jobs = jobs

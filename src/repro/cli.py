@@ -9,7 +9,14 @@ Subcommands
     Load a model and estimate the power of a functional trace; optionally
     score it against a reference power trace.
 ``bench``
-    Run the full paper flow for one built-in benchmark IP.
+    Run the full paper flow for one built-in benchmark IP (``--micro``
+    for the per-stage perf harness, ``--accuracy`` for the
+    counterexample-driven MRE trajectory).
+``refine``
+    Counterexample-driven accuracy refinement: score a held-out trace
+    window by window, search perturbed stimuli where the model is worse,
+    retrain on the counterexamples and keep the model only if the
+    held-out MRE does not increase.
 ``convert``
     Convert training trace pairs between the CSV form and the packed
     binary (``.npt``) container.
@@ -130,9 +137,34 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                     trace_id=len(sources),
                 )
             )
+    if args.ip:
+        from .power.estimator import run_power_simulation
+        from .testbench import BENCHMARKS
+
+        if args.ip not in BENCHMARKS:
+            print(
+                f"error: unknown IP {args.ip!r}; choose from "
+                f"{', '.join(BENCHMARKS)}",
+                file=sys.stderr,
+            )
+            return 2
+        spec = BENCHMARKS[args.ip]
+        stimulus = (
+            spec.short_ts()
+            if args.seed is None
+            else spec.short_ts(seed=args.seed)
+        )
+        reference = run_power_simulation(
+            spec.module_class(), stimulus, name=f"{args.ip}.short"
+        )
+        sources.append(
+            MemoryWindowSource(
+                reference.trace, reference.power, trace_id=len(sources)
+            )
+        )
     if not sources:
         print(
-            "error: need at least one --pair or --func/--power",
+            "error: need at least one --pair, --func/--power or --ip",
             file=sys.stderr,
         )
         return 2
@@ -277,8 +309,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.micro:
         return _cmd_bench_micro(args)
+    if args.accuracy:
+        return _cmd_bench_accuracy(args)
     if args.ip is None:
-        print("error: --ip is required (unless --micro)", file=sys.stderr)
+        print(
+            "error: --ip is required (unless --micro/--accuracy)",
+            file=sys.stderr,
+        )
         return 2
     if args.ip not in BENCHMARKS:
         print(
@@ -287,7 +324,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    fitted = fit_benchmark(args.ip, jobs=args.jobs)
+    fitted = fit_benchmark(args.ip, jobs=args.jobs, seed=args.seed)
     report = fitted.flow.report
     print(
         f"{args.ip}: TS={fitted.ts} gen={report.generation_time:.2f}s "
@@ -297,9 +334,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"stage timings: {report.describe_stages()}")
     cycles = args.cycles or long_cycles()
     spec = BENCHMARKS[args.ip]
-    reference = run_power_simulation(
-        spec.module_class(), spec.long_ts(cycles)
+    long_stimulus = (
+        spec.long_ts(cycles)
+        if args.seed is None
+        else spec.long_ts(cycles, seed=args.seed)
     )
+    reference = run_power_simulation(spec.module_class(), long_stimulus)
     scores = fitted.flow.evaluate(reference.trace, reference.power)
     print(
         f"long-TS ({cycles} cycles): MRE={scores['mre']:.2f}% "
@@ -375,6 +415,135 @@ def _cmd_bench_micro(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_refine_config(args: argparse.Namespace, seed: int):
+    """A :class:`~repro.refine.RefineConfig` from shared CLI knobs."""
+    from .refine import RefineConfig
+
+    config = RefineConfig(seed=seed, jobs=args.jobs)
+    if getattr(args, "iterations", None) is not None:
+        config.iterations = args.iterations
+    if getattr(args, "cycles", None) is not None:
+        config.eval_cycles = args.cycles
+    if getattr(args, "window", None) is not None:
+        config.oracle_window = args.window
+    if getattr(args, "worst", None) is not None:
+        config.worst_windows = args.worst
+    if getattr(args, "epsilon", None) is not None:
+        config.epsilon = args.epsilon
+    if getattr(args, "max_counterexamples", None) is not None:
+        config.max_counterexamples = args.max_counterexamples
+    if getattr(args, "stream_window", None) is not None:
+        config.stream_window = args.stream_window
+    return config
+
+
+def _cmd_bench_accuracy(args: argparse.Namespace) -> int:
+    from .refine import (
+        compare_accuracy,
+        run_accuracy,
+        validate_accuracy,
+    )
+    from .refine.trajectory import format_accuracy
+    from .testbench import BENCHMARKS
+
+    if args.ip and args.ip not in BENCHMARKS:
+        print(
+            f"error: unknown IP {args.ip!r}; choose from "
+            f"{', '.join(BENCHMARKS)}",
+            file=sys.stderr,
+        )
+        return 2
+    seed = args.seed if args.seed is not None else 7
+    config = _default_refine_config(args, seed)
+    names = [args.ip] if args.ip else None
+    payload = run_accuracy(names, config, progress=print)
+    print(format_accuracy(payload))
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"accuracy report written to {args.json}")
+    if args.compare:
+        baseline = json.loads(Path(args.compare).read_text())
+        validate_accuracy(baseline)
+        regressions = compare_accuracy(
+            payload, baseline, threshold=args.threshold
+        )
+        if regressions:
+            print("accuracy regressions detected:", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(
+            f"no accuracy regression beyond {args.threshold}x "
+            f"vs {args.compare}"
+        )
+    return 0
+
+
+def _cmd_refine(args: argparse.Namespace) -> int:
+    from .core.export import bundle_digest
+    from .core.streaming import BundlePublisher
+    from .refine import refine_benchmark, result_row
+    from .refine.trajectory import ACCURACY_SCHEMA
+    from .bench import scale_factor
+    from .testbench import BENCHMARKS
+
+    if args.ip not in BENCHMARKS:
+        print(
+            f"error: unknown IP {args.ip!r}; choose from "
+            f"{', '.join(BENCHMARKS)}",
+            file=sys.stderr,
+        )
+        return 2
+    config = _default_refine_config(args, args.seed)
+    try:
+        result = refine_benchmark(args.ip, config, progress=print)
+    except PipelineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    accuracy = result.accuracy_metadata()
+    print(
+        f"{args.ip}: MRE {result.mre_before:.2f}% -> "
+        f"{result.mre_after:.2f}% after {len(result.iterations)} "
+        f"iteration(s), {result.counterexamples_accepted}/"
+        f"{result.counterexamples_found} counterexample(s) folded in "
+        f"({result.wall_s:.1f}s)"
+    )
+    save_psms(
+        result.flow.psms,
+        args.output,
+        variables=result.variables,
+        accuracy=accuracy,
+    )
+    digest = bundle_digest(Path(args.output).read_bytes())
+    print(f"refined model written to {args.output} (digest {digest})")
+    if args.publish:
+        publisher = BundlePublisher(
+            args.publish, variables=result.variables
+        )
+        published = publisher.publish(
+            result.flow.psms, reason="refined", accuracy=accuracy
+        )
+        print(f"refined bundle published to {args.publish} "
+              f"(digest {published})")
+    if args.json:
+        payload = {
+            "schema": ACCURACY_SCHEMA,
+            "repro_scale": scale_factor(),
+            "seed": args.seed,
+            "iterations_budget": config.iterations,
+            "oracle_window": config.oracle_window,
+            "results": [result_row(result)],
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"refine trajectory written to {args.json}")
+    # The driver only accepts non-increasing candidates, so this can
+    # fail only when the monotone loop itself is broken.
+    if result.mre_after > result.mre_before + 1e-9:
+        print("error: refinement increased the MRE", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_convert(args: argparse.Namespace) -> int:
     from .traces.io import (
         load_training_bin,
@@ -442,6 +611,25 @@ def _cmd_describe(args: argparse.Namespace) -> int:
             f"{r.name}={r.wall_time:.3f}s" for r in bundle.stage_reports
         )
         print(f"generation stages: {stages}")
+    if bundle.accuracy:
+        acc = bundle.accuracy
+        parts = []
+        if "mre_before" in acc and "mre_after" in acc:
+            parts.append(
+                f"MRE {acc['mre_before']:.2f}% -> {acc['mre_after']:.2f}%"
+            )
+        if "iterations" in acc:
+            parts.append(f"{acc['iterations']} iteration(s)")
+        if "counterexamples_accepted" in acc:
+            parts.append(
+                f"{acc['counterexamples_accepted']} counterexample "
+                f"window(s) folded in"
+            )
+        if "seed" in acc:
+            parts.append(f"seed {acc['seed']}")
+        if "eval_cycles" in acc:
+            parts.append(f"eval {acc['eval_cycles']} cycles")
+        print(f"accuracy (last refine): {', '.join(parts)}")
     for psm in psms:
         print(psm.describe())
         deterministic = "yes" if psm.is_deterministic() else "no"
@@ -769,6 +957,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--power", action="append", help="power trace CSV (one per --func)"
     )
     mine.add_argument(
+        "--ip",
+        help=(
+            "also train on a built-in IP's short-TS testbench "
+            "(RAM|MultSum|AES|Camellia; simulated in-process)"
+        ),
+    )
+    mine.add_argument(
+        "--seed",
+        type=int,
+        help=(
+            "seed for the --ip testbench stimulus builder "
+            "(default: the IP's canonical short-TS seed)"
+        ),
+    )
+    mine.add_argument(
         "-o", "--output", default="psms.json", help="model output path"
     )
     mine.add_argument(
@@ -877,7 +1080,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-stage micro-benchmark instead of the full flow",
     )
     bench.add_argument(
-        "--json", help="write the micro-bench JSON report to this path"
+        "--accuracy",
+        action="store_true",
+        help=(
+            "run the counterexample-driven refinement loop per IP and "
+            "report the MRE trajectory (BENCH_accuracy.json)"
+        ),
+    )
+    bench.add_argument(
+        "--seed",
+        type=int,
+        help=(
+            "seed for the testbench stimulus builders (default: the "
+            "canonical per-TB seeds; 7 with --accuracy)"
+        ),
+    )
+    bench.add_argument(
+        "--iterations",
+        type=int,
+        help="refinement iteration budget (with --accuracy)",
+    )
+    bench.add_argument(
+        "--json", help="write the micro/accuracy JSON report to this path"
     )
     bench.add_argument(
         "--repeats",
@@ -887,7 +1111,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--compare",
-        help="baseline micro-bench JSON; exit 1 on throughput regression",
+        help=(
+            "baseline micro/accuracy JSON; exit 1 on throughput or "
+            "accuracy regression"
+        ),
     )
     bench.add_argument(
         "--threshold",
@@ -902,6 +1129,92 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the flow's fan-out loops (0 = all CPUs)",
     )
     bench.set_defaults(func_cmd=_cmd_bench)
+
+    refine = sub.add_parser(
+        "refine",
+        help=(
+            "counterexample-driven accuracy refinement of one IP's "
+            "model: oracle -> stimulus search -> retrain -> publish"
+        ),
+    )
+    refine.add_argument(
+        "--ip", required=True, help="RAM|MultSum|AES|Camellia"
+    )
+    refine.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help=(
+            "seed driving the held-out evaluation stimulus and the "
+            "perturbation search (same seed => bit-identical bundle)"
+        ),
+    )
+    refine.add_argument(
+        "--iterations",
+        type=int,
+        default=3,
+        help="refinement iteration budget",
+    )
+    refine.add_argument(
+        "--cycles", type=int, help="held-out evaluation trace length"
+    )
+    refine.add_argument(
+        "--window",
+        type=int,
+        default=256,
+        help="oracle scoring window, in instants",
+    )
+    refine.add_argument(
+        "--worst",
+        type=int,
+        default=4,
+        help="worst-scoring windows perturbed per iteration",
+    )
+    refine.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.05,
+        help=(
+            "convergence threshold: stop once an accepted iteration "
+            "improves the MRE by less than this many percentage points"
+        ),
+    )
+    refine.add_argument(
+        "--max-counterexamples",
+        type=int,
+        default=12,
+        help="counterexample traces folded into training per iteration",
+    )
+    refine.add_argument(
+        "--stream-window",
+        type=int,
+        default=4096,
+        help="instants per fit_stream training window",
+    )
+    refine.add_argument(
+        "-o",
+        "--output",
+        default="refined.json",
+        help="refined model output path (accuracy metadata embedded)",
+    )
+    refine.add_argument(
+        "--publish",
+        help=(
+            "also atomically publish the refined bundle to this path "
+            "(registry hot-swap target)"
+        ),
+    )
+    refine.add_argument(
+        "--json",
+        help="write the psmgen-accuracy/v1 trajectory JSON to this path",
+    )
+    refine.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the flow's fan-out loops (0 = all CPUs)",
+    )
+    refine.set_defaults(func_cmd=_cmd_refine)
 
     convert = sub.add_parser(
         "convert",

@@ -13,7 +13,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from ..traces.variables import VariableSpec
 from .attributes import Interval, PowerAttributes
@@ -217,6 +217,7 @@ def psms_to_json(
     psms: Sequence[PSM],
     stage_reports: Sequence = (),
     variables: Sequence[VariableSpec] = (),
+    accuracy: Optional[Mapping] = None,
 ) -> dict:
     """Serialise a PSM set into a JSON-compatible dictionary.
 
@@ -228,7 +229,11 @@ def psms_to_json(
     (the :class:`~repro.traces.variables.VariableSpec` list of the
     training traces) the PI/PO declarations are embedded under
     ``"variables"``, which lets the serving layer rebuild a functional
-    trace from raw value vectors without a sidecar file.
+    trace from raw value vectors without a sidecar file.  When
+    ``accuracy`` is given (the metadata of a ``psmgen refine`` run —
+    MRE before/after, iteration and counterexample counts) it is
+    embedded under ``"accuracy"`` so a refined bundle documents its own
+    trajectory; readers unaware of the key ignore it.
     """
     propositions: List[Proposition] = []
     prop_ids: Dict[Proposition, int] = {}
@@ -292,6 +297,8 @@ def psms_to_json(
         )
     if stage_reports:
         payload["stage_reports"] = [r.to_json() for r in stage_reports]
+    if accuracy:
+        payload["accuracy"] = dict(accuracy)
     return payload
 
 
@@ -384,6 +391,7 @@ def save_psms(
     path: PathLike,
     stage_reports: Sequence = (),
     variables: Sequence[VariableSpec] = (),
+    accuracy: Optional[Mapping] = None,
 ) -> None:
     """Write a PSM set to a JSON file.
 
@@ -391,10 +399,15 @@ def save_psms(
     timings in the file; :func:`load_psms` ignores them, and
     :func:`load_stage_reports` reads them back.  ``variables``
     (optional) embeds the PI/PO declarations of the training traces so
-    the serving layer can accept raw value vectors.
+    the serving layer can accept raw value vectors.  ``accuracy``
+    (optional) embeds the refinement trajectory metadata — see
+    :func:`psms_to_json`.
     """
     Path(path).write_text(
-        json.dumps(psms_to_json(psms, stage_reports, variables), indent=2)
+        json.dumps(
+            psms_to_json(psms, stage_reports, variables, accuracy),
+            indent=2,
+        )
     )
 
 
@@ -403,6 +416,7 @@ def publish_psms(
     path: PathLike,
     stage_reports: Sequence = (),
     variables: Sequence[VariableSpec] = (),
+    accuracy: Optional[Mapping] = None,
 ) -> str:
     """Atomically replace a bundle file; returns the new content digest.
 
@@ -416,7 +430,7 @@ def publish_psms(
     """
     path = Path(path)
     payload = json.dumps(
-        psms_to_json(psms, stage_reports, variables), indent=2
+        psms_to_json(psms, stage_reports, variables, accuracy), indent=2
     ).encode("utf-8")
     tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
     tmp.write_bytes(payload)
@@ -463,6 +477,7 @@ class Bundle:
     digest: str
     variables: List[VariableSpec] = field(default_factory=list)
     stage_reports: list = field(default_factory=list)
+    accuracy: Optional[dict] = None
 
 
 def bundle_digest(data: bytes) -> str:
@@ -502,6 +517,13 @@ def load_bundle(path: PathLike) -> Bundle:
             found=type(exc).__name__,
             expected="well-formed variables/stage_reports",
         ) from exc
+    accuracy = payload.get("accuracy")
+    if accuracy is not None and not isinstance(accuracy, dict):
+        raise ExportSchemaError(
+            "malformed bundle metadata: accuracy must be an object",
+            found=type(accuracy).__name__,
+            expected="dict",
+        )
     return Bundle(
         path=Path(path),
         psms=psms,
@@ -509,6 +531,7 @@ def load_bundle(path: PathLike) -> Bundle:
         digest=bundle_digest(raw),
         variables=variables,
         stage_reports=reports,
+        accuracy=accuracy,
     )
 
 

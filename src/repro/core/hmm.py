@@ -21,12 +21,71 @@ simulation follows a different path.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .psm import PSM, PowerState, state_universe
 from .temporal import TemporalAssertion, base_assertions
+
+
+@dataclass(frozen=True)
+class WspEvent:
+    """One wrong-state-prediction episode of a PSM simulation.
+
+    Every contiguous run of unreliable instants in an
+    :class:`~repro.core.simulation.EstimationResult` is one event: it
+    begins where the filtering predicted a state the trace then
+    contradicted (or observed a proposition unknown to the model) and
+    ends at the instant *before* resynchronisation — on a trace that
+    never resynchronises the final event runs to the last instant.
+    ``start``/``stop`` are inclusive, matching the paper's interval
+    convention.
+    """
+
+    start: int
+    stop: int
+
+    @property
+    def instants(self) -> int:
+        """Number of instants covered by the episode."""
+        return self.stop - self.start + 1
+
+    def overlaps(self, start: int, stop: int) -> bool:
+        """True when the episode intersects the inclusive interval."""
+        return self.start <= stop and start <= self.stop
+
+
+def extract_wsp_events(result) -> List[WspEvent]:
+    """The wrong-state-prediction episodes of one estimation result.
+
+    ``result`` is an :class:`~repro.core.simulation.EstimationResult`;
+    its ``reliable`` mask marks the synchronised instants, so the
+    maximal runs of ``False`` are exactly the desynchronisation
+    episodes.  Events are returned in trace order, non-overlapping,
+    and together cover every unreliable instant — the counterexample
+    oracle uses them to localise *where* the model loses the state,
+    complementing the aggregate WSP percentage.
+    """
+    unreliable = ~np.asarray(result.reliable, dtype=bool)
+    if unreliable.size == 0 or not unreliable.any():
+        return []
+    padded = np.concatenate(([False], unreliable, [False]))
+    edges = np.diff(padded.astype(np.int8))
+    starts = np.nonzero(edges == 1)[0]
+    stops = np.nonzero(edges == -1)[0] - 1
+    return [
+        WspEvent(int(start), int(stop))
+        for start, stop in zip(starts, stops)
+    ]
+
+
+def events_in_window(
+    events: Sequence[WspEvent], start: int, stop: int
+) -> List[WspEvent]:
+    """The events overlapping one inclusive ``[start, stop]`` window."""
+    return [event for event in events if event.overlaps(start, stop)]
 
 
 class PsmHmm:

@@ -9,7 +9,8 @@ prediction percentage) is computed by the simulator itself and exposed on
 
 from __future__ import annotations
 
-from typing import Union
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -62,6 +63,89 @@ def rmse(estimated: ArrayLike, reference: ArrayLike) -> float:
     """Root-mean-square error in the power trace's units."""
     est, ref = _paired(estimated, reference)
     return float(np.sqrt(np.mean((est - ref) ** 2)))
+
+
+@dataclass
+class WindowedMre:
+    """Per-window MRE scores over a trace, with skip-with-count semantics.
+
+    ``bounds[i]`` is the inclusive ``(start, stop)`` interval of window
+    ``i``; ``scores[i]`` is its MRE percentage, or ``None`` when the
+    window was skipped (zero-power reference — relative error is
+    undefined there, so the window is counted in ``skipped`` instead of
+    poisoning the aggregate with NaN/inf).  Empty and single-instant
+    windows never raise: an empty trace simply yields no windows, and a
+    trailing one-instant window is scored like any other.
+    """
+
+    bounds: List[Tuple[int, int]] = field(default_factory=list)
+    scores: List[Optional[float]] = field(default_factory=list)
+    skipped: int = 0
+
+    def defined(self) -> List[Tuple[Tuple[int, int], float]]:
+        """The scored ``((start, stop), mre)`` pairs, in trace order."""
+        return [
+            (bounds, score)
+            for bounds, score in zip(self.bounds, self.scores)
+            if score is not None
+        ]
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Mean of the defined window scores (None when all skipped)."""
+        defined = [s for s in self.scores if s is not None]
+        if not defined:
+            return None
+        return float(np.mean(defined))
+
+    @property
+    def worst(self) -> Optional[Tuple[Tuple[int, int], float]]:
+        """The highest-MRE window (None when every window was skipped)."""
+        defined = self.defined()
+        if not defined:
+            return None
+        return max(defined, key=lambda pair: pair[1])
+
+
+def windowed_mre(
+    estimated: ArrayLike, reference: ArrayLike, window: int
+) -> WindowedMre:
+    """Per-window MRE tiling of an estimate/reference pair.
+
+    The counterexample oracle's scoring primitive: the trace is tiled in
+    ``window``-instant intervals (final window partial) and each window
+    is scored with the same floored-denominator rule as :func:`mre`,
+    but with the floor computed *per window* so a locally-idle window is
+    judged on its own power scale.  Windows whose reference power is
+    entirely zero are skipped with a count rather than returning
+    NaN or raising ``ZeroDivisionError`` — see :class:`WindowedMre`.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    est = _as_array(estimated)
+    ref = _as_array(reference)
+    if est.shape != ref.shape:
+        raise ValueError(
+            f"length mismatch: estimated {est.shape} vs reference {ref.shape}"
+        )
+    report = WindowedMre()
+    for start in range(0, est.size, window):
+        stop = min(start + window, est.size) - 1
+        report.bounds.append((start, stop))
+        ref_win = ref[start : stop + 1]
+        floor = 0.01 * float(np.mean(ref_win))
+        if floor <= 0.0:
+            # All-zero (or negative-sum) reference: relative error is
+            # undefined on this window — skip it, keep the count.
+            report.scores.append(None)
+            report.skipped += 1
+            continue
+        est_win = est[start : stop + 1]
+        denominator = np.maximum(ref_win, floor)
+        report.scores.append(
+            float(np.mean(np.abs(est_win - ref_win) / denominator) * 100.0)
+        )
+    return report
 
 
 def mean_power_error(estimated: ArrayLike, reference: ArrayLike) -> float:

@@ -736,11 +736,21 @@ class BundlePublisher:
         self.variables = list(variables)
         self.versions: List[Tuple[str, str]] = []
 
-    def publish(self, psms: Sequence, reason: str = "refresh") -> str:
-        """Write one bundle version; returns its content digest."""
+    def publish(
+        self, psms: Sequence, reason: str = "refresh", accuracy=None
+    ) -> str:
+        """Write one bundle version; returns its content digest.
+
+        ``accuracy`` (optional) embeds refinement-trajectory metadata in
+        the published bundle — the hot-swap path ``psmgen refine
+        --publish`` uses so a serving registry picks up the refined
+        model together with its accuracy record.
+        """
         from .export import publish_psms
 
-        digest = publish_psms(psms, self.path, variables=self.variables)
+        digest = publish_psms(
+            psms, self.path, variables=self.variables, accuracy=accuracy
+        )
         self.versions.append((digest, reason))
         return digest
 

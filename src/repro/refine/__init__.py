@@ -1,0 +1,54 @@
+"""Counterexample-driven accuracy refinement.
+
+The subsystem that closes the accuracy loop the paper leaves open:
+Table III reports MRE as a one-shot number, while this package treats it
+as a searched and tracked trajectory.
+
+* :mod:`repro.refine.oracle` — replays stimuli through the mined PSM and
+  the reference power model, scoring per-window MRE
+  (:func:`repro.core.metrics.windowed_mre`) and wrong-state-prediction
+  episodes (:func:`repro.core.hmm.extract_wsp_events`) to rank where the
+  model is worst.
+* :mod:`repro.refine.search` — a seeded perturbation engine over the
+  worst windows (bursty / idle-heavy / phase-alternating / toggle-max
+  families from :mod:`repro.testbench.stimuli`) hunting for
+  counterexample stimuli the model estimates badly.
+* :mod:`repro.refine.driver` — the retraining loop: counterexample
+  traces are folded back into training through
+  :meth:`repro.core.pipeline.PsmFlow.fit_stream`, candidates are
+  accepted only when the held-out MRE does not increase (so refinement
+  is monotone by construction), and accepted models are published
+  through :class:`repro.core.streaming.BundlePublisher` for registry
+  hot swap.
+* :mod:`repro.refine.trajectory` — the ``psmgen-accuracy/v1`` benchmark
+  artifact (``BENCH_accuracy.json``) with the same
+  ``--compare``/``--threshold`` regression-gate contract as the
+  micro-bench harness.
+"""
+
+from .driver import RefineConfig, RefineResult, refine_benchmark
+from .oracle import AccuracyOracle, OracleReport, WindowScore
+from .search import Counterexample, StimulusSearch
+from .trajectory import (
+    ACCURACY_SCHEMA,
+    compare_accuracy,
+    result_row,
+    run_accuracy,
+    validate_accuracy,
+)
+
+__all__ = [
+    "AccuracyOracle",
+    "OracleReport",
+    "WindowScore",
+    "Counterexample",
+    "StimulusSearch",
+    "RefineConfig",
+    "RefineResult",
+    "refine_benchmark",
+    "ACCURACY_SCHEMA",
+    "run_accuracy",
+    "result_row",
+    "validate_accuracy",
+    "compare_accuracy",
+]

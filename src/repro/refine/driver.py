@@ -1,0 +1,295 @@
+"""The refinement driver: oracle → search → retrain → publish.
+
+One :func:`refine_benchmark` run is the active-learning loop applied to
+a built-in benchmark IP:
+
+1. fit the base model on the IP's short-TS verification suite through
+   :meth:`~repro.core.pipeline.PsmFlow.fit_stream` (the same windowed
+   operators every later retrain uses);
+2. score a seeded held-out long-TS trace with the
+   :class:`~repro.refine.oracle.AccuracyOracle`;
+3. search the worst windows for counterexample stimuli
+   (:class:`~repro.refine.search.StimulusSearch`);
+4. refit a candidate model over the base pair plus every accepted
+   counterexample pair, and **accept it only when the held-out MRE does
+   not increase** — refinement is therefore monotone by construction
+   (``mre_after <= mre_before`` always holds);
+5. publish each accepted model through an optional
+   :class:`~repro.core.streaming.BundlePublisher` (registry hot swap),
+   and iterate until no counterexamples are found, the improvement
+   drops below ``epsilon``, or the iteration budget is spent.
+
+Everything is seeded: two runs with the same ``--seed`` produce
+bit-identical refined bundles (state ids are reset before every fit,
+the reference power model is deterministic, and the accuracy metadata
+embedded in the bundle carries no wall times).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.metrics import mre
+from ..core.pipeline import PsmFlow
+from ..core.psm import reset_state_ids
+from ..core.streaming import DEFAULT_WINDOW, BundlePublisher
+from ..power.estimator import run_power_simulation
+from ..testbench import BENCHMARKS
+from .oracle import DEFAULT_ORACLE_WINDOW, AccuracyOracle
+from .search import DEFAULT_FAMILIES, Counterexample, StimulusSearch
+
+
+@dataclass
+class RefineConfig:
+    """Budget and search knobs of one refinement run."""
+
+    iterations: int = 3
+    seed: int = 0
+    eval_cycles: Optional[int] = None
+    oracle_window: int = DEFAULT_ORACLE_WINDOW
+    worst_windows: int = 4
+    families: Sequence[str] = DEFAULT_FAMILIES
+    epsilon: float = 0.05
+    max_counterexamples: int = 12
+    stream_window: int = DEFAULT_WINDOW
+    jobs: int = 1
+
+
+@dataclass
+class IterationRecord:
+    """Outcome of one refinement iteration.
+
+    ``strategy`` names the accepted counterexample subset (``all``,
+    ``replay-only`` or ``top-1`` — the driver backs off through them
+    when folding the full batch in makes the held-out score worse), or
+    ``rejected`` when every subset failed the monotonicity gate.
+    """
+
+    index: int
+    found: int
+    accepted: bool
+    candidate_mre: Optional[float]
+    mre: float
+    strategy: str = "rejected"
+
+    def describe(self) -> str:
+        """One-line rendering for the CLI trajectory output."""
+        if self.found == 0:
+            return f"iteration {self.index}: no counterexamples found"
+        verdict = (
+            f"accepted ({self.strategy})" if self.accepted else "rejected"
+        )
+        candidate = (
+            f"{self.candidate_mre:.2f}%"
+            if self.candidate_mre is not None
+            else "n/a"
+        )
+        return (
+            f"iteration {self.index}: {self.found} counterexample(s), "
+            f"candidate MRE {candidate} {verdict} "
+            f"-> current MRE {self.mre:.2f}%"
+        )
+
+
+@dataclass
+class RefineResult:
+    """Everything one refinement run produced."""
+
+    ip: str
+    seed: int
+    mre_before: float
+    mre_after: float
+    wsp_before: float
+    wsp_after: float
+    eval_cycles: int
+    iterations: List[IterationRecord] = field(default_factory=list)
+    counterexamples_found: int = 0
+    counterexamples_accepted: int = 0
+    converged: bool = False
+    wall_s: float = 0.0
+    flow: Optional[PsmFlow] = None
+    variables: list = field(default_factory=list)
+
+    def accuracy_metadata(self) -> dict:
+        """The bundle-embeddable accuracy block.
+
+        Deterministic values only — no wall times — so two runs with the
+        same seed write byte-identical bundles; timings live in the
+        ``psmgen-accuracy/v1`` trajectory artifact instead.
+        """
+        return {
+            "ip": self.ip,
+            "seed": self.seed,
+            "mre_before": self.mre_before,
+            "mre_after": self.mre_after,
+            "wsp_before": self.wsp_before,
+            "wsp_after": self.wsp_after,
+            "eval_cycles": self.eval_cycles,
+            "iterations": len(self.iterations),
+            "counterexamples_found": self.counterexamples_found,
+            "counterexamples_accepted": self.counterexamples_accepted,
+            "converged": self.converged,
+        }
+
+
+def _fit(
+    spec, training: Sequence[Tuple], config: RefineConfig
+) -> PsmFlow:
+    """One deterministic fit over the training pairs, via the stream path.
+
+    State ids are reset first so repeated fits in one process (and the
+    second CLI run of a determinism check) produce identical PSMs.
+    """
+    reset_state_ids()
+    flow_config = spec.flow_config()
+    flow_config.jobs = config.jobs
+    return PsmFlow(flow_config).fit_stream(
+        list(training), window=config.stream_window
+    )
+
+
+def refine_benchmark(
+    name: str,
+    config: Optional[RefineConfig] = None,
+    publisher: Optional[BundlePublisher] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> RefineResult:
+    """Run the counterexample-driven refinement loop on one IP."""
+    config = config or RefineConfig()
+    if name not in BENCHMARKS:
+        raise ValueError(
+            f"unknown IP {name!r}; choose from {', '.join(BENCHMARKS)}"
+        )
+    from ..bench import long_cycles
+
+    spec = BENCHMARKS[name]
+    eval_cycles = config.eval_cycles or max(long_cycles() // 4, 500)
+    start = time.perf_counter()
+
+    def tell(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    base = run_power_simulation(
+        spec.module_class(), spec.short_ts(), name=f"{name}.train"
+    )
+    training: List[Tuple] = [(base.trace, base.power)]
+    flow = _fit(spec, training, config)
+
+    eval_ref = run_power_simulation(
+        spec.module_class(),
+        spec.long_ts(eval_cycles, seed=config.seed),
+        name=f"{name}.eval",
+    )
+    oracle = AccuracyOracle(
+        flow, spec.module_class, window=config.oracle_window
+    )
+    report = oracle.score_trace(eval_ref.trace, eval_ref.power)
+    search = StimulusSearch(
+        oracle, families=config.families, seed=config.seed
+    )
+
+    result = RefineResult(
+        ip=name,
+        seed=config.seed,
+        mre_before=report.overall_mre,
+        mre_after=report.overall_mre,
+        wsp_before=report.wsp,
+        wsp_after=report.wsp,
+        eval_cycles=eval_cycles,
+        flow=flow,
+        variables=base.trace.variables,
+    )
+    tell(
+        f"{name}: baseline MRE {report.overall_mre:.2f}% "
+        f"WSP {report.wsp:.2f}% over {eval_cycles} held-out cycles"
+    )
+
+    current_mre = report.overall_mre
+    for index in range(config.iterations):
+        counterexamples: List[Counterexample] = search.find(
+            report,
+            eval_ref.trace,
+            threshold=current_mre,
+            iteration=index,
+            worst_windows=config.worst_windows,
+            limit=config.max_counterexamples,
+        )
+        result.counterexamples_found += len(counterexamples)
+        if not counterexamples:
+            result.iterations.append(
+                IterationRecord(index, 0, False, None, current_mre)
+            )
+            result.converged = True
+            tell(f"iteration {index}: converged (no counterexamples)")
+            break
+
+        # Backoff acceptance: the full batch first, then only the
+        # identity replays (adversarial families can poison the power
+        # attributes of joined states), then the single best replay.
+        # The first subset whose refit does not increase the held-out
+        # MRE wins; when all fail the iteration is rejected and the
+        # current model stands (monotonicity guarantee).
+        replays = [cx for cx in counterexamples if cx.family == "replay"]
+        subsets = [("all", counterexamples)]
+        if replays and len(replays) < len(counterexamples):
+            subsets.append(("replay-only", replays))
+        preferred = replays if replays else counterexamples
+        if len(preferred) > 1 or len(subsets) > 1:
+            subsets.append(("top-1", preferred[:1]))
+
+        accepted = False
+        candidate_mre = None
+        for strategy, subset in subsets:
+            candidate_training = training + [
+                (cx.functional, cx.power) for cx in subset
+            ]
+            candidate_flow = _fit(spec, candidate_training, config)
+            oracle.flow = candidate_flow
+            candidate_report = oracle.score_trace(
+                eval_ref.trace, eval_ref.power
+            )
+            candidate_mre = candidate_report.overall_mre
+            if candidate_mre <= current_mre:
+                accepted = True
+                break
+            oracle.flow = flow
+
+        if accepted:
+            improvement = current_mre - candidate_mre
+            flow = candidate_flow
+            training = candidate_training
+            report = candidate_report
+            current_mre = candidate_mre
+            result.counterexamples_accepted += len(subset)
+            result.flow = flow
+            result.mre_after = current_mre
+            result.wsp_after = candidate_report.wsp
+            record = IterationRecord(
+                index, len(counterexamples), True, candidate_mre,
+                current_mre, strategy=strategy,
+            )
+            result.iterations.append(record)
+            tell(record.describe())
+            if publisher is not None:
+                publisher.publish(flow.psms, reason=f"refine-{index}")
+            if improvement < config.epsilon:
+                result.converged = True
+                tell(
+                    f"iteration {index}: converged "
+                    f"(improvement {improvement:.3f} < "
+                    f"epsilon {config.epsilon})"
+                )
+                break
+        else:
+            record = IterationRecord(
+                index, len(counterexamples), False, candidate_mre,
+                current_mre,
+            )
+            result.iterations.append(record)
+            tell(record.describe())
+
+    result.wall_s = time.perf_counter() - start
+    return result

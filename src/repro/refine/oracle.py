@@ -1,0 +1,161 @@
+"""The accuracy oracle: where is the mined model worst?
+
+Replays a stimulus through both sides of the methodology — the reference
+power model (gate-level estimator) and the mined PSM set — and scores
+the disagreement window by window.  Each window carries its MRE
+(per-window floored denominator, zero-power windows skipped with a
+count — see :func:`repro.core.metrics.windowed_mre`) and the
+wrong-state-prediction episodes overlapping it
+(:func:`repro.core.hmm.extract_wsp_events`), so the search layer can
+rank windows by *how wrong* and *how lost* the model is there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Type
+
+import numpy as np
+
+from ..core.hmm import WspEvent, events_in_window, extract_wsp_events
+from ..core.metrics import mre, windowed_mre
+from ..core.pipeline import PsmFlow
+from ..core.simulation import EstimationResult
+from ..hdl.module import Module
+from ..power.estimator import PowerSimulationResult, run_power_simulation
+from ..testbench.stimuli import Stimulus
+from ..traces.functional import FunctionalTrace
+from ..traces.power import PowerTrace
+
+#: Default oracle window, in instants.
+DEFAULT_ORACLE_WINDOW = 256
+
+
+@dataclass(frozen=True)
+class WindowScore:
+    """Per-window disagreement between the PSM and the reference.
+
+    ``mre`` is ``None`` when the window was skipped (zero reference
+    power); ``desync`` counts its unreliable instants and ``events`` the
+    wrong-state-prediction episodes overlapping it.
+    """
+
+    start: int
+    stop: int
+    mre: Optional[float]
+    desync: int
+    events: int
+
+    @property
+    def defined(self) -> bool:
+        """True when the window has a usable MRE score."""
+        return self.mre is not None
+
+
+@dataclass
+class OracleReport:
+    """Scored replay of one trace through model and reference."""
+
+    windows: List[WindowScore]
+    skipped: int
+    overall_mre: float
+    wsp: float
+    desync_fraction: float
+    events: List[WspEvent] = field(default_factory=list)
+    result: Optional[EstimationResult] = None
+
+    def worst(self, count: int) -> List[WindowScore]:
+        """The ``count`` worst defined windows.
+
+        Ranked by MRE, then by desynchronised instants, with the window
+        position as the final tie-break so the ordering is fully
+        deterministic.
+        """
+        defined = [w for w in self.windows if w.defined]
+        defined.sort(key=lambda w: (-w.mre, -w.desync, w.start))
+        return defined[:count]
+
+
+class AccuracyOracle:
+    """Scores stimuli/traces against a fitted flow and its reference IP.
+
+    ``flow`` is mutable on purpose: the refinement driver points the
+    oracle at each newly-accepted model so subsequent scoring rounds
+    judge the current model, not the starting one.
+    """
+
+    def __init__(
+        self,
+        flow: PsmFlow,
+        module_class: Type[Module],
+        window: int = DEFAULT_ORACLE_WINDOW,
+        engine: str = "auto",
+    ) -> None:
+        self.flow = flow
+        self.module_class = module_class
+        self.window = window
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    def score_trace(
+        self, trace: FunctionalTrace, reference: PowerTrace
+    ) -> OracleReport:
+        """Score an already-simulated (functional, power) pair."""
+        result = self.flow.estimate(trace, engine=self.engine)
+        tiles = windowed_mre(
+            result.estimated.values, reference.values, self.window
+        )
+        events = extract_wsp_events(result)
+        unreliable = ~np.asarray(result.reliable, dtype=bool)
+        windows = []
+        for (start, stop), score in zip(tiles.bounds, tiles.scores):
+            windows.append(
+                WindowScore(
+                    start=start,
+                    stop=stop,
+                    mre=score,
+                    desync=int(unreliable[start : stop + 1].sum()),
+                    events=len(events_in_window(events, start, stop)),
+                )
+            )
+        return OracleReport(
+            windows=windows,
+            skipped=tiles.skipped,
+            overall_mre=mre(result.estimated.values, reference.values),
+            wsp=result.wrong_state_fraction,
+            desync_fraction=result.desync_fraction,
+            events=events,
+            result=result,
+        )
+
+    def score_stimulus(
+        self, stimulus: Stimulus, name: Optional[str] = None
+    ) -> Tuple[OracleReport, PowerSimulationResult]:
+        """Replay a stimulus through reference and model, then score it.
+
+        Returns the report plus the reference simulation, whose
+        ``(trace, power)`` pair is exactly the training material a
+        counterexample contributes when folded back into the fit.
+        """
+        reference = run_power_simulation(
+            self.module_class(), stimulus, name=name
+        )
+        return self.score_trace(reference.trace, reference.power), reference
+
+    # ------------------------------------------------------------------
+    def input_rows(
+        self, trace: FunctionalTrace, start: int, stop: int
+    ) -> List[dict]:
+        """The primary-input assignment rows of one inclusive window.
+
+        The raw material the perturbation families mutate: replaying
+        these rows as a stimulus reproduces the window's input behaviour
+        from reset.
+        """
+        window = trace.slice(start, stop)
+        inputs = window.inputs
+        columns = {v.name: window.column(v.name) for v in inputs}
+        return [
+            {v.name: int(columns[v.name][i]) for v in inputs}
+            for i in range(len(window))
+        ]

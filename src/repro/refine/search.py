@@ -1,0 +1,140 @@
+"""Counterexample stimulus search over the oracle's worst windows.
+
+Each search round takes the ranked windows of an
+:class:`~repro.refine.oracle.OracleReport`, extracts their input rows
+and mutates them with the seeded perturbation families of
+:mod:`repro.testbench.stimuli` (bursty, idle-heavy, phase-alternating,
+adversarial toggle-max).  A perturbed stimulus is replayed through the
+oracle; when the model's MRE on it exceeds the current held-out MRE the
+stimulus is a *counterexample* — concrete evidence of a behaviour the
+training set under-covers — and its reference ``(functional, power)``
+pair is handed to the refinement driver as new training material.
+
+Every candidate's seed is derived deterministically from
+``(search seed, iteration, window rank, family)``, so a refinement run
+is reproducible end to end from one CLI ``--seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..testbench.stimuli import PERTURBATION_FAMILIES, Stimulus
+from ..traces.functional import FunctionalTrace
+from ..traces.power import PowerTrace
+from .oracle import AccuracyOracle, OracleReport
+
+#: Default family rotation, in deterministic application order.  The
+#: identity ``replay`` family anchors each round (the observed bad
+#: window is itself the most direct counterexample); the four mutating
+#: families search beyond the observed behaviours.
+DEFAULT_FAMILIES: Tuple[str, ...] = (
+    "replay",
+    "bursty",
+    "idle-heavy",
+    "phase-alternating",
+    "toggle-max",
+)
+
+
+def derive_seed(seed: int, iteration: int, rank: int, family: int) -> int:
+    """Deterministic per-candidate seed from the run seed and position."""
+    mixed = (
+        seed * 1_000_003
+        + iteration * 10_007
+        + rank * 101
+        + family
+    )
+    return mixed % (2**32)
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A found stimulus the current model estimates badly.
+
+    ``mre`` is the model's full-stimulus MRE on it; ``functional`` /
+    ``power`` are the reference pair ready to join the training set.
+    """
+
+    family: str
+    window_start: int
+    window_stop: int
+    mre: float
+    stimulus: Stimulus
+    functional: FunctionalTrace
+    power: PowerTrace
+
+
+class StimulusSearch:
+    """Seeded perturbation search driven by an accuracy oracle."""
+
+    def __init__(
+        self,
+        oracle: AccuracyOracle,
+        families: Sequence[str] = DEFAULT_FAMILIES,
+        seed: int = 0,
+    ) -> None:
+        unknown = [f for f in families if f not in PERTURBATION_FAMILIES]
+        if unknown:
+            raise ValueError(
+                f"unknown perturbation families {unknown}; choose from "
+                f"{sorted(PERTURBATION_FAMILIES)}"
+            )
+        self.oracle = oracle
+        self.families = tuple(families)
+        self.seed = seed
+
+    def find(
+        self,
+        report: OracleReport,
+        trace: FunctionalTrace,
+        threshold: float,
+        iteration: int = 0,
+        worst_windows: int = 4,
+        limit: int = 12,
+    ) -> List[Counterexample]:
+        """One search round: perturb the worst windows, keep the hits.
+
+        ``threshold`` is the current held-out MRE — a candidate counts
+        as a counterexample only when the model does *worse* on it than
+        on the evaluation trace overall.  Results are sorted hardest
+        first (window position and family as deterministic tie-breaks)
+        and capped at ``limit``.
+        """
+        widths = {v.name: v.width for v in trace.inputs}
+        found: List[Counterexample] = []
+        for rank, window in enumerate(report.worst(worst_windows)):
+            rows = self.oracle.input_rows(trace, window.start, window.stop)
+            if not rows:
+                continue
+            defaults = dict(rows[0])
+            for family_index, family in enumerate(self.families):
+                stimulus = PERTURBATION_FAMILIES[family](
+                    rows,
+                    defaults,
+                    widths,
+                    seed=derive_seed(
+                        self.seed, iteration, rank, family_index
+                    ),
+                )
+                if not stimulus:
+                    continue
+                candidate_report, reference = self.oracle.score_stimulus(
+                    stimulus,
+                    name=f"cx.i{iteration}.w{window.start}.{family}",
+                )
+                if candidate_report.overall_mre > threshold:
+                    found.append(
+                        Counterexample(
+                            family=family,
+                            window_start=window.start,
+                            window_stop=window.stop,
+                            mre=candidate_report.overall_mre,
+                            stimulus=stimulus,
+                            functional=reference.trace,
+                            power=reference.power,
+                        )
+                    )
+        found.sort(key=lambda cx: (-cx.mre, cx.window_start, cx.family))
+        return found[:limit]

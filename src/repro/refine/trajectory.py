@@ -1,0 +1,162 @@
+"""The tracked accuracy trajectory: ``psmgen-accuracy/v1``.
+
+Mirrors the micro-bench harness for accuracy instead of speed: ``psmgen
+bench --accuracy`` runs the refinement loop over the benchmark IPs and
+writes a schema-versioned JSON report (the committed
+``BENCH_accuracy.json``), and ``--compare``/``--threshold`` turn it
+into a regression gate — the same contract ``compare_micro`` gives
+throughput.
+
+Two gates apply on comparison:
+
+* **self gate** — every row of the *current* payload must satisfy
+  ``mre_after <= mre_before`` (the driver guarantees this by
+  construction; a violation means the monotone accept/reject loop is
+  broken);
+* **baseline gate** — a row's refined MRE must not exceed the
+  baseline's refined MRE for the same IP by more than ``threshold``x
+  (with a small absolute slack so near-zero MREs do not gate on noise).
+  IPs present on only one side are skipped, so a one-IP CI smoke run
+  can compare against the committed four-IP artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..microbench import check_fields
+from ..testbench import BENCHMARKS
+from .driver import RefineConfig, RefineResult, refine_benchmark
+
+#: Identifier of the payload layout (bump on breaking changes).
+ACCURACY_SCHEMA = "psmgen-accuracy/v1"
+
+#: Absolute MRE slack (percentage points) under the baseline gate.
+ABSOLUTE_SLACK = 0.5
+
+_ROW_FIELDS = (
+    ("ip", str),
+    ("mre_before", (int, float)),
+    ("mre_after", (int, float)),
+    ("wsp_before", (int, float)),
+    ("wsp_after", (int, float)),
+    ("iterations", int),
+    ("counterexamples_found", int),
+    ("counterexamples_accepted", int),
+    ("converged", bool),
+    ("eval_cycles", int),
+    ("wall_s", (int, float)),
+)
+
+
+def result_row(result: RefineResult) -> dict:
+    """One report row from a finished refinement run."""
+    return {
+        "ip": result.ip,
+        "mre_before": round(result.mre_before, 4),
+        "mre_after": round(result.mre_after, 4),
+        "wsp_before": round(result.wsp_before, 4),
+        "wsp_after": round(result.wsp_after, 4),
+        "iterations": len(result.iterations),
+        "counterexamples_found": result.counterexamples_found,
+        "counterexamples_accepted": result.counterexamples_accepted,
+        "converged": result.converged,
+        "eval_cycles": result.eval_cycles,
+        "wall_s": round(result.wall_s, 3),
+    }
+
+
+def run_accuracy(
+    names: Optional[Sequence[str]] = None,
+    config: Optional[RefineConfig] = None,
+    progress=None,
+) -> dict:
+    """Refine every requested IP and assemble the trajectory payload."""
+    from ..bench import scale_factor
+
+    config = config or RefineConfig()
+    rows = []
+    for name in names or list(BENCHMARKS):
+        rows.append(
+            result_row(refine_benchmark(name, config, progress=progress))
+        )
+    return {
+        "schema": ACCURACY_SCHEMA,
+        "repro_scale": scale_factor(),
+        "seed": config.seed,
+        "iterations_budget": config.iterations,
+        "oracle_window": config.oracle_window,
+        "results": rows,
+    }
+
+
+def validate_accuracy(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a well-formed report."""
+    if not isinstance(payload, dict):
+        raise ValueError("accuracy payload must be a JSON object")
+    if payload.get("schema") != ACCURACY_SCHEMA:
+        raise ValueError(
+            f"unexpected schema {payload.get('schema')!r}; "
+            f"want {ACCURACY_SCHEMA!r}"
+        )
+    results = payload.get("results")
+    if not isinstance(results, list) or not results:
+        raise ValueError("payload has no results")
+    for row in results:
+        check_fields(row, _ROW_FIELDS, context="accuracy row")
+
+
+def compare_accuracy(
+    current: dict, baseline: dict, threshold: float = 1.5
+) -> List[str]:
+    """Accuracy regressions of ``current`` against ``baseline``.
+
+    Returns human-readable descriptions (empty = both gates pass); both
+    payloads are validated first.
+    """
+    validate_accuracy(current)
+    validate_accuracy(baseline)
+    regressions: List[str] = []
+    for row in current["results"]:
+        if row["mre_after"] > row["mre_before"] + 1e-9:
+            regressions.append(
+                f"{row['ip']}: refinement increased MRE "
+                f"({row['mre_before']:.2f}% -> {row['mre_after']:.2f}%)"
+            )
+    base: Dict[str, dict] = {
+        row["ip"]: row for row in baseline["results"]
+    }
+    for row in current["results"]:
+        reference = base.get(row["ip"])
+        if reference is None:
+            continue
+        allowed = max(
+            reference["mre_after"] * threshold,
+            reference["mre_after"] + ABSOLUTE_SLACK,
+        )
+        if row["mre_after"] > allowed:
+            regressions.append(
+                f"{row['ip']}: refined MRE {row['mre_after']:.2f}% vs "
+                f"baseline {reference['mre_after']:.2f}% "
+                f"(allowed {allowed:.2f}%)"
+            )
+    return regressions
+
+
+def format_accuracy(payload: dict) -> str:
+    """Plain-text table of one accuracy payload (CLI output)."""
+    lines = [
+        f"{'ip':>10s} {'MRE before':>11s} {'MRE after':>10s} "
+        f"{'iters':>5s} {'cx found':>8s} {'cx used':>7s} "
+        f"{'converged':>9s} {'wall':>8s}"
+    ]
+    for row in payload["results"]:
+        lines.append(
+            f"{row['ip']:>10s} {row['mre_before']:>10.2f}% "
+            f"{row['mre_after']:>9.2f}% {row['iterations']:>5d} "
+            f"{row['counterexamples_found']:>8d} "
+            f"{row['counterexamples_accepted']:>7d} "
+            f"{str(row['converged']).lower():>9s} "
+            f"{row['wall_s']:>7.1f}s"
+        )
+    return "\n".join(lines)

@@ -69,3 +69,145 @@ class StimulusBuilder:
 def total_cycles(stimulus: Stimulus) -> int:
     """Length of a stimulus in clock cycles."""
     return len(stimulus)
+
+
+# ----------------------------------------------------------------------
+# perturbation families
+# ----------------------------------------------------------------------
+#
+# The counterexample search (`repro.refine`) mutates the worst-scoring
+# windows of an evaluation trace looking for stimuli where the mined PSM
+# is even worse.  Each family below takes the window's input rows and
+# returns a new seeded stimulus built with :class:`StimulusBuilder`:
+# same interface, so they also serve as generic workload shapers.
+#
+# Every family is a function ``(rows, defaults, widths, seed) -> Stimulus``
+# where ``rows`` are complete input-assignment rows, ``defaults`` is the
+# idle row used for padding, and ``widths`` maps input names to their
+# bit widths (for value-flipping families).
+
+
+def perturb_replay(
+    rows: Stimulus,
+    defaults: Mapping[str, int],
+    widths: Mapping[str, int],
+    seed: int = 0,
+) -> Stimulus:
+    """The identity family: replay the window's rows unchanged.
+
+    The anchor of every search round — when the oracle flags a window
+    the model mis-estimates, the window's own behaviour (replayed from
+    reset) is the most direct counterexample, and folding it back into
+    training is the classic active-learning move.  The mutating
+    families below search *beyond* the observed behaviours.
+    """
+    builder = StimulusBuilder(defaults, seed=seed)
+    for row in rows:
+        builder.cycle(**row)
+    return builder.build()
+
+
+def perturb_bursty(
+    rows: Stimulus,
+    defaults: Mapping[str, int],
+    widths: Mapping[str, int],
+    seed: int = 0,
+) -> Stimulus:
+    """Replay the window as dense activity bursts split by short idles.
+
+    The rows are chopped into four chunks; each chunk is repeated two or
+    three times back-to-back, then the inputs fall back to the idle
+    defaults for a few cycles — stressing rapid state re-entry.
+    """
+    builder = StimulusBuilder(defaults, seed=seed)
+    if not rows:
+        return builder.build()
+    chunk = max(len(rows) // 4, 1)
+    for start in range(0, len(rows), chunk):
+        repeats = 2 + int(builder.maybe(0.5))
+        for _ in range(repeats):
+            for row in rows[start : start + chunk]:
+                builder.cycle(**row)
+        builder.hold(int(builder.rng.integers(1, 4)))
+    return builder.build()
+
+
+def perturb_idle_heavy(
+    rows: Stimulus,
+    defaults: Mapping[str, int],
+    widths: Mapping[str, int],
+    seed: int = 0,
+) -> Stimulus:
+    """Stretch the window with random idle gaps between its rows.
+
+    Long holds on the idle defaults probe the model's low-power states
+    and every re-activation edge out of them.
+    """
+    builder = StimulusBuilder(defaults, seed=seed)
+    for row in rows:
+        builder.cycle(**row)
+        if builder.maybe(0.35):
+            builder.hold(int(builder.rng.integers(2, 9)))
+    return builder.build()
+
+
+def perturb_phase_alternating(
+    rows: Stimulus,
+    defaults: Mapping[str, int],
+    widths: Mapping[str, int],
+    seed: int = 0,
+) -> Stimulus:
+    """Interleave short chunks of the window's two halves.
+
+    Behaviours the training trace exercised in long separate phases are
+    forced to alternate rapidly, probing transitions between them that
+    the original ordering never took.
+    """
+    builder = StimulusBuilder(defaults, seed=seed)
+    if not rows:
+        return builder.build()
+    half = max(len(rows) // 2, 1)
+    first, second = rows[:half], rows[half:]
+    phase = max(int(builder.rng.integers(2, 9)), 1)
+    chunks_a = [first[i : i + phase] for i in range(0, len(first), phase)]
+    chunks_b = [second[i : i + phase] for i in range(0, len(second), phase)]
+    for index in range(max(len(chunks_a), len(chunks_b))):
+        for chunk in (chunks_a, chunks_b):
+            if index < len(chunk):
+                for row in chunk[index]:
+                    builder.cycle(**row)
+    return builder.build()
+
+
+def perturb_toggle_max(
+    rows: Stimulus,
+    defaults: Mapping[str, int],
+    widths: Mapping[str, int],
+    seed: int = 0,
+) -> Stimulus:
+    """Adversarial maximum-toggle variant of the window.
+
+    Each original row is followed by a copy with (most of) its inputs
+    bitwise-complemented within their declared widths — near-maximal
+    Hamming distance cycle to cycle, the worst case for switching-based
+    power models.
+    """
+    builder = StimulusBuilder(defaults, seed=seed)
+    for row in rows:
+        builder.cycle(**row)
+        flipped = {}
+        for name, value in row.items():
+            mask = (1 << max(widths.get(name, 1), 1)) - 1
+            flipped[name] = (value ^ mask) if builder.maybe(0.75) else value
+        builder.cycle(**flipped)
+    return builder.build()
+
+
+#: Registry of seedable stimulus perturbation families, by CLI name.
+PERTURBATION_FAMILIES = {
+    "replay": perturb_replay,
+    "bursty": perturb_bursty,
+    "idle-heavy": perturb_idle_heavy,
+    "phase-alternating": perturb_phase_alternating,
+    "toggle-max": perturb_toggle_max,
+}

@@ -1,0 +1,107 @@
+"""Tests for wrong-state-prediction event extraction (core/hmm.py).
+
+The events must exactly partition the unreliable instants of an
+estimation result — including on desynchronised traces (Camellia's
+short-TS model never saw clock gating) and traces ending in a random
+(unknown-proposition) tail, where the final event must run to the very
+last instant.  Trace generators are reused from the compiled-engine
+suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import fit_benchmark
+from repro.core.hmm import WspEvent, events_in_window, extract_wsp_events
+
+from tests.core.test_compiled import CYCLES, random_trace, with_random_tail
+
+
+class _FakeResult:
+    def __init__(self, reliable):
+        self.reliable = np.asarray(reliable, dtype=bool)
+
+
+def assert_events_partition_unreliable(events, reliable):
+    """Events are sorted, disjoint and cover exactly ~reliable."""
+    unreliable = ~np.asarray(reliable, dtype=bool)
+    covered = np.zeros(unreliable.size, dtype=bool)
+    last_stop = -1
+    for event in events:
+        assert event.start <= event.stop
+        assert event.start > last_stop  # sorted and disjoint
+        assert not covered[event.start : event.stop + 1].any()
+        covered[event.start : event.stop + 1] = True
+        last_stop = event.stop
+    assert np.array_equal(covered, unreliable)
+
+
+class TestExtractSynthetic:
+    def test_no_events_on_fully_reliable(self):
+        assert extract_wsp_events(_FakeResult([True] * 5)) == []
+
+    def test_empty_trace(self):
+        assert extract_wsp_events(_FakeResult([])) == []
+
+    def test_single_run(self):
+        events = extract_wsp_events(_FakeResult([True, False, False, True]))
+        assert events == [WspEvent(1, 2)]
+        assert events[0].instants == 2
+
+    def test_run_at_both_edges(self):
+        events = extract_wsp_events(
+            _FakeResult([False, True, True, False, False])
+        )
+        assert events == [WspEvent(0, 0), WspEvent(3, 4)]
+
+    def test_fully_unreliable(self):
+        events = extract_wsp_events(_FakeResult([False] * 4))
+        assert events == [WspEvent(0, 3)]
+
+    def test_events_in_window(self):
+        events = [WspEvent(0, 2), WspEvent(5, 7), WspEvent(9, 9)]
+        assert events_in_window(events, 2, 5) == [
+            WspEvent(0, 2),
+            WspEvent(5, 7),
+        ]
+        assert events_in_window(events, 3, 4) == []
+        assert events_in_window(events, 8, 20) == [WspEvent(9, 9)]
+
+
+class TestExtractOnTraces:
+    """Event extraction over real estimation results."""
+
+    @pytest.fixture(scope="class")
+    def camellia(self):
+        # Camellia's short verification suite does not cover clock
+        # gating, so randomized long suites desynchronise the model —
+        # the paper's own wrong-state-prediction scenario.
+        return fit_benchmark("Camellia")
+
+    def test_desynchronised_trace_events(self, camellia):
+        trace = random_trace("Camellia", CYCLES, seed=11)
+        result = camellia.flow.estimate(trace)
+        events = extract_wsp_events(result)
+        assert events, "expected desynchronisation on uncovered gating"
+        assert_events_partition_unreliable(events, result.reliable)
+
+    def test_trailing_tail_final_event_reaches_end(self, camellia):
+        trace = with_random_tail(
+            random_trace("Camellia", CYCLES, seed=12), tail=24, seed=13
+        )
+        result = camellia.flow.estimate(trace)
+        events = extract_wsp_events(result)
+        assert_events_partition_unreliable(events, result.reliable)
+        # The random tail satisfies no mined proposition, so the trace
+        # ends desynchronised and the last event must reach the end.
+        assert not result.reliable[-1]
+        assert events[-1].stop == len(trace) - 1
+
+    def test_event_count_matches_total_desync(self, camellia):
+        trace = random_trace("Camellia", CYCLES, seed=14)
+        result = camellia.flow.estimate(trace)
+        events = extract_wsp_events(result)
+        total = sum(event.instants for event in events)
+        assert total == int((~result.reliable).sum())

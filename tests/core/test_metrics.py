@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core.metrics import mae, mean_power_error, mre, rmse
+from repro.core.metrics import (
+    mae,
+    mean_power_error,
+    mre,
+    rmse,
+    windowed_mre,
+)
 from repro.traces.power import PowerTrace
 
 
@@ -35,6 +41,71 @@ class TestMre:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             mre([], [])
+
+
+class TestWindowedMre:
+    def test_tiles_the_trace_inclusively(self):
+        report = windowed_mre([1.0] * 5, [1.0] * 5, 2)
+        assert report.bounds == [(0, 1), (2, 3), (4, 4)]
+        assert report.scores == [0.0, 0.0, 0.0]
+        assert report.skipped == 0
+
+    def test_empty_trace_yields_no_windows(self):
+        report = windowed_mre([], [], 4)
+        assert report.bounds == []
+        assert report.scores == []
+        assert report.skipped == 0
+        assert report.mean is None
+        assert report.worst is None
+
+    def test_single_instant_window_is_defined(self):
+        # A trailing one-instant window must score, not raise.
+        report = windowed_mre([1.1, 2.0, 3.3], [1.0, 2.0, 3.0], 2)
+        assert report.bounds[-1] == (2, 2)
+        assert report.scores[-1] == pytest.approx(10.0)
+
+    def test_zero_power_window_skipped_with_count(self):
+        est = [0.5, 0.5, 1.0, 1.0]
+        ref = [0.0, 0.0, 1.0, 1.0]
+        report = windowed_mre(est, ref, 2)
+        assert report.scores[0] is None
+        assert report.skipped == 1
+        assert report.scores[1] == pytest.approx(0.0)
+        # No NaN/inf sneaks into the aggregate.
+        assert report.mean == pytest.approx(0.0)
+
+    def test_all_windows_skipped(self):
+        report = windowed_mre([1.0, 1.0], [0.0, 0.0], 1)
+        assert report.scores == [None, None]
+        assert report.skipped == 2
+        assert report.mean is None
+        assert report.worst is None
+
+    def test_worst_window(self):
+        est = [1.0, 1.0, 2.0, 2.0]
+        ref = [1.0, 1.0, 1.0, 1.0]
+        report = windowed_mre(est, ref, 2)
+        assert report.worst == ((2, 3), pytest.approx(100.0))
+
+    def test_per_window_floor_is_local(self):
+        # Each window floors its denominator on its own mean, so a
+        # locally-idle window is judged on its own power scale.
+        est = [100.0, 100.0, 0.02, 0.02]
+        ref = [100.0, 100.0, 0.01, 0.01]
+        report = windowed_mre(est, ref, 2)
+        assert report.scores[1] == pytest.approx(100.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            windowed_mre([1.0], [1.0, 2.0], 2)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            windowed_mre([1.0], [1.0], 0)
+
+    def test_defined_pairs(self):
+        report = windowed_mre([1.0, 2.0], [0.0, 2.0], 1)
+        assert report.defined() == [((1, 1), 0.0)]
 
 
 class TestOtherMetrics:

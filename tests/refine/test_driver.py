@@ -1,0 +1,121 @@
+"""Tests for the refinement driver (repro/refine/driver.py)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.export import psms_to_json
+from repro.refine.driver import (
+    IterationRecord,
+    RefineConfig,
+    refine_benchmark,
+)
+
+SMALL = dict(
+    iterations=2,
+    seed=7,
+    eval_cycles=400,
+    oracle_window=128,
+    worst_windows=2,
+    max_counterexamples=6,
+)
+
+
+def serialize(result) -> str:
+    """Canonical byte-level rendering of a refined bundle."""
+    payload = psms_to_json(
+        result.flow.psms,
+        variables=result.variables,
+        accuracy=result.accuracy_metadata(),
+    )
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def refined():
+    return refine_benchmark("MultSum", RefineConfig(**SMALL))
+
+
+class TestRefineBenchmark:
+    def test_unknown_ip_rejected(self):
+        with pytest.raises(ValueError, match="unknown IP"):
+            refine_benchmark("NoSuchIp")
+
+    def test_monotone_by_construction(self, refined):
+        # The central guarantee: a candidate model is accepted only when
+        # the held-out MRE does not increase, so refinement never makes
+        # the published model worse.
+        assert refined.mre_after <= refined.mre_before + 1e-9
+
+    def test_iteration_budget_respected(self, refined):
+        assert len(refined.iterations) <= SMALL["iterations"]
+        for index, record in enumerate(refined.iterations):
+            assert record.index == index
+
+    def test_counterexample_accounting(self, refined):
+        accepted = sum(
+            1 for record in refined.iterations if record.accepted
+        )
+        if accepted == 0:
+            assert refined.counterexamples_accepted == 0
+            assert refined.mre_after == refined.mre_before
+        assert (
+            refined.counterexamples_accepted
+            <= refined.counterexamples_found
+        )
+
+    def test_flow_is_usable(self, refined):
+        assert refined.flow is not None
+        assert refined.flow.psms, "refined flow must carry mined PSMs"
+        assert refined.variables, "bundle variables must be recorded"
+
+    def test_publisher_called_once_per_accepted_iteration(self):
+        class Recorder:
+            def __init__(self):
+                self.calls = []
+
+            def publish(self, psms, reason="refresh", accuracy=None):
+                self.calls.append(reason)
+
+        recorder = Recorder()
+        result = refine_benchmark(
+            "MultSum", RefineConfig(**SMALL), publisher=recorder
+        )
+        accepted = sum(1 for r in result.iterations if r.accepted)
+        assert len(recorder.calls) == accepted
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical_bundle(self, refined):
+        again = refine_benchmark("MultSum", RefineConfig(**SMALL))
+        assert serialize(again) == serialize(refined)
+
+    def test_metadata_carries_no_wall_time(self, refined):
+        metadata = refined.accuracy_metadata()
+        assert "wall_s" not in metadata
+        assert set(metadata) == {
+            "ip", "seed", "mre_before", "mre_after", "wsp_before",
+            "wsp_after", "eval_cycles", "iterations",
+            "counterexamples_found", "counterexamples_accepted",
+            "converged",
+        }
+        assert metadata["ip"] == "MultSum"
+        assert metadata["seed"] == SMALL["seed"]
+
+
+class TestIterationRecord:
+    def test_describe_accepted(self):
+        record = IterationRecord(1, 4, True, 2.5, 2.5, strategy="all")
+        text = record.describe()
+        assert "accepted (all)" in text
+        assert "2.50%" in text
+
+    def test_describe_rejected(self):
+        record = IterationRecord(0, 4, False, 9.0, 3.0)
+        assert "rejected" in record.describe()
+
+    def test_describe_empty_round(self):
+        record = IterationRecord(2, 0, False, None, 3.0)
+        assert "no counterexamples" in record.describe()

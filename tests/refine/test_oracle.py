@@ -1,0 +1,110 @@
+"""Tests for the accuracy oracle (repro/refine/oracle.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import fit_benchmark
+from repro.power.estimator import run_power_simulation
+from repro.refine.oracle import AccuracyOracle, OracleReport, WindowScore
+from repro.testbench import BENCHMARKS
+
+EVAL_CYCLES = 400
+WINDOW = 128
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    return fit_benchmark("MultSum")
+
+
+@pytest.fixture(scope="module")
+def oracle(fitted):
+    spec = BENCHMARKS["MultSum"]
+    return AccuracyOracle(fitted.flow, spec.module_class, window=WINDOW)
+
+
+@pytest.fixture(scope="module")
+def eval_pair():
+    spec = BENCHMARKS["MultSum"]
+    sim = run_power_simulation(
+        spec.module_class(), spec.long_ts(EVAL_CYCLES, seed=5), name="eval"
+    )
+    return sim.trace, sim.power
+
+
+class TestScoreTrace:
+    def test_windows_tile_the_whole_trace(self, oracle, eval_pair):
+        trace, power = eval_pair
+        report = oracle.score_trace(trace, power)
+        assert report.windows, "expected at least one window"
+        assert report.windows[0].start == 0
+        assert report.windows[-1].stop == len(trace) - 1
+        for left, right in zip(report.windows, report.windows[1:]):
+            assert right.start == left.stop + 1
+
+    def test_overall_metrics_are_finite(self, oracle, eval_pair):
+        report = oracle.score_trace(*eval_pair)
+        assert report.overall_mre >= 0.0
+        assert 0.0 <= report.wsp <= 100.0
+        assert 0.0 <= report.desync_fraction <= 1.0
+
+    def test_desync_counts_bounded_by_window_size(self, oracle, eval_pair):
+        report = oracle.score_trace(*eval_pair)
+        for window in report.windows:
+            assert 0 <= window.desync <= window.stop - window.start + 1
+
+    def test_worst_is_sorted_and_defined(self, oracle, eval_pair):
+        report = oracle.score_trace(*eval_pair)
+        worst = report.worst(3)
+        assert len(worst) <= 3
+        assert all(w.defined for w in worst)
+        for left, right in zip(worst, worst[1:]):
+            assert left.mre >= right.mre
+
+    def test_worst_ranking_is_deterministic(self):
+        # Synthetic report: ties on MRE break on desync, then position.
+        report = OracleReport(
+            windows=[
+                WindowScore(0, 9, 5.0, 0, 0),
+                WindowScore(10, 19, 9.0, 2, 1),
+                WindowScore(20, 29, 9.0, 7, 1),
+                WindowScore(30, 39, None, 0, 0),
+            ],
+            skipped=1,
+            overall_mre=7.0,
+            wsp=0.0,
+            desync_fraction=0.0,
+        )
+        worst = report.worst(10)
+        assert [w.start for w in worst] == [20, 10, 0]
+
+
+class TestScoreStimulus:
+    def test_reference_pair_matches_stimulus_length(self, oracle):
+        spec = BENCHMARKS["MultSum"]
+        stimulus = spec.short_ts()
+        report, reference = oracle.score_stimulus(stimulus, name="probe")
+        assert len(reference.trace) >= len(stimulus)
+        assert len(reference.power) == len(reference.trace)
+        assert report.windows[-1].stop == len(reference.trace) - 1
+
+
+class TestInputRows:
+    def test_rows_cover_window_with_all_inputs(self, oracle, eval_pair):
+        trace, _ = eval_pair
+        rows = oracle.input_rows(trace, 10, 25)
+        assert len(rows) == 16
+        names = {v.name for v in trace.inputs}
+        for row in rows:
+            assert set(row) == names
+            assert all(isinstance(value, int) for value in row.values())
+
+    def test_rows_reflect_trace_values(self, oracle, eval_pair):
+        trace, _ = eval_pair
+        rows = oracle.input_rows(trace, 0, 7)
+        name = trace.inputs[0].name
+        column = trace.column(name)
+        assert [row[name] for row in rows] == [
+            int(column[i]) for i in range(8)
+        ]

@@ -1,0 +1,167 @@
+"""Tests for the perturbation families and the counterexample search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import fit_benchmark
+from repro.power.estimator import run_power_simulation
+from repro.refine.oracle import AccuracyOracle
+from repro.refine.search import (
+    DEFAULT_FAMILIES,
+    StimulusSearch,
+    derive_seed,
+)
+from repro.testbench import BENCHMARKS
+from repro.testbench.stimuli import PERTURBATION_FAMILIES
+
+ROWS = [{"a": i, "b": (i * 3) % 7, "start": i % 2} for i in range(16)]
+DEFAULTS = {"a": 0, "b": 0, "start": 0}
+WIDTHS = {"a": 8, "b": 8, "start": 1}
+
+
+class TestFamilies:
+    def test_registry_matches_default_rotation(self):
+        assert set(DEFAULT_FAMILIES) == set(PERTURBATION_FAMILIES)
+        assert DEFAULT_FAMILIES[0] == "replay"
+
+    @pytest.mark.parametrize("family", sorted(PERTURBATION_FAMILIES))
+    def test_same_seed_same_stimulus(self, family):
+        fn = PERTURBATION_FAMILIES[family]
+        first = fn(ROWS, DEFAULTS, WIDTHS, seed=11)
+        second = fn(ROWS, DEFAULTS, WIDTHS, seed=11)
+        assert first == second
+
+    @pytest.mark.parametrize(
+        "family", ["bursty", "idle-heavy", "toggle-max"]
+    )
+    def test_different_seed_different_stimulus(self, family):
+        fn = PERTURBATION_FAMILIES[family]
+        variants = {
+            tuple(tuple(sorted(row.items())) for row in fn(
+                ROWS, DEFAULTS, WIDTHS, seed=seed
+            ))
+            for seed in range(6)
+        }
+        assert len(variants) > 1
+
+    @pytest.mark.parametrize("family", sorted(PERTURBATION_FAMILIES))
+    def test_empty_rows_yield_empty_stimulus(self, family):
+        fn = PERTURBATION_FAMILIES[family]
+        assert fn([], DEFAULTS, WIDTHS, seed=0) == []
+
+    def test_replay_is_the_identity(self):
+        out = PERTURBATION_FAMILIES["replay"](
+            ROWS, DEFAULTS, WIDTHS, seed=99
+        )
+        assert out == ROWS
+
+    def test_toggle_max_doubles_and_stays_in_width(self):
+        out = PERTURBATION_FAMILIES["toggle-max"](
+            ROWS, DEFAULTS, WIDTHS, seed=3
+        )
+        assert len(out) == 2 * len(ROWS)
+        for row in out:
+            for name, value in row.items():
+                assert 0 <= value < (1 << WIDTHS[name])
+
+    def test_bursty_repeats_rows(self):
+        out = PERTURBATION_FAMILIES["bursty"](
+            ROWS, DEFAULTS, WIDTHS, seed=3
+        )
+        assert len(out) > len(ROWS)
+
+    def test_idle_heavy_preserves_row_order(self):
+        out = PERTURBATION_FAMILIES["idle-heavy"](
+            ROWS, DEFAULTS, WIDTHS, seed=3
+        )
+        # Dropping the inserted idle rows leaves the original sequence.
+        active = [row for row in out if row != DEFAULTS]
+        assert active == [row for row in ROWS if row != DEFAULTS]
+
+    def test_phase_alternating_is_a_permutation(self):
+        out = PERTURBATION_FAMILIES["phase-alternating"](
+            ROWS, DEFAULTS, WIDTHS, seed=3
+        )
+        key = lambda rows: sorted(
+            tuple(sorted(row.items())) for row in rows
+        )
+        assert key(out) == key(ROWS)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, 1, 2, 3) == derive_seed(7, 1, 2, 3)
+
+    def test_positionally_distinct(self):
+        seeds = {
+            derive_seed(7, iteration, rank, family)
+            for iteration in range(3)
+            for rank in range(4)
+            for family in range(5)
+        }
+        assert len(seeds) == 3 * 4 * 5
+
+    def test_fits_numpy_seed_range(self):
+        assert 0 <= derive_seed(2**31, 99, 99, 99) < 2**32
+
+
+class TestStimulusSearch:
+    @pytest.fixture(scope="class")
+    def oracle(self):
+        fitted = fit_benchmark("MultSum")
+        spec = BENCHMARKS["MultSum"]
+        return AccuracyOracle(fitted.flow, spec.module_class, window=128)
+
+    @pytest.fixture(scope="class")
+    def eval_sim(self):
+        spec = BENCHMARKS["MultSum"]
+        return run_power_simulation(
+            spec.module_class(), spec.long_ts(400, seed=5), name="eval"
+        )
+
+    def test_unknown_family_rejected(self, oracle):
+        with pytest.raises(ValueError, match="unknown perturbation"):
+            StimulusSearch(oracle, families=("replay", "nope"))
+
+    def test_find_is_deterministic(self, oracle, eval_sim):
+        report = oracle.score_trace(eval_sim.trace, eval_sim.power)
+        kwargs = dict(threshold=0.0, worst_windows=2, limit=6)
+        first = StimulusSearch(oracle, seed=7).find(
+            report, eval_sim.trace, **kwargs
+        )
+        second = StimulusSearch(oracle, seed=7).find(
+            report, eval_sim.trace, **kwargs
+        )
+        assert [
+            (cx.family, cx.window_start, cx.mre) for cx in first
+        ] == [(cx.family, cx.window_start, cx.mre) for cx in second]
+
+    def test_find_respects_threshold_and_limit(self, oracle, eval_sim):
+        report = oracle.score_trace(eval_sim.trace, eval_sim.power)
+        found = StimulusSearch(oracle, seed=7).find(
+            report, eval_sim.trace, threshold=0.0,
+            worst_windows=2, limit=3,
+        )
+        assert len(found) <= 3
+        assert all(cx.mre > 0.0 for cx in found)
+        mres = [cx.mre for cx in found]
+        assert mres == sorted(mres, reverse=True)
+
+    def test_counterexample_carries_training_pair(self, oracle, eval_sim):
+        report = oracle.score_trace(eval_sim.trace, eval_sim.power)
+        found = StimulusSearch(oracle, seed=7).find(
+            report, eval_sim.trace, threshold=0.0,
+            worst_windows=1, limit=2,
+        )
+        assert found, "threshold 0 must surface counterexamples"
+        for cx in found:
+            assert len(cx.functional) == len(cx.power)
+            assert len(cx.functional) >= len(cx.stimulus)
+
+    def test_impossible_threshold_finds_nothing(self, oracle, eval_sim):
+        report = oracle.score_trace(eval_sim.trace, eval_sim.power)
+        found = StimulusSearch(oracle, seed=7).find(
+            report, eval_sim.trace, threshold=1e12, worst_windows=2,
+        )
+        assert found == []

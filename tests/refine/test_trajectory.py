@@ -1,0 +1,159 @@
+"""Tests for the psmgen-accuracy/v1 trajectory artifact and its gates."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.refine.driver import RefineResult
+from repro.refine.trajectory import (
+    ABSOLUTE_SLACK,
+    ACCURACY_SCHEMA,
+    compare_accuracy,
+    format_accuracy,
+    result_row,
+    validate_accuracy,
+)
+
+
+def make_row(ip="MultSum", before=8.0, after=6.0, **overrides):
+    row = {
+        "ip": ip,
+        "mre_before": before,
+        "mre_after": after,
+        "wsp_before": 1.0,
+        "wsp_after": 0.5,
+        "iterations": 2,
+        "counterexamples_found": 8,
+        "counterexamples_accepted": 4,
+        "converged": False,
+        "eval_cycles": 400,
+        "wall_s": 1.25,
+    }
+    row.update(overrides)
+    return row
+
+
+def make_payload(*rows):
+    return {
+        "schema": ACCURACY_SCHEMA,
+        "repro_scale": 1.0,
+        "seed": 7,
+        "iterations_budget": 3,
+        "oracle_window": 256,
+        "results": list(rows or [make_row()]),
+    }
+
+
+class TestResultRow:
+    def test_rounding_and_fields(self):
+        result = RefineResult(
+            ip="RAM",
+            seed=7,
+            mre_before=6.56789,
+            mre_after=0.70123,
+            wsp_before=0.0,
+            wsp_after=0.0,
+            eval_cycles=3000,
+            counterexamples_found=36,
+            counterexamples_accepted=1,
+            converged=False,
+            wall_s=3.0001,
+        )
+        row = result_row(result)
+        assert row["mre_before"] == 6.5679
+        assert row["mre_after"] == 0.7012
+        assert row["wall_s"] == 3.0
+        validate_accuracy(make_payload(row))
+
+
+class TestValidate:
+    def test_good_payload_passes(self):
+        validate_accuracy(make_payload())
+
+    def test_wrong_schema_rejected(self):
+        payload = make_payload()
+        payload["schema"] = "psmgen-accuracy/v0"
+        with pytest.raises(ValueError, match="unexpected schema"):
+            validate_accuracy(payload)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_accuracy([])
+
+    def test_empty_results_rejected(self):
+        payload = make_payload()
+        payload["results"] = []
+        with pytest.raises(ValueError, match="no results"):
+            validate_accuracy(payload)
+
+    def test_missing_field_rejected(self):
+        row = make_row()
+        del row["mre_after"]
+        with pytest.raises(ValueError, match="mre_after"):
+            validate_accuracy(make_payload(row))
+
+    def test_bad_type_rejected(self):
+        row = make_row(converged="yes")
+        with pytest.raises(ValueError, match="converged"):
+            validate_accuracy(make_payload(row))
+
+
+class TestCompare:
+    def test_identical_payloads_pass(self):
+        payload = make_payload()
+        assert compare_accuracy(payload, copy.deepcopy(payload)) == []
+
+    def test_self_gate_catches_mre_increase(self):
+        # The current payload violates the driver's own monotonicity
+        # promise — flagged even when the baseline would allow it.
+        current = make_payload(make_row(before=5.0, after=6.0))
+        baseline = make_payload(make_row(before=5.0, after=5.0))
+        regressions = compare_accuracy(current, baseline)
+        assert any("increased MRE" in r for r in regressions)
+
+    def test_baseline_gate_catches_regression(self):
+        current = make_payload(make_row(before=50.0, after=40.0))
+        baseline = make_payload(make_row(before=50.0, after=10.0))
+        regressions = compare_accuracy(current, baseline, threshold=1.5)
+        assert any("vs baseline" in r for r in regressions)
+
+    def test_threshold_scales_the_gate(self):
+        current = make_payload(make_row(before=50.0, after=14.0))
+        baseline = make_payload(make_row(before=50.0, after=10.0))
+        assert compare_accuracy(current, baseline, threshold=1.5) == []
+        assert compare_accuracy(current, baseline, threshold=1.2)
+
+    def test_absolute_slack_for_near_zero_baselines(self):
+        # 0.1% -> 0.4% is a 4x ratio but within the absolute slack, so
+        # tiny MREs do not gate on noise.
+        current = make_payload(make_row(before=5.0, after=0.4))
+        baseline = make_payload(make_row(before=5.0, after=0.1))
+        assert 0.4 <= 0.1 + ABSOLUTE_SLACK
+        assert compare_accuracy(current, baseline, threshold=1.5) == []
+
+    def test_missing_ip_skipped(self):
+        # A one-IP smoke payload compares cleanly against the committed
+        # four-IP artifact: only shared IPs are gated.
+        current = make_payload(make_row(ip="MultSum", after=6.0))
+        baseline = make_payload(
+            make_row(ip="RAM", after=0.7),
+            make_row(ip="MultSum", after=6.0),
+        )
+        assert compare_accuracy(current, baseline) == []
+
+    def test_invalid_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            compare_accuracy(make_payload(), {"schema": "nope"})
+
+
+class TestFormat:
+    def test_table_lists_every_ip(self):
+        payload = make_payload(
+            make_row(ip="RAM"), make_row(ip="Camellia")
+        )
+        text = format_accuracy(payload)
+        assert "MRE before" in text
+        assert "RAM" in text and "Camellia" in text
+        assert len(text.splitlines()) == 3

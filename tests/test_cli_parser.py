@@ -304,6 +304,119 @@ class TestParser:
         assert args.drift_sigmas == 0.0
         assert args.output == "psms.json"
 
+    def test_bench_accuracy_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "bench",
+                "--accuracy",
+                "--ip",
+                "MultSum",
+                "--seed",
+                "7",
+                "--iterations",
+                "2",
+                "--json",
+                "BENCH_accuracy.json",
+                "--compare",
+                "baseline.json",
+                "--threshold",
+                "1.5",
+            ]
+        )
+        assert args.accuracy
+        assert args.ip == "MultSum"
+        assert args.seed == 7
+        assert args.iterations == 2
+        assert args.json == "BENCH_accuracy.json"
+        assert args.compare == "baseline.json"
+        assert args.threshold == 1.5
+
+    def test_bench_accuracy_defaults_off(self):
+        args = build_parser().parse_args(["bench", "--ip", "RAM"])
+        assert not args.accuracy
+        assert args.seed is None
+        assert args.iterations is None
+
+    def test_refine_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "refine",
+                "--ip",
+                "Camellia",
+                "--seed",
+                "7",
+                "--iterations",
+                "5",
+                "--cycles",
+                "1000",
+                "--window",
+                "128",
+                "--worst",
+                "6",
+                "--epsilon",
+                "0.01",
+                "--max-counterexamples",
+                "8",
+                "--stream-window",
+                "2048",
+                "-o",
+                "camellia.json",
+                "--publish",
+                "live/",
+                "--json",
+                "traj.json",
+                "--jobs",
+                "2",
+            ]
+        )
+        assert args.command == "refine"
+        assert args.ip == "Camellia"
+        assert args.seed == 7
+        assert args.iterations == 5
+        assert args.cycles == 1000
+        assert args.window == 128
+        assert args.worst == 6
+        assert args.epsilon == 0.01
+        assert args.max_counterexamples == 8
+        assert args.stream_window == 2048
+        assert args.output == "camellia.json"
+        assert args.publish == "live/"
+        assert args.json == "traj.json"
+        assert args.jobs == 2
+
+    def test_refine_defaults(self):
+        args = build_parser().parse_args(["refine", "--ip", "MultSum"])
+        assert args.seed == 0
+        assert args.iterations == 3
+        assert args.cycles is None
+        assert args.window == 256
+        assert args.worst == 4
+        assert args.epsilon == 0.05
+        assert args.max_counterexamples == 12
+        assert args.stream_window == 4096
+        assert args.output == "refined.json"
+        assert args.publish is None
+        assert args.json is None
+
+    def test_refine_requires_ip(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["refine"])
+
+    def test_mine_from_ip_with_seed(self):
+        args = build_parser().parse_args(
+            ["mine", "--ip", "AES", "--seed", "11"]
+        )
+        assert args.ip == "AES"
+        assert args.seed == 11
+        assert not args.pair
+
+    def test_mine_seed_defaults_off(self):
+        args = build_parser().parse_args(
+            ["mine", "--func", "t.csv", "--power", "p.csv"]
+        )
+        assert args.ip is None
+        assert args.seed is None
+
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
