@@ -684,7 +684,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
 
     async def _run() -> bool:
-        if args.workers > 1:
+        elastic = args.max_workers > max(args.workers, 1)
+        if args.workers > 1 or elastic:
             from .serve.cluster import create_cluster
 
             target = create_cluster(
@@ -695,6 +696,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 replicas_hot=args.replicas_hot,
                 hot_rps=args.hot_rps,
                 drain_timeout=args.drain_timeout,
+                min_workers=args.min_workers,
+                max_workers=args.max_workers,
+                scale_interval=args.scale_interval,
+                scale_up_depth=args.scale_up_depth,
+                scale_up_ticks=args.scale_up_ticks,
+                p95_budget_ms=args.p95_budget_ms,
+                idle_drain_s=args.idle_drain,
+                scale_cooldown=args.scale_cooldown,
+                prewarm=not args.no_prewarm,
+                negcache_ttl=args.negcache_ttl,
                 worker_config={
                     "jobs": args.jobs,
                     "max_queue": args.max_queue,
@@ -706,11 +717,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
             await target.start()
             metrics = target.metrics
+            low, high = target.config.resolved_bounds()
             detail = (
-                f"{args.workers} workers via "
+                f"{target.config.workers} workers via "
                 f"{target.supervisor.backend}, replicas-hot "
                 f"{args.replicas_hot}"
             )
+            if target.autoscaler.enabled:
+                detail += f", autoscale {low}..{high}"
         else:
             target = create_server(
                 args.models_dir,
@@ -722,6 +736,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 cap=args.cap,
                 request_timeout=args.timeout,
                 engine=args.engine,
+                worker_id="w0",
             )
             await target.start()
             metrics = target.metrics
@@ -779,22 +794,43 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     from .bench import evaluation_trace
     from .serve.loadgen import (
         format_report,
+        run_elastic_bench,
         run_loadgen,
         run_scaling_bench,
     )
     from .testbench import BENCHMARKS
     from .traces.io import functional_trace_to_json
 
-    if args.scale_workers and not args.models_dir:
+    if (args.scale_workers or args.elastic) and not args.models_dir:
         print(
-            "error: --scale-workers needs --models-dir (the sweep "
-            "starts its own servers)",
+            "error: --scale-workers/--elastic need --models-dir (the "
+            "sweep starts its own servers)",
             file=sys.stderr,
         )
         return 2
-    if not args.scale_workers and args.port is None:
-        print("error: need --port (or --scale-workers)", file=sys.stderr)
+    if not args.scale_workers and not args.elastic and args.port is None:
+        print(
+            "error: need --port (or --scale-workers/--elastic)",
+            file=sys.stderr,
+        )
         return 2
+    if args.elastic:
+        try:
+            low_text, _, high_text = args.elastic.partition(",")
+            elastic_bounds = (int(low_text), int(high_text))
+        except ValueError:
+            print(
+                "error: --elastic wants MIN,MAX worker counts "
+                "(e.g. 1,3)",
+                file=sys.stderr,
+            )
+            return 2
+        if not 1 <= elastic_bounds[0] < elastic_bounds[1]:
+            print(
+                "error: --elastic needs 1 <= MIN < MAX",
+                file=sys.stderr,
+            )
+            return 2
     if args.ip:
         if args.ip not in BENCHMARKS:
             print(
@@ -867,6 +903,69 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             for run in cluster["runs"]
         )
         return 1 if failures else 0
+
+    if args.elastic:
+        elastic = run_elastic_bench(
+            args.models_dir,
+            args.model,
+            windows,
+            min_workers=elastic_bounds[0],
+            max_workers=elastic_bounds[1],
+            rps=args.rps,
+            duration_s=args.duration,
+            concurrency=args.concurrency,
+            timeout=args.timeout,
+            warmup=args.warmup,
+            payload=args.payload,
+            seed=args.seed,
+        )
+        load = elastic["load"]
+        print(
+            f"elastic {elastic['min_workers']}..{elastic['max_workers']}"
+            f" workers at {elastic['target_rps']} rps: "
+            f"peak {elastic['max_ready']} ready"
+            + (
+                f" (scaled up after {elastic['scale_up_s']}s)"
+                if elastic["scaled_up"] else " (never scaled up)"
+            )
+        )
+        print(
+            f"drained back to floor: {elastic['drained_down']}"
+            + (
+                f" in {elastic['drain_s']}s"
+                if elastic["drain_s"] is not None else ""
+            )
+            + f"; load p95 {load['latency_ms']['p95']} ms, "
+            f"5xx {load['errors_5xx']}, serve exit "
+            f"{elastic['serve_exit']}"
+        )
+        for worker, stats in elastic["joined_workers"].items():
+            ratio = stats["first_vs_steady_p95"]
+            print(
+                f"joined {worker}: first request "
+                f"{stats['first_request_ms']} ms vs steady p95 "
+                f"{stats['steady_latency_ms']['p95']} ms"
+                + (f" ({ratio}x)" if ratio is not None else "")
+            )
+        if args.json:
+            # Merge the elastic run into the report file, keeping the
+            # existing sections bit-for-bit intact.
+            target = Path(args.json)
+            document = (
+                json.loads(target.read_text())
+                if target.exists()
+                else {}
+            )
+            document["elastic"] = elastic
+            target.write_text(json.dumps(document, indent=2) + "\n")
+            print(f"elastic section written to {args.json}")
+        failed = (
+            elastic["serve_exit"] != 0
+            or not elastic["scaled_up"]
+            or not elastic["drained_down"]
+            or load["transport_errors"]
+        )
+        return 1 if failed else 0
 
     report = run_loadgen(
         args.host,
@@ -1351,6 +1450,86 @@ def build_parser() -> argparse.ArgumentParser:
             "starts the graceful shutdown"
         ),
     )
+    serve.add_argument(
+        "--min-workers",
+        type=int,
+        default=0,
+        help=(
+            "autoscale floor (0 = --workers); the pool never drains "
+            "below this"
+        ),
+    )
+    serve.add_argument(
+        "--max-workers",
+        type=int,
+        default=0,
+        help=(
+            "autoscale ceiling (0 = --workers, i.e. a fixed pool); "
+            "setting it above --workers enables the autoscaler"
+        ),
+    )
+    serve.add_argument(
+        "--scale-interval",
+        type=float,
+        default=0.5,
+        help="autoscaler control-loop tick in seconds",
+    )
+    serve.add_argument(
+        "--scale-up-depth",
+        type=float,
+        default=2.0,
+        help=(
+            "mean in-flight requests per worker that counts as "
+            "sustained pressure"
+        ),
+    )
+    serve.add_argument(
+        "--scale-up-ticks",
+        type=int,
+        default=3,
+        help="consecutive pressured ticks required before scaling up",
+    )
+    serve.add_argument(
+        "--p95-budget-ms",
+        type=float,
+        default=0.0,
+        help=(
+            "estimate p95 latency budget in ms; sustained breach "
+            "triggers scale-up (0 = disabled)"
+        ),
+    )
+    serve.add_argument(
+        "--idle-drain",
+        type=float,
+        default=10.0,
+        help=(
+            "seconds of low pressure (and an empty hot set) before one "
+            "worker is retired"
+        ),
+    )
+    serve.add_argument(
+        "--scale-cooldown",
+        type=float,
+        default=5.0,
+        help="seconds after any scale event during which the next is blocked",
+    )
+    serve.add_argument(
+        "--no-prewarm",
+        action="store_true",
+        help=(
+            "skip replaying ring-arc models onto joining workers "
+            "before they are published (workers join cold)"
+        ),
+    )
+    serve.add_argument(
+        "--negcache-ttl",
+        type=float,
+        default=2.0,
+        help=(
+            "router-side TTL in seconds for cached 404/quarantine "
+            "verdicts (0 = disabled; publishes invalidate early)"
+        ),
+    )
     serve.set_defaults(func_cmd=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -1436,14 +1615,27 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     loadgen.add_argument(
+        "--elastic",
+        help=(
+            "MIN,MAX worker bounds (e.g. 1,3): start one autoscaling "
+            "psmgen serve, load it above the scale-up threshold, and "
+            "record the grow/drain convergence as an 'elastic' report "
+            "section"
+        ),
+    )
+    loadgen.add_argument(
         "--models-dir",
-        help="exported-bundle directory for the --scale-workers servers",
+        help=(
+            "exported-bundle directory for the --scale-workers/"
+            "--elastic servers"
+        ),
     )
     loadgen.add_argument(
         "--json",
         help=(
             "write the psmgen-loadgen/v1 report to this path (with "
-            "--scale-workers: merge a 'cluster' section into it)"
+            "--scale-workers/--elastic: merge a 'cluster'/'elastic' "
+            "section into it)"
         ),
     )
     loadgen.set_defaults(func_cmd=_cmd_loadgen)

@@ -17,16 +17,30 @@ Turns exported PSM bundles into a long-running estimation service
   workers;
 * :mod:`repro.serve.cluster` — the shared-nothing multi-worker cluster:
   front router, replica fan-out for hot models, worker supervision
-  with drain/rebalance (``psmgen serve --workers N``);
+  with drain/rebalance, elastic autoscaling between ``--min-workers``
+  and ``--max-workers`` with ring-arc pre-warm, and a router-side
+  negative-result cache (``psmgen serve --workers N``);
 * :mod:`repro.serve.metrics` — Prometheus-text metrics;
 * :mod:`repro.serve.loadgen` — the RPS-targeted benchmark client, its
   ``psmgen-loadgen/v1`` report and the worker-scaling sweep.
 """
 
 from .batching import MicroBatcher, QueueFullError
-from .cluster import ClusterConfig, ServeCluster, create_cluster
-from .loadgen import run_loadgen, run_scaling_bench, validate_loadgen
-from .metrics import MetricsRegistry, parse_prometheus
+from .cluster import (
+    Autoscaler,
+    ClusterConfig,
+    NegativeCache,
+    ServeCluster,
+    create_cluster,
+)
+from .loadgen import (
+    run_elastic_bench,
+    run_loadgen,
+    run_scaling_bench,
+    validate_elastic,
+    validate_loadgen,
+)
+from .metrics import MetricsRegistry, parse_prometheus, sum_samples
 from .registry import (
     ModelEntry,
     ModelRegistry,
@@ -39,14 +53,19 @@ from .server import PsmServer, create_server
 __all__ = [
     "MicroBatcher",
     "QueueFullError",
+    "Autoscaler",
     "ClusterConfig",
+    "NegativeCache",
     "ServeCluster",
     "create_cluster",
+    "run_elastic_bench",
     "run_loadgen",
     "run_scaling_bench",
+    "validate_elastic",
     "validate_loadgen",
     "MetricsRegistry",
     "parse_prometheus",
+    "sum_samples",
     "ModelEntry",
     "ModelRegistry",
     "QuarantinedModelError",

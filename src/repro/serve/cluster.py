@@ -26,6 +26,29 @@ module:
   finishes in-flight requests, then workers get SIGTERM and run their
   own graceful drain (:meth:`~repro.serve.server.PsmServer.shutdown`).
 
+The elastic layer (DESIGN.md §3.9) adds three parts on top:
+
+* **Autoscaler** — a control loop sampling the router's own signals
+  (per-model rate EWMAs and in-flight depth from :class:`HotTracker`,
+  the rolling estimate p95) and scaling the pool between
+  ``--min-workers`` and ``--max-workers``: scale-up on sustained queue
+  pressure, hot-model fan-out demand or a p95 budget breach;
+  scale-down only after a full idle-drain window; hysteresis plus a
+  cooldown so the pool never flaps.  Spawn/retire reuses the
+  supervisor's respawn machinery and the ring's minimal-movement
+  add/remove, so a scale event moves only the joining/leaving arcs.
+* **Arc pre-warm** — before a joining (or respawned) worker is
+  published into the ring, the supervisor computes the model arcs it
+  is about to own (candidate ring + the registry's bundle index) and
+  replays them through the worker's ``POST /v1/warm`` endpoint, so its
+  registry LRU and compiled cache are hot at first byte.
+* **Negative-result cache** — a router-side TTL cache of 404/
+  quarantined estimate outcomes: repeated bad traffic is answered at
+  the router and never crosses the fan-out.  Entries remember the
+  bundle file's signature, so publishing (or replacing) the bundle
+  invalidates on the very next lookup — a newly published model is
+  never shadowed by its own 404.
+
 ``GET /metrics`` on the router aggregates every live worker's
 Prometheus exposition — each sample gains a ``worker="wK"`` label — on
 top of the router's own series (ring ownership, per-worker in-flight,
@@ -45,12 +68,16 @@ import asyncio
 import json
 import random
 import signal
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..parallel import spawn_process, under_test_worker, worker_pipe
 from ..traces.io import BINARY_MAGIC
 from .metrics import MetricsRegistry
+from .registry import discover_bundles
 from .ring import HashRing
 from .server import NPT_CONTENT_TYPE, WORKER_HEADER, PsmServer, create_server
 from .wire import (
@@ -73,10 +100,20 @@ READY_TIMEOUT = 30.0
 #: Supervisor liveness poll interval (seconds).
 POLL_INTERVAL = 0.2
 
+#: Seconds the supervisor grants one /v1/warm replay round-trip.
+PREWARM_TIMEOUT = 30.0
+
+#: Response header marking a router-answered negative-cache hit.
+NEGCACHE_HEADER = "X-Psm-Negcache"
+
 
 @dataclass
 class ClusterConfig:
-    """Knobs of the cluster (CLI flags map 1:1 onto these)."""
+    """Knobs of the cluster (CLI flags map 1:1 onto these).
+
+    ``min_workers``/``max_workers`` default to 0, meaning "same as
+    ``workers``" — the autoscaler only engages when the resolved range
+    is non-degenerate (``max_workers > min_workers``)."""
 
     workers: int = 2
     replicas_hot: int = 2
@@ -87,6 +124,23 @@ class ClusterConfig:
     forward_timeout: float = 35.0
     max_restarts: int = 5
     restart_backoff: float = 0.5
+    min_workers: int = 0
+    max_workers: int = 0
+    scale_interval: float = 0.5
+    scale_up_depth: float = 2.0
+    scale_up_ticks: int = 3
+    p95_budget_ms: float = 0.0
+    idle_drain_s: float = 10.0
+    scale_cooldown: float = 5.0
+    prewarm: bool = True
+    negcache_ttl: float = 2.0
+    negcache_cap: int = 1024
+
+    def resolved_bounds(self) -> Tuple[int, int]:
+        """``(min, max)`` pool bounds after defaulting to ``workers``."""
+        low = max(self.min_workers or self.workers, 1)
+        high = max(self.max_workers or self.workers, low)
+        return low, high
 
 
 class WorkerClient:
@@ -246,9 +300,177 @@ class HotTracker:
             self._hot.add(model)
         return self.replicas_hot if model in self._hot else 1
 
+    def decay(self, now: float) -> None:
+        """Fold elapsed empty buckets into every rate (idle cooling).
+
+        :meth:`note` only advances a model's EWMA when a request for it
+        arrives, so after traffic stops the last folded rate — and the
+        hot set — would persist forever.  The autoscaler calls this
+        every control tick: silence decays each rate geometrically per
+        empty one-second bucket and re-evaluates the hot-set
+        hysteresis, so fan-out (and the scale-down idle window) see the
+        cluster actually going quiet.  Fully cooled series are dropped
+        to keep the tracker's dictionaries bounded by the live set.
+        """
+        bucket = int(now)
+        for model in list(self._bucket):
+            last = self._bucket[model]
+            if bucket > last:
+                rate = (
+                    0.5 * self._rate.get(model, 0.0)
+                    + 0.5 * self._count[model]
+                )
+                self._rate[model] = rate * (0.5 ** max(bucket - last - 1, 0))
+                self._bucket[model] = bucket
+                self._count[model] = 0
+        for model in list(self._hot):
+            self.replicas(model)  # applies the cooling hysteresis
+        for model in list(self._rate):
+            if (
+                self._rate[model] < 1e-6
+                and not self._count.get(model)
+                and model not in self._hot
+                and not self.inflight.get(model)
+            ):
+                self._rate.pop(model, None)
+                self._count.pop(model, None)
+                self._bucket.pop(model, None)
+
     def hot_models(self) -> List[str]:
         """Models currently in the hot (fanned-out) set."""
         return sorted(self._hot)
+
+
+@dataclass
+class _NegativeEntry:
+    """One cached negative outcome: frozen response + file signature."""
+
+    status: int
+    body: bytes
+    content_type: str
+    signature: Optional[Tuple[int, int]]
+    expires_at: float
+
+
+class NegativeCache:
+    """Router-side TTL cache of 404/quarantined estimate outcomes.
+
+    Repeated requests for an unknown or quarantined model are pure
+    waste past the router: every one crosses the fan-out, misses the
+    worker registry and walks back with the same error.  This cache
+    answers them at the router.  Invalidation rules (DESIGN.md §3.9):
+
+    * every entry remembers the bundle file's ``(mtime_ns, size)``
+      signature *at store time* (``None`` when no file existed); a
+      lookup whose current signature differs — the model was published,
+      replaced or deleted — drops the entry and forwards, so a fresh
+      bundle is never shadowed by its own cached 404;
+    * the TTL bounds staleness for everything the signature cannot see
+      (a worker-local quarantine lifted by hot reload, say);
+    * the cache is LRU-bounded by ``cap`` so hostile model-name churn
+      cannot grow router memory.
+
+    ``ttl <= 0`` disables the cache entirely (every lookup misses,
+    nothing is stored).
+    """
+
+    def __init__(
+        self,
+        models_dir,
+        ttl: float,
+        cap: int = 1024,
+        metrics: Optional[MetricsRegistry] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.models_dir = Path(models_dir)
+        self.ttl = float(ttl)
+        self.cap = max(int(cap), 1)
+        self._clock = clock
+        self._entries: "OrderedDict[str, _NegativeEntry]" = OrderedDict()
+        metrics = metrics or MetricsRegistry()
+        self._hits = metrics.counter(
+            "psmgen_negcache_hits_total",
+            "Bad-model estimates answered at the router cache.",
+        )
+        self._misses = metrics.counter(
+            "psmgen_negcache_misses_total",
+            "Estimate lookups not answerable from the negative cache.",
+        )
+        self._evictions = metrics.counter(
+            "psmgen_negcache_evictions_total",
+            "Negative entries evicted by TTL expiry or the LRU cap.",
+        )
+        self._invalidations = metrics.counter(
+            "psmgen_negcache_invalidations_total",
+            "Negative entries dropped because the bundle file changed.",
+        )
+        self._size = metrics.gauge(
+            "psmgen_negcache_size",
+            "Negative entries currently cached at the router.",
+        )
+
+    def _signature(self, name: str) -> Optional[Tuple[int, int]]:
+        """Current bundle-file signature for ``name`` (None = no file)."""
+        if not name or name != Path(name).name or name.startswith("."):
+            return None  # not publishable as a bundle path
+        try:
+            stat = (self.models_dir / f"{name}.json").stat()
+        except (OSError, ValueError):
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def lookup(self, name: str) -> Optional[Tuple[int, bytes, str]]:
+        """The cached ``(status, body, content_type)`` or None."""
+        if self.ttl <= 0.0:
+            return None
+        entry = self._entries.get(name)
+        if entry is None:
+            self._misses.inc()
+            return None
+        if self._clock() >= entry.expires_at:
+            del self._entries[name]
+            self._evictions.inc()
+            self._misses.inc()
+            self._size.set(len(self._entries))
+            return None
+        if self._signature(name) != entry.signature:
+            # Publish event: the bundle appeared or changed on disk
+            # since the negative outcome was recorded.  Forward.
+            del self._entries[name]
+            self._invalidations.inc()
+            self._misses.inc()
+            self._size.set(len(self._entries))
+            return None
+        self._entries.move_to_end(name)
+        self._hits.inc()
+        return entry.status, entry.body, entry.content_type
+
+    def store(
+        self, name: str, status: int, body: bytes, content_type: str
+    ) -> None:
+        """Record one negative outcome for ``name``."""
+        if self.ttl <= 0.0:
+            return
+        self._entries[name] = _NegativeEntry(
+            status=status,
+            body=body,
+            content_type=content_type,
+            signature=self._signature(name),
+            expires_at=self._clock() + self.ttl,
+        )
+        self._entries.move_to_end(name)
+        while len(self._entries) > self.cap:
+            self._entries.popitem(last=False)
+            self._evictions.inc()
+        self._size.set(len(self._entries))
+
+    def invalidate_all(self) -> None:
+        """Drop every entry (operational hook; counters untouched)."""
+        self._entries.clear()
+        self._size.set(0)
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 def aggregate_expositions(sections: Dict[str, str]) -> str:
@@ -358,6 +580,7 @@ class ClusterSupervisor:
         self._monitor_task: Optional[asyncio.Task] = None
         self._respawns: Set[asyncio.Task] = set()
         self._closing = False
+        self._next_index = config.workers
         metrics = metrics or MetricsRegistry()
         self.metrics = metrics
         self._up = metrics.gauge(
@@ -374,6 +597,18 @@ class ClusterSupervisor:
             "psmgen_ring_share",
             "Fraction of the consistent-hash key space owned.",
             labelnames=("worker",),
+        )
+        self._prewarm_models = metrics.counter(
+            "psmgen_prewarm_models_total",
+            "Models replayed onto joining workers before ring publish.",
+        )
+        self._prewarm_wall = metrics.counter(
+            "psmgen_prewarm_seconds_total",
+            "Wall-clock seconds spent on pre-warm replays.",
+        )
+        self._prewarm_failures = metrics.counter(
+            "psmgen_prewarm_failures_total",
+            "Pre-warm rounds that failed (worker joined cold instead).",
         )
 
     # ------------------------------------------------------------------
@@ -413,8 +648,13 @@ class ClusterSupervisor:
                 await self._start_inproc_worker(handle)
             else:
                 return
-        handle.state = READY
         handle.client = WorkerClient(handle.host, handle.port)
+        # Pre-warm happens strictly before the ring publish: the worker
+        # is reachable (port bound, client up) but owns no arcs yet, so
+        # the replay races no live traffic and its first routed request
+        # finds hot caches.
+        await self._prewarm(handle)
+        handle.state = READY
         self.ring.add(worker_id)
         self._up.set(1, worker=worker_id)
         self._publish_ring()
@@ -481,6 +721,140 @@ class ClusterSupervisor:
             self._ring_share.set(
                 shares.get(worker_id, 0.0), worker=worker_id
             )
+
+    # ------------------------------------------------------------------
+    def owned_models(self, worker_id: str) -> List[str]:
+        """Model arcs ``worker_id`` will own once published to the ring.
+
+        Built from a *candidate* ring — the live ring's membership plus
+        every worker currently starting (so an initial fleet bootstrap
+        computes final placements, not first-joiner-owns-everything) —
+        intersected with the registry's bundle index.  Covers both
+        primary arcs and the ``replicas_hot`` replica walk: a worker
+        joining under autoscale receives its first traffic through the
+        hot-model fan-out, so a primary-only replay would leave exactly
+        the arcs that triggered the scale-up cold.
+        """
+        candidate = self.ring.clone()
+        for wid, handle in self.workers.items():
+            if wid not in candidate and handle.state in (STARTING, READY):
+                candidate.add(wid)
+        if worker_id not in candidate:
+            candidate.add(worker_id)
+        replicas = max(self.config.replicas_hot, 1)
+        return [
+            name
+            for name in sorted(discover_bundles(self.models_dir))
+            if worker_id in candidate.preference(name, replicas)
+        ]
+
+    async def _prewarm(self, handle: WorkerHandle) -> None:
+        """Replay the handle's future arcs through ``POST /v1/warm``.
+
+        Best-effort by design: a failed or timed-out replay counts a
+        failure and the worker joins cold — pre-warm trades cold-start
+        latency for nothing else, so it must never keep a worker out of
+        the ring.
+        """
+        if not self.config.prewarm or handle.client is None:
+            return
+        names = self.owned_models(handle.worker_id)
+        if not names:
+            return
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        try:
+            status, _, payload = await asyncio.wait_for(
+                handle.client.request(
+                    "POST",
+                    "/v1/warm",
+                    json.dumps({"models": names}).encode("utf-8"),
+                ),
+                PREWARM_TIMEOUT,
+            )
+            if status != 200:
+                raise RuntimeError(f"warm replay answered {status}")
+            data = json.loads(payload.decode("utf-8"))
+            self._prewarm_models.inc(int(data.get("warmed", 0)))
+        except (
+            OSError,
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            ValueError,
+            RuntimeError,
+        ):
+            self._prewarm_failures.inc()
+        finally:
+            self._prewarm_wall.inc(loop.time() - start)
+
+    # ------------------------------------------------------------------
+    async def add_worker(self) -> str:
+        """Scale-up primitive: spawn one more worker (fresh id).
+
+        Reuses the respawn machinery end to end — spawn, ready
+        handshake, pre-warm, minimal-movement ring add — and returns
+        the new worker id (ready or not; check the handle).
+        """
+        worker_id = f"w{self._next_index}"
+        self._next_index += 1
+        await self._start_worker(worker_id)
+        return worker_id
+
+    async def retire_worker(
+        self, worker_id: Optional[str] = None
+    ) -> Optional[str]:
+        """Scale-down primitive: drain and stop one worker.
+
+        The worker leaves the ring *first* (minimal movement: only its
+        arcs fall to successors, instantly re-routed), then its
+        in-flight forwards drain inside the drain-timeout budget, then
+        it is stopped gracefully and forgotten — a retirement is not a
+        death, so the monitor never respawns it.  Picks the
+        youngest ready worker (highest numeric id) when none is named,
+        keeping long-lived members' caches pinned.
+        """
+        if worker_id is None:
+            ready = [h.worker_id for h in self.ready_workers()]
+            if not ready:
+                return None
+            worker_id = max(
+                ready,
+                key=lambda wid: (
+                    int(wid[1:]) if wid[1:].isdigit() else -1
+                ),
+            )
+        handle = self.workers.get(worker_id)
+        if handle is None or handle.state != READY:
+            return None
+        handle.state = DRAINING
+        self.ring.remove(worker_id)
+        self._up.set(0, worker=worker_id)
+        self._publish_ring()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_timeout
+        while (
+            handle.client is not None
+            and handle.client.inflight > 0
+            and loop.time() < deadline
+        ):
+            await asyncio.sleep(0.02)
+        if handle.process is not None:
+            if handle.process.is_alive():
+                handle.process.terminate()  # SIGTERM -> worker drains
+            while handle.process.is_alive() and loop.time() < deadline:
+                await asyncio.sleep(0.05)
+            if handle.process.is_alive():
+                handle.process.kill()
+            handle.process.join(timeout=1.0)
+        elif handle.server is not None:
+            server, handle.server = handle.server, None
+            await server.shutdown(max(deadline - loop.time(), 0.0))
+        handle.state = DEAD
+        if handle.client is not None:
+            await handle.client.close()
+        self.workers.pop(worker_id, None)
+        self._ring_share.set(0.0, worker=worker_id)
+        return worker_id
 
     # ------------------------------------------------------------------
     async def _monitor(self) -> None:
@@ -590,6 +964,251 @@ class ClusterSupervisor:
         return [h for h in self.workers.values() if h.ready]
 
 
+class Autoscaler:
+    """Scales the worker pool between min/max from router signals.
+
+    One control loop, ticking every ``scale_interval`` seconds:
+
+    * **Signals** — per-model rate EWMAs and the hot set from the
+      router's :class:`HotTracker` (decayed each tick so silence
+      actually cools them), total in-flight forwards per ready worker
+      (the queue-depth proxy), and the rolling estimate p95.
+    * **Scale-up** — when *sustained* for ``scale_up_ticks``
+      consecutive ticks: mean in-flight per worker at or above
+      ``scale_up_depth``, hot-model fan-out demanding more distinct
+      workers than exist (``hot_models * replicas_hot > ready``), or
+      the p95 exceeding ``p95_budget_ms`` (when set).
+    * **Scale-down** — only after a full ``idle_drain_s`` window of
+      low pressure (quarter of the up threshold — the hysteresis gap),
+      an empty hot set and a healthy p95; one worker retires per
+      window, youngest first, drained before it stops.
+    * **Cooldown** — ``scale_cooldown`` seconds after any event block
+      the next one, so the pool never flaps around a threshold.
+
+    Every event lands in :attr:`events` (bounded log, surfaced through
+    ``/healthz``) and the ``psmgen_autoscale_events_total{direction=}``
+    counter; :meth:`decide` is a pure function of the sampled signals
+    and the loop clock, which is what the hysteresis tests drive with a
+    synthetic clock.
+    """
+
+    #: Scale events retained in the in-memory log.
+    EVENT_LOG_CAP = 200
+
+    def __init__(
+        self,
+        supervisor: ClusterSupervisor,
+        router: "ClusterRouter",
+        config: ClusterConfig,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.supervisor = supervisor
+        self.router = router
+        self.config = config
+        self.min_workers, self.max_workers = config.resolved_bounds()
+        self.events: List[dict] = []
+        self.last_reason = ""
+        self._task: Optional[asyncio.Task] = None
+        self._pressure_ticks = 0
+        self._idle_since: Optional[float] = None
+        self._last_event: Optional[float] = None
+        metrics = metrics or supervisor.metrics
+        self._events_total = metrics.counter(
+            "psmgen_autoscale_events_total",
+            "Worker-pool scale events, by direction.",
+            labelnames=("direction",),
+        )
+        self._target = metrics.gauge(
+            "psmgen_autoscale_target_workers",
+            "Worker count the autoscaler currently aims for.",
+        )
+        self._pressure_gauge = metrics.gauge(
+            "psmgen_autoscale_pressure",
+            "Mean in-flight forwards per ready worker (sampled).",
+        )
+        self._ready_gauge = metrics.gauge(
+            "psmgen_workers_ready",
+            "Workers currently ready to take forwards.",
+        )
+        self._target.set(len(supervisor.workers) or config.workers)
+
+    @property
+    def enabled(self) -> bool:
+        """False for a fixed-size pool (min == max): loop never runs."""
+        return self.max_workers > self.min_workers
+
+    def start(self) -> None:
+        """Start the control loop (no-op for a fixed-size pool)."""
+        if not self.enabled or self._task is not None:
+            return
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name="psm-autoscaler"
+        )
+
+    async def stop(self) -> None:
+        """Cancel the control loop."""
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._task = None
+
+    # ------------------------------------------------------------------
+    def signals(self) -> Tuple[int, float, List[str], float]:
+        """Sample ``(ready, pressure, hot_models, p95_ms)`` right now."""
+        ready_handles = self.supervisor.ready_workers()
+        inflight = sum(
+            handle.client.inflight
+            for handle in ready_handles
+            if handle.client is not None
+        )
+        pressure = inflight / max(len(ready_handles), 1)
+        return (
+            len(ready_handles),
+            pressure,
+            self.router.tracker.hot_models(),
+            self.router.recent_p95_ms(),
+        )
+
+    def decide(
+        self,
+        ready: int,
+        pressure: float,
+        hot_count: int,
+        p95_ms: float,
+        now: float,
+    ) -> Optional[str]:
+        """One control-law step: ``"up"``, ``"down"`` or hold.
+
+        Mutates only the hysteresis state (consecutive-pressure tick
+        count, idle-window start, cooldown stamp); the caller applies
+        the action.  Driven directly by the unit tests with synthetic
+        clocks, so keep it free of asyncio and wall-clock reads.
+        """
+        config = self.config
+        hot_demand = hot_count * config.replicas_hot > ready
+        breach = (
+            config.p95_budget_ms > 0.0 and p95_ms > config.p95_budget_ms
+        )
+        pressured = (
+            pressure >= config.scale_up_depth or hot_demand or breach
+        )
+        idle = (
+            pressure <= 0.25 * config.scale_up_depth
+            and hot_count == 0
+            and not breach
+        )
+        if pressured:
+            self._pressure_ticks += 1
+            self._idle_since = None
+        else:
+            self._pressure_ticks = 0
+            if idle:
+                if self._idle_since is None:
+                    self._idle_since = now
+            else:
+                self._idle_since = None
+        if (
+            self._last_event is not None
+            and now - self._last_event < config.scale_cooldown
+        ):
+            return None
+        if (
+            self._pressure_ticks >= config.scale_up_ticks
+            and ready < self.max_workers
+        ):
+            reasons = []
+            if pressure >= config.scale_up_depth:
+                reasons.append(f"queue depth {pressure:.2f}/worker")
+            if hot_demand:
+                reasons.append(
+                    f"{hot_count} hot model(s) want "
+                    f"{hot_count * config.replicas_hot} workers"
+                )
+            if breach:
+                reasons.append(
+                    f"p95 {p95_ms:.1f}ms > {config.p95_budget_ms:.1f}ms"
+                )
+            self.last_reason = "; ".join(reasons)
+            self._last_event = now
+            self._pressure_ticks = 0
+            return "up"
+        if (
+            self._idle_since is not None
+            and now - self._idle_since >= config.idle_drain_s
+            and ready > self.min_workers
+        ):
+            self.last_reason = (
+                f"idle {now - self._idle_since:.1f}s "
+                f"(pressure {pressure:.2f}, no hot models)"
+            )
+            self._last_event = now
+            self._idle_since = None
+            return "down"
+        return None
+
+    def _record(
+        self,
+        direction: str,
+        from_workers: int,
+        to_workers: int,
+        pressure: float,
+        hot_count: int,
+        p95_ms: float,
+    ) -> None:
+        self.events.append(
+            {
+                "at": time.time(),
+                "direction": direction,
+                "from_workers": from_workers,
+                "to_workers": to_workers,
+                "pressure": round(pressure, 3),
+                "hot_models": hot_count,
+                "p95_ms": round(p95_ms, 3),
+                "reason": self.last_reason,
+            }
+        )
+        del self.events[: -self.EVENT_LOG_CAP]
+        self._events_total.inc(direction=direction)
+        self._target.set(to_workers)
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self.supervisor._closing:
+            await asyncio.sleep(self.config.scale_interval)
+            now = loop.time()
+            self.router.tracker.decay(now)
+            ready, pressure, hot, p95_ms = self.signals()
+            self._pressure_gauge.set(pressure)
+            self._ready_gauge.set(ready)
+            action = self.decide(ready, pressure, len(hot), p95_ms, now)
+            if action == "up":
+                self._record(
+                    "up", ready, ready + 1, pressure, len(hot), p95_ms
+                )
+                await self.supervisor.add_worker()
+            elif action == "down":
+                retired = await self.supervisor.retire_worker()
+                if retired is not None:
+                    self._record(
+                        "down", ready, ready - 1, pressure, len(hot),
+                        p95_ms,
+                    )
+
+    def describe(self) -> dict:
+        """The ``/healthz`` block for this autoscaler."""
+        return {
+            "enabled": self.enabled,
+            "min_workers": self.min_workers,
+            "max_workers": self.max_workers,
+            "ready": len(self.supervisor.ready_workers()),
+            "events": self.events[-50:],
+        }
+
+
 class ClusterRouter:
     """The front door: accepts clients, routes to workers, aggregates.
 
@@ -618,6 +1237,15 @@ class ClusterRouter:
         self.tracker = HotTracker(
             config.hot_rps, config.hot_depth, config.replicas_hot
         )
+        self.negcache = NegativeCache(
+            supervisor.models_dir,
+            config.negcache_ttl,
+            config.negcache_cap,
+            metrics=metrics or supervisor.metrics,
+        )
+        #: Installed by :class:`ServeCluster` when elasticity is on.
+        self.autoscaler: Optional[Autoscaler] = None
+        self._recent: Deque[Tuple[float, float]] = deque(maxlen=512)
         self._server: Optional[asyncio.AbstractServer] = None
         self._draining = False
         self._inflight = 0
@@ -660,6 +1288,31 @@ class ClusterRouter:
             "psmgen_router_scrape_errors_total",
             "Worker /metrics scrapes that failed during aggregation.",
         )
+        self._estimates = self.metrics.counter(
+            "psmgen_router_estimates_total",
+            "Estimate requests routed (negative-cache hits included).",
+        )
+
+    def recent_p95_ms(self, window_s: float = 5.0) -> float:
+        """p95 of estimate latencies inside the trailing window, in ms.
+
+        The autoscaler's budget-breach signal.  Anchored at the newest
+        sample rather than the wall clock: after traffic stops there is
+        nothing to age the window against, but there is also no
+        pressure, so the idle-drain path wins regardless.
+        """
+        if not self._recent:
+            return 0.0
+        cutoff = self._recent[-1][0] - window_s
+        latencies = sorted(
+            elapsed for stamp, elapsed in self._recent if stamp >= cutoff
+        )
+        if not latencies:
+            return 0.0
+        index = min(
+            int(0.95 * (len(latencies) - 1) + 0.5), len(latencies) - 1
+        )
+        return latencies[index] * 1000.0
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -785,9 +1438,11 @@ class ClusterRouter:
         await write_response(
             writer, status, body, content_type, headers, close=close
         )
-        loop = asyncio.get_running_loop()
+        now = asyncio.get_running_loop().time()
         self._requests.inc(endpoint=endpoint, status=str(status))
-        self._latency.observe(loop.time() - start, endpoint=endpoint)
+        self._latency.observe(now - start, endpoint=endpoint)
+        if endpoint == "estimate":
+            self._recent.append((now, now - start))
 
     # ------------------------------------------------------------------
     async def _dispatch(self, method, path, query, content_type, body):
@@ -813,6 +1468,15 @@ class ClusterRouter:
                     "ready": ready,
                     "ring": self.supervisor.ring.ownership(),
                     "hot_models": self.tracker.hot_models(),
+                    "autoscaler": (
+                        self.autoscaler.describe()
+                        if self.autoscaler is not None
+                        else None
+                    ),
+                    "negcache": {
+                        "size": len(self.negcache),
+                        "ttl_s": self.config.negcache_ttl,
+                    },
                 },
                 (),
                 None,
@@ -888,6 +1552,19 @@ class ClusterRouter:
             model = self._model_key(query, content_type, body)
         except BadRequestError as exc:
             return 400, {"error": str(exc)}, (), None
+        self._estimates.inc()
+        # Negative cache first, *before* the hot tracker sees the
+        # request: repeated 404/quarantine traffic must neither reach a
+        # worker nor heat the autoscaler's demand signal.
+        cached = self.negcache.lookup(model)
+        if cached is not None:
+            status, payload, cached_type = cached
+            return (
+                status,
+                None,
+                ((NEGCACHE_HEADER, "hit"),),
+                (payload, cached_type),
+            )
         self.tracker.note(model, loop.time())
         self.tracker.inflight[model] = (
             self.tracker.inflight.get(model, 0) + 1
@@ -934,6 +1611,18 @@ class ClusterRouter:
                         client.inflight, worker=handle.worker_id
                     )
                 self._forwards.inc(worker=handle.worker_id)
+                if status == 404 or (
+                    status == 503 and b"quarantin" in payload
+                ):
+                    # Worker-sourced negative verdicts only — the
+                    # router's own "no ready worker" 503 is transient
+                    # capacity, never a fact about the model.
+                    self.negcache.store(
+                        model,
+                        status,
+                        payload,
+                        headers.get("content-type", "application/json"),
+                    )
                 relay = tuple(
                     (name.title(), value)
                     for name, value in headers.items()
@@ -1036,6 +1725,10 @@ class ServeCluster:
         rng: Optional[random.Random] = None,
     ) -> None:
         self.config = config or ClusterConfig()
+        # The initial pool size must live inside the elastic bounds,
+        # or the autoscaler's first decision would be a correction.
+        low, high = self.config.resolved_bounds()
+        self.config.workers = min(max(self.config.workers, low), high)
         self.metrics = metrics or MetricsRegistry()
         self.supervisor = ClusterSupervisor(
             models_dir,
@@ -1053,6 +1746,10 @@ class ServeCluster:
             metrics=self.metrics,
             rng=rng,
         )
+        self.autoscaler = Autoscaler(
+            self.supervisor, self.router, self.config, self.metrics
+        )
+        self.router.autoscaler = self.autoscaler
 
     @property
     def host(self) -> str:
@@ -1066,6 +1763,7 @@ class ServeCluster:
         """Spawn the worker fleet, then open the router front door."""
         await self.supervisor.start()
         await self.router.start()
+        self.autoscaler.start()
 
     async def serve_forever(self) -> None:
         """Serve until cancelled or signalled."""
@@ -1075,6 +1773,7 @@ class ServeCluster:
         """Graceful drain of router and fleet; True if fully clean."""
         if drain_deadline is None:
             drain_deadline = self.config.drain_timeout
+        await self.autoscaler.stop()
         return await self.router.shutdown(drain_deadline)
 
 
@@ -1089,6 +1788,16 @@ def create_cluster(
     worker_config: Optional[dict] = None,
     backend: str = "auto",
     metrics: Optional[MetricsRegistry] = None,
+    min_workers: int = 0,
+    max_workers: int = 0,
+    scale_interval: float = 0.5,
+    scale_up_depth: float = 2.0,
+    scale_up_ticks: int = 3,
+    p95_budget_ms: float = 0.0,
+    idle_drain_s: float = 10.0,
+    scale_cooldown: float = 5.0,
+    prewarm: bool = True,
+    negcache_ttl: float = 2.0,
 ) -> ServeCluster:
     """One-call constructor mirroring :func:`~repro.serve.server.create_server`."""
     config = ClusterConfig(
@@ -1096,6 +1805,16 @@ def create_cluster(
         replicas_hot=max(int(replicas_hot), 1),
         hot_rps=float(hot_rps),
         drain_timeout=float(drain_timeout),
+        min_workers=max(int(min_workers), 0),
+        max_workers=max(int(max_workers), 0),
+        scale_interval=max(float(scale_interval), 0.05),
+        scale_up_depth=max(float(scale_up_depth), 0.1),
+        scale_up_ticks=max(int(scale_up_ticks), 1),
+        p95_budget_ms=max(float(p95_budget_ms), 0.0),
+        idle_drain_s=max(float(idle_drain_s), 0.1),
+        scale_cooldown=max(float(scale_cooldown), 0.0),
+        prewarm=bool(prewarm),
+        negcache_ttl=float(negcache_ttl),
     )
     return ServeCluster(
         models_dir,

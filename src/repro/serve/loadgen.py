@@ -282,8 +282,15 @@ async def _run_loadgen_async(
     warmup: int = 0,
     payload: str = "json",
     seed: Optional[int] = None,
+    samples_out: Optional[List[Tuple[float, str, float]]] = None,
 ) -> dict:
-    """The load loop behind :func:`run_loadgen`."""
+    """The load loop behind :func:`run_loadgen`.
+
+    When ``samples_out`` is given, every completed request appends a
+    ``(start_perf_counter, worker_tag, elapsed_s)`` row — the elastic
+    bench uses these to split a joining worker's first request from its
+    steady state.
+    """
     if rps <= 0:
         raise ValueError("rps must be positive")
     if not windows:
@@ -346,6 +353,8 @@ async def _run_loadgen_async(
                 latencies.append(elapsed)
                 if worker:
                     worker_latencies.setdefault(worker, []).append(elapsed)
+                if samples_out is not None:
+                    samples_out.append((start, worker or "", elapsed))
                 key = str(status)
                 status_counts[key] = status_counts.get(key, 0) + 1
 
@@ -607,6 +616,311 @@ def run_scaling_bench(
         "speedup_vs_single": round(speedup, 3),
         "best_workers": best["workers"],
     }
+
+
+#: Identifier of the elastic (autoscale) report layout.
+ELASTIC_SCHEMA = "psmgen-loadgen-elastic/v1"
+
+
+async def _run_elastic_async(
+    host: str,
+    port: int,
+    model: str,
+    windows: Sequence[dict],
+    min_workers: int,
+    max_workers: int,
+    rps: float,
+    duration_s: float,
+    concurrency: int,
+    timeout: float,
+    warmup: int,
+    payload: str,
+    seed: Optional[int],
+    settle_s: float,
+) -> dict:
+    """Drive one elastic cluster through a grow/drain cycle."""
+    from .metrics import find_sample, parse_prometheus
+
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+    trajectory: List[dict] = []
+    stop = asyncio.Event()
+
+    async def _poll_ready() -> None:
+        """Sample ``/healthz`` ready-worker counts every 250 ms."""
+        while not stop.is_set():
+            try:
+                _status, _headers, body = await http_request_json(
+                    host, port, "GET", "/healthz", timeout=5.0
+                )
+                doc = json.loads(body.decode("utf-8"))
+                trajectory.append(
+                    {
+                        "t": round(loop.time() - t0, 3),
+                        "ready": int(doc.get("ready", 0)),
+                    }
+                )
+            except (OSError, asyncio.TimeoutError, ValueError):
+                pass
+            try:
+                await asyncio.wait_for(stop.wait(), 0.25)
+            except asyncio.TimeoutError:
+                pass
+
+    poller = loop.create_task(_poll_ready())
+    samples: List[Tuple[float, str, float]] = []
+    try:
+        report = await _run_loadgen_async(
+            host, port, model, list(windows), rps, duration_s,
+            concurrency, timeout, warmup, payload, seed,
+            samples_out=samples,
+        )
+        load_end = loop.time() - t0
+
+        # Convergence down: the autoscaler must drain the pool back to
+        # the floor once traffic stops (hot set decays, idle window
+        # elapses) — poll the trajectory until it does or settle_s runs
+        # out.
+        drained_at: Optional[float] = None
+        deadline = loop.time() + max(float(settle_s), 0.0)
+        while loop.time() < deadline:
+            await asyncio.sleep(0.25)
+            if trajectory and trajectory[-1]["ready"] <= min_workers:
+                drained_at = trajectory[-1]["t"]
+                break
+
+        # Negative-cache probe: repeated lookups of a model that does
+        # not exist must start answering from the router cache.
+        probe_requests = 4
+        probe_hits = 0
+        for _ in range(probe_requests):
+            try:
+                _status, headers, _body = await http_request_json(
+                    host,
+                    port,
+                    "POST",
+                    "/v1/estimate",
+                    {"model": "__elastic_bench_absent__", "trace": {}},
+                    timeout=5.0,
+                )
+                if headers.get("x-psm-negcache") == "hit":
+                    probe_hits += 1
+            except (OSError, asyncio.TimeoutError, ValueError):
+                pass
+
+        events: List[dict] = []
+        try:
+            _status, _headers, body = await http_request_json(
+                host, port, "GET", "/healthz", timeout=5.0
+            )
+            doc = json.loads(body.decode("utf-8"))
+            events = (doc.get("autoscaler") or {}).get("events", [])
+        except (OSError, asyncio.TimeoutError, ValueError):
+            pass
+        counters: Dict[str, float] = {}
+        try:
+            _status, _headers, body = await http_request_raw(
+                host, port, "GET", "/metrics", b"", timeout=10.0
+            )
+            metric_samples = parse_prometheus(body.decode("utf-8"))
+            for key, name, labels in (
+                ("autoscale_up", "psmgen_autoscale_events_total",
+                 {"direction": "up"}),
+                ("autoscale_down", "psmgen_autoscale_events_total",
+                 {"direction": "down"}),
+                ("prewarm_models", "psmgen_prewarm_models_total", {}),
+                ("prewarm_failures", "psmgen_prewarm_failures_total", {}),
+                ("negcache_hits", "psmgen_negcache_hits_total", {}),
+                ("negcache_misses", "psmgen_negcache_misses_total", {}),
+            ):
+                value = find_sample(metric_samples, name, **labels)
+                counters[key] = value if value is not None else 0.0
+        except (OSError, asyncio.TimeoutError, ValueError):
+            pass
+    finally:
+        stop.set()
+        await poller
+
+    # Cold-start split for workers that joined mid-run: their first
+    # request (post-pre-warm) against their own steady state.
+    initial = {f"w{index}" for index in range(min_workers)}
+    joined_rows: Dict[str, List[Tuple[float, float]]] = {}
+    for start, worker, elapsed in samples:
+        if worker and worker not in initial:
+            joined_rows.setdefault(worker, []).append((start, elapsed))
+    joined_workers = {}
+    for worker, rows in sorted(joined_rows.items()):
+        rows.sort()
+        first_ms = round(rows[0][1] * 1e3, 3)
+        steady = latency_summary([elapsed for _, elapsed in rows[1:]])
+        joined_workers[worker] = {
+            "requests": len(rows),
+            "first_request_ms": first_ms,
+            "steady_latency_ms": steady,
+            "first_vs_steady_p95": (
+                round(first_ms / steady["p95"], 3)
+                if steady["p95"] else None
+            ),
+        }
+
+    max_ready = max(
+        (point["ready"] for point in trajectory), default=min_workers
+    )
+    scale_up_at = next(
+        (
+            point["t"] for point in trajectory
+            if point["ready"] > min_workers
+        ),
+        None,
+    )
+    return {
+        "schema": ELASTIC_SCHEMA,
+        "model": model,
+        "min_workers": int(min_workers),
+        "max_workers": int(max_workers),
+        "target_rps": float(rps),
+        "duration_s": float(duration_s),
+        "payload": payload,
+        "seed": seed,
+        "load": {
+            "requests": report["requests"],
+            "completed": report["completed"],
+            "throughput_rps": report["throughput_rps"],
+            "errors_5xx": report["errors_5xx"],
+            "transport_errors": report["transport_errors"],
+            "status_counts": report["status_counts"],
+            "latency_ms": report["latency_ms"],
+            "per_worker": report.get("workers", {}),
+        },
+        "max_ready": max_ready,
+        "scaled_up": max_ready > min_workers,
+        "scale_up_s": scale_up_at,
+        "drained_down": drained_at is not None,
+        "drain_s": (
+            round(drained_at - load_end, 3)
+            if drained_at is not None and drained_at >= load_end
+            else (0.0 if drained_at is not None else None)
+        ),
+        "trajectory": trajectory,
+        "events": events,
+        "counters": counters,
+        "negcache_probe": {
+            "requests": probe_requests,
+            "hits": probe_hits,
+        },
+        "joined_workers": joined_workers,
+    }
+
+
+def run_elastic_bench(
+    models_dir,
+    model: str,
+    windows: Sequence[dict],
+    min_workers: int = 1,
+    max_workers: int = 3,
+    rps: float = 80.0,
+    duration_s: float = 6.0,
+    concurrency: int = 16,
+    timeout: float = 10.0,
+    warmup: int = 0,
+    payload: str = "json",
+    seed: Optional[int] = None,
+    serve_args: Sequence[str] = (),
+    settle_s: float = 20.0,
+) -> dict:
+    """Autoscale convergence bench: the ``elastic`` report section.
+
+    Starts one ``psmgen serve`` subprocess at ``min_workers`` with an
+    elastic ceiling of ``max_workers`` and deliberately fast control-
+    loop knobs (200 ms ticks, 1 s cooldown, 2 s idle-drain, a low hot
+    threshold), drives it above the scale-up threshold for
+    ``duration_s``, then waits up to ``settle_s`` for the pool to drain
+    back to the floor.  The ``psmgen-loadgen-elastic/v1`` document
+    records the ready-worker trajectory, the autoscaler's own event
+    log, pre-warm/negcache/autoscale counters from ``/metrics``, a
+    negative-cache probe, and — for every worker that joined mid-run —
+    its first-request latency against its steady-state summary (the
+    pre-warm cold-start measurement).  ``host_cpus`` is recorded
+    because convergence *speed* depends on real cores; on a 1-CPU host
+    the workers timeshare and only queueing, not throughput, improves.
+    """
+    import os
+    import signal as signal_module
+
+    elastic_args = [
+        "--min-workers", str(int(min_workers)),
+        "--max-workers", str(int(max_workers)),
+        "--scale-interval", "0.2",
+        "--scale-cooldown", "1.0",
+        "--idle-drain", "2.0",
+        "--scale-up-depth", "1.5",
+        "--scale-up-ticks", "2",
+        "--hot-rps", "5",
+        *serve_args,
+    ]
+    proc, port = _spawn_serve(models_dir, min_workers, elastic_args)
+    try:
+        document = asyncio.run(
+            _run_elastic_async(
+                "127.0.0.1", port, model, windows,
+                int(min_workers), int(max_workers),
+                rps, duration_s, concurrency, timeout, warmup,
+                payload, seed, settle_s,
+            )
+        )
+    finally:
+        proc.send_signal(signal_module.SIGTERM)
+        try:
+            exit_code = proc.wait(timeout=60.0)
+        except Exception:
+            proc.kill()
+            exit_code = proc.wait(timeout=10.0)
+    document["serve_exit"] = exit_code
+    document["host_cpus"] = os.cpu_count()
+    return document
+
+
+def validate_elastic(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a well-formed elastic
+    report."""
+    if not isinstance(payload, dict):
+        raise ValueError("elastic payload must be a JSON object")
+    if payload.get("schema") != ELASTIC_SCHEMA:
+        raise ValueError(
+            f"unexpected schema {payload.get('schema')!r}; "
+            f"want {ELASTIC_SCHEMA!r}"
+        )
+    check_fields(
+        payload,
+        (
+            ("model", str),
+            ("min_workers", int),
+            ("max_workers", int),
+            ("target_rps", (int, float)),
+            ("duration_s", (int, float)),
+            ("load", dict),
+            ("max_ready", int),
+            ("scaled_up", bool),
+            ("drained_down", bool),
+            ("trajectory", list),
+            ("events", list),
+            ("counters", dict),
+            ("negcache_probe", dict),
+            ("joined_workers", dict),
+        ),
+        context="elastic report",
+    )
+    check_fields(
+        payload["load"],
+        (
+            ("requests", int),
+            ("completed", int),
+            ("throughput_rps", (int, float)),
+            ("errors_5xx", int),
+            ("latency_ms", dict),
+        ),
+        context="elastic load section",
+    )
 
 
 def validate_loadgen(payload: dict) -> None:

@@ -305,3 +305,22 @@ def find_sample(
         if all(f'{k}="{v}"' in block for k, v in labels.items()):
             return value
     return None
+
+
+def sum_samples(
+    samples: Dict[str, Dict[str, float]],
+    name: str,
+    **labels: str,
+) -> float:
+    """Sum every sample of ``name`` whose label block contains ``labels``.
+
+    The cluster-level counterpart of :func:`find_sample`: aggregated
+    expositions carry one series per ``worker=`` label, so asserting a
+    fleet-wide total (pre-warm replays, autoscale events, negcache
+    hits) means summing across label blocks.
+    """
+    return sum(
+        value
+        for block, value in samples.get(name, {}).items()
+        if all(f'{k}="{v}"' in block for k, v in labels.items())
+    )

@@ -43,6 +43,20 @@ PathLike = Union[str, Path]
 Signature = Tuple[int, int]
 
 
+def discover_bundles(models_dir: PathLike) -> Dict[str, Path]:
+    """Bundle files present under ``models_dir``, by model name.
+
+    The registry's bundle index, shared with the cluster supervisor's
+    arc pre-warm step (which needs the model universe without holding a
+    registry of its own): every ``NAME.json`` directly in the directory
+    serves as model ``NAME``.
+    """
+    models_dir = Path(models_dir)
+    if not models_dir.is_dir():
+        return {}
+    return {path.stem: path for path in sorted(models_dir.glob("*.json"))}
+
+
 class RegistryError(RuntimeError):
     """Base error of the model registry."""
 
@@ -198,12 +212,7 @@ class ModelRegistry:
     # ------------------------------------------------------------------
     def discover(self) -> Dict[str, Path]:
         """Bundle files currently present, by model name."""
-        if not self.models_dir.is_dir():
-            return {}
-        return {
-            path.stem: path
-            for path in sorted(self.models_dir.glob("*.json"))
-        }
+        return discover_bundles(self.models_dir)
 
     def _path_for(self, name: str) -> Path:
         if (

@@ -73,6 +73,21 @@ class HashRing:
             entry for entry in self._points if entry[1] != worker
         ]
 
+    def clone(self) -> "HashRing":
+        """An independent copy with the same members and vnode count.
+
+        The supervisor's pre-warm step builds a *candidate* ring — the
+        membership the cluster will have once a joining worker is
+        published — to compute which model arcs that worker is about to
+        own without mutating the live ring mid-placement.
+        """
+        other = HashRing(vnodes=self.vnodes)
+        other._points = list(self._points)
+        other._workers = {
+            worker: list(points) for worker, points in self._workers.items()
+        }
+        return other
+
     # ------------------------------------------------------------------
     def lookup(self, key: str) -> str:
         """The worker owning ``key`` (its primary placement)."""

@@ -84,6 +84,8 @@ def _endpoint_label(method: str, path: str) -> str:
         return "models"
     if path == "/v1/estimate":
         return "estimate"
+    if path == "/v1/warm":
+        return "warm"
     return "other"
 
 
@@ -122,6 +124,14 @@ class PsmServer:
             "psmgen_request_seconds",
             "End-to-end request latency.",
             labelnames=("endpoint",),
+        )
+        self._warm_replayed = metrics.counter(
+            "psmgen_warm_replayed_total",
+            "Models replayed into the local caches via POST /v1/warm.",
+        )
+        self._warm_wall = metrics.counter(
+            "psmgen_warm_seconds_total",
+            "Wall-clock seconds spent replaying /v1/warm model lists.",
         )
 
     @property
@@ -331,7 +341,67 @@ class PsmServer:
             if method != "POST":
                 return 405, {"error": "use POST"}, ()
             return await self._handle_estimate(body, query, content_type)
+        if path == "/v1/warm":
+            if method != "POST":
+                return 405, {"error": "use POST"}, ()
+            return await self._handle_warm(body)
         return 404, {"error": f"no such endpoint {path!r}"}, ()
+
+    async def _handle_warm(self, body: bytes):
+        """The ``POST /v1/warm`` route: replay models into the caches.
+
+        The cluster supervisor's arc pre-warm protocol (DESIGN.md §3.9):
+        before a joining worker is published into the hash ring, the
+        supervisor posts the model names on the arcs it is about to own
+        and this handler loads each bundle into the registry (labeler +
+        simulator construction) and lowers it to compiled form, so the
+        worker's first real request hits warm caches.  Unknown or
+        quarantined bundles are reported per name, never fatal — a bad
+        deploy must not keep a worker out of the ring.
+        """
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}, ()
+        models = data.get("models") if isinstance(data, dict) else None
+        if not isinstance(models, list) or not all(
+            isinstance(name, str) and name for name in models
+        ):
+            return (
+                400,
+                {"error": "body must carry a 'models' list of names"},
+                (),
+            )
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        warmed: list = []
+        skipped = {}
+        for name in models:
+            try:
+                entry = await asyncio.to_thread(self.registry.get, name)
+                if self.batcher.engine != "object":
+                    await asyncio.to_thread(
+                        self.registry.compiled_for, entry
+                    )
+                warmed.append(name)
+            except (UnknownModelError, QuarantinedModelError) as exc:
+                skipped[name] = str(exc)
+            except ExportSchemaError as exc:
+                skipped[name] = str(exc)
+        wall = loop.time() - start
+        if warmed:
+            self._warm_replayed.inc(len(warmed))
+        self._warm_wall.inc(wall)
+        return (
+            200,
+            {
+                "warmed": len(warmed),
+                "models": warmed,
+                "skipped": skipped,
+                "wall_s": round(wall, 6),
+            },
+            (),
+        )
 
     def _trace_json_from_request(self, data: dict) -> Tuple[str, dict]:
         """Extract ``(model, trace_json)`` from an estimate body.

@@ -269,3 +269,61 @@ class TestServeEndToEnd:
         assert payload["estimated"] == [
             float(v) for v in reference.estimated.values
         ]
+
+    def test_warm_endpoint_loads_and_compiles(self, serving_dir):
+        import json
+
+        root, _windows = serving_dir
+        with ServerHandle(root) as handle:
+            port = handle.port
+            status, _h, raw = post_estimate(
+                port,
+                {"models": list(MODELS) + ["nope"]},
+            )
+            # POSTing to /v1/estimate with no model is a 400; the warm
+            # route is its own endpoint.
+            assert status == 400
+            status, _h, raw = asyncio.run(
+                http_request_json(
+                    "127.0.0.1",
+                    port,
+                    "POST",
+                    "/v1/warm",
+                    {"models": list(MODELS) + ["nope"]},
+                    timeout=60.0,
+                )
+            )
+            assert status == 200
+            payload = json.loads(raw)
+            assert payload["warmed"] == len(MODELS)
+            assert sorted(payload["models"]) == sorted(MODELS)
+            assert "nope" in payload["skipped"]
+            # Warmed models are registry cache hits from the first
+            # routed request on; the counters prove the replay ran.
+            status, _h, raw = get(port, "/metrics")
+            samples = parse_prometheus(raw.decode("utf-8"))
+            assert find_sample(samples, "psmgen_warm_replayed_total") == (
+                len(MODELS)
+            )
+            assert (
+                find_sample(samples, "psmgen_warm_seconds_total") > 0.0
+            )
+
+    def test_warm_endpoint_rejects_bad_bodies(self, serving_dir):
+        root, _windows = serving_dir
+        with ServerHandle(root) as handle:
+            port = handle.port
+            for body in ({"models": "alpha"}, {"models": [1, 2]}, []):
+                status, _h, _b = asyncio.run(
+                    http_request_json(
+                        "127.0.0.1",
+                        port,
+                        "POST",
+                        "/v1/warm",
+                        body,
+                        timeout=30.0,
+                    )
+                )
+                assert status == 400
+            status, _h, _b = get(port, "/v1/warm")
+            assert status == 405

@@ -1,0 +1,582 @@
+"""Tests for the elastic serving layer: autoscaler, pre-warm, negcache.
+
+Unit tests drive :meth:`Autoscaler.decide` and :class:`NegativeCache`
+with synthetic clocks (the hysteresis/cooldown/TTL behaviour must be
+deterministic); integration tests run a full inproc cluster through a
+grow/drain cycle, a pre-warm bootstrap and the negative-cache
+publish-invalidation path end to end.
+"""
+
+import asyncio
+import json
+import os
+import sys
+
+import pytest
+
+from repro.core.export import save_psms
+from repro.serve.cluster import (
+    Autoscaler,
+    ClusterConfig,
+    HotTracker,
+    NegativeCache,
+    ServeCluster,
+)
+from repro.serve.loadgen import http_request_json
+from repro.serve.metrics import MetricsRegistry
+from repro.traces.variables import bool_in
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from core.test_export import fig2_psm  # noqa: E402
+from serve.test_cluster import (  # noqa: E402
+    MODELS,
+    VARIABLES,
+    estimate,
+    make_window,
+    run,
+)
+
+
+@pytest.fixture
+def models_dir(tmp_path):
+    for name in MODELS:
+        save_psms([fig2_psm()], tmp_path / f"{name}.json", variables=VARIABLES)
+    return tmp_path
+
+
+def make_cluster(models_dir, workers=1, **config):
+    config.setdefault("vnodes", 16)
+    return ServeCluster(
+        models_dir,
+        config=ClusterConfig(workers=workers, **config),
+        backend="inproc",
+    )
+
+
+class _FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class _StubSupervisor:
+    """Just enough supervisor for Autoscaler unit construction."""
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self.workers = {}
+        self._closing = False
+
+    def ready_workers(self):
+        return []
+
+
+def make_autoscaler(**config):
+    config.setdefault("workers", 1)
+    config.setdefault("min_workers", 1)
+    config.setdefault("max_workers", 3)
+    config.setdefault("scale_up_ticks", 3)
+    config.setdefault("scale_up_depth", 2.0)
+    config.setdefault("scale_cooldown", 5.0)
+    config.setdefault("idle_drain_s", 10.0)
+    return Autoscaler(_StubSupervisor(), None, ClusterConfig(**config))
+
+
+class TestAutoscalerDecide:
+    def test_pressure_must_be_sustained(self):
+        scaler = make_autoscaler(scale_up_ticks=3)
+        assert scaler.decide(1, 5.0, 0, 0.0, now=0.0) is None
+        assert scaler.decide(1, 5.0, 0, 0.0, now=0.5) is None
+        assert scaler.decide(1, 5.0, 0, 0.0, now=1.0) == "up"
+        assert "queue depth" in scaler.last_reason
+
+    def test_pressure_gap_resets_the_streak(self):
+        scaler = make_autoscaler(scale_up_ticks=2)
+        assert scaler.decide(1, 5.0, 0, 0.0, now=0.0) is None
+        # One calm tick voids the streak: the next burst starts over.
+        assert scaler.decide(1, 0.0, 0, 0.0, now=0.5) is None
+        assert scaler.decide(1, 5.0, 0, 0.0, now=1.0) is None
+        assert scaler.decide(1, 5.0, 0, 0.0, now=1.5) == "up"
+
+    def test_hot_demand_triggers_without_queue_depth(self):
+        scaler = make_autoscaler(scale_up_ticks=1, replicas_hot=2)
+        # 1 hot model * 2 replicas > 1 ready worker.
+        assert scaler.decide(1, 0.0, 1, 0.0, now=0.0) == "up"
+        assert "hot model" in scaler.last_reason
+
+    def test_p95_budget_breach_triggers(self):
+        scaler = make_autoscaler(scale_up_ticks=1, p95_budget_ms=50.0)
+        assert scaler.decide(1, 0.0, 0, 80.0, now=0.0) == "up"
+        assert "p95" in scaler.last_reason
+
+    def test_cooldown_blocks_consecutive_events(self):
+        scaler = make_autoscaler(scale_up_ticks=1, scale_cooldown=5.0)
+        assert scaler.decide(1, 5.0, 0, 0.0, now=0.0) == "up"
+        assert scaler.decide(2, 5.0, 0, 0.0, now=1.0) is None
+        assert scaler.decide(2, 5.0, 0, 0.0, now=4.9) is None
+        assert scaler.decide(2, 5.0, 0, 0.0, now=5.5) == "up"
+
+    def test_ceiling_is_respected(self):
+        scaler = make_autoscaler(scale_up_ticks=1, max_workers=2)
+        assert scaler.decide(2, 5.0, 0, 0.0, now=0.0) is None
+
+    def test_idle_window_must_fully_elapse(self):
+        scaler = make_autoscaler(idle_drain_s=10.0, scale_cooldown=0.0)
+        assert scaler.decide(3, 0.0, 0, 0.0, now=0.0) is None
+        assert scaler.decide(3, 0.0, 0, 0.0, now=5.0) is None
+        assert scaler.decide(3, 0.0, 0, 0.0, now=10.0) == "down"
+        assert "idle" in scaler.last_reason
+
+    def test_hot_model_resets_the_idle_window(self):
+        scaler = make_autoscaler(idle_drain_s=10.0, scale_cooldown=0.0)
+        assert scaler.decide(3, 0.0, 0, 0.0, now=0.0) is None
+        assert scaler.decide(3, 0.0, 1, 0.0, now=5.0) is None
+        # Window restarted at the hot tick: 10 s from *there*.
+        assert scaler.decide(3, 0.0, 0, 0.0, now=10.0) is None
+        assert scaler.decide(3, 0.0, 0, 0.0, now=14.0) is None
+        assert scaler.decide(3, 0.0, 0, 0.0, now=20.1) == "down"
+
+    def test_floor_is_respected(self):
+        scaler = make_autoscaler(
+            min_workers=2, idle_drain_s=1.0, scale_cooldown=0.0
+        )
+        scaler.decide(2, 0.0, 0, 0.0, now=0.0)
+        assert scaler.decide(2, 0.0, 0, 0.0, now=2.0) is None
+
+    def test_mid_band_pressure_never_scales(self):
+        # Between a quarter of the up threshold and the threshold sits
+        # the hysteresis dead band: not pressured, not idle, no event.
+        scaler = make_autoscaler(
+            scale_up_ticks=1, scale_up_depth=2.0,
+            idle_drain_s=1.0, scale_cooldown=0.0,
+        )
+        for tick in range(40):
+            assert scaler.decide(2, 1.0, 0, 0.0, now=tick * 0.5) is None
+
+    def test_fixed_pool_is_disabled(self):
+        scaler = make_autoscaler(workers=2, min_workers=0, max_workers=0)
+        assert not scaler.enabled
+
+
+class TestHotTrackerDecay:
+    def test_rates_cool_during_silence(self):
+        tracker = HotTracker(hot_rps=5.0, hot_depth=100, replicas_hot=2)
+        for tick in range(20):
+            tracker.note("m", 10.0 + tick * 0.04)  # hot burst in bucket 10
+        tracker.note("m", 11.0)
+        assert tracker.rate("m") == pytest.approx(10.0)
+        tracker.decay(18.0)  # seven silent buckets
+        assert tracker.rate("m") < 0.2
+
+    def test_decay_exits_the_hot_set(self):
+        tracker = HotTracker(hot_rps=5.0, hot_depth=100, replicas_hot=2)
+        for tick in range(20):
+            tracker.note("m", 10.0 + tick * 0.04)
+        tracker.note("m", 11.0)
+        assert tracker.replicas("m") == 2
+        tracker.decay(30.0)
+        assert tracker.hot_models() == []
+        assert tracker.replicas("m") == 1
+
+    def test_hysteresis_survives_a_short_lull(self):
+        tracker = HotTracker(hot_rps=8.0, hot_depth=100, replicas_hot=2)
+        tracker._rate["m"] = 12.0
+        tracker._bucket["m"] = 10
+        tracker._count["m"] = 0
+        assert tracker.replicas("m") == 2
+        tracker.decay(11.0)  # one empty bucket: rate 6.0, above half
+        assert tracker.replicas("m") == 2  # still hot (hysteresis)
+        tracker.decay(13.0)
+        assert tracker.replicas("m") == 1
+
+    def test_replicas_monotone_under_bursty_clock(self):
+        # Replica count may only step between 1 and replicas_hot — the
+        # bursty on/off load below must never yield anything else, and
+        # transitions must follow the enter/exit thresholds in order.
+        tracker = HotTracker(hot_rps=4.0, hot_depth=100, replicas_hot=3)
+        observed = []
+        now = 50.0
+        for burst in range(6):
+            busy = burst % 2 == 0
+            # Busy bursts offer ~12 rps for 3 s; quiet ones 6 s of
+            # silence — long enough for the decay to cross the exit
+            # threshold.
+            for tick in range(12 if busy else 24):
+                if busy:
+                    for _ in range(3):
+                        tracker.note("m", now)
+                now += 0.25
+            tracker.decay(now)
+            observed.append(tracker.replicas("m"))
+        assert set(observed) <= {1, 3}
+        assert 3 in observed and 1 in observed
+
+    def test_fully_cooled_series_are_pruned(self):
+        tracker = HotTracker(hot_rps=5.0, hot_depth=100, replicas_hot=2)
+        tracker.note("m", 10.0)
+        tracker.note("m", 11.0)
+        tracker.decay(100.0)
+        assert "m" not in tracker._rate
+        assert "m" not in tracker._bucket
+
+
+class TestNegativeCache:
+    def make_cache(self, tmp_path, ttl=5.0, cap=1024):
+        clock = _FakeClock()
+        cache = NegativeCache(tmp_path, ttl, cap=cap, clock=clock)
+        return cache, clock
+
+    def test_store_then_hit(self, tmp_path):
+        cache, _clock = self.make_cache(tmp_path)
+        assert cache.lookup("ghost") is None
+        cache.store("ghost", 404, b'{"error":"x"}', "application/json")
+        assert cache.lookup("ghost") == (
+            404, b'{"error":"x"}', "application/json"
+        )
+        assert cache._hits.value() == 1
+        assert cache._misses.value() == 1
+
+    def test_ttl_expires_entries(self, tmp_path):
+        cache, clock = self.make_cache(tmp_path, ttl=5.0)
+        cache.store("ghost", 404, b"{}", "application/json")
+        clock.now += 4.9
+        assert cache.lookup("ghost") is not None
+        clock.now += 0.2
+        assert cache.lookup("ghost") is None
+        assert len(cache) == 0
+        assert cache._evictions.value() == 1
+
+    def test_publish_invalidates_before_ttl(self, tmp_path):
+        cache, _clock = self.make_cache(tmp_path, ttl=3600.0)
+        cache.store("ghost", 404, b"{}", "application/json")
+        # The model gets published: the very next lookup must forward.
+        (tmp_path / "ghost.json").write_text("{}")
+        assert cache.lookup("ghost") is None
+        assert len(cache) == 0
+        assert cache._invalidations.value() == 1
+
+    def test_replaced_bundle_invalidates_quarantine_verdict(self, tmp_path):
+        bundle = tmp_path / "broken.json"
+        bundle.write_text("not json")
+        cache, _clock = self.make_cache(tmp_path, ttl=3600.0)
+        cache.store("broken", 503, b"quarantined", "text/plain")
+        assert cache.lookup("broken") is not None
+        os.utime(bundle, ns=(1, 1))  # republished in place
+        assert cache.lookup("broken") is None
+        assert cache._invalidations.value() == 1
+
+    def test_lru_cap_bounds_hostile_churn(self, tmp_path):
+        cache, _clock = self.make_cache(tmp_path, cap=3)
+        for index in range(5):
+            cache.store(f"m{index}", 404, b"{}", "application/json")
+        assert len(cache) == 3
+        assert cache.lookup("m0") is None  # oldest two evicted
+        assert cache.lookup("m4") is not None
+        assert cache._evictions.value() == 2
+
+    def test_zero_ttl_disables_the_cache(self, tmp_path):
+        cache, _clock = self.make_cache(tmp_path, ttl=0.0)
+        cache.store("ghost", 404, b"{}", "application/json")
+        assert len(cache) == 0
+        assert cache.lookup("ghost") is None
+        assert cache._misses.value() == 0  # disabled, not missing
+
+    def test_unpublishable_names_have_no_signature(self, tmp_path):
+        cache, _clock = self.make_cache(tmp_path)
+        assert cache._signature("../etc/passwd") is None
+        assert cache._signature(".hidden") is None
+        assert cache._signature("") is None
+
+
+async def _estimate_raw(port, model, seed=0):
+    """Estimate returning the full header map (negcache tag included)."""
+    status, headers, data = await http_request_json(
+        "127.0.0.1",
+        port,
+        "POST",
+        "/v1/estimate",
+        {"model": model, "trace": make_window(seed)},
+    )
+    return status, headers, json.loads(data) if data else {}
+
+
+class TestNegcacheRouting:
+    def test_unknown_model_served_from_cache_until_published(
+        self, models_dir
+    ):
+        async def scenario():
+            cluster = make_cluster(
+                models_dir, workers=2, negcache_ttl=3600.0
+            )
+            await cluster.start()
+            try:
+                status, headers, _ = await _estimate_raw(
+                    cluster.port, "ghost"
+                )
+                assert status == 404
+                assert "x-psm-negcache" not in headers
+                forwards_before = sum(
+                    cluster.router._forwards.value(worker=wid)
+                    for wid in list(cluster.supervisor.workers)
+                )
+                status, headers, _ = await _estimate_raw(
+                    cluster.port, "ghost"
+                )
+                assert status == 404
+                assert headers.get("x-psm-negcache") == "hit"
+                forwards_after = sum(
+                    cluster.router._forwards.value(worker=wid)
+                    for wid in list(cluster.supervisor.workers)
+                )
+                assert forwards_after == forwards_before  # no forward
+                assert cluster.router.negcache._hits.value() >= 1
+
+                # Publish the model: the cached 404 must not shadow it.
+                save_psms(
+                    [fig2_psm()],
+                    models_dir / "ghost.json",
+                    variables=VARIABLES,
+                )
+                await asyncio.sleep(0.3)  # past worker freshness window
+                status, headers, payload = await _estimate_raw(
+                    cluster.port, "ghost"
+                )
+                assert status == 200
+                assert "x-psm-negcache" not in headers
+                assert "energy" in payload
+                assert (
+                    cluster.router.negcache._invalidations.value() >= 1
+                )
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+    def test_bad_traffic_does_not_heat_the_tracker(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(
+                models_dir, workers=1, negcache_ttl=3600.0
+            )
+            await cluster.start()
+            try:
+                for seed in range(6):
+                    await _estimate_raw(cluster.port, "ghost", seed)
+                # Only the first (the miss that got forwarded) reaches
+                # the tracker; cache hits never count as demand.
+                assert cluster.router.tracker._count.get("ghost", 0) <= 1
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+    def test_router_healthz_reports_negcache(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(models_dir, workers=1)
+            await cluster.start()
+            try:
+                await _estimate_raw(cluster.port, "ghost")
+                _status, _headers, body = await http_request_json(
+                    "127.0.0.1", cluster.port, "GET", "/healthz"
+                )
+                doc = json.loads(body)
+                assert doc["negcache"]["size"] == 1
+                assert doc["negcache"]["ttl_s"] == pytest.approx(2.0)
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+
+class TestPrewarm:
+    def test_initial_fleet_joins_warm(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(models_dir, workers=3)
+            await cluster.start()
+            try:
+                supervisor = cluster.supervisor
+                # Every model is warmed on its primary AND its replica
+                # placement (the fan-out path), once per worker.
+                expected_total = sum(
+                    len(supervisor.owned_models(wid))
+                    for wid in supervisor.workers
+                )
+                assert expected_total >= len(MODELS)
+                assert (
+                    supervisor._prewarm_models.value() == expected_total
+                )
+                assert supervisor._prewarm_failures.value() == 0
+                # Each worker's registry already holds exactly the
+                # bundles on its own primary/replica arcs — warmed,
+                # not routed.
+                for worker_id, handle in supervisor.workers.items():
+                    expected = set(supervisor.owned_models(worker_id))
+                    loaded = set(handle.server.registry._entries)
+                    assert loaded == expected
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+    def test_prewarm_off_joins_cold(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(models_dir, workers=3, prewarm=False)
+            await cluster.start()
+            try:
+                supervisor = cluster.supervisor
+                assert supervisor._prewarm_models.value() == 0
+                for handle in supervisor.workers.values():
+                    assert len(handle.server.registry._entries) == 0
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+    def test_added_worker_prewarms_only_its_arcs(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(models_dir, workers=1, max_workers=4)
+            await cluster.start()
+            try:
+                supervisor = cluster.supervisor
+                before = supervisor._prewarm_models.value()
+                worker_id = await supervisor.add_worker()
+                handle = supervisor.workers[worker_id]
+                assert handle.ready
+                owned = supervisor.owned_models(worker_id)
+                loaded = set(handle.server.registry._entries)
+                assert loaded == set(owned)
+                assert (
+                    supervisor._prewarm_models.value()
+                    == before + len(owned)
+                )
+                # First routed request for a warmed model is a registry
+                # cache hit — the bundle load already happened.
+                if owned:
+                    misses = handle.server.registry._misses.value()
+                    status, worker, _ = await estimate(
+                        cluster.port, owned[0]
+                    )
+                    assert status == 200
+                    assert worker == worker_id
+                    assert (
+                        handle.server.registry._misses.value() == misses
+                    )
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+    def test_retire_worker_shrinks_ring_and_pool(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(models_dir, workers=2)
+            await cluster.start()
+            try:
+                supervisor = cluster.supervisor
+                retired = await supervisor.retire_worker()
+                assert retired == "w1"  # youngest first
+                assert retired not in supervisor.ring
+                assert retired not in supervisor.workers
+                for model in MODELS:
+                    status, worker, _ = await estimate(
+                        cluster.port, model
+                    )
+                    assert status == 200
+                    assert worker == "w0"
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+
+class TestAutoscaleIntegration:
+    def test_pool_grows_under_hot_demand_then_drains(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(
+                models_dir,
+                workers=1,
+                min_workers=1,
+                max_workers=2,
+                scale_interval=0.05,
+                scale_up_ticks=1,
+                scale_cooldown=0.1,
+                idle_drain_s=0.2,
+                replicas_hot=2,
+            )
+            await cluster.start()
+            try:
+                assert cluster.autoscaler.enabled
+                tracker = cluster.router.tracker
+                # Inject sustained hot demand: one hot model wanting 2
+                # replicas against a 1-worker pool.
+                tracker._rate["alpha"] = 100.0
+                tracker._bucket["alpha"] = 10 ** 9
+                tracker._count["alpha"] = 0
+                assert tracker.replicas("alpha") == 2
+                deadline = asyncio.get_running_loop().time() + 10.0
+                while (
+                    len(cluster.supervisor.ready_workers()) < 2
+                    and asyncio.get_running_loop().time() < deadline
+                ):
+                    tracker._rate["alpha"] = 100.0  # outpace decay
+                    await asyncio.sleep(0.05)
+                assert len(cluster.supervisor.ready_workers()) == 2
+                assert cluster.autoscaler._events_total.value(
+                    direction="up"
+                ) >= 1
+
+                # Stop refreshing demand: decay cools the hot set, the
+                # idle window elapses, the pool drains to the floor.
+                tracker._rate["alpha"] = 0.0
+                deadline = asyncio.get_running_loop().time() + 10.0
+                while (
+                    len(cluster.supervisor.ready_workers()) > 1
+                    and asyncio.get_running_loop().time() < deadline
+                ):
+                    await asyncio.sleep(0.05)
+                assert len(cluster.supervisor.ready_workers()) == 1
+                assert cluster.autoscaler._events_total.value(
+                    direction="down"
+                ) >= 1
+                events = cluster.autoscaler.events
+                assert [e["direction"] for e in events[:2]] == [
+                    "up", "down",
+                ]
+                for event in events:
+                    assert event["reason"]
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+    def test_healthz_exposes_autoscaler_state(self, models_dir):
+        async def scenario():
+            cluster = make_cluster(
+                models_dir, workers=1, min_workers=1, max_workers=3
+            )
+            await cluster.start()
+            try:
+                _status, _headers, body = await http_request_json(
+                    "127.0.0.1", cluster.port, "GET", "/healthz"
+                )
+                doc = json.loads(body)
+                scaler = doc["autoscaler"]
+                assert scaler["enabled"] is True
+                assert scaler["min_workers"] == 1
+                assert scaler["max_workers"] == 3
+                assert scaler["ready"] == 1
+                assert scaler["events"] == []
+            finally:
+                await cluster.shutdown(5.0)
+
+        run(scenario())
+
+    def test_workers_clamped_into_bounds(self, models_dir):
+        cluster = make_cluster(
+            models_dir, workers=5, min_workers=1, max_workers=2
+        )
+        assert cluster.config.workers == 2
+        cluster = make_cluster(
+            models_dir, workers=1, min_workers=2, max_workers=4
+        )
+        assert cluster.config.workers == 2

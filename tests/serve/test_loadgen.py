@@ -3,10 +3,12 @@
 import pytest
 
 from repro.serve.loadgen import (
+    ELASTIC_SCHEMA,
     SCHEMA,
     format_report,
     latency_summary,
     percentile,
+    validate_elastic,
     validate_loadgen,
 )
 
@@ -102,6 +104,64 @@ class TestValidation:
     def test_rejects_non_dict(self):
         with pytest.raises(ValueError):
             validate_loadgen([])
+
+
+def sample_elastic() -> dict:
+    return {
+        "schema": ELASTIC_SCHEMA,
+        "model": "fig2",
+        "min_workers": 1,
+        "max_workers": 3,
+        "target_rps": 80.0,
+        "duration_s": 6.0,
+        "load": {
+            "requests": 480,
+            "completed": 480,
+            "throughput_rps": 78.5,
+            "errors_5xx": 0,
+            "latency_ms": {"p50": 3.0, "p95": 9.0, "p99": 12.0,
+                           "mean": 4.0, "max": 15.0},
+        },
+        "max_ready": 3,
+        "scaled_up": True,
+        "scale_up_s": 1.2,
+        "drained_down": True,
+        "drain_s": 4.0,
+        "trajectory": [{"t": 0.0, "ready": 1}, {"t": 2.0, "ready": 3}],
+        "events": [{"direction": "up"}],
+        "counters": {"autoscale_up": 2.0},
+        "negcache_probe": {"requests": 4, "hits": 3},
+        "joined_workers": {},
+        "host_cpus": 1,
+    }
+
+
+class TestValidateElastic:
+    def test_accepts_well_formed_report(self):
+        validate_elastic(sample_elastic())
+
+    def test_rejects_wrong_schema(self):
+        report = sample_elastic()
+        report["schema"] = "psmgen-loadgen-elastic/v99"
+        with pytest.raises(ValueError):
+            validate_elastic(report)
+
+    def test_rejects_missing_convergence_fields(self):
+        for field in ("scaled_up", "drained_down", "trajectory"):
+            report = sample_elastic()
+            del report[field]
+            with pytest.raises(ValueError):
+                validate_elastic(report)
+
+    def test_rejects_malformed_load_section(self):
+        report = sample_elastic()
+        del report["load"]["errors_5xx"]
+        with pytest.raises(ValueError):
+            validate_elastic(report)
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            validate_elastic([])
 
 
 class TestFormat:

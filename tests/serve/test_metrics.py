@@ -12,6 +12,7 @@ from repro.serve.metrics import (
     MetricsRegistry,
     find_sample,
     parse_prometheus,
+    sum_samples,
 )
 
 
@@ -154,3 +155,22 @@ class TestParser:
     def test_skips_comments_and_blanks(self):
         samples = parse_prometheus("# HELP x X.\n\nx 1\n")
         assert samples == {"x": {"": 1.0}}
+
+
+class TestSumSamples:
+    def test_sums_across_label_blocks(self):
+        # Aggregated cluster expositions carry one series per worker=
+        # label; fleet-wide assertions sum them.
+        samples = parse_prometheus(
+            'c{worker="w0"} 2\nc{worker="w1"} 3\nc{worker="w2"} 5\n'
+        )
+        assert sum_samples(samples, "c") == 10.0
+
+    def test_label_filter_restricts_the_sum(self):
+        samples = parse_prometheus(
+            'c{worker="w0",kind="a"} 2\nc{worker="w1",kind="b"} 3\n'
+        )
+        assert sum_samples(samples, "c", kind="a") == 2.0
+
+    def test_missing_metric_sums_to_zero(self):
+        assert sum_samples({}, "nope") == 0.0

@@ -107,6 +107,36 @@ class TestPreference:
             assert ring.preference(key, 2)[0] == ring.preference(key, 1)[0]
 
 
+class TestClone:
+    def test_clone_matches_original_placements(self):
+        ring = make_ring()
+        clone = ring.clone()
+        assert clone.workers == ring.workers
+        for key in KEYS[:50]:
+            assert clone.lookup(key) == ring.lookup(key)
+
+    def test_clone_is_independent(self):
+        # The pre-warm candidate ring mutates freely; the live ring
+        # must not see membership it hasn't published.
+        ring = make_ring()
+        clone = ring.clone()
+        clone.add("w9")
+        assert "w9" in clone
+        assert "w9" not in ring
+        clone.remove("w0")
+        assert "w0" in ring
+
+    def test_candidate_placement_equals_future_ring(self):
+        # A clone plus the joiner computes exactly the placements the
+        # live ring will have once the joiner is published.
+        ring = make_ring(("w0", "w1"))
+        candidate = ring.clone()
+        candidate.add("w2")
+        ring.add("w2")
+        for key in KEYS[:50]:
+            assert candidate.lookup(key) == ring.lookup(key)
+
+
 class TestOwnership:
     def test_shares_sum_to_one(self):
         shares = make_ring().ownership()

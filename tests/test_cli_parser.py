@@ -99,6 +99,70 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve"])
 
+    def test_serve_elastic_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--models-dir",
+                "bundles/",
+                "--min-workers",
+                "1",
+                "--max-workers",
+                "4",
+                "--scale-interval",
+                "0.2",
+                "--scale-up-depth",
+                "1.5",
+                "--scale-up-ticks",
+                "2",
+                "--p95-budget-ms",
+                "50",
+                "--idle-drain",
+                "3",
+                "--scale-cooldown",
+                "1",
+                "--no-prewarm",
+                "--negcache-ttl",
+                "0.5",
+            ]
+        )
+        assert args.min_workers == 1
+        assert args.max_workers == 4
+        assert args.scale_interval == 0.2
+        assert args.scale_up_depth == 1.5
+        assert args.scale_up_ticks == 2
+        assert args.p95_budget_ms == 50.0
+        assert args.idle_drain == 3.0
+        assert args.scale_cooldown == 1.0
+        assert args.no_prewarm is True
+        assert args.negcache_ttl == 0.5
+
+    def test_serve_elastic_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--models-dir", "bundles/"]
+        )
+        assert args.min_workers == 0
+        assert args.max_workers == 0
+        assert args.no_prewarm is False
+        assert args.negcache_ttl == 2.0
+
+    def test_loadgen_elastic_argument(self):
+        args = build_parser().parse_args(
+            [
+                "loadgen",
+                "--model",
+                "m",
+                "--ip",
+                "RAM",
+                "--elastic",
+                "1,3",
+                "--models-dir",
+                "bundles/",
+            ]
+        )
+        assert args.elastic == "1,3"
+        assert args.models_dir == "bundles/"
+
     def test_loadgen_arguments(self):
         args = build_parser().parse_args(
             [
